@@ -1,0 +1,20 @@
+"""Bench E1 — Theorem 3: s * max-step contention stays O(1).
+
+Regenerates the E1 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E1.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e01_contention_optimality(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E1",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert all(row['s*phi (bounded?)'] < 4.0 for row in result.rows)

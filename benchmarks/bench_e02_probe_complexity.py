@@ -1,0 +1,20 @@
+"""Bench E2 — Theorem 3: O(1) probes, one per table row.
+
+Regenerates the E2 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E2.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e02_probe_complexity(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E2",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert max(row['max_probes'] for row in result.rows) <= 16

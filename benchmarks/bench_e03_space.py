@@ -1,0 +1,21 @@
+"""Bench E3 — Theorem 3: linear space (flat words/key).
+
+Regenerates the E3 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E3.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e03_space(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E3",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    lcd = [r for r in result.rows if r['scheme'] == 'low-contention']
+    assert max(r['words_per_key'] for r in lcd) / min(r['words_per_key'] for r in lcd) < 1.3

@@ -1,0 +1,20 @@
+"""Bench E4 — Section 2.2: O(1) P(S) trials, O(n) build time.
+
+Regenerates the E4 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E4.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e04_construction(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E4",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert max(row['mean_trials'] for row in result.rows) < 4

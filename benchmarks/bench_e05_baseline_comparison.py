@@ -1,0 +1,20 @@
+"""Bench E5 — Section 1.3: contention ratios across schemes.
+
+Regenerates the E5 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E5.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e05_baseline_comparison(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E5",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert 'low-contention: best fit const' in result.finding

@@ -1,0 +1,24 @@
+"""Bench E6 — Section 1.3: arbitrary distributions are arbitrarily bad.
+
+Regenerates the E6 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E6.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e06_arbitrary_distributions(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E6",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    # Point-mass rows (which carry a "worst query") all reach phi = 1;
+    # the k-support rows show the ~1/k graceful degradation instead.
+    point_rows = [r for r in result.rows if "worst query" in r]
+    assert point_rows
+    assert all(row["phi worst point mass"] == 1.0 for row in point_rows)

@@ -1,0 +1,20 @@
+"""Bench E7 — Lemma 9: load-condition success rates.
+
+Regenerates the E7 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E7.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e07_lemma9_loads(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E7",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert min(row['P[all three]'] for row in result.rows) >= 0.5

@@ -1,0 +1,20 @@
+"""Bench E8 — Lemma 10: negative loads within 2x fair share.
+
+Regenerates the E8 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E8.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e08_negative_loads(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E8",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert all(row['<= 2 (Lemma 10)'] for row in result.rows)

@@ -1,0 +1,21 @@
+"""Bench E9 — Theorem 13: t*(n) ~ log log n + legal concrete game.
+
+Regenerates the E9 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E9.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e09_lower_bound_game(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E9",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    ts = [r['t*(n)'] for r in result.rows if r.get('series') == 'recursion']
+    assert ts == sorted(ts)

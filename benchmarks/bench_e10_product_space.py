@@ -1,0 +1,20 @@
+"""Bench E10 — Lemma 19: product-space simulation floors.
+
+Regenerates the E10 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E10.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e10_product_space(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E10",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert all(row['>= 1/4'] for row in result.rows)

@@ -1,0 +1,20 @@
+"""Bench E11 — Definition 11: VC-dimension table.
+
+Regenerates the E11 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E11.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e11_vc_dimension(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E11",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert all(row['agree'] for row in result.rows)

@@ -1,0 +1,21 @@
+"""Bench E12 — Section 1: m simultaneous queries.
+
+Regenerates the E12 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E12.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e12_concurrent(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E12",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    binary = [r for r in result.rows if r['scheme'] == 'binary-search' and r['model'] == 'queued']
+    assert all(r['throughput/cycle'] <= 1.1 for r in binary)

@@ -1,0 +1,20 @@
+"""Bench E13 — Section 2.2: design-choice ablations.
+
+Regenerates the E13 table (see DESIGN.md section 3 for the claim-to-
+experiment mapping) and times the full runner.  The rendered table is
+printed and written to benchmarks/results/E13.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e13_ablations(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E13",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert any(r['variant'] == 'paper defaults' for r in result.rows)

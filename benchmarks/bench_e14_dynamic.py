@@ -1,0 +1,22 @@
+"""Bench E14 — extension: dynamic update contention (paper conclusion).
+
+Regenerates the E14 table (see DESIGN.md section 3) and times the full
+runner.  The rendered table is printed and written to
+benchmarks/results/E14.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e14_dynamic(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E14",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    padded = [r for r in result.rows if r["level width"] != "paper-pure (0)"]
+    pure = [r for r in result.rows if r["level width"] == "paper-pure (0)"]
+    assert min(r["read phi_max * n"] for r in padded) < pure[0]["read phi_max * n"]

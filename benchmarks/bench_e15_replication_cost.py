@@ -1,0 +1,24 @@
+"""Bench E15 — extension: space cost of naive whole-structure replication.
+
+Regenerates the E15 table (see DESIGN.md section 3) and times the full
+runner.  The rendered table is printed and written to
+benchmarks/results/E15.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e15_replication_cost(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E15",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    by_scheme = {r["scheme"]: r for r in result.rows if r["n"] == result.rows[-1]["n"]}
+    assert (
+        by_scheme["binary-search"]["space to target"]
+        > 10 * by_scheme["low-contention"]["space to target"]
+    )

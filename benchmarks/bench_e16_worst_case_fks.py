@@ -1,0 +1,23 @@
+"""Bench E16 — worst-case 2-universal family: FKS at Theta(sqrt n) x optimal.
+
+Regenerates the E16 table (see DESIGN.md section 3) and times the full
+runner.  The rendered table is printed and written to
+benchmarks/results/E16.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e16_worst_case_fks(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E16",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert "sqrt(n)" in result.finding
+    for row in result.rows:
+        assert row["planted fks ratio"] > row["random fks ratio"]
+        assert row["lcd ratio (same keys)"] < 4.0

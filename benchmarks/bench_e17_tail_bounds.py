@@ -1,0 +1,20 @@
+"""Bench E17 — tail-bound sharpness (Theorems 6-8).
+
+Regenerates the E17 table (see DESIGN.md section 3) and times the full
+runner.  The rendered table is printed and written to
+benchmarks/results/E17.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e17_tail_bounds(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E17",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    assert all(row["bound holds"] for row in result.rows)

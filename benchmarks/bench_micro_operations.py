@@ -1,0 +1,138 @@
+"""Microbenchmarks of the library's primitives.
+
+Not tied to a paper table; these keep the engineering honest (guide:
+measure before optimizing) and catch performance regressions in the
+hot paths: vectorized hashing, construction, the exact-contention
+accumulator, and single-query latency.
+"""
+
+import numpy as np
+import pytest
+
+from repro.contention import exact_contention
+from repro.core import LowContentionDictionary
+from repro.dictionaries import CuckooDictionary, FKSDictionary
+from repro.distributions import UniformOverSet, UniformPositiveNegative
+from repro.hashing import DMFamily, PolynomialFamily
+from repro.utils.primes import next_prime
+
+N = 1024
+UNIVERSE = N * N
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(0)
+    return np.sort(rng.choice(UNIVERSE, size=N, replace=False))
+
+
+@pytest.fixture(scope="module")
+def lcd(keys):
+    return LowContentionDictionary(keys, UNIVERSE, rng=np.random.default_rng(1))
+
+
+def test_bench_polynomial_hash_batch(benchmark):
+    fam = PolynomialFamily(next_prime(UNIVERSE), N, 3)
+    h = fam.sample(np.random.default_rng(0))
+    xs = np.random.default_rng(1).integers(0, UNIVERSE, size=100_000)
+    benchmark(h.eval_batch, xs)
+
+
+def test_bench_dm_hash_batch(benchmark):
+    fam = DMFamily(next_prime(UNIVERSE), N, 32, 3)
+    h = fam.sample(np.random.default_rng(0))
+    xs = np.random.default_rng(1).integers(0, UNIVERSE, size=100_000)
+    benchmark(h.eval_batch, xs)
+
+
+def test_bench_lcd_construction(benchmark, keys):
+    benchmark.pedantic(
+        LowContentionDictionary,
+        args=(keys, UNIVERSE),
+        kwargs={"rng": np.random.default_rng(2)},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_fks_construction(benchmark, keys):
+    benchmark.pedantic(
+        FKSDictionary,
+        args=(keys, UNIVERSE),
+        kwargs={"rng": np.random.default_rng(2)},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_cuckoo_construction(benchmark, keys):
+    benchmark.pedantic(
+        CuckooDictionary,
+        args=(keys, UNIVERSE),
+        kwargs={"rng": np.random.default_rng(2)},
+        rounds=3,
+        iterations=1,
+    )
+
+
+def test_bench_lcd_single_query(benchmark, lcd, keys):
+    rng = np.random.default_rng(3)
+    x = int(keys[17])
+    benchmark(lcd.query, x, rng)
+
+
+def test_bench_lcd_batch_plan(benchmark, lcd):
+    xs = np.random.default_rng(4).integers(0, UNIVERSE, size=50_000)
+    benchmark(lcd.probe_plan_batch, xs)
+
+
+def test_bench_exact_contention_positive(benchmark, lcd, keys):
+    dist = UniformOverSet(UNIVERSE, keys)
+    benchmark.pedantic(
+        exact_contention, args=(lcd, dist), rounds=3, iterations=1
+    )
+
+
+def test_bench_exact_contention_full_universe(benchmark, lcd, keys):
+    """The heavy path: enumerating all N = n**2 queries exactly."""
+    dist = UniformPositiveNegative(UNIVERSE, keys, 0.5)
+    benchmark.pedantic(
+        exact_contention, args=(lcd, dist), rounds=1, iterations=1
+    )
+
+
+def test_bench_dynamic_insert_stream(benchmark):
+    """Amortized insert cost of the dynamized scheme (256 inserts)."""
+    from repro.dynamic import DynamicLowContentionDictionary
+
+    def run():
+        d = DynamicLowContentionDictionary(
+            UNIVERSE, rng=np.random.default_rng(5)
+        )
+        for k in range(256):
+            d.insert(k)
+        return d
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_dynamic_query(benchmark):
+    """Query latency against a multi-level dynamic structure."""
+    from repro.dynamic import DynamicLowContentionDictionary
+
+    d = DynamicLowContentionDictionary(UNIVERSE, rng=np.random.default_rng(5))
+    for k in range(300):
+        d.insert(k)
+    rng = np.random.default_rng(6)
+    benchmark(d.query, 150, rng)
+
+
+def test_bench_verify_table(benchmark, keys):
+    """The cells-only structural verifier at n = 1024."""
+    from repro.core import LowContentionDictionary, verify_dictionary
+
+    d = LowContentionDictionary(keys, UNIVERSE, rng=np.random.default_rng(7))
+    result = benchmark.pedantic(
+        verify_dictionary, args=(d,), rounds=3, iterations=1
+    )
+    assert result == []

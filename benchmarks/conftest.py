@@ -1,0 +1,41 @@
+"""Benchmark harness configuration.
+
+Each ``bench_eXX_*.py`` file regenerates one experiment's table (the
+paper has no tables/figures of its own; E1-E13 reify its claims — see
+DESIGN.md §3).  pytest-benchmark measures the runner's wall time; the
+regenerated table is printed (visible with ``-s``) and persisted to
+``benchmarks/results/EXX.txt`` so a bench run leaves the full set of
+tables on disk.
+
+Set ``REPRO_BENCH_FULL=1`` for the full (slow) size ladders.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+FAST = os.environ.get("REPRO_BENCH_FULL", "0") != "1"
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_fast() -> bool:
+    """True when running the quick ladders (the default)."""
+    return FAST
+
+
+@pytest.fixture(scope="session")
+def record_result():
+    """Persist and print a regenerated experiment table."""
+
+    def _record(result):
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = result.render() + "\n"
+        (RESULTS_DIR / f"{result.experiment_id}.txt").write_text(text)
+        print("\n" + text)
+        return result
+
+    return _record

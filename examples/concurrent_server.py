@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Concurrent membership server: why contention is worth a constant factor.
+
+Simulates an in-memory membership service on a shared-memory
+multiprocessor: m processor threads issue back-to-back lookups against
+one static table.  Memory serves one probe per cell per cycle (hot
+cells queue — the QRQW/stall model).  We sweep m and compare the
+low-contention dictionary against binary search and FKS.
+
+This is the paper's opening motivation made concrete: binary search's
+root cell caps the whole machine near 1 lookup-step per cycle, while
+the flat probe profile of the Section 2 scheme keeps scaling until m
+approaches the table width.
+
+Run:  python examples/concurrent_server.py
+"""
+
+import numpy as np
+
+from repro.concurrent import ConcurrentSimulator, QueuedModel
+from repro.core import LowContentionDictionary
+from repro.dictionaries import FKSDictionary, SortedArrayDictionary
+from repro.distributions import UniformPositiveNegative
+from repro.io import render_table
+
+
+def main() -> None:
+    n = 1024
+    universe = n * n
+    rng = np.random.default_rng(5)
+    keys = np.sort(rng.choice(universe, size=n, replace=False))
+    workload = UniformPositiveNegative(universe, keys, positive_mass=0.5)
+
+    schemes = [
+        LowContentionDictionary(keys, universe, rng=np.random.default_rng(1)),
+        FKSDictionary(keys, universe, rng=np.random.default_rng(1)),
+        SortedArrayDictionary(keys, universe),
+    ]
+
+    rows = []
+    for d in schemes:
+        for m in (16, 64, 256, 1024):
+            sim = ConcurrentSimulator(
+                d, workload, processors=m, model=QueuedModel(),
+                rng=np.random.default_rng(9),
+            )
+            res = sim.run(600)
+            rows.append(
+                {
+                    "scheme": d.name,
+                    "m": m,
+                    "lookups/cycle": round(res.throughput, 2),
+                    "speedup vs 1/t": round(
+                        res.throughput * d.max_probes, 1
+                    ),
+                    "mean latency": round(res.mean_latency, 1),
+                    "stall %": round(100 * res.stall_fraction, 1),
+                    "worst collision": res.max_cell_collisions,
+                }
+            )
+    print(render_table(rows, title=f"Queued-memory simulation, n={n}"))
+    print(
+        "\n'speedup vs 1/t' normalizes throughput by each scheme's probe"
+        "\ncount: ~m means perfect scaling; binary search flatlines at ~1"
+        "\nbecause every lookup serializes on the root cell."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Dynamic membership under an insert/delete stream (extension).
+
+The paper's closing future-work question: what contention do *updates*
+cause?  This example runs a random operation stream through the
+logarithmic-method dynamization of the Section 2 scheme and reports the
+read/write contention trade-off — with and without level-width padding.
+
+Run:  python examples/dynamic_stream.py
+"""
+
+import numpy as np
+
+from repro.distributions import UniformPositiveNegative
+from repro.dynamic import DynamicLowContentionDictionary
+from repro.io import render_table
+
+
+def main() -> None:
+    universe = 1 << 18
+    ops, key_range, queries = 2000, 2500, 5000
+    rows = []
+    for label, width in (("paper-pure", 0), ("padded to ~n", 1500)):
+        rng = np.random.default_rng(3)
+        d = DynamicLowContentionDictionary(
+            universe, rng=np.random.default_rng(4), min_level_width=width
+        )
+        for _ in range(ops):
+            k = int(rng.integers(0, key_range))
+            if rng.random() < 0.75:
+                d.insert(k)
+            else:
+                d.delete(k)
+        dist = UniformPositiveNegative(universe, d.live_keys(), 0.5)
+        res = d.empirical_query_contention(dist, queries, rng)
+        acct = d.account.row()
+        rows.append(
+            {
+                "levels": label,
+                "live n": d.live_count,
+                "space(words)": d.space_words,
+                "E[probes]": round(res["mean_probes"], 1),
+                "read phi*n": round(
+                    res["global_max_contention"] * d.live_count, 2
+                ),
+                "write phi": acct["max_write_contention"],
+                "cells written/update": acct["amortized_cells_written"],
+                "rebuilds": acct["rebuilds"],
+            }
+        )
+        print(f"\n{label}: level sizes {d.level_sizes}")
+        level_rows = [
+            {
+                "level": r["level"],
+                "entries": r["entries"],
+                "table width s": r["s"],
+                "read max phi": round(r["max_contention"], 5),
+                "floor 1/s": round(r["floor_1_over_s"], 5),
+            }
+            for r in res["per_level"]
+        ]
+        print(render_table(level_rows))
+
+    print()
+    print(render_table(rows, title="Dynamic read/write contention summary"))
+    print(
+        "\nReads are hottest on the SMALLEST level's table; writes on the"
+        "\nNEWEST (most-rebuilt) levels. Padding level tables to width ~n"
+        "\nrestores the static O(1/n) read guarantee for ~3x space, while"
+        "\nwrite contention is unchanged — the open dynamic trade-off the"
+        "\npaper's conclusion points at."
+    )
+
+
+if __name__ == "__main__":
+    main()

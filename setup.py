@@ -1,0 +1,10 @@
+"""Shim for environments without the ``wheel`` package.
+
+All metadata lives in pyproject.toml; this file only enables the legacy
+``pip install -e . --no-build-isolation`` path (the offline environment
+lacks ``wheel``, which the PEP 517 editable route requires).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Low-Contention Data Structures" (SPAA 2010).
+
+Public API highlights (see README.md for a tour):
+
+- :class:`repro.core.LowContentionDictionary` — the paper's Section 2
+  construction: linear space, O(1) probes, O(1/n) contention under
+  uniform-within-class query distributions.
+- :mod:`repro.dictionaries` — baselines (binary search, linear probing,
+  FKS, DM, cuckoo) on the same instrumented cell-probe substrate.
+- :mod:`repro.contention` — exact and Monte-Carlo contention measurement.
+- :mod:`repro.concurrent` — simultaneous-query shared-memory simulation.
+- :mod:`repro.lowerbound` — the Section 3 communication game, lemma
+  machinery, and the t* = Ω(log log n) recursion.
+- :mod:`repro.experiments` — the E1–E13 experiment registry (the paper
+  has no tables/figures; these reify its claims — see DESIGN.md).
+"""
+
+__version__ = "1.0.0"
+
+from repro.errors import (
+    ConstructionError,
+    DistributionError,
+    GameError,
+    ParameterError,
+    QueryError,
+    ReproError,
+    TableError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ParameterError",
+    "ConstructionError",
+    "TableError",
+    "QueryError",
+    "DistributionError",
+    "GameError",
+]

@@ -1,0 +1,35 @@
+"""Numeric forms of the paper's probability tools and growth-law fitting.
+
+- :mod:`~repro.analysis.tailbounds` — Theorem 6 (d-wise independent
+  moment tail), Theorem 7 (Hoeffding), Theorem 8 (Fact 2.2 of DM) as
+  evaluable bounds;
+- :mod:`~repro.analysis.loadbounds` — the three Lemma 9 conditions as
+  empirical success-rate estimators over repeated hash draws (E7) and
+  the Lemma 10 negative-load check (E8);
+- :mod:`~repro.analysis.fitting` — least-squares fits of measured
+  series against the paper's asymptotic shapes (const, sqrt(n),
+  ln n / ln ln n, log log n, ...) with relative-error scoring, used by
+  E5/E9 to decide *which* growth law a measurement follows.
+"""
+
+from repro.analysis.fitting import GROWTH_LAWS, best_growth_law, fit_growth_law
+from repro.analysis.loadbounds import (
+    lemma9_condition_rates,
+    lemma10_negative_loads_ok,
+)
+from repro.analysis.tailbounds import (
+    dwise_tail_bound,
+    fact22_bound,
+    hoeffding_tail_bound,
+)
+
+__all__ = [
+    "dwise_tail_bound",
+    "hoeffding_tail_bound",
+    "fact22_bound",
+    "lemma9_condition_rates",
+    "lemma10_negative_loads_ok",
+    "GROWTH_LAWS",
+    "fit_growth_law",
+    "best_growth_law",
+]

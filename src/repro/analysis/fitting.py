@@ -1,0 +1,85 @@
+"""Growth-law fitting for asymptotic-shape verification.
+
+The paper's claims are asymptotic (O(1/n) contention, Theta(sqrt(n)) or
+Theta(ln n / ln ln n) blowups, Omega(log log n) probes).  Experiments
+produce finite series (n_k, y_k); this module fits each candidate law
+``y ~ c * g(n)`` by least squares on the scale factor and scores it by
+mean relative error, so E5/E9 can report *which* shape a measurement
+follows rather than eyeballing.
+
+The candidate set mirrors the paper's inventory of rates.  Fits are a
+diagnostic, not a proof: on narrow n-ranges neighbouring laws can be
+hard to separate, and the reports include the per-law scores so readers
+can judge the margin.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def _safe_log(n: np.ndarray) -> np.ndarray:
+    return np.log(np.maximum(n, 2.0))
+
+
+GROWTH_LAWS: dict[str, Callable[[np.ndarray], np.ndarray]] = {
+    "const": lambda n: np.ones_like(np.asarray(n, dtype=np.float64)),
+    "loglog(n)": lambda n: np.log(np.maximum(_safe_log(n), math.e)),
+    "log(n)": _safe_log,
+    "log(n)/loglog(n)": lambda n: _safe_log(n)
+    / np.log(np.maximum(_safe_log(n), math.e)),
+    "sqrt(n)": lambda n: np.sqrt(np.asarray(n, dtype=np.float64)),
+    "n": lambda n: np.asarray(n, dtype=np.float64),
+    "1/n": lambda n: 1.0 / np.asarray(n, dtype=np.float64),
+    "log(n)/n": lambda n: _safe_log(n) / np.asarray(n, dtype=np.float64),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class GrowthFit:
+    """One candidate law's least-squares fit to a series."""
+
+    law: str
+    scale: float
+    mean_relative_error: float
+
+    def predict(self, n: np.ndarray) -> np.ndarray:
+        """Evaluate the fitted law at new n values."""
+        return self.scale * GROWTH_LAWS[self.law](np.asarray(n, dtype=np.float64))
+
+
+def fit_growth_law(
+    n: np.ndarray, y: np.ndarray, law: str
+) -> GrowthFit:
+    """Fit ``y ~ c * law(n)`` by least squares on c; score by rel. error."""
+    if law not in GROWTH_LAWS:
+        raise ParameterError(f"unknown law {law!r}; options: {sorted(GROWTH_LAWS)}")
+    n = np.asarray(n, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    if n.shape != y.shape or n.size < 2:
+        raise ParameterError("need matching n/y series of length >= 2")
+    g = GROWTH_LAWS[law](n)
+    denom = float(np.dot(g, g))
+    scale = float(np.dot(g, y) / denom) if denom > 0 else 0.0
+    pred = scale * g
+    with np.errstate(divide="ignore", invalid="ignore"):
+        rel = np.abs(pred - y) / np.where(np.abs(y) > 0, np.abs(y), 1.0)
+    return GrowthFit(law=law, scale=scale, mean_relative_error=float(rel.mean()))
+
+
+def best_growth_law(
+    n: np.ndarray, y: np.ndarray, candidates: list[str] | None = None
+) -> tuple[GrowthFit, list[GrowthFit]]:
+    """Fit all candidate laws; return (best, all sorted by error)."""
+    candidates = list(GROWTH_LAWS) if candidates is None else candidates
+    fits = sorted(
+        (fit_growth_law(n, y, law) for law in candidates),
+        key=lambda f: f.mean_relative_error,
+    )
+    return fits[0], fits

@@ -1,0 +1,98 @@
+"""Empirical verification of the Lemma 9 / Lemma 10 load conditions.
+
+E7 calls :func:`lemma9_condition_rates` to estimate, over repeated
+draws of (f, g, z), the probability of each of property P(S)'s three
+conditions — the paper claims 1 - o(1), 1 - o(1), and >= 1/2
+respectively, and their conjunction >= 1/2 - o(1).
+
+E8 calls :func:`lemma10_negative_loads_ok` to check that the negative
+(complement) loads of g, h' and h are all <= 2(N - n)/k — the paper's
+Lemma 10, which needs the hash to be near-uniform over the *domain*.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.params import SchemeParameters
+from repro.hashing.dm import DMHashFunction
+from repro.hashing.polynomial import PolynomialFamily
+from repro.utils.rng import as_generator
+
+
+@dataclasses.dataclass(frozen=True)
+class Lemma9Rates:
+    """Empirical success rates of P(S)'s conditions over many draws."""
+
+    trials: int
+    g_load_rate: float  # condition 1: all g-bucket loads <= c n / r
+    group_load_rate: float  # condition 2: all group loads <= ceil(c n / m)
+    fks_rate: float  # condition 3: sum of squared loads <= s
+    joint_rate: float  # all three simultaneously
+
+    def row(self) -> dict:
+        """Flat dict for experiment tables."""
+        return dataclasses.asdict(self)
+
+
+def lemma9_condition_rates(
+    keys: np.ndarray,
+    params: SchemeParameters,
+    prime: int,
+    trials: int,
+    rng=None,
+) -> Lemma9Rates:
+    """Estimate the per-condition success probabilities of P(S)."""
+    rng = as_generator(rng)
+    keys = np.asarray(keys, dtype=np.int64)
+    f_family = PolynomialFamily(prime, params.s, params.degree)
+    g_family = PolynomialFamily(prime, params.r, params.degree)
+    ok = np.zeros((trials, 3), dtype=bool)
+    for t in range(trials):
+        f = f_family.sample(rng)
+        g = g_family.sample(rng)
+        z = rng.integers(0, params.s, size=params.r)
+        h = DMHashFunction(f, g, z)
+        g_loads = np.bincount(g.eval_batch(keys), minlength=params.r)
+        hv = h.eval_batch(keys)
+        loads = np.bincount(hv, minlength=params.s).astype(np.int64)
+        group_loads = np.bincount(hv % params.m, minlength=params.m)
+        ok[t, 0] = int(g_loads.max(initial=0)) <= params.max_g_load
+        ok[t, 1] = int(group_loads.max(initial=0)) <= params.max_group_load
+        ok[t, 2] = int(np.sum(loads**2)) <= params.fks_budget
+    return Lemma9Rates(
+        trials=trials,
+        g_load_rate=float(ok[:, 0].mean()),
+        group_load_rate=float(ok[:, 1].mean()),
+        fks_rate=float(ok[:, 2].mean()),
+        joint_rate=float(ok.all(axis=1).mean()),
+    )
+
+
+def lemma10_negative_loads_ok(
+    hash_fn,
+    keys: np.ndarray,
+    universe_size: int,
+    range_size: int,
+    chunk: int = 1 << 20,
+) -> tuple[bool, float]:
+    """Check Lemma 10: every negative load <= 2 (N - n) / k.
+
+    Returns ``(ok, worst_ratio)`` where worst_ratio is the maximum of
+    negative_load / ((N - n)/k) over buckets — Lemma 10 asserts <= 2
+    for domain-uniform hashes and N = omega(n).
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    N = int(universe_size)
+    n = keys.size
+    total = np.zeros(range_size, dtype=np.int64)
+    for lo in range(0, N, chunk):
+        xs = np.arange(lo, min(lo + chunk, N), dtype=np.int64)
+        total += np.bincount(hash_fn.eval_batch(xs), minlength=range_size)
+    pos = np.bincount(hash_fn.eval_batch(keys), minlength=range_size)
+    neg = total - pos
+    fair_share = (N - n) / range_size
+    worst = float(neg.max(initial=0) / fair_share) if fair_share > 0 else 0.0
+    return worst <= 2.0, worst

@@ -1,0 +1,67 @@
+"""The paper's tail bounds (Theorems 6–8) as evaluable functions.
+
+These are *upper bounds on probabilities*; E7 compares them against the
+empirical frequencies of the corresponding bad events over many hash
+draws.  The bound of Theorem 6 carries an unspecified O(·) constant —
+we expose it as a parameter (default 1, the Kruskal–Rudolph–Snir
+Corollary 4.20 form) and the tests only assert one-sidedness where the
+constant is pinned.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ParameterError
+
+
+def dwise_tail_bound(
+    expectation: float, t: float, d: int, constant: float = 1.0
+) -> float:
+    """Theorem 6: Pr[X - E[X] > t] <= constant * E[X]**(d/2) / t**d.
+
+    Valid for 0-1 valued, d-wise independent, equidistributed summands
+    with d <= 2 E[X].  Returns a value clipped to [0, 1].
+    """
+    if expectation < 0 or t <= 0 or d < 1:
+        raise ParameterError("need expectation >= 0, t > 0, d >= 1")
+    if d > 2 * expectation:
+        raise ParameterError(
+            f"Theorem 6 requires d <= 2 E[X] (d={d}, E[X]={expectation})"
+        )
+    return min(1.0, constant * expectation ** (d / 2.0) / t**d)
+
+
+def hoeffding_tail_bound(expectation: float, c: float, d: float) -> float:
+    """Theorem 7: Pr[Y >= c E[Y]] <= (e/c)**(c E[Y] / d).
+
+    For independent summands with values in [0, d] and c > e (assuming
+    c E[Y] <= r d, the range condition, which callers must ensure).
+    """
+    if c <= math.e:
+        raise ParameterError("Theorem 7 requires c > e")
+    if expectation < 0 or d <= 0:
+        raise ParameterError("need expectation >= 0 and d > 0")
+    return min(1.0, (math.e / c) ** (c * expectation / d))
+
+
+def fact22_bound(n: int, m: int, d: int) -> float:
+    """Theorem 8 (Fact 2.2 of DM): Pr[some load > d] <= n (2n/m)**d.
+
+    For f drawn from H^d_m with d > 2 constant and m <= 2n/d; bounds the
+    chance any of the m buckets exceeds load d.
+    """
+    if n < 1 or m < 1 or d < 1:
+        raise ParameterError("need positive n, m, d")
+    return min(1.0, n * (2.0 * n / m) ** d)
+
+
+def lemma9_part3_failure_bound(n: int, beta: float) -> float:
+    """Lemma 9(3)'s Markov step: Pr[sum of squares > s] <= 1/(beta(beta-1)).
+
+    The paper rounds this to <= 1/2 for beta >= 2; we expose the sharper
+    form for the E7 comparison.
+    """
+    if beta <= 1:
+        raise ParameterError("beta must exceed 1")
+    return min(1.0, 1.0 / (beta * (beta - 1.0)))

@@ -1,0 +1,42 @@
+"""The instrumented cell-probe machine (paper Section 1.1).
+
+A data structure in the cell-probe model is a table of ``s`` cells of ``b``
+bits plus a probabilistic query algorithm that makes ``t`` adaptive probes.
+This subpackage provides:
+
+- :class:`~repro.cellprobe.table.Table` — the memory, with per-probe
+  accounting (every ``read`` is a probe; writes during construction are
+  free, as in the static cell-probe model);
+- :class:`~repro.cellprobe.counters.ProbeCounter` — per-cell, per-step
+  probe counts realizing Definition 1's contention empirically;
+- :mod:`~repro.cellprobe.steps` — an algebra of *probe steps*: exact,
+  closed-form per-step probe distributions (fixed cell, uniform over a
+  strided range, uniform over an explicit set) used both to *execute*
+  queries (sampling) and to *analyze* them (exact contention);
+- :class:`~repro.cellprobe.machine.CellProbeMachine` — drives query
+  executions and validates that executions stay inside the analytic plan.
+"""
+
+from repro.cellprobe.counters import ProbeCounter
+from repro.cellprobe.machine import CellProbeMachine, ExecutionRecord
+from repro.cellprobe.steps import (
+    BatchStridedStep,
+    FixedCell,
+    ProbeStep,
+    UniformSet,
+    UniformStrided,
+)
+from repro.cellprobe.table import EMPTY_CELL, Table
+
+__all__ = [
+    "Table",
+    "EMPTY_CELL",
+    "ProbeCounter",
+    "ProbeStep",
+    "FixedCell",
+    "UniformStrided",
+    "UniformSet",
+    "BatchStridedStep",
+    "CellProbeMachine",
+    "ExecutionRecord",
+]

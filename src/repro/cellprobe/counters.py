@@ -1,0 +1,110 @@
+"""Per-cell, per-step probe accounting.
+
+:class:`ProbeCounter` is the empirical side of Definition 1: after running
+``E`` query executions, ``counter.contention_per_step() / E`` estimates
+the per-step contention matrix ``Phi_t(j)`` and
+``counter.total_contention() / E`` estimates the total contention
+``Phi(j) = sum_t Phi_t(j)``.  The exact analytic counterpart lives in
+:mod:`repro.contention.exact`; tests check the two converge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_integer
+
+
+class ProbeCounter:
+    """Counts probes to each flat cell index, stratified by query step.
+
+    Step arrays are allocated lazily: most schemes probe a bounded number
+    of steps, but the counter does not need to know the bound up front.
+    """
+
+    def __init__(self, num_cells: int):
+        self.num_cells = check_positive_integer("num_cells", num_cells)
+        self._per_step: list[np.ndarray] = []
+        self.executions = 0
+
+    # -- recording -------------------------------------------------------------
+
+    def record(self, step: int, flat_cell: int) -> None:
+        """Record one probe of ``flat_cell`` at 0-based query ``step``."""
+        if step < 0:
+            raise ParameterError("step must be non-negative")
+        if not 0 <= flat_cell < self.num_cells:
+            raise ParameterError(
+                f"cell {flat_cell} out of range [0, {self.num_cells})"
+            )
+        while len(self._per_step) <= step:
+            self._per_step.append(np.zeros(self.num_cells, dtype=np.int64))
+        self._per_step[step][flat_cell] += 1
+
+    def record_batch(self, step: int, flat_cells: np.ndarray) -> None:
+        """Record one probe per entry of ``flat_cells`` (negative = skip)."""
+        if step < 0:
+            raise ParameterError("step must be non-negative")
+        flat_cells = np.asarray(flat_cells, dtype=np.int64)
+        active = flat_cells >= 0
+        if np.any(flat_cells[active] >= self.num_cells):
+            raise ParameterError("cell index out of range in batch")
+        while len(self._per_step) <= step:
+            self._per_step.append(np.zeros(self.num_cells, dtype=np.int64))
+        np.add.at(self._per_step[step], flat_cells[active], 1)
+
+    def finish_execution(self, count: int = 1) -> None:
+        """Mark ``count`` completed query executions (the normalizer)."""
+        if count < 1:
+            raise ParameterError("count must be positive")
+        self.executions += count
+
+    # -- reading ----------------------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        """Number of distinct step indices recorded so far."""
+        return len(self._per_step)
+
+    def counts_per_step(self) -> np.ndarray:
+        """Raw counts, shape ``(num_steps, num_cells)`` (a copy)."""
+        if not self._per_step:
+            return np.zeros((0, self.num_cells), dtype=np.int64)
+        return np.stack(self._per_step)
+
+    def total_counts(self) -> np.ndarray:
+        """Raw probe counts summed over steps, shape ``(num_cells,)``."""
+        if not self._per_step:
+            return np.zeros(self.num_cells, dtype=np.int64)
+        return np.sum(self._per_step, axis=0)
+
+    def contention_per_step(self) -> np.ndarray:
+        """Empirical ``Phi_t(j)``: counts / executions, per step and cell."""
+        if self.executions == 0:
+            raise ParameterError("no executions recorded yet")
+        return self.counts_per_step() / float(self.executions)
+
+    def total_contention(self) -> np.ndarray:
+        """Empirical total contention ``Phi(j) = sum_t Phi_t(j)``."""
+        if self.executions == 0:
+            raise ParameterError("no executions recorded yet")
+        return self.total_counts() / float(self.executions)
+
+    def max_contention(self) -> float:
+        """``max_j Phi(j)`` — the headline quantity of the paper."""
+        return float(self.total_contention().max(initial=0.0))
+
+    def max_step_contention(self) -> float:
+        """``max_{t,j} Phi_t(j)`` — the balanced-scheme bound (Def. 2)."""
+        per = self.contention_per_step()
+        return float(per.max(initial=0.0)) if per.size else 0.0
+
+    def total_probes(self) -> int:
+        """Total probes recorded across all steps and cells."""
+        return int(sum(int(a.sum()) for a in self._per_step))
+
+    def reset(self) -> None:
+        """Clear all counts and the execution counter."""
+        self._per_step = []
+        self.executions = 0

@@ -1,0 +1,123 @@
+"""Query driver with plan-conformance checking.
+
+:class:`CellProbeMachine` runs a dictionary's executable query repeatedly,
+records the probes it actually made, and (optionally) validates every
+probe against the dictionary's *analytic* probe plan — the closed-form
+per-step distributions used by the exact contention engine.  The two are
+implemented independently inside each dictionary (the executable query
+computes addresses from values it has read; the plan computes them from
+the builder's private state), so conformance is a real end-to-end check
+that the analytics describe the algorithm that actually runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.cellprobe.steps import ProbeStep
+from repro.errors import QueryError
+from repro.utils.rng import as_generator
+
+
+@dataclasses.dataclass
+class ExecutionRecord:
+    """One executed query: its answer and the probes it made."""
+
+    query: int
+    answer: bool
+    probes: list[tuple[int, int, int]]  # (step, row, column)
+
+    @property
+    def num_probes(self) -> int:
+        return len(self.probes)
+
+
+class PlanViolation(QueryError):
+    """An executed probe fell outside the analytic plan's support."""
+
+
+class CellProbeMachine:
+    """Runs queries against a :class:`~repro.dictionaries.base.StaticDictionary`.
+
+    Parameters
+    ----------
+    dictionary:
+        Any object with ``query(x, rng) -> bool``, ``probe_plan(x) ->
+        list[ProbeStep]``, ``table`` and ``contains(x)`` (the
+        ``StaticDictionary`` protocol).
+    check_plan:
+        When True (default), every executed probe is validated against the
+        plan: step count must match the plan length, and each probed cell
+        must be in the support of the corresponding plan step.
+    """
+
+    def __init__(self, dictionary, *, check_plan: bool = True):
+        self.dictionary = dictionary
+        self.check_plan = check_plan
+
+    def run_query(self, x: int, rng=None) -> ExecutionRecord:
+        """Execute one query, recording and (optionally) validating probes."""
+        rng = as_generator(rng)
+        table = self.dictionary.table
+        counter = table.counter
+        start_counts = {
+            t: arr.copy() for t, arr in enumerate(counter._per_step)
+        }
+        start_steps = counter.num_steps
+        answer = bool(self.dictionary.query(x, rng))
+        probes = self._extract_new_probes(counter, start_counts)
+        counter.finish_execution()
+        record = ExecutionRecord(query=int(x), answer=answer, probes=probes)
+        if self.check_plan:
+            self._validate(x, record)
+        expected = bool(self.dictionary.contains(x))
+        if answer != expected:
+            raise QueryError(
+                f"query({x}) returned {answer}, ground truth {expected}"
+            )
+        return record
+
+    def run_many(self, xs: Iterable[int], rng=None) -> list[ExecutionRecord]:
+        """Execute many queries with a shared RNG stream."""
+        rng = as_generator(rng)
+        return [self.run_query(int(x), rng) for x in xs]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _extract_new_probes(self, counter, start_counts) -> list[tuple[int, int, int]]:
+        s = self.dictionary.table.s
+        probes: list[tuple[int, int, int]] = []
+        for t in range(counter.num_steps):
+            arr = counter._per_step[t]
+            before = start_counts.get(t)
+            delta = arr - before if before is not None else arr
+            cells = np.nonzero(delta)[0]
+            for cell in cells:
+                for _ in range(int(delta[cell])):
+                    probes.append((t, int(cell) // s, int(cell) % s))
+        probes.sort()
+        return probes
+
+    def _validate(self, x: int, record: ExecutionRecord) -> None:
+        plan: Sequence[ProbeStep] = self.dictionary.probe_plan(x)
+        if len(record.probes) != len(plan):
+            raise PlanViolation(
+                f"query({x}) made {len(record.probes)} probes, plan has "
+                f"{len(plan)} steps"
+            )
+        for (step, row, column), plan_step in zip(record.probes, plan):
+            # Multi-row steps (e.g. whole-structure replication) expose
+            # contains_cell; single-row steps pin their row attribute.
+            if hasattr(plan_step, "contains_cell"):
+                ok = plan_step.contains_cell(row, column)
+            else:
+                ok = row == plan_step.row and plan_step.contains(column)
+            if not ok:
+                raise PlanViolation(
+                    f"query({x}) step {step}: probed ({row}, {column}), "
+                    f"plan step is row {plan_step.row} with support size "
+                    f"{plan_step.size}"
+                )

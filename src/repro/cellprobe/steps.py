@@ -1,0 +1,270 @@
+"""Probe-step algebra: exact per-step probe distributions.
+
+Every dictionary in this library answers a query with a sequence of
+*probe steps*.  Each step is a probability distribution over table cells
+from which the executing query samples **exactly one** probe.  Because
+every step used by our schemes is uniform over an explicitly describable
+set (a single cell, an arithmetic progression within a row, or a small
+explicit set), we can compute the contention
+
+    Phi_t(j) = E[Y^(t)(X, j)]   (paper Definition 1)
+
+*exactly* by accumulating ``q(x) / |support|`` over the support of each
+query's step-t distribution — no Monte-Carlo noise.  The same objects
+drive execution: sampling a probe is sampling from the step.
+
+Cells are addressed as ``(row, column)`` within a
+:class:`~repro.cellprobe.table.Table` of shape ``(rows, s)``; the *flat*
+index ``row * s + column`` is used by the contention engine.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+class ProbeStep:
+    """Abstract probe step: a distribution over cells of one table row."""
+
+    row: int
+
+    def sample(self, rng: np.random.Generator) -> int:
+        """Sample the probed column."""
+        raise NotImplementedError
+
+    def support(self) -> np.ndarray:
+        """Columns with positive probe probability (int64 array)."""
+        raise NotImplementedError
+
+    def probability(self) -> float:
+        """Probe probability of each support column (steps are uniform)."""
+        raise NotImplementedError
+
+    def contains(self, column: int) -> bool:
+        """Whether ``column`` is in the support."""
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        """Support size."""
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class FixedCell(ProbeStep):
+    """Deterministic probe of a single cell."""
+
+    row: int
+    column: int
+
+    def __post_init__(self):
+        if self.row < 0 or self.column < 0:
+            raise ParameterError("row and column must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.column
+
+    def support(self) -> np.ndarray:
+        return np.array([self.column], dtype=np.int64)
+
+    def probability(self) -> float:
+        return 1.0
+
+    def contains(self, column: int) -> bool:
+        return column == self.column
+
+    @property
+    def size(self) -> int:
+        return 1
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformStrided(ProbeStep):
+    """Uniform probe over ``{start + k*stride : 0 <= k < count}``.
+
+    This is the workhorse: replicated words live at congruent positions
+    (e.g. the ``s/m`` copies of a group's GBAS word sit at columns
+    ``k*m + group`` for ``k in [s/m]``), and a bucket's owned cell span is
+    the contiguous case ``stride == 1``.
+    """
+
+    row: int
+    start: int
+    stride: int
+    count: int
+
+    def __post_init__(self):
+        if self.count < 1:
+            raise ParameterError("count must be >= 1")
+        if self.stride < 1:
+            raise ParameterError("stride must be >= 1")
+        if self.row < 0 or self.start < 0:
+            raise ParameterError("row and start must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.start + self.stride * int(rng.integers(0, self.count))
+
+    def support(self) -> np.ndarray:
+        return self.start + self.stride * np.arange(self.count, dtype=np.int64)
+
+    def probability(self) -> float:
+        return 1.0 / self.count
+
+    def contains(self, column: int) -> bool:
+        offset = column - self.start
+        return (
+            offset >= 0
+            and offset % self.stride == 0
+            and offset // self.stride < self.count
+        )
+
+    @property
+    def size(self) -> int:
+        return self.count
+
+
+@dataclasses.dataclass(frozen=True)
+class UniformSet(ProbeStep):
+    """Uniform probe over an explicit column set (e.g. cuckoo's two cells)."""
+
+    row: int
+    columns: tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.columns:
+            raise ParameterError("columns must be non-empty")
+        if len(set(self.columns)) != len(self.columns):
+            raise ParameterError("columns must be distinct")
+        if any(c < 0 for c in self.columns):
+            raise ParameterError("columns must be non-negative")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        return self.columns[int(rng.integers(0, len(self.columns)))]
+
+    def support(self) -> np.ndarray:
+        return np.asarray(self.columns, dtype=np.int64)
+
+    def probability(self) -> float:
+        return 1.0 / len(self.columns)
+
+    def contains(self, column: int) -> bool:
+        return column in self.columns
+
+    @property
+    def size(self) -> int:
+        return len(self.columns)
+
+
+@dataclasses.dataclass
+class BatchStridedStep:
+    """Vectorized probe step for a batch of queries (one table row).
+
+    Query ``i`` of the batch probes uniformly over
+    ``{starts[i] + k*strides[i] : 0 <= k < counts[i]}``; queries with
+    ``counts[i] == 0`` make no probe at this step (e.g. empty buckets end
+    the query early).  ``shared=True`` asserts all queries have identical
+    support — the contention engine then accumulates in O(count) instead
+    of O(batch * count) (the f/g coefficient rows, probed uniformly over
+    all ``s`` cells by every query, would otherwise dominate).
+    """
+
+    row: int
+    starts: np.ndarray
+    strides: np.ndarray
+    counts: np.ndarray
+    shared: bool = False
+
+    def __post_init__(self):
+        self.starts = np.asarray(self.starts, dtype=np.int64)
+        self.strides = np.asarray(self.strides, dtype=np.int64)
+        self.counts = np.asarray(self.counts, dtype=np.int64)
+        n = self.starts.shape[0]
+        if self.strides.shape != (n,) or self.counts.shape != (n,):
+            raise ParameterError("starts/strides/counts must share shape")
+        if np.any(self.counts < 0):
+            raise ParameterError("counts must be non-negative")
+        if np.any((self.counts > 0) & (self.strides < 1)):
+            raise ParameterError("strides must be >= 1 where counts > 0")
+        if self.shared and n > 0:
+            same = (
+                np.all(self.starts == self.starts[0])
+                and np.all(self.strides == self.strides[0])
+                and np.all(self.counts == self.counts[0])
+            )
+            if not same:
+                raise ParameterError("shared=True requires identical supports")
+
+    @property
+    def batch_size(self) -> int:
+        return self.starts.shape[0]
+
+    def accumulate(self, flat: np.ndarray, weights: np.ndarray, s: int) -> None:
+        """Add each query's probe distribution, scaled by ``weights``.
+
+        ``flat`` is the flat (rows*s,) contention accumulator; query ``i``
+        contributes ``weights[i] / counts[i]`` to each of its support cells.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.batch_size,):
+            raise ParameterError("weights must match batch size")
+        active = self.counts > 0
+        if not np.any(active):
+            return
+        base = self.row * s
+        if self.shared:
+            cols = self.starts[0] + self.strides[0] * np.arange(
+                self.counts[0], dtype=np.int64
+            )
+            total = float(weights[active].sum())
+            flat[base + cols] += total / float(self.counts[0])
+            return
+        starts = self.starts[active]
+        strides = self.strides[active]
+        counts = self.counts[active]
+        w = weights[active] / counts
+        total = int(counts.sum())
+        # Flatten all supports: for each query i, emit counts[i] indices
+        # start_i + k*stride_i.  np.repeat + a segmented arange does this
+        # without a Python loop (guide: vectorize with index arrays).
+        reps_start = np.repeat(starts, counts)
+        reps_stride = np.repeat(strides, counts)
+        seg_end = np.cumsum(counts)
+        k = np.arange(total, dtype=np.int64) - np.repeat(seg_end - counts, counts)
+        cols = reps_start + reps_stride * k
+        np.add.at(flat, base + cols, np.repeat(w, counts))
+
+    def sample(self, rng: np.random.Generator) -> np.ndarray:
+        """Sample one probed column per query; -1 where count == 0."""
+        out = np.full(self.batch_size, -1, dtype=np.int64)
+        active = self.counts > 0
+        if np.any(active):
+            k = (rng.random(int(active.sum())) * self.counts[active]).astype(np.int64)
+            # Guard against the measure-zero rng.random()==1.0 edge.
+            np.minimum(k, self.counts[active] - 1, out=k)
+            out[active] = self.starts[active] + self.strides[active] * k
+        return out
+
+    def step_for(self, i: int) -> ProbeStep | None:
+        """The single-query :class:`ProbeStep` of batch element ``i``."""
+        if self.counts[i] == 0:
+            return None
+        if self.counts[i] == 1:
+            return FixedCell(self.row, int(self.starts[i]))
+        return UniformStrided(
+            self.row, int(self.starts[i]), int(self.strides[i]), int(self.counts[i])
+        )
+
+
+def plan_total_probes(plan: Sequence[ProbeStep]) -> int:
+    """Number of probes a plan makes (its length; one probe per step)."""
+    return len(plan)
+
+
+def plan_max_row(plan: Sequence[ProbeStep]) -> int:
+    """Largest row index touched by a plan (-1 for the empty plan)."""
+    return max((step.row for step in plan), default=-1)

@@ -1,0 +1,122 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+- ``list`` — show the experiment registry (E1–E14) with titles.
+- ``run E5 [--full] [--seed 0] [--json out.json]`` — run one experiment
+  (or ``all``) and print its regenerated table.
+- ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
+  across all schemes on one instance.
+- ``info`` — package, paper, and reproduction-band summary.
+
+The CLI is a thin veneer over :mod:`repro.experiments`; everything it
+prints is available programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.io.results import save_results
+
+
+def _cmd_list(args) -> int:
+    width = max(len(eid) for eid in EXPERIMENTS)
+    for eid, (title, _) in EXPERIMENTS.items():
+        print(f"{eid:<{width}}  {title}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
+    results = []
+    for eid in ids:
+        result = run_experiment(eid, fast=not args.full, seed=args.seed)
+        results.append(result)
+        print(result.render())
+        print()
+    if args.json:
+        save_results(results, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_survey(args) -> int:
+    import numpy as np
+
+    from repro.contention import measure
+    from repro.experiments.common import SCHEMES, make_instance
+    from repro.distributions import UniformPositiveNegative
+    from repro.io import render_table
+
+    keys, N = make_instance(args.n, args.seed)
+    dist = UniformPositiveNegative(N, keys, 0.5)
+    rows = []
+    for name, cls in SCHEMES.items():
+        d = cls(keys, N, rng=np.random.default_rng(args.seed + 1))
+        rows.append(measure(d, dist).row())
+    print(
+        render_table(
+            rows,
+            columns=[
+                "scheme", "space_words", "max_probes", "E[probes]",
+                "max_step_phi", "ratio_step",
+            ],
+            title=f"Contention survey: n={args.n}, N={N}, uniform +/- queries",
+        )
+    )
+    return 0
+
+
+def _cmd_info(args) -> int:
+    print(
+        f"repro {__version__} — reproduction of 'Low-Contention Data "
+        "Structures'\n(Aspnes, Eisenstat, Yin; SPAA 2010).\n\n"
+        f"Experiments registered: {len(EXPERIMENTS)} "
+        f"({', '.join(EXPERIMENTS)})\n"
+        "Docs: README.md (tour), DESIGN.md (system inventory), "
+        "EXPERIMENTS.md (paper vs measured)."
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse tree (exposed for testing/completion)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Low-contention data structures: reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_p.add_argument("experiment", help="experiment id, e.g. E5, or 'all'")
+    run_p.add_argument("--full", action="store_true", help="full size ladders")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", help="also write results as JSON")
+    run_p.set_defaults(func=_cmd_run)
+
+    survey_p = sub.add_parser("survey", help="cross-scheme contention table")
+    survey_p.add_argument("--n", type=int, default=512)
+    survey_p.add_argument("--seed", type=int, default=0)
+    survey_p.set_defaults(func=_cmd_survey)
+
+    sub.add_parser("info", help="package and paper summary").set_defaults(
+        func=_cmd_info
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    """Parse arguments and dispatch to a command; returns the exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""Simultaneous-query simulation on a shared-memory multiprocessor.
+
+The paper motivates contention by "how many queries to the data
+structure might simultaneously access the same memory cell" and bounds
+the expected simultaneous probes to a cell by m * Phi(j) (linearity of
+expectation over m concurrent queries).  This subpackage measures the
+actual behaviour:
+
+- :class:`~repro.concurrent.simulator.ConcurrentSimulator` — a
+  synchronous (PRAM-round) simulator of m processors running a closed
+  loop of membership queries against one shared table, with pluggable
+  memory-contention semantics;
+- :mod:`~repro.concurrent.resolution` — the semantics: ``crcw``
+  (concurrent reads are free — the idealized baseline), and ``queued``
+  (each cell serves one probe per cycle, the Dwork–Herlihy–Waarts-style
+  stall model [6] in which hot cells serialize their readers).
+
+E12 runs all dictionaries through both models: binary search's root
+cell caps system throughput at ~1 query-step per cycle regardless of m,
+while the low-contention scheme scales almost linearly until m
+approaches s.
+"""
+
+from repro.concurrent.resolution import (
+    BackoffModel,
+    CRCWModel,
+    QueuedModel,
+    ResolutionModel,
+)
+from repro.concurrent.simulator import ConcurrentSimulator, SimulationResult
+
+__all__ = [
+    "ConcurrentSimulator",
+    "SimulationResult",
+    "ResolutionModel",
+    "CRCWModel",
+    "QueuedModel",
+    "BackoffModel",
+]

@@ -1,0 +1,119 @@
+"""Memory-contention resolution semantics for the concurrent simulator.
+
+A resolution model decides, each synchronous cycle, which of the
+processors attempting a probe actually complete it.  Two classic
+semantics:
+
+- :class:`CRCWModel` — concurrent-read CRCW PRAM: all probes complete
+  every cycle.  Contention is *observed* (per-cell collision counts)
+  but costs nothing; this isolates the probe-complexity term.
+- :class:`QueuedModel` — QRQW-style queuing (cf. Dwork–Herlihy–Waarts's
+  stall-counting model [6]): each cell serves at most ``capacity``
+  probes per cycle; the rest stall and retry.  Hot cells serialize
+  their readers, so wall-clock throughput now reflects contention.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.utils.validation import check_positive_integer
+
+
+class ResolutionModel(abc.ABC):
+    """Decides which attempted probes are served each cycle."""
+
+    name: str
+
+    @abc.abstractmethod
+    def serve(
+        self, cells: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Given attempted flat-cell indices, return a served boolean mask.
+
+        ``cells`` holds one flat cell index per attempting processor.
+        """
+
+
+class CRCWModel(ResolutionModel):
+    """Concurrent reads are free: everything is served."""
+
+    name = "crcw"
+
+    def serve(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        return np.ones(cells.shape[0], dtype=bool)
+
+
+class BackoffModel(ResolutionModel):
+    """Collision-abort with randomized backoff (optical-router style).
+
+    If two or more processors probe the same cell in a cycle, *none*
+    are served (the hardware aborts on conflict); each retries after a
+    geometric backoff implemented as serving each contender next time
+    with probability 1/contenders.  More pessimistic than
+    :class:`QueuedModel` around hot cells — a cell with k steady
+    contenders serves ~k (1/k)(1-1/k)^{k-1} ~ e^{-1} probes per cycle
+    instead of 1 — which models arbitration collapse rather than fair
+    queuing.
+    """
+
+    name = "backoff"
+
+    def serve(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = cells.shape[0]
+        if k == 0:
+            return np.zeros(0, dtype=bool)
+        order = np.argsort(cells, kind="stable")
+        sorted_cells = cells[order]
+        new_group = np.concatenate(
+            [[True], sorted_cells[1:] != sorted_cells[:-1]]
+        )
+        group_id = np.cumsum(new_group) - 1
+        group_sizes = np.bincount(group_id)
+        sizes_per_probe = group_sizes[group_id]
+        # Solo probes always served; contenders each independently
+        # transmit w.p. 1/size and succeed only if alone in doing so.
+        transmit = rng.random(k) < (1.0 / sizes_per_probe)
+        transmit_counts = np.bincount(
+            group_id, weights=transmit.astype(np.float64)
+        )
+        served_sorted = transmit & (transmit_counts[group_id] == 1)
+        served = np.zeros(k, dtype=bool)
+        served[order] = served_sorted
+        return served
+
+
+class QueuedModel(ResolutionModel):
+    """Each cell serves at most ``capacity`` probes per cycle, fairly.
+
+    Among the processors contending for one cell, ``capacity`` winners
+    are chosen uniformly at random (random tie-break models hardware
+    arbitration); losers retry next cycle.
+    """
+
+    name = "queued"
+
+    def __init__(self, capacity: int = 1):
+        self.capacity = check_positive_integer("capacity", capacity)
+
+    def serve(self, cells: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        k = cells.shape[0]
+        if k == 0:
+            return np.zeros(0, dtype=bool)
+        # Random priorities, then stable sort by (cell, priority): the
+        # first `capacity` entries of each cell group win.
+        priorities = rng.random(k)
+        order = np.lexsort((priorities, cells))
+        sorted_cells = cells[order]
+        # Rank within each equal-cell run.
+        new_group = np.concatenate([[True], sorted_cells[1:] != sorted_cells[:-1]])
+        group_start = np.maximum.accumulate(
+            np.where(new_group, np.arange(k), 0)
+        )
+        rank = np.arange(k) - group_start
+        served_sorted = rank < self.capacity
+        served = np.zeros(k, dtype=bool)
+        served[order] = served_sorted
+        return served

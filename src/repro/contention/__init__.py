@@ -1,0 +1,40 @@
+"""Contention measurement (paper Definition 1).
+
+- :mod:`~repro.contention.exact` — exact contention matrices
+  ``Phi_t(j) = sum_x q(x) P_t(x, j)`` computed from the schemes'
+  closed-form probe plans, vectorized over the query support;
+- :mod:`~repro.contention.montecarlo` — estimators: Rao-Blackwellized
+  (sample queries, accumulate exact probe vectors) and fully empirical
+  (execute queries, count probes) — used to validate the exact engine;
+- :mod:`~repro.contention.metrics` — max/step contention, ratio to the
+  optimal 1/s, Lorenz/Gini load-balance summaries;
+- :mod:`~repro.contention.adversarial` — the worst-case point-mass
+  distribution for a built scheme (the §1.3 "arbitrarily bad" regime);
+- :mod:`~repro.contention.report` — result records and ASCII tables.
+"""
+
+from repro.contention.adversarial import worst_point_mass, worst_support_k
+from repro.contention.exact import ContentionMatrix, exact_contention
+from repro.contention.metrics import (
+    component_breakdown,
+    contention_summary,
+    gini_coefficient,
+    lorenz_curve,
+)
+from repro.contention.montecarlo import empirical_contention, sampled_contention
+from repro.contention.report import ContentionReport, measure
+
+__all__ = [
+    "ContentionMatrix",
+    "exact_contention",
+    "sampled_contention",
+    "empirical_contention",
+    "contention_summary",
+    "component_breakdown",
+    "gini_coefficient",
+    "lorenz_curve",
+    "worst_point_mass",
+    "worst_support_k",
+    "ContentionReport",
+    "measure",
+]

@@ -1,0 +1,128 @@
+"""Adversarial query distributions against a *built* scheme.
+
+Section 1.3: "for arbitrary query distributions, the contentions can be
+arbitrarily bad."  The worst single-query distribution for a fixed table
+is the point mass on the query whose probe plan has the most
+concentrated step — its contention at that step equals that step's
+per-cell probability (e.g. 1 on the bucket-header cell of FKS, or
+1/load**2 on a small perfect-hash span of the low-contention scheme).
+
+:func:`worst_point_mass` scans a candidate pool and returns the worst
+query, its achieved max step contention, and the PointMass distribution
+— used by E6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions.explicit import PointMass
+from repro.errors import ParameterError
+
+
+def per_query_peak_probability(dictionary, xs: np.ndarray) -> np.ndarray:
+    """For each query: max over steps of its per-cell probe probability.
+
+    Under PointMass(x), max_{t,j} Phi_t(j) equals exactly this value
+    (every plan step is uniform over its support).
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    peak = np.zeros(xs.shape[0], dtype=np.float64)
+    for step in dictionary.probe_plan_batch(xs):
+        active = step.counts > 0
+        if np.any(active):
+            peak[active] = np.maximum(
+                peak[active], 1.0 / step.counts[active]
+            )
+    return peak
+
+
+def worst_support_k(
+    dictionary,
+    k: int,
+    candidates: np.ndarray | None = None,
+    max_support: int = 64,
+) -> tuple["ExplicitDistribution", float]:
+    """The worst *k-query* uniform distribution against a built scheme.
+
+    Interpolates between the point mass (k = 1, contention 1) and broad
+    distributions: among the candidate pool, find the table cell whose
+    top-k per-query probe probabilities have the largest mean — a
+    uniform distribution on those k queries gives that mean as the
+    cell's step contention.  Only plan steps with support at most
+    ``max_support`` are considered (wide replicated steps contribute
+    O(1/s) per cell and can never be the argmax).
+
+    Returns ``(distribution, achieved_max_step_contention)``; used to
+    show contention degrades like ~1/k as the adversary is forced to
+    spread (E6's graceful-degradation rows).
+    """
+    from collections import defaultdict
+
+    from repro.distributions.explicit import ExplicitDistribution
+
+    if k < 1:
+        raise ParameterError("k must be >= 1")
+    if candidates is None:
+        candidates = dictionary.keys
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size < k:
+        raise ParameterError(f"need >= {k} candidates, got {candidates.size}")
+    s = dictionary.table.s
+    # (step_index, flat_cell) -> list of (probability, query).
+    contributions: dict[tuple[int, int], list] = defaultdict(list)
+    for t, step in enumerate(dictionary.probe_plan_batch(candidates)):
+        active = np.nonzero(step.counts > 0)[0]
+        for i in active:
+            count = int(step.counts[i])
+            if count > max_support:
+                continue
+            p = 1.0 / count
+            base = step.row * s
+            start, stride = int(step.starts[i]), int(step.strides[i])
+            for offset in range(count):
+                cell = base + start + offset * stride
+                contributions[(t, cell)].append((p, int(candidates[i])))
+    best_mean = -1.0
+    best_queries: list[int] = []
+    for entries in contributions.values():
+        if len(entries) < k:
+            continue
+        entries.sort(reverse=True)
+        mean = sum(p for p, _ in entries[:k]) / k
+        if mean > best_mean:
+            best_mean = mean
+            best_queries = [q for _, q in entries[:k]]
+    # A cell probed by only ONE of the k supported queries still gets
+    # contention peak/k (e.g. each query's private data cell with
+    # peak = 1); take whichever mechanism is worse.
+    peaks = per_query_peak_probability(dictionary, candidates)
+    order = np.argsort(peaks)[::-1][:k]
+    solo_value = float(peaks[order[0]]) / k
+    if solo_value > best_mean:
+        best_mean = solo_value
+        best_queries = [int(candidates[i]) for i in order]
+    dist = ExplicitDistribution(
+        dictionary.universe_size, best_queries, [1.0 / k] * k
+    )
+    return dist, best_mean
+
+
+def worst_point_mass(
+    dictionary, candidates: np.ndarray | None = None
+) -> tuple[int, float, PointMass]:
+    """The worst-case single query against a built dictionary.
+
+    ``candidates`` defaults to the stored keys (positive queries are
+    usually the worst: they always reach the final data probe).
+    Returns ``(query, max_step_contention, PointMass)``.
+    """
+    if candidates is None:
+        candidates = dictionary.keys
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        raise ParameterError("candidate pool is empty")
+    peak = per_query_peak_probability(dictionary, candidates)
+    worst = int(np.argmax(peak))
+    x = int(candidates[worst])
+    return x, float(peak[worst]), PointMass(dictionary.universe_size, x)

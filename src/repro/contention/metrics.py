@@ -1,0 +1,120 @@
+"""Summary metrics over contention matrices.
+
+The paper's headline numbers are ``max_{t,j} Phi_t(j)`` (Definition 2's
+phi) and its ratio to the optimal ``1/s``; the Lorenz/Gini summaries
+quantify *how flat* the load distribution is — Theorem 3's scheme should
+approach the perfectly flat Gini 0 profile on the replicated rows, while
+FKS-style header rows concentrate mass (Gini near 1).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.contention.exact import ContentionMatrix
+from repro.errors import ParameterError
+
+
+def lorenz_curve(values: np.ndarray, points: int = 101) -> np.ndarray:
+    """Lorenz curve of a non-negative load vector, sampled at ``points``.
+
+    Returns cumulative load share at the bottom k/points fraction of
+    cells (after sorting ascending); the diagonal is perfect balance.
+    """
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    total = v.sum()
+    if total <= 0:
+        return np.linspace(0.0, 1.0, points)
+    cum = np.concatenate([[0.0], np.cumsum(v)]) / total
+    positions = np.linspace(0, v.size, points)
+    return np.interp(positions, np.arange(v.size + 1), cum)
+
+
+def gini_coefficient(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative load vector (0 = flat)."""
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    n = v.size
+    total = v.sum()
+    if n == 0 or total <= 0:
+        return 0.0
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float((2.0 * np.sum(ranks * v) / (n * total)) - (n + 1.0) / n)
+
+
+@dataclasses.dataclass(frozen=True)
+class ContentionSummary:
+    """Headline metrics of a contention matrix."""
+
+    scheme: str
+    num_cells: int
+    s: int
+    expected_probes: float
+    max_step_contention: float
+    max_total_contention: float
+    optimal: float  # 1/s
+    ratio_step: float  # max step contention / optimal
+    ratio_total: float
+    gini_total: float
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for serialization."""
+        return dataclasses.asdict(self)
+
+
+def contention_summary(matrix: ContentionMatrix) -> ContentionSummary:
+    """Compute the standard summary of a contention matrix."""
+    optimal = 1.0 / matrix.s
+    max_step = matrix.max_step_contention()
+    max_total = matrix.max_total_contention()
+    return ContentionSummary(
+        scheme=matrix.scheme,
+        num_cells=matrix.num_cells,
+        s=matrix.s,
+        expected_probes=matrix.expected_probes(),
+        max_step_contention=max_step,
+        max_total_contention=max_total,
+        optimal=optimal,
+        ratio_step=max_step / optimal,
+        ratio_total=max_total / optimal,
+        gini_total=gini_coefficient(matrix.total()),
+    )
+
+
+def component_breakdown(matrix: ContentionMatrix, dictionary) -> list[dict]:
+    """Attribute contention to the scheme's structural components.
+
+    Uses the dictionary's ``row_labels()`` to report, per table row:
+    the peak per-cell contention, the total probe mass landing on the
+    row, and the peak as a multiple of the 1/s floor — identifying the
+    hot component (binary search's root row, FKS's headers, ...).
+    """
+    labels = dictionary.row_labels()
+    if len(labels) != matrix.rows:
+        raise ParameterError(
+            f"{len(labels)} labels for {matrix.rows} table rows"
+        )
+    total = matrix.total().reshape(matrix.rows, matrix.s)
+    rows = []
+    for r, label in enumerate(labels):
+        peak = float(total[r].max())
+        rows.append(
+            {
+                "component": label,
+                "peak_phi": peak,
+                "row_mass": float(total[r].sum()),
+                "peak_x_s": peak * matrix.s,
+            }
+        )
+    return sorted(rows, key=lambda d: d["peak_phi"], reverse=True)
+
+
+def simultaneous_probe_bound(matrix: ContentionMatrix, m: int) -> float:
+    """Expected probes to the hottest cell under m simultaneous queries.
+
+    The paper's Section 1: "the expected number of probes to the cell for
+    some fixed number m of simultaneous queries can then be bounded using
+    linearity of expectation" — i.e. m * Phi(j).
+    """
+    return float(m) * matrix.max_total_contention()

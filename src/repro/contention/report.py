@@ -1,0 +1,65 @@
+"""Measurement records and human-readable contention reports."""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.contention.exact import ContentionMatrix, exact_contention
+from repro.contention.metrics import ContentionSummary, contention_summary
+from repro.distributions.base import QueryDistribution
+
+
+@dataclasses.dataclass(frozen=True)
+class ContentionReport:
+    """A (scheme, distribution) contention measurement with metadata."""
+
+    summary: ContentionSummary
+    n: int
+    universe_size: int
+    space_words: int
+    max_probes: int
+    distribution: str
+
+    def row(self) -> dict:
+        """Flat dict for experiment tables."""
+        return {
+            "scheme": self.summary.scheme,
+            "n": self.n,
+            "N": self.universe_size,
+            "space_words": self.space_words,
+            "max_probes": self.max_probes,
+            "distribution": self.distribution,
+            "E[probes]": round(self.summary.expected_probes, 3),
+            "max_step_phi": self.summary.max_step_contention,
+            "max_total_phi": self.summary.max_total_contention,
+            "ratio_step": round(self.summary.ratio_step, 3),
+            "ratio_total": round(self.summary.ratio_total, 3),
+            "gini": round(self.summary.gini_total, 4),
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.summary
+        return (
+            f"{s.scheme:>16s}  n={self.n:<6d} "
+            f"phi*={s.max_step_contention:.3e} "
+            f"(ratio {s.ratio_step:8.2f}x optimal) "
+            f"E[probes]={s.expected_probes:5.2f} "
+            f"space={self.space_words}w"
+        )
+
+
+def measure(
+    dictionary,
+    distribution: QueryDistribution,
+    chunk_size: int = 1 << 17,
+) -> ContentionReport:
+    """Exact contention measurement packaged as a report."""
+    matrix = exact_contention(dictionary, distribution, chunk_size)
+    return ContentionReport(
+        summary=contention_summary(matrix),
+        n=dictionary.n,
+        universe_size=dictionary.universe_size,
+        space_words=dictionary.space_words,
+        max_probes=dictionary.max_probes,
+        distribution=type(distribution).__name__,
+    )

@@ -1,0 +1,168 @@
+"""Closed-form per-step contention bounds for the Section 2 scheme.
+
+Section 2.3's accounting, made executable: under a query distribution
+uniform within positives (mass ``p``) and within negatives (mass
+``1 - p``), each step's maximum cell contention is
+
+====================  ==========================================================
+coefficient rows      1/s exactly (every query, uniform over the row)
+z row                 max_i q(g-bucket i) / z_copies(i)
+GBAS row              max_j q(group j) / (s/m)
+histogram rows        same as the GBAS row
+perfect-hash row      max_b q(bucket b) / load(b)**2
+data row              max cell mass: p/n for key cells (perfect hashing
+                      sends each key to its own cell) plus the negative
+                      mass landing on that exact cell
+====================  ==========================================================
+
+where q(bucket) = p * load/n + (1-p) * negative_load/(N-n).  Positive
+masses use the *exact* construction loads; negative bucket masses are
+computed exactly on request (``exact_negatives=True`` evaluates the hash
+on the whole universe) or bounded by Lemma 10's 2(N-n)/k estimate.
+
+The headline prediction of Theorem 3 is that every entry is O(1/n);
+E1 compares these predictions against the measured contention matrix.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.construction import ConstructionResult
+
+
+@dataclasses.dataclass(frozen=True)
+class StepContentionBounds:
+    """Per-step max-contention bounds plus their overall maximum."""
+
+    coefficient: float
+    z: float
+    gbas: float
+    histogram: float
+    phf: float
+    data: float
+
+    @property
+    def overall(self) -> float:
+        return max(
+            self.coefficient, self.z, self.gbas, self.histogram, self.phf,
+            self.data,
+        )
+
+    def as_dict(self) -> dict:
+        """Plain-dict form including the overall maximum."""
+        return dataclasses.asdict(self) | {"overall": self.overall}
+
+
+def _negative_loads(
+    con: ConstructionResult,
+    universe_size: int,
+    hash_fn,
+    range_size: int,
+    exact: bool,
+    chunk: int = 1 << 20,
+) -> np.ndarray:
+    """Loads of U \\ S under ``hash_fn`` — exact scan or Lemma 10 bound."""
+    n = int(con.loads.sum())
+    if not exact:
+        # Lemma 10: for a domain-uniform hash, every negative load is
+        # <= 2 (N - n) / k for large n; we return the bound as a flat array.
+        bound = 2.0 * (universe_size - n) / range_size
+        return np.full(range_size, bound)
+    total = np.zeros(range_size, dtype=np.int64)
+    for lo in range(0, universe_size, chunk):
+        xs = np.arange(lo, min(lo + chunk, universe_size), dtype=np.int64)
+        total += np.bincount(hash_fn.eval_batch(xs), minlength=range_size)
+    pos = np.bincount(hash_fn.eval_batch(con_keys(con)), minlength=range_size)
+    return (total - pos).astype(np.float64)
+
+
+def con_keys(con: ConstructionResult) -> np.ndarray:
+    """Recover the key set from the construction (data row contents)."""
+    # The data row stores each key exactly once; loads/bincount give the
+    # bucket ids, but the keys themselves are only in the table.
+    p = con.params
+    row = np.array(
+        [con.table.peek(p.data_row, j) for j in range(p.s)], dtype=np.uint64
+    )
+    keys = row[row != np.uint64((1 << 64) - 1)].astype(np.int64)
+    keys.sort()
+    return keys
+
+
+def predicted_step_bounds(
+    con: ConstructionResult,
+    universe_size: int,
+    positive_mass: float = 0.5,
+    exact_negatives: bool = False,
+) -> StepContentionBounds:
+    """Predicted per-step max contention for the built dictionary."""
+    p = con.params
+    n = p.n
+    N = int(universe_size)
+    pos, neg = float(positive_mass), 1.0 - float(positive_mass)
+    neg_count = max(N - n, 1)
+
+    # g-bucket masses.
+    g_pos = np.bincount(con.h.g.eval_batch(con_keys(con)), minlength=p.r)
+    g_neg = _negative_loads(con, N, con.h.g, p.r, exact_negatives)
+    g_mass = pos * g_pos / n + neg * g_neg / neg_count
+    z_copies = np.array([p.z_copies(i) for i in range(p.r)], dtype=np.float64)
+    z_bound = float(np.max(g_mass / z_copies))
+
+    # Group masses.
+    grp_pos = con.group_loads.astype(np.float64)
+    if exact_negatives:
+        bucket_neg = _negative_loads(con, N, con.h, p.s, True)
+        grp_neg = np.bincount(
+            np.arange(p.s) % p.m, weights=bucket_neg, minlength=p.m
+        )
+    else:
+        grp_neg = np.full(p.m, 2.0 * neg_count / p.m)
+    grp_mass = pos * grp_pos / n + neg * grp_neg / neg_count
+    grp_bound = float(np.max(grp_mass / p.group_size))
+
+    # Bucket masses over perfect-hash spans.
+    bucket_pos = con.loads.astype(np.float64)
+    if exact_negatives:
+        bucket_neg_exact = bucket_neg
+    else:
+        bucket_neg_exact = np.full(p.s, 2.0 * neg_count / p.s)
+    bucket_mass = pos * bucket_pos / n + neg * bucket_neg_exact / neg_count
+    span = np.maximum(con.loads.astype(np.float64) ** 2, 1.0)
+    nonempty = con.loads > 0
+    phf_bound = (
+        float(np.max(bucket_mass[nonempty] / span[nonempty]))
+        if nonempty.any()
+        else 0.0
+    )
+
+    # Data row: a key's cell gets its own query mass p/n plus the
+    # negative mass whose inner hash lands exactly there; bound the
+    # latter by the bucket's negative mass (conservative).
+    data_bound = pos / n + float(
+        np.max(neg * bucket_neg_exact[nonempty] / neg_count / span[nonempty])
+        if nonempty.any()
+        else 0.0
+    )
+
+    return StepContentionBounds(
+        coefficient=1.0 / p.s,
+        z=z_bound,
+        gbas=grp_bound,
+        histogram=grp_bound,
+        phf=phf_bound,
+        data=data_bound,
+    )
+
+
+def optimal_contention(con: ConstructionResult) -> float:
+    """The information-theoretic floor 1/s (paper: 1/s <= max Phi_t)."""
+    return 1.0 / con.params.s
+
+
+def contention_ratio(measured_max: float, con: ConstructionResult) -> float:
+    """measured / optimal — Theorem 3 predicts O(1) * (s/n) = O(1)."""
+    return measured_max / optimal_contention(con)

@@ -1,0 +1,47 @@
+"""Static membership dictionaries on the instrumented cell-probe table.
+
+Baselines from the paper's Section 1 / 1.3 discussion:
+
+- :class:`~repro.dictionaries.sorted_array.SortedArrayDictionary` —
+  binary search ("the entry in the middle of the table is accessed on
+  every query");
+- :class:`~repro.dictionaries.linear_probing.LinearProbingDictionary` —
+  open addressing, a practical non-constant-probe baseline;
+- :class:`~repro.dictionaries.fks.FKSDictionary` — two-level perfect
+  hashing [FKS84], whose bucket-header cells have contention
+  proportional to bucket loads (Θ(√n)×optimal worst case for a
+  2-universal level-1 family);
+- :class:`~repro.dictionaries.dm_dict.DMDictionary` — FKS with the
+  Dietzfelbinger–Meyer auf der Heide level-1 family R^d_{r,m};
+- :class:`~repro.dictionaries.cuckoo.CuckooDictionary` — static cuckoo
+  hashing [PR04], contention Θ(max bucket multiplicity / n) =
+  Θ(ln n / ln ln n)×optimal.
+
+All of them store their hash-function parameters *in table cells* and
+read them with charged probes — the query algorithms are honest uniform
+algorithms in the paper's sense.  The ``param_replication`` knob
+reproduces §1.3's "storing the hash function redundantly" comparison
+(``"row"`` = one word interleaved over a full row, the default; an int
+gives partial replication; 1 is the classic single-copy layout with
+contention 1 on the parameter cells).
+
+The paper's own construction lives in :mod:`repro.core`.
+"""
+
+from repro.dictionaries.base import StaticDictionary
+from repro.dictionaries.cuckoo import CuckooDictionary
+from repro.dictionaries.dm_dict import DMDictionary
+from repro.dictionaries.fks import FKSDictionary
+from repro.dictionaries.linear_probing import LinearProbingDictionary
+from repro.dictionaries.replicated import ReplicatedDictionary
+from repro.dictionaries.sorted_array import SortedArrayDictionary
+
+__all__ = [
+    "StaticDictionary",
+    "SortedArrayDictionary",
+    "LinearProbingDictionary",
+    "FKSDictionary",
+    "DMDictionary",
+    "CuckooDictionary",
+    "ReplicatedDictionary",
+]

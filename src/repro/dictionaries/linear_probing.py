@@ -1,0 +1,168 @@
+"""Linear probing — a practical open-addressing baseline.
+
+Not discussed by name in the paper, but the natural "what a systems
+person would deploy" comparator: one parameter word plus a slot row at
+load factor 1/2.  Probes are adaptive and unbounded in the worst case
+(longest occupied run + 1); the contention profile concentrates on the
+slots of large clusters *and* on the parameter cell(s), both measured in
+E5/E6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cellprobe.steps import BatchStridedStep, FixedCell, ProbeStep
+from repro.cellprobe.table import Table
+from repro.dictionaries.base import (
+    StaticDictionary,
+    param_read_steps,
+    resolve_replication,
+    write_interleaved_params,
+)
+from repro.errors import ConstructionError
+from repro.hashing.perfect import PerfectHashFunction
+from repro.utils.primes import field_prime_for_universe
+from repro.utils.rng import as_generator
+
+_PARAM_ROW = 0
+_SLOT_ROW = 1
+_EMPTY = -1
+
+
+class LinearProbingDictionary(StaticDictionary):
+    """Open addressing with linear probing at a configurable load factor."""
+
+    name = "linear-probing"
+
+    def __init__(
+        self,
+        keys,
+        universe_size: int,
+        rng=None,
+        load_factor: float = 0.5,
+        param_replication="row",
+    ):
+        if not 0.0 < float(load_factor) < 1.0:
+            raise ConstructionError("load_factor must be in (0, 1)")
+        rng = as_generator(rng)
+        self.universe_size = int(universe_size)
+        self.keys = self._sorted_keys(keys, self.universe_size)
+        self.prime = field_prime_for_universe(self.universe_size)
+        num_slots = max(int(np.ceil(self.n / float(load_factor))), self.n + 1)
+        self.num_slots = num_slots
+        self.replication = resolve_replication(param_replication, num_slots, 1)
+
+        # Sample the hash function; the (a, c) pair packs into one word.
+        a = int(rng.integers(0, self.prime))
+        c = int(rng.integers(0, self.prime))
+        self.hash = PerfectHashFunction(self.prime, a, c, num_slots)
+
+        self._slots = np.full(num_slots, _EMPTY, dtype=np.int64)
+        for key in self.keys:
+            pos = self.hash(int(key))
+            while self._slots[pos] != _EMPTY:
+                pos = (pos + 1) % num_slots
+            self._slots[pos] = int(key)
+
+        self.table = Table(rows=2, s=num_slots)
+        write_interleaved_params(
+            self.table, _PARAM_ROW, [self.hash.packed_word()], self.replication
+        )
+        occupied = self._slots != _EMPTY
+        row = np.where(occupied, self._slots, np.int64(0)).astype(np.uint64)
+        row[~occupied] = np.uint64((1 << 64) - 1)  # EMPTY_CELL
+        self.table.write_row(_SLOT_ROW, row)
+
+        self._max_run = self._longest_probe_run()
+
+    def _longest_probe_run(self) -> int:
+        """Longest probe sequence any query can make (run to next empty + 1)."""
+        occupied = self._slots != _EMPTY
+        if not occupied.any():
+            return 1
+        # Distance from each slot to the next empty slot, cyclically.
+        doubled = np.concatenate([occupied, occupied])
+        best = 0
+        run = 0
+        for v in doubled[::-1]:
+            run = run + 1 if v else 0
+            best = max(best, run)
+        return min(best, self.num_slots - 1) + 1
+
+    # -- queries ---------------------------------------------------------------
+
+    def query(self, x: int, rng=None) -> bool:
+        x = self.check_key(x)
+        rng = as_generator(rng)
+        replica = int(rng.integers(0, self.replication))
+        word = self.table.read(_PARAM_ROW, replica, 0)
+        h = PerfectHashFunction.from_packed_word(word, self.prime, self.num_slots)
+        pos = h(x)
+        step = 1
+        for _ in range(self.num_slots):
+            v = self.table.read(_SLOT_ROW, pos, step)
+            step += 1
+            if v == (1 << 64) - 1:
+                return False
+            if v == x:
+                return True
+            pos = (pos + 1) % self.num_slots
+        return False
+
+    def _probe_positions(self, x: int) -> list[int]:
+        positions = []
+        pos = self.hash(x)
+        for _ in range(self.num_slots):
+            positions.append(pos)
+            if self._slots[pos] == _EMPTY or self._slots[pos] == x:
+                break
+            pos = (pos + 1) % self.num_slots
+        return positions
+
+    def probe_plan(self, x: int) -> list[ProbeStep]:
+        x = self.check_key(x)
+        plan: list[ProbeStep] = list(
+            param_read_steps(_PARAM_ROW, 1, self.replication)
+        )
+        plan.extend(FixedCell(_SLOT_ROW, p) for p in self._probe_positions(x))
+        return plan
+
+    def probe_plan_batch(self, xs: np.ndarray) -> list[BatchStridedStep]:
+        xs = np.asarray(xs, dtype=np.int64)
+        batch = xs.shape[0]
+        steps: list[BatchStridedStep] = [
+            BatchStridedStep(
+                row=_PARAM_ROW,
+                starts=np.zeros(batch, dtype=np.int64),
+                strides=np.ones(batch, dtype=np.int64),
+                counts=np.full(batch, self.replication, dtype=np.int64),
+                shared=True,
+            )
+        ]
+        pos = self.hash.eval_batch(xs)
+        active = np.ones(batch, dtype=bool)
+        for _ in range(self._max_run):
+            if not np.any(active):
+                break
+            steps.append(
+                BatchStridedStep(
+                    row=_SLOT_ROW,
+                    starts=np.where(active, pos, 0),
+                    strides=np.ones(batch, dtype=np.int64),
+                    counts=active.astype(np.int64),
+                )
+            )
+            slot_vals = self._slots[pos]
+            stop = (slot_vals == _EMPTY) | (slot_vals == xs)
+            active = active & ~stop
+            pos = (pos + 1) % self.num_slots
+        return steps
+
+    def row_labels(self) -> list[str]:
+        """Semantic name of each table row (for contention breakdowns)."""
+        return ["hash-params", "slots"]
+
+    @property
+    def max_probes(self) -> int:
+        return 1 + self._max_run

@@ -1,0 +1,212 @@
+"""Whole-structure replication: the naive low-contention construction.
+
+Section 1.3 observes that contention "can be decreased by storing the
+hash function redundantly"; the limiting case is replicating the
+*entire* data structure R times and sending each query to a uniformly
+random replica — every cell's contention divides by R, at R times the
+space.  This wrapper applies that transformation to any
+:class:`~repro.dictionaries.base.StaticDictionary`:
+
+- a *replica-oblivious* inner structure is built once;
+- its table rows are copied R times (replica r occupies rows
+  [r * inner_rows, (r+1) * inner_rows));
+- a query samples a replica and runs the inner algorithm against that
+  replica's rows (honestly: the inner algorithm's reads are redirected
+  to the replica, every probe charged).
+
+The point of experiment E15: to force max contention down to c/n this
+way, binary search needs R = Theta(n) replicas (Theta(n**2) space) and
+FKS R = Theta(max bucket load) (superlinear space), whereas Theorem 3's
+construction does it in O(n) space — replication of *critical cells
+only*, sized by the load structure, is what the paper's design buys.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cellprobe.steps import BatchStridedStep, FixedCell, ProbeStep, UniformSet, UniformStrided
+from repro.cellprobe.table import Table
+from repro.dictionaries.base import StaticDictionary
+from repro.errors import ParameterError
+from repro.utils.rng import as_generator
+
+
+class _ReplicaView:
+    """A Table facade redirecting an inner dictionary's accesses.
+
+    Reads/writes at (row, col) go to (offset + row, col) of the outer
+    table, so the inner query algorithm runs unchanged against one
+    replica with honest probe accounting on the outer counter.
+    """
+
+    def __init__(self, outer: Table, inner_rows: int, replica: int):
+        self._outer = outer
+        self._offset = replica * inner_rows
+        self.rows = inner_rows
+        self.s = outer.s
+        self.counter = outer.counter
+
+    def read(self, row: int, column: int, step: int) -> int:
+        return self._outer.read(self._offset + row, column, step)
+
+    def peek(self, row: int, column: int) -> int:
+        return self._outer.peek(self._offset + row, column)
+
+    @property
+    def num_cells(self) -> int:
+        return self.rows * self.s
+
+
+class ReplicatedDictionary(StaticDictionary):
+    """R copies of an inner static dictionary; queries pick one uniformly."""
+
+    def __init__(self, inner: StaticDictionary, replicas: int, rng=None):
+        if replicas < 1:
+            raise ParameterError("replicas must be >= 1")
+        self.inner = inner
+        self.replicas = int(replicas)
+        self.universe_size = inner.universe_size
+        self.keys = inner.keys
+        self.name = f"replicated({inner.name}, R={replicas})"
+        inner_table = inner.table
+        self._inner_rows = inner_table.rows
+        self.table = Table(
+            rows=self._inner_rows * self.replicas, s=inner_table.s
+        )
+        for r in range(self.replicas):
+            for row in range(self._inner_rows):
+                self.table.write_row(
+                    r * self._inner_rows + row, inner_table._cells[row]
+                )
+
+    # -- queries -----------------------------------------------------------------
+
+    def query(self, x: int, rng=None) -> bool:
+        x = self.check_key(x)
+        rng = as_generator(rng)
+        replica = int(rng.integers(0, self.replicas))
+        view = _ReplicaView(self.table, self._inner_rows, replica)
+        original = self.inner.table
+        self.inner.table = view
+        try:
+            return self.inner.query(x, rng)
+        finally:
+            self.inner.table = original
+
+    def _lift_step(self, step: ProbeStep) -> ProbeStep:
+        """Spread an inner step's support across all replicas.
+
+        For the *marginal* probe distribution (replica chosen uniformly),
+        each inner support cell appears once per replica with its
+        probability divided by R; since inner rows repeat every
+        ``inner_rows`` rows, the replicated support of a strided step is
+        expressible per replica — we return a UniformSet over the union.
+        """
+        columns_rows = []
+        for r in range(self.replicas):
+            row = r * self._inner_rows + step.row
+            columns_rows.append((row, step.support()))
+        return _MultiRowUniform(columns_rows)
+
+    def probe_plan(self, x: int) -> list[ProbeStep]:
+        return [self._lift_step(s) for s in self.inner.probe_plan(x)]
+
+    def probe_plan_batch(self, xs: np.ndarray) -> list[BatchStridedStep]:
+        # The exact engine accumulates per (row, strided set); replicas
+        # multiply rows.  We return one BatchStridedStep per (inner step,
+        # replica) pair with counts scaled so each query's total step mass
+        # stays 1: probability 1/(R * inner_count) per support cell is
+        # encoded by repeating the step per replica with weight 1/R — the
+        # engine's accumulate() divides by count, so we inflate counts by
+        # handling the 1/R factor via `scaled_counts` trick: we cannot
+        # scale weights per-step, so instead we expose R separate steps
+        # each claiming count = inner_count * R.  (support per replica is
+        # inner_count cells; probability per cell = 1/(inner_count * R).)
+        out: list[BatchStridedStep] = []
+        for t, st in enumerate(self.inner.probe_plan_batch(xs)):
+            for r in range(self.replicas):
+                step = _ScaledBatchStep(
+                    row=r * self._inner_rows + st.row,
+                    starts=st.starts,
+                    strides=st.strides,
+                    counts=st.counts,
+                    shared=st.shared,
+                    scale=self.replicas,
+                )
+                # All replicas realize the same logical query step; the
+                # contention engine accumulates them into one Phi_t row
+                # (otherwise the matrix would blow up to R*t rows).
+                step.step_index = t
+                out.append(step)
+        return out
+
+    def row_labels(self) -> list[str]:
+        """Inner labels prefixed per replica."""
+        inner = self.inner.row_labels()
+        return [
+            f"replica{r}/{label}"
+            for r in range(self.replicas)
+            for label in inner
+        ]
+
+    @property
+    def max_probes(self) -> int:
+        return self.inner.max_probes
+
+
+class _MultiRowUniform(ProbeStep):
+    """Uniform over the union of identical supports on several rows."""
+
+    def __init__(self, columns_rows):
+        self._parts = columns_rows  # list of (row, np.ndarray columns)
+        self.row = columns_rows[0][0]
+        self._sizes = [cols.size for _, cols in columns_rows]
+        self._total = int(sum(self._sizes))
+
+    def sample(self, rng: np.random.Generator) -> int:
+        # Row choice is implicit in the replicated layout; sampling is
+        # used only by generic tooling, which treats row separately —
+        # return a column from a uniformly chosen part.
+        part = int(rng.integers(0, len(self._parts)))
+        row, cols = self._parts[part]
+        self.row = row
+        return int(cols[int(rng.integers(0, cols.size))])
+
+    def support(self) -> np.ndarray:
+        return np.concatenate([cols for _, cols in self._parts])
+
+    def probability(self) -> float:
+        return 1.0 / self._total
+
+    def contains(self, column: int) -> bool:
+        return any(int(column) in set(cols.tolist()) for _, cols in self._parts)
+
+    def contains_cell(self, row: int, column: int) -> bool:
+        return any(
+            r == row and int(column) in set(cols.tolist())
+            for r, cols in self._parts
+        )
+
+    @property
+    def size(self) -> int:
+        return self._total
+
+
+class _ScaledBatchStep(BatchStridedStep):
+    """A BatchStridedStep whose per-cell mass is divided by ``scale``.
+
+    Encodes one replica's share (1/scale) of an inner step: support and
+    sampling are per-replica, but accumulated mass per cell is
+    weight / (count * scale).
+    """
+
+    def __init__(self, row, starts, strides, counts, shared, scale):
+        super().__init__(
+            row=row, starts=starts, strides=strides, counts=counts,
+            shared=shared,
+        )
+        self.scale = int(scale)
+
+    def accumulate(self, flat, weights, s):
+        super().accumulate(flat, np.asarray(weights) / self.scale, s)

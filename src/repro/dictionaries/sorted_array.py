@@ -1,0 +1,100 @@
+"""Binary search over a sorted array — the paper's opening example.
+
+"With binary search ... the entry in the middle of the table is accessed
+on every query" (Section 1): the root cell has contention exactly 1, the
+two depth-1 cells roughly 1/2 each, and so on — the contention profile is
+geometric regardless of the query distribution.  Space is exactly n
+cells and probes are <= ceil(log2 n) + 1; this is the maximally
+space-efficient, maximally contended baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cellprobe.steps import BatchStridedStep, FixedCell, ProbeStep
+from repro.cellprobe.table import Table
+from repro.dictionaries.base import StaticDictionary
+from repro.utils.rng import as_generator
+
+
+class SortedArrayDictionary(StaticDictionary):
+    """Sorted keys in one row; queries binary-search with charged probes."""
+
+    name = "binary-search"
+
+    def __init__(self, keys, universe_size: int, rng=None):
+        self.universe_size = int(universe_size)
+        self.keys = self._sorted_keys(keys, self.universe_size)
+        self.table = Table(rows=1, s=self.n)
+        self.table.write_row(0, self.keys.astype(np.uint64))
+
+    def query(self, x: int, rng=None) -> bool:
+        x = self.check_key(x)
+        lo, hi = 0, self.n
+        step = 0
+        while lo < hi:
+            mid = (lo + hi) // 2
+            v = self.table.read(0, mid, step)
+            step += 1
+            if v == x:
+                return True
+            if v < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return False
+
+    def probe_plan(self, x: int) -> list[ProbeStep]:
+        x = self.check_key(x)
+        plan: list[ProbeStep] = []
+        lo, hi = 0, self.n
+        while lo < hi:
+            mid = (lo + hi) // 2
+            plan.append(FixedCell(0, mid))
+            v = int(self.keys[mid])
+            if v == x:
+                break
+            if v < x:
+                lo = mid + 1
+            else:
+                hi = mid
+        return plan
+
+    def probe_plan_batch(self, xs: np.ndarray) -> list[BatchStridedStep]:
+        xs = np.asarray(xs, dtype=np.int64)
+        batch = xs.shape[0]
+        lo = np.zeros(batch, dtype=np.int64)
+        hi = np.full(batch, self.n, dtype=np.int64)
+        done = np.zeros(batch, dtype=bool)
+        steps: list[BatchStridedStep] = []
+        while True:
+            active = ~done & (lo < hi)
+            if not np.any(active):
+                break
+            mid = (lo + hi) // 2
+            counts = np.where(active, 1, 0).astype(np.int64)
+            steps.append(
+                BatchStridedStep(
+                    row=0,
+                    starts=np.where(active, mid, 0),
+                    strides=np.ones(batch, dtype=np.int64),
+                    counts=counts,
+                )
+            )
+            v = self.keys[np.minimum(mid, self.n - 1)]
+            hit = active & (v == xs)
+            done |= hit
+            go_right = active & ~hit & (v < xs)
+            go_left = active & ~hit & (v > xs)
+            lo = np.where(go_right, mid + 1, lo)
+            hi = np.where(go_left, mid, hi)
+        return steps
+
+    def row_labels(self) -> list[str]:
+        """Semantic name of each table row (for contention breakdowns)."""
+        return ["sorted-keys"]
+
+    @property
+    def max_probes(self) -> int:
+        return int(np.ceil(np.log2(max(self.n, 2)))) + 1

@@ -1,0 +1,35 @@
+"""Query distributions q over Q (paper Section 1.1).
+
+The paper's positive results assume the distribution is *uniform within
+the positive queries and uniform within the negative queries*
+(:class:`UniformPositiveNegative`); its lower bound and the "arbitrarily
+bad" remarks of Section 1.3 concern general q — represented here by Zipf,
+point-mass, explicit-support and mixture distributions, plus an
+empirically-adversarial construction in :mod:`repro.contention.adversarial`.
+
+Every distribution exposes exact pmf evaluation, sampling, and chunked
+support enumeration ``(queries, masses)`` used by the exact contention
+engine (the uniform-negative support is the whole co-universe, hence the
+chunking).
+"""
+
+from repro.distributions.base import QueryDistribution
+from repro.distributions.explicit import ExplicitDistribution, PointMass
+from repro.distributions.mixture import MixtureDistribution
+from repro.distributions.uniform import (
+    UniformOverSet,
+    UniformPositiveNegative,
+    UniformQueries,
+)
+from repro.distributions.zipf import ZipfDistribution
+
+__all__ = [
+    "QueryDistribution",
+    "UniformPositiveNegative",
+    "UniformQueries",
+    "UniformOverSet",
+    "ZipfDistribution",
+    "PointMass",
+    "ExplicitDistribution",
+    "MixtureDistribution",
+]

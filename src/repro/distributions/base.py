@@ -1,0 +1,52 @@
+"""Abstract query distribution."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator
+
+import numpy as np
+
+
+class QueryDistribution(abc.ABC):
+    """A probability distribution q over the query set Q = [universe_size].
+
+    Contract used by the contention engine:
+
+    - :meth:`enumerate_mass` yields ``(queries, masses)`` chunks covering
+      the support exactly once, with masses summing to 1 over all chunks;
+    - :meth:`sample` draws i.i.d. queries;
+    - :meth:`pmf_batch` evaluates q(x) exactly.
+    """
+
+    #: Size of the query universe [N].
+    universe_size: int
+
+    @abc.abstractmethod
+    def pmf_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Exact q(x) for each query in ``xs`` (float64)."""
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. queries (int64)."""
+
+    @abc.abstractmethod
+    def enumerate_mass(
+        self, chunk_size: int = 1 << 18
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield ``(queries, masses)`` chunks covering the support."""
+
+    @property
+    @abc.abstractmethod
+    def support_size(self) -> int:
+        """Number of queries with positive mass."""
+
+    def pmf(self, x: int) -> float:
+        """Exact q(x) for a single query."""
+        return float(self.pmf_batch(np.asarray([x], dtype=np.int64))[0])
+
+    def total_mass(self) -> float:
+        """Sum of masses over the enumerated support (should be 1.0)."""
+        return float(
+            sum(float(masses.sum()) for _, masses in self.enumerate_mass())
+        )

@@ -1,0 +1,77 @@
+"""Explicit-support distributions: arbitrary pmf vectors and point masses.
+
+These model the "arbitrary query distribution" regime of Sections 1.3 and
+3: a point mass on one positive query is the extreme adversarial case —
+every cell on that query's probe path inherits the query's full mass, so
+any scheme whose path has a low-replication cell shows contention Θ(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.distributions.base import QueryDistribution
+from repro.errors import DistributionError
+from repro.utils.validation import check_probability_vector
+
+
+class ExplicitDistribution(QueryDistribution):
+    """q given by explicit (queries, masses) arrays."""
+
+    def __init__(self, universe_size: int, queries, masses):
+        self.universe_size = int(universe_size)
+        queries = np.asarray(queries, dtype=np.int64)
+        masses = check_probability_vector("masses", masses)
+        if queries.shape != masses.shape:
+            raise DistributionError("queries and masses must align")
+        if queries.size == 0:
+            raise DistributionError("support must be non-empty")
+        if np.unique(queries).size != queries.size:
+            raise DistributionError("queries must be distinct")
+        if int(queries.min()) < 0 or int(queries.max()) >= self.universe_size:
+            raise DistributionError("queries must lie in [0, universe_size)")
+        order = np.argsort(queries)
+        keep = masses[order] > 0
+        self.queries = queries[order][keep]
+        self.masses = masses[order][keep]
+        if self.queries.size == 0:
+            raise DistributionError("support must have positive mass")
+
+    @property
+    def support_size(self) -> int:
+        return self.queries.size
+
+    def pmf_batch(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64)
+        idx = np.searchsorted(self.queries, xs)
+        idx_c = np.minimum(idx, self.queries.size - 1)
+        hit = (idx < self.queries.size) & (self.queries[idx_c] == xs)
+        out = np.zeros(xs.shape, dtype=np.float64)
+        out[hit] = self.masses[idx_c[hit]]
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        idx = rng.choice(self.queries.size, size=size, p=self.masses)
+        return self.queries[idx]
+
+    def enumerate_mass(
+        self, chunk_size: int = 1 << 18
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        for lo in range(0, self.queries.size, chunk_size):
+            yield (
+                self.queries[lo : lo + chunk_size],
+                self.masses[lo : lo + chunk_size],
+            )
+
+
+class PointMass(ExplicitDistribution):
+    """All query mass on a single query x0."""
+
+    def __init__(self, universe_size: int, query: int):
+        super().__init__(universe_size, [int(query)], [1.0])
+        self.query = int(query)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PointMass(N={self.universe_size}, x={self.query})"

@@ -1,0 +1,72 @@
+"""Finite mixtures of query distributions.
+
+Lets experiments interpolate between the paper's uniform-within-class
+regime and adversarial skew, e.g. ``0.9 * UniformPositiveNegative +
+0.1 * PointMass(hot_key)`` — a "mostly uniform with one hot key" workload.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.distributions.base import QueryDistribution
+from repro.errors import DistributionError
+from repro.utils.validation import check_probability_vector
+
+
+class MixtureDistribution(QueryDistribution):
+    """sum_i weights[i] * components[i]."""
+
+    def __init__(
+        self, components: Sequence[QueryDistribution], weights: Sequence[float]
+    ):
+        if not components:
+            raise DistributionError("mixture needs at least one component")
+        sizes = {c.universe_size for c in components}
+        if len(sizes) != 1:
+            raise DistributionError(
+                "all components must share a universe size"
+            )
+        self.universe_size = sizes.pop()
+        self.components = list(components)
+        self.weights = check_probability_vector("weights", weights)
+        if self.weights.size != len(self.components):
+            raise DistributionError("one weight per component required")
+
+    @property
+    def support_size(self) -> int:
+        # Upper bound (supports may overlap); exact size would require
+        # materializing the union, which enumerate_mass avoids.
+        return int(sum(c.support_size for c in self.components))
+
+    def pmf_batch(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64)
+        out = np.zeros(xs.shape, dtype=np.float64)
+        for w, comp in zip(self.weights, self.components):
+            if w > 0:
+                out += w * comp.pmf_batch(xs)
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        choice = rng.choice(len(self.components), size=size, p=self.weights)
+        out = np.empty(size, dtype=np.int64)
+        for i, comp in enumerate(self.components):
+            mask = choice == i
+            k = int(mask.sum())
+            if k:
+                out[mask] = comp.sample(rng, k)
+        return out
+
+    def enumerate_mass(
+        self, chunk_size: int = 1 << 18
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        # Chunks from different components may repeat a query; the
+        # contention engine accumulates additively, so overlapping
+        # supports are handled correctly without deduplication.
+        for w, comp in zip(self.weights, self.components):
+            if w == 0:
+                continue
+            for xs, masses in comp.enumerate_mass(chunk_size):
+                yield xs, w * masses

@@ -1,0 +1,165 @@
+"""Uniform-style query distributions, including the paper's central class.
+
+:class:`UniformPositiveNegative` is the distribution class of Theorem 3:
+"the query is uniformly distributed within both positive queries and
+negative queries" — a mixture of uniform-over-S (total mass
+``positive_mass``) and uniform-over-complement (the rest).  Note this is
+*not* uniform over Q unless ``positive_mass = n/N``; when the positive
+mass is constant (e.g. 1/2) each individual positive query is ~N/(2n)
+times more likely than a negative one, which is exactly why index cells
+for large buckets become hot spots in FKS-style schemes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.distributions.base import QueryDistribution
+from repro.errors import DistributionError
+from repro.utils.validation import check_probability
+
+
+def _as_sorted_keys(keys, universe_size: int) -> np.ndarray:
+    arr = np.asarray(sorted(int(k) for k in keys), dtype=np.int64)
+    if arr.size == 0:
+        raise DistributionError("key set must be non-empty")
+    if np.unique(arr).size != arr.size:
+        raise DistributionError("keys must be distinct")
+    if int(arr[0]) < 0 or int(arr[-1]) >= universe_size:
+        raise DistributionError("keys must lie in [0, universe_size)")
+    return arr
+
+
+class UniformPositiveNegative(QueryDistribution):
+    """Uniform over S with mass p, uniform over U \\ S with mass 1 − p.
+
+    Parameters
+    ----------
+    universe_size:
+        |U| = N.
+    keys:
+        The data set S (the positive queries).
+    positive_mass:
+        Total probability of drawing a positive query (default 0.5).
+        ``1.0`` / ``0.0`` give the pure uniform-positive / uniform-negative
+        cases analyzed separately in Section 2.3.
+    """
+
+    def __init__(self, universe_size: int, keys, positive_mass: float = 0.5):
+        self.universe_size = int(universe_size)
+        self.keys = _as_sorted_keys(keys, self.universe_size)
+        self.positive_mass = check_probability("positive_mass", positive_mass)
+        self.negative_count = self.universe_size - self.keys.size
+        if self.negative_count == 0 and self.positive_mass < 1.0:
+            raise DistributionError(
+                "no negative queries exist but positive_mass < 1"
+            )
+
+    @property
+    def support_size(self) -> int:
+        pos = self.keys.size if self.positive_mass > 0 else 0
+        neg = self.negative_count if self.positive_mass < 1 else 0
+        return pos + neg
+
+    def _membership(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64)
+        idx = np.searchsorted(self.keys, xs)
+        idx_c = np.minimum(idx, self.keys.size - 1)
+        return (idx < self.keys.size) & (self.keys[idx_c] == xs)
+
+    def pmf_batch(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64)
+        pos = self._membership(xs)
+        out = np.zeros(xs.shape, dtype=np.float64)
+        out[pos] = self.positive_mass / self.keys.size
+        if self.negative_count:
+            out[~pos] = (1.0 - self.positive_mass) / self.negative_count
+        in_range = (xs >= 0) & (xs < self.universe_size)
+        out[~in_range] = 0.0
+        return out
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        take_pos = rng.random(size) < self.positive_mass
+        out = np.empty(size, dtype=np.int64)
+        n_pos = int(take_pos.sum())
+        if n_pos:
+            out[take_pos] = self.keys[rng.integers(0, self.keys.size, size=n_pos)]
+        n_neg = size - n_pos
+        if n_neg:
+            out[~take_pos] = self._sample_negatives(rng, n_neg)
+        return out
+
+    def _sample_negatives(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        # Rank-based exact sampling: the j-th smallest non-key is
+        # j + (#keys <= that value); invert with searchsorted over
+        # keys adjusted by their own ranks.
+        ranks = rng.integers(0, self.negative_count, size=size)
+        # keys[i] - i = number of non-keys strictly below keys[i]
+        shifted = self.keys - np.arange(self.keys.size, dtype=np.int64)
+        offset = np.searchsorted(shifted, ranks, side="right")
+        return ranks + offset
+
+    def enumerate_mass(
+        self, chunk_size: int = 1 << 18
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        if self.positive_mass > 0:
+            w = self.positive_mass / self.keys.size
+            for lo in range(0, self.keys.size, chunk_size):
+                chunk = self.keys[lo : lo + chunk_size]
+                yield chunk, np.full(chunk.size, w)
+        if self.positive_mass < 1 and self.negative_count:
+            w = (1.0 - self.positive_mass) / self.negative_count
+            for lo in range(0, self.universe_size, chunk_size):
+                hi = min(lo + chunk_size, self.universe_size)
+                xs = np.arange(lo, hi, dtype=np.int64)
+                neg = xs[~self._membership(xs)]
+                if neg.size:
+                    yield neg, np.full(neg.size, w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UniformPositiveNegative(N={self.universe_size}, "
+            f"n={self.keys.size}, p={self.positive_mass})"
+        )
+
+
+class UniformQueries(UniformPositiveNegative):
+    """Uniform over all of Q = [N] (positive_mass = n/N)."""
+
+    def __init__(self, universe_size: int, keys):
+        keys = _as_sorted_keys(keys, int(universe_size))
+        super().__init__(
+            int(universe_size), keys, positive_mass=keys.size / int(universe_size)
+        )
+
+
+class UniformOverSet(QueryDistribution):
+    """Uniform over an arbitrary explicit query set (not necessarily S)."""
+
+    def __init__(self, universe_size: int, queries):
+        self.universe_size = int(universe_size)
+        self.queries = _as_sorted_keys(queries, self.universe_size)
+
+    @property
+    def support_size(self) -> int:
+        return self.queries.size
+
+    def pmf_batch(self, xs: np.ndarray) -> np.ndarray:
+        xs = np.asarray(xs, dtype=np.int64)
+        idx = np.searchsorted(self.queries, xs)
+        idx_c = np.minimum(idx, self.queries.size - 1)
+        hit = (idx < self.queries.size) & (self.queries[idx_c] == xs)
+        return np.where(hit, 1.0 / self.queries.size, 0.0)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self.queries[rng.integers(0, self.queries.size, size=size)]
+
+    def enumerate_mass(
+        self, chunk_size: int = 1 << 18
+    ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        w = 1.0 / self.queries.size
+        for lo in range(0, self.queries.size, chunk_size):
+            chunk = self.queries[lo : lo + chunk_size]
+            yield chunk, np.full(chunk.size, w)

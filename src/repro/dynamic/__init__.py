@@ -1,0 +1,36 @@
+"""Dynamic low-contention dictionaries (the paper's future work).
+
+The paper closes with: "Another interesting and perhaps more realistic
+future direction is to study the contention caused by the updates in
+dynamic data structures."  This subpackage is our extension in that
+direction:
+
+- :class:`~repro.dynamic.dictionary.DynamicLowContentionDictionary` —
+  a dynamization of the Section 2 scheme via the Bentley–Saxe
+  logarithmic method: operations (inserts *and* deletes, encoded as
+  signed entries) accumulate in geometrically growing levels, each
+  level a static low-contention dictionary; a query consults every
+  level, newest first, so its per-step contention inherits each level's
+  O(1/level_size) profile.
+- :mod:`~repro.dynamic.accounting` — update-contention accounting: the
+  static model charges only reads, but updates *write*; we count the
+  cells written per rebuild and report per-cell write contention over
+  an operation sequence (the quantity the paper proposes studying).
+
+Key measured trade-off (experiment E14): query contention is dominated
+by the *smallest* non-empty level (O(1/B) for buffer capacity B), while
+amortized update cost grows with the number of levels — the classic
+static-to-dynamic tension, now visible in contention units.
+"""
+
+from repro.dynamic.accounting import RebuildRecord, UpdateCostAccount
+from repro.dynamic.dictionary import DynamicLowContentionDictionary
+from repro.dynamic.levels import Level, LevelStructure
+
+__all__ = [
+    "DynamicLowContentionDictionary",
+    "LevelStructure",
+    "Level",
+    "UpdateCostAccount",
+    "RebuildRecord",
+]

@@ -1,0 +1,248 @@
+"""The logarithmic method (Bentley–Saxe) over signed entries.
+
+A dynamic operation is an entry ``(key, is_insert)``; entries live in
+levels of geometrically growing capacity, newest level first.  Each
+non-empty level is backed by a *static* low-contention dictionary over
+the encoded universe ``2N`` (``2k+1`` = "insert k", ``2k`` =
+"delete k"), so the membership machinery — honest probes, plans, exact
+contention — applies per level unchanged.
+
+Level discipline (binary-counter carries):
+
+- an operation is a one-entry unit; it merges with levels 0..j-1 where
+  j is the first empty level, landing at level j;
+- merges dedupe by key, newest entry winning;
+- delete entries are dropped when the merge lands below every other
+  non-empty level (nothing older remains for them to cancel);
+- when accumulated dead weight makes total entries exceed twice the
+  live count, everything is flattened into one level of pure inserts.
+
+A key appears in at most one entry per level; the newest level
+containing it determines its state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cellprobe.table import Table
+from repro.core import LowContentionDictionary
+from repro.dictionaries.base import StaticDictionary
+from repro.errors import ParameterError
+from repro.utils.rng import as_generator
+
+
+def encode_insert(key: int) -> int:
+    """Encode an insert entry for key into the doubled universe."""
+    return 2 * int(key) + 1
+
+
+def encode_delete(key: int) -> int:
+    """Encode a delete (tombstone) entry for key."""
+    return 2 * int(key)
+
+
+class SingletonDictionary(StaticDictionary):
+    """A one-key static dictionary: the key replicated across a row.
+
+    Queries probe one uniformly random cell — contention exactly 1/s,
+    the flattest possible profile — so singleton levels never become
+    hot spots.
+    """
+
+    name = "singleton"
+
+    def __init__(self, keys, universe_size: int, rng=None, width: int = 64):
+        self.universe_size = int(universe_size)
+        self.keys = self._sorted_keys(keys, self.universe_size)
+        if self.keys.size != 1:
+            raise ParameterError("SingletonDictionary stores exactly one key")
+        self.table = Table(rows=1, s=int(width))
+        self.table.write_row(
+            0, np.full(int(width), int(self.keys[0]), dtype=np.uint64)
+        )
+
+    def query(self, x: int, rng=None) -> bool:
+        x = self.check_key(x)
+        rng = as_generator(rng)
+        return self.table.read(0, int(rng.integers(0, self.table.s)), 0) == x
+
+    def probe_plan(self, x):
+        from repro.cellprobe.steps import UniformStrided
+
+        self.check_key(x)
+        return [UniformStrided(row=0, start=0, stride=1, count=self.table.s)]
+
+    def probe_plan_batch(self, xs):
+        from repro.cellprobe.steps import BatchStridedStep
+
+        xs = np.asarray(xs, dtype=np.int64)
+        batch = xs.shape[0]
+        return [
+            BatchStridedStep(
+                row=0,
+                starts=np.zeros(batch, dtype=np.int64),
+                strides=np.ones(batch, dtype=np.int64),
+                counts=np.full(batch, self.table.s, dtype=np.int64),
+                shared=True,
+            )
+        ]
+
+    @property
+    def max_probes(self) -> int:
+        return 1
+
+
+@dataclasses.dataclass
+class Level:
+    """One level: its entries (key -> is_insert) and static structure."""
+
+    index: int
+    entries: dict  # key -> bool (True = insert)
+    structure: StaticDictionary
+
+    @property
+    def size(self) -> int:
+        return len(self.entries)
+
+    def state_of(self, key: int) -> bool | None:
+        """True/False if this level pins the key's state; None if absent."""
+        return self.entries.get(int(key))
+
+    def contains_encoded(self, encoded: int, rng) -> bool:
+        """Honest probe-charged membership of an encoded entry."""
+        return self.structure.query(encoded, rng)
+
+
+class LevelStructure:
+    """The level list plus merge/flatten logic (no probe accounting here;
+    the structures inside levels do their own)."""
+
+    def __init__(
+        self,
+        universe_size: int,
+        rng=None,
+        account=None,
+        max_trials: int = 500,
+        min_level_width: int = 0,
+    ):
+        self.universe_size = int(universe_size)
+        self.encoded_universe = 2 * self.universe_size
+        self.rng = as_generator(rng)
+        self.levels: list[Level | None] = []
+        self.account = account
+        self.max_trials = max_trials
+        # Pad every level's table to at least this many cells per row.
+        # 0 = paper-pure sizing (s = beta * level size): small levels then
+        # dominate query contention at ~1/level_size.  Setting this to
+        # Theta(total live size) restores O(1/n) query contention at an
+        # O(n log n) space cost — the dynamization trade-off E14 measures.
+        self.min_level_width = int(min_level_width)
+
+    # -- state queries (no probes; used for ground truth & merging) -----------------
+
+    def state_of(self, key: int) -> bool:
+        """Current membership of key: newest level containing it wins."""
+        for level in self.levels:
+            if level is not None:
+                state = level.state_of(key)
+                if state is not None:
+                    return state
+        return False
+
+    def live_keys(self) -> list[int]:
+        """All keys whose newest entry is an insert, sorted."""
+        seen: dict[int, bool] = {}
+        for level in self.levels:
+            if level is None:
+                continue
+            for key, is_insert in level.entries.items():
+                seen.setdefault(key, is_insert)
+        return sorted(k for k, alive in seen.items() if alive)
+
+    @property
+    def total_entries(self) -> int:
+        return sum(lv.size for lv in self.levels if lv is not None)
+
+    @property
+    def nonempty_levels(self) -> list[Level]:
+        return [lv for lv in self.levels if lv is not None]
+
+    # -- structure building ------------------------------------------------------------
+
+    def _build_structure(self, entries: dict) -> StaticDictionary:
+        encoded = [
+            encode_insert(k) if ins else encode_delete(k)
+            for k, ins in entries.items()
+        ]
+        if len(encoded) == 1:
+            width = max(64, self.min_level_width)
+            return SingletonDictionary(
+                encoded, self.encoded_universe, self.rng, width=width
+            )
+        params = None
+        if self.min_level_width > 2 * len(encoded):
+            from repro.core import SchemeParameters
+
+            params = SchemeParameters(
+                n=len(encoded),
+                beta=self.min_level_width / len(encoded),
+            )
+        return LowContentionDictionary(
+            encoded, self.encoded_universe, rng=self.rng,
+            params=params, max_trials=self.max_trials,
+        )
+
+    def _install(self, index: int, entries: dict) -> None:
+        while len(self.levels) <= index:
+            self.levels.append(None)
+        structure = self._build_structure(entries)
+        self.levels[index] = Level(
+            index=index, entries=entries, structure=structure
+        )
+        if self.account is not None:
+            self.account.record_rebuild(
+                level=index,
+                entries=len(entries),
+                cells_written=structure.table.num_cells,
+            )
+
+    # -- the update path ---------------------------------------------------------------
+
+    def apply(self, key: int, is_insert: bool) -> None:
+        """Apply one operation via binary-counter carrying."""
+        key = int(key)
+        if not 0 <= key < self.universe_size:
+            raise ParameterError(f"key {key} outside universe")
+        # Find the first empty level; merge everything newer into it.
+        j = 0
+        while j < len(self.levels) and self.levels[j] is not None:
+            j += 1
+        merged: dict[int, bool] = {key: is_insert}  # newest wins: seed first
+        for i in range(j):
+            for k, ins in self.levels[i].entries.items():
+                merged.setdefault(k, ins)
+            self.levels[i] = None
+        # Drop deletes when nothing older remains.
+        nothing_older = all(
+            self.levels[i] is None for i in range(j + 1, len(self.levels))
+        )
+        if nothing_older:
+            merged = {k: ins for k, ins in merged.items() if ins}
+        if merged:
+            self._install(j, merged)
+        self._maybe_flatten()
+
+    def _maybe_flatten(self) -> None:
+        live = self.live_keys()
+        total = self.total_entries
+        if total >= 8 and total > 2 * max(len(live), 1):
+            for i in range(len(self.levels)):
+                self.levels[i] = None
+            if live:
+                # Land the flattened set at the level matching its size,
+                # keeping the capacity discipline (level j holds ~2^j).
+                index = max(0, int(np.ceil(np.log2(len(live)))))
+                self._install(index, {k: True for k in live})

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures without masking programming errors
+(``TypeError`` etc. are still raised directly for misuse of the API).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A scheme or experiment parameter violates its validity constraints.
+
+    Raised, e.g., when :class:`repro.core.params.SchemeParameters` receives a
+    ``delta`` outside the Lemma 9 interval ``(2/(d+2), 1 - 1/d)``.
+    """
+
+
+class ConstructionError(ReproError, RuntimeError):
+    """A data-structure construction failed.
+
+    Raised when rejection sampling of hash functions exceeds its trial
+    budget (property P(S) of Section 2.2, the FKS condition, or cuckoo
+    insertion) — with a sound configuration this indicates either an
+    adversarial data set or a mis-sized trial budget.
+    """
+
+
+class TableError(ReproError, RuntimeError):
+    """An invalid access to the cell-probe table (row/cell out of range)."""
+
+
+class QueryError(ReproError, RuntimeError):
+    """A query could not be answered (corrupt table or key outside universe)."""
+
+
+class DistributionError(ReproError, ValueError):
+    """A query distribution is invalid (negative mass, wrong support, ...)."""
+
+
+class GameError(ReproError, RuntimeError):
+    """The lower-bound communication game was driven into an illegal state.
+
+    Raised, e.g., when a probe specification violates the row-sum constraint
+    (1) or the contention constraint (2) of Lemma 14.
+    """

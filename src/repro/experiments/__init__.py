@@ -1,0 +1,17 @@
+"""The E1–E13 experiment suite (see DESIGN.md section 3).
+
+The paper has no tables or figures; each experiment here reifies one of
+its quantitative claims as a regenerable table.  Use::
+
+    from repro.experiments import run_experiment, EXPERIMENTS
+    result = run_experiment("E1", fast=True, seed=0)
+    print(result.render())
+
+Each runner returns an :class:`repro.io.results.ExperimentResult`; the
+``fast`` flag shrinks size ladders for CI/benchmark use, and every
+runner is deterministic given ``seed``.
+"""
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = ["EXPERIMENTS", "run_experiment"]

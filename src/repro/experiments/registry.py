@@ -1,0 +1,66 @@
+"""Registry mapping experiment ids to runners."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ParameterError
+from repro.experiments import (
+    e01_contention_optimality,
+    e02_probe_complexity,
+    e03_space,
+    e04_construction,
+    e05_baseline_comparison,
+    e06_arbitrary_distributions,
+    e07_lemma9_loads,
+    e08_negative_loads,
+    e09_lower_bound_game,
+    e10_product_space,
+    e11_vc_dimension,
+    e12_concurrent,
+    e13_ablations,
+    e14_dynamic,
+    e15_replication_cost,
+    e16_worst_case_fks,
+    e17_tail_bounds,
+)
+from repro.io.results import ExperimentResult
+
+EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
+    "E1": ("Contention optimality (Theorem 3)", e01_contention_optimality.run),
+    "E2": ("Constant probe complexity (Theorem 3)", e02_probe_complexity.run),
+    "E3": ("Linear space (Theorem 3)", e03_space.run),
+    "E4": ("O(1) trials / O(n) construction (§2.2)", e04_construction.run),
+    "E5": ("Baseline contention comparison (§1.3)", e05_baseline_comparison.run),
+    "E6": ("Arbitrary distributions break everything (§1.3)", e06_arbitrary_distributions.run),
+    "E7": ("Lemma 9 load conditions", e07_lemma9_loads.run),
+    "E8": ("Lemma 10 negative loads", e08_negative_loads.run),
+    "E9": ("Lower-bound game & t* recursion (Theorem 13)", e09_lower_bound_game.run),
+    "E10": ("Product-space probe simulation (Lemma 19)", e10_product_space.run),
+    "E11": ("VC-dimension instantiation (Definition 11)", e11_vc_dimension.run),
+    "E12": ("Concurrent m-query simulation (§1)", e12_concurrent.run),
+    "E13": ("Design-choice ablations (§2.2)", e13_ablations.run),
+    "E14": ("Extension: dynamic update contention (conclusion)", e14_dynamic.run),
+    "E15": ("Extension: space cost of naive replication (§1.3)", e15_replication_cost.run),
+    "E16": ("Worst-case family: FKS at Theta(sqrt n) x optimal (§1.3)", e16_worst_case_fks.run),
+    "E17": ("Tail-bound sharpness (Theorems 6-8)", e17_tail_bounds.run),
+}
+
+
+def run_experiment(
+    experiment_id: str, fast: bool = False, seed: int = 0
+) -> ExperimentResult:
+    """Run one experiment by id ("E1".."E13")."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise ParameterError(
+            f"unknown experiment {experiment_id!r}; options: "
+            f"{sorted(EXPERIMENTS)}"
+        )
+    _, runner = EXPERIMENTS[key]
+    return runner(fast=fast, seed=seed)
+
+
+def run_all(fast: bool = True, seed: int = 0) -> list[ExperimentResult]:
+    """Run the whole suite (fast mode by default)."""
+    return [run_experiment(eid, fast=fast, seed=seed) for eid in EXPERIMENTS]

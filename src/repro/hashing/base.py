@@ -1,0 +1,84 @@
+"""Hash function / family abstract interfaces.
+
+Two contracts matter to the rest of the library:
+
+1. **Scalar/vector agreement** — ``h(x) == h.eval_batch(np.array([x]))[0]``
+   for every key; the contention engine uses the vectorized path, the
+   executable query algorithms the scalar one, and property tests pin
+   them together.
+
+2. **Word serialization** — a hash function must round-trip through the
+   b-bit table cells it is stored in: ``parameter_words()`` yields the
+   words the construction writes, and ``Family.from_parameter_words``
+   rebuilds the function the query algorithm computes after reading them.
+   This is what makes the executable queries *honest*: they use only
+   values read from the table.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+
+class HashFunction(abc.ABC):
+    """A fixed function ``U -> [m]``."""
+
+    #: Size of the range ``[m]``.
+    range_size: int
+
+    @abc.abstractmethod
+    def __call__(self, x: int) -> int:
+        """Evaluate on a single key."""
+
+    @abc.abstractmethod
+    def eval_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Evaluate on an int64/uint64 array of keys; returns int64."""
+
+    @abc.abstractmethod
+    def parameter_words(self) -> list[int]:
+        """The b-bit words encoding this function (for table storage)."""
+
+    def loads(self, keys: np.ndarray) -> np.ndarray:
+        """Bucket loads ``l(S, h, i)`` (Definition 5) over the range.
+
+        Returns an int64 array of length ``range_size`` with
+        ``loads[i] = |{x in keys : h(x) = i}|``.
+        """
+        values = self.eval_batch(np.asarray(keys))
+        return np.bincount(values, minlength=self.range_size).astype(np.int64)
+
+    def buckets(self, keys: np.ndarray) -> list[np.ndarray]:
+        """Bucket contents ``B(S, h, i)`` (Definition 5) over the range."""
+        keys = np.asarray(keys)
+        values = self.eval_batch(keys)
+        order = np.argsort(values, kind="stable")
+        sorted_vals = values[order]
+        boundaries = np.searchsorted(
+            sorted_vals, np.arange(self.range_size + 1, dtype=np.int64)
+        )
+        return [
+            keys[order[boundaries[i] : boundaries[i + 1]]]
+            for i in range(self.range_size)
+        ]
+
+
+class HashFamily(abc.ABC):
+    """A distribution over hash functions ``U -> [m]``."""
+
+    #: Size of the range ``[m]``.
+    range_size: int
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator) -> HashFunction:
+        """Draw a uniformly random member of the family."""
+
+    @abc.abstractmethod
+    def from_parameter_words(self, words: list[int]) -> HashFunction:
+        """Rebuild a member from its stored parameter words."""
+
+    @property
+    @abc.abstractmethod
+    def words_per_function(self) -> int:
+        """How many b-bit words :meth:`HashFunction.parameter_words` uses."""

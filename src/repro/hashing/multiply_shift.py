@@ -1,0 +1,79 @@
+"""Multiply-shift hashing (Dietzfelbinger et al.): 2-universal, power-of-two ranges.
+
+``h_a(x) = (a * x mod 2**w) >> (w - log2 m)`` with odd multiplier ``a`` is
+2-universal (collision probability <= 2/m) for ``m`` a power of two.  It is
+not used by the paper's construction (which needs d-wise independence and
+exact uniformity); it serves as a comparison baseline in the experiments
+— e.g. measuring how a weaker family distorts bucket loads and hence
+contention — and as a fast default for the linear-probing baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.base import HashFamily, HashFunction
+
+_WORD = 64
+
+
+class MultiplyShiftFunction(HashFunction):
+    """A fixed multiply-shift function with odd 64-bit multiplier."""
+
+    __slots__ = ("multiplier", "range_size", "_shift")
+
+    def __init__(self, multiplier: int, range_size: int):
+        if multiplier % 2 == 0 or not 0 < multiplier < (1 << _WORD):
+            raise ParameterError("multiplier must be odd and fit 64 bits")
+        log_m = range_size.bit_length() - 1
+        if range_size < 1 or (1 << log_m) != range_size:
+            raise ParameterError(
+                f"range_size must be a power of two, got {range_size}"
+            )
+        self.multiplier = multiplier
+        self.range_size = range_size
+        self._shift = _WORD - log_m
+
+    def __call__(self, x: int) -> int:
+        if self.range_size == 1:
+            return 0
+        return ((self.multiplier * int(x)) % (1 << _WORD)) >> self._shift
+
+    def eval_batch(self, xs: np.ndarray) -> np.ndarray:
+        if self.range_size == 1:
+            return np.zeros(np.asarray(xs).shape, dtype=np.int64)
+        x = np.asarray(xs).astype(np.uint64)
+        # uint64 multiplication wraps mod 2**64, which is exactly the
+        # multiply-shift definition; silence the expected overflow warning.
+        with np.errstate(over="ignore"):
+            v = np.uint64(self.multiplier) * x
+        return (v >> np.uint64(self._shift)).astype(np.int64)
+
+    def parameter_words(self) -> list[int]:
+        return [self.multiplier]
+
+
+class MultiplyShiftFamily(HashFamily):
+    """Uniformly random odd multipliers; ``range_size`` a power of two."""
+
+    def __init__(self, range_size: int):
+        log_m = range_size.bit_length() - 1
+        if range_size < 1 or (1 << log_m) != range_size:
+            raise ParameterError(
+                f"range_size must be a power of two, got {range_size}"
+            )
+        self.range_size = range_size
+
+    def sample(self, rng: np.random.Generator) -> MultiplyShiftFunction:
+        a = int(rng.integers(0, 1 << 63)) * 2 + 1
+        return MultiplyShiftFunction(a, self.range_size)
+
+    def from_parameter_words(self, words: list[int]) -> MultiplyShiftFunction:
+        if len(words) != 1:
+            raise ParameterError(f"expected 1 parameter word, got {len(words)}")
+        return MultiplyShiftFunction(int(words[0]), self.range_size)
+
+    @property
+    def words_per_function(self) -> int:
+        return 1

@@ -1,0 +1,191 @@
+"""A near-2-universal family with planted heavy buckets.
+
+Section 1.3 credits replicated FKS with maximum contention
+"Theta(sqrt(n)) times optimal" — a *worst-case over the family* bound.
+Random polynomial instances never exhibit it (E5's calibration note):
+their buckets behave almost fully randomly.  This module constructs the
+bad case explicitly, in the spirit of lower-bound instances:
+
+``PlantedBlockFamily`` wraps a base 2-universal family.  The key set S
+is partitioned into ``sqrt(n)``-sized *blocks*; a sampled function
+activates with probability ``activation_prob`` (default ``1/sqrt(n)``),
+in which case one uniformly chosen block is mapped entirely to bucket
+0 while everything else hashes through an independent base function.
+
+Universality accounting (why FKS-style constructions accept it):
+
+- pairs inside one block collide with probability
+  ``activation_prob / num_blocks + O(1/m)`` — choosing
+  ``activation_prob = 1/sqrt(n)`` and ``num_blocks = sqrt(n)`` makes
+  this ``O(1/n) = O(1/m)``: the family is 2-universal up to a constant;
+- an *activated* function still satisfies the FKS condition
+  (``sum of squared loads <= n + O(n)``), so rejection sampling on
+  sum-of-squares accepts it — yet its bucket 0 holds ``sqrt(n)`` keys,
+  and the bucket-header cell inherits query mass ``sqrt(n)/n``:
+  contention ``Theta(sqrt(n))`` times optimal, exactly the §1.3 figure.
+
+E16 builds FKS over this family with activation forced, sweeps n, and
+fits the sqrt(n) law the random-instance experiment cannot see.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.base import HashFamily, HashFunction
+from repro.hashing.perfect import PerfectHashFunction
+from repro.utils.primes import MAX_VECTOR_PRIME, is_prime
+from repro.utils.rng import as_generator
+
+
+class PlantedBlockFunction(HashFunction):
+    """One member: optionally maps a designated key block to bucket 0."""
+
+    __slots__ = ("base", "block", "_block_sorted", "range_size")
+
+    def __init__(self, base: PerfectHashFunction, block: np.ndarray | None):
+        self.base = base
+        self.range_size = base.range_size
+        if block is None:
+            self.block = None
+            self._block_sorted = None
+        else:
+            self.block = np.asarray(block, dtype=np.int64)
+            self._block_sorted = np.sort(self.block)
+
+    @property
+    def activated(self) -> bool:
+        return self.block is not None
+
+    def _in_block(self, xs: np.ndarray) -> np.ndarray:
+        idx = np.searchsorted(self._block_sorted, xs)
+        idx_c = np.minimum(idx, self._block_sorted.size - 1)
+        return (idx < self._block_sorted.size) & (
+            self._block_sorted[idx_c] == xs
+        )
+
+    def __call__(self, x: int) -> int:
+        if self.activated and bool(
+            self._in_block(np.asarray([int(x)], dtype=np.int64))[0]
+        ):
+            return 0
+        return self.base(x)
+
+    def eval_batch(self, xs: np.ndarray) -> np.ndarray:
+        out = self.base.eval_batch(xs)
+        if self.activated:
+            hot = self._in_block(np.asarray(xs, dtype=np.int64))
+            out = np.where(hot, 0, out)
+        return out
+
+    def parameter_words(self) -> list[int]:
+        # The planted block is instance metadata; honest query
+        # algorithms only need the base parameters (membership answers
+        # are unchanged by WHICH bucket a key sits in — the table layout
+        # encodes it).  We expose base words plus an activation marker.
+        return [self.base.packed_word(), 1 if self.activated else 0]
+
+
+class PlantedBlockFamily(HashFamily):
+    """The family; 2-universal up to a constant, with heavy-bucket tail.
+
+    Parameters
+    ----------
+    prime:
+        Field prime for the base (a, c) family (>= universe size).
+    range_size:
+        Number of buckets m.
+    keys:
+        The adversarial key set S whose blocks may be planted.
+    block_size:
+        Heavy-block size (default round(sqrt(|S|))).
+    activation_prob:
+        Probability a sampled function is activated (default
+        1/block_size, the largest value keeping 2-universality).
+    """
+
+    def __init__(
+        self,
+        prime: int,
+        range_size: int,
+        keys,
+        block_size: int | None = None,
+        activation_prob: float | None = None,
+    ):
+        if not is_prime(prime) or prime > MAX_VECTOR_PRIME:
+            raise ParameterError(f"invalid prime {prime}")
+        self.prime = prime
+        self.range_size = int(range_size)
+        self.keys = np.asarray(sorted(int(k) for k in keys), dtype=np.int64)
+        n = self.keys.size
+        if n < 4:
+            raise ParameterError("need at least 4 keys to plant blocks")
+        self.block_size = (
+            max(2, round(float(np.sqrt(n))))
+            if block_size is None
+            else int(block_size)
+        )
+        if not 2 <= self.block_size <= n:
+            raise ParameterError("block_size must be in [2, n]")
+        self.num_blocks = n // self.block_size
+        if self.num_blocks < 1:
+            raise ParameterError("block_size too large for the key set")
+        self.activation_prob = (
+            1.0 / self.block_size
+            if activation_prob is None
+            else float(activation_prob)
+        )
+        if not 0.0 <= self.activation_prob <= 1.0:
+            raise ParameterError("activation_prob must be in [0, 1]")
+
+    def _base(self, rng: np.random.Generator) -> PerfectHashFunction:
+        a = int(rng.integers(0, self.prime))
+        c = int(rng.integers(0, self.prime))
+        return PerfectHashFunction(self.prime, a, c, self.range_size)
+
+    def _block(self, index: int) -> np.ndarray:
+        start = index * self.block_size
+        return self.keys[start : start + self.block_size]
+
+    def sample(self, rng: np.random.Generator) -> PlantedBlockFunction:
+        base = self._base(rng)
+        if rng.random() < self.activation_prob:
+            block = self._block(int(rng.integers(0, self.num_blocks)))
+            return PlantedBlockFunction(base, block)
+        return PlantedBlockFunction(base, None)
+
+    def sample_activated(self, rng=None) -> PlantedBlockFunction:
+        """Sample conditioned on activation (the worst-case instance)."""
+        rng = as_generator(rng)
+        base = self._base(rng)
+        block = self._block(int(rng.integers(0, self.num_blocks)))
+        return PlantedBlockFunction(base, block)
+
+    def from_parameter_words(self, words: list[int]) -> PlantedBlockFunction:
+        if len(words) != 2:
+            raise ParameterError("expected 2 parameter words")
+        base = PerfectHashFunction.from_packed_word(
+            int(words[0]), self.prime, self.range_size
+        )
+        # Reconstruction of the planted block is not possible from the
+        # words alone (it is adversary state); queries never need it.
+        return PlantedBlockFunction(base, None)
+
+    @property
+    def words_per_function(self) -> int:
+        return 2
+
+    def pairwise_collision_bound(self) -> float:
+        """Upper bound on Pr[h(x) = h(y)] over the family.
+
+        Same-block pairs: activation_prob / num_blocks (both in the
+        chosen block) + base collision 1/m; others: 1/m + boundary
+        terms.  With defaults this is <= 2/m + O(m/p): 2-universal up
+        to a factor 2.
+        """
+        return (
+            self.activation_prob / self.num_blocks
+            + 1.0 / self.range_size
+            + self.range_size / self.prime
+        )

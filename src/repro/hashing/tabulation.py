@@ -1,0 +1,101 @@
+"""Simple tabulation hashing (Zobrist / Patrascu–Thorup): 3-independent.
+
+The key is split into ``chars`` c-bit characters; each character position
+has a table of ``2**c`` random values, XORed together:
+
+    h(x) = T_0[x_0] XOR T_1[x_1] XOR ... XOR T_{k-1}[x_{k-1}]  (mod m)
+
+Simple tabulation is 3-independent and behaves like a fully random
+function for many load-balancing quantities (Patrascu & Thorup 2012); the
+experiments use it as a "nearly ideal" comparator for bucket-load tails
+(E7) against the polynomial and DM families the paper analyzes.
+
+Storage note: the tables occupy ``chars * 2**c`` words, so tabulation is
+*not* a constant-word family — its `parameter_words` are the flattened
+tables, and replicating them is exactly the kind of space cost the paper's
+design avoids.  It is an extension baseline, not part of the Section 2
+construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.hashing.base import HashFamily, HashFunction
+from repro.utils.validation import check_positive_integer
+
+
+class TabulationHashFunction(HashFunction):
+    """A fixed simple-tabulation function."""
+
+    __slots__ = ("tables", "char_bits", "range_size")
+
+    def __init__(self, tables: np.ndarray, char_bits: int, range_size: int):
+        tables = np.asarray(tables, dtype=np.uint64)
+        if tables.ndim != 2 or tables.shape[1] != (1 << char_bits):
+            raise ParameterError(
+                f"tables must have shape (chars, 2**{char_bits})"
+            )
+        self.tables = tables
+        self.char_bits = check_positive_integer("char_bits", char_bits)
+        self.range_size = check_positive_integer("range_size", range_size)
+
+    @property
+    def chars(self) -> int:
+        return self.tables.shape[0]
+
+    def __call__(self, x: int) -> int:
+        x = int(x)
+        acc = 0
+        mask = (1 << self.char_bits) - 1
+        for i in range(self.chars):
+            acc ^= int(self.tables[i, (x >> (i * self.char_bits)) & mask])
+        return acc % self.range_size
+
+    def eval_batch(self, xs: np.ndarray) -> np.ndarray:
+        x = np.asarray(xs).astype(np.uint64)
+        acc = np.zeros(x.shape, dtype=np.uint64)
+        mask = np.uint64((1 << self.char_bits) - 1)
+        for i in range(self.chars):
+            chars = (x >> np.uint64(i * self.char_bits)) & mask
+            acc ^= self.tables[i, chars.astype(np.int64)]
+        return (acc % np.uint64(self.range_size)).astype(np.int64)
+
+    def parameter_words(self) -> list[int]:
+        return [int(v) for v in self.tables.ravel()]
+
+
+class TabulationFamily(HashFamily):
+    """Random simple-tabulation functions over ``chars`` c-bit characters."""
+
+    def __init__(self, range_size: int, char_bits: int = 8, chars: int = 4):
+        self.range_size = check_positive_integer("range_size", range_size)
+        self.char_bits = check_positive_integer("char_bits", char_bits)
+        self.chars = check_positive_integer("chars", chars)
+
+    @property
+    def universe_bits(self) -> int:
+        """Number of key bits this family inspects."""
+        return self.char_bits * self.chars
+
+    def sample(self, rng: np.random.Generator) -> TabulationHashFunction:
+        tables = rng.integers(
+            0, 1 << 63, size=(self.chars, 1 << self.char_bits), dtype=np.int64
+        ).astype(np.uint64)
+        return TabulationHashFunction(tables, self.char_bits, self.range_size)
+
+    def from_parameter_words(self, words: list[int]) -> TabulationHashFunction:
+        expected = self.chars * (1 << self.char_bits)
+        if len(words) != expected:
+            raise ParameterError(
+                f"expected {expected} parameter words, got {len(words)}"
+            )
+        tables = np.asarray(words, dtype=np.uint64).reshape(
+            self.chars, 1 << self.char_bits
+        )
+        return TabulationHashFunction(tables, self.char_bits, self.range_size)
+
+    @property
+    def words_per_function(self) -> int:
+        return self.chars * (1 << self.char_bits)

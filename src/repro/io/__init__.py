@@ -1,0 +1,23 @@
+"""Result rendering, ASCII charts, and serialization for experiments."""
+
+from repro.io.plots import (
+    contention_profile,
+    horizontal_bars,
+    loglog_series,
+    sparkline,
+)
+from repro.io.persistence import load_dictionary, save_dictionary
+from repro.io.results import ExperimentResult, save_results
+from repro.io.tables import render_table
+
+__all__ = [
+    "render_table",
+    "ExperimentResult",
+    "save_results",
+    "save_dictionary",
+    "load_dictionary",
+    "sparkline",
+    "contention_profile",
+    "horizontal_bars",
+    "loglog_series",
+]

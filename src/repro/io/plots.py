@@ -1,0 +1,117 @@
+"""Terminal-friendly ASCII charts for contention profiles.
+
+Not a plotting library — just enough to make contention *shapes*
+visible in example output and experiment logs: sparklines for per-cell
+profiles, horizontal bars for cross-scheme comparisons, and a log-log
+series table for growth-law eyeballing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+_SPARK_LEVELS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width: int = 64, log_scale: bool = False) -> str:
+    """Downsample ``values`` to ``width`` buckets of block characters.
+
+    Buckets take the *max* of their values (contention profiles care
+    about peaks, not means); ``log_scale`` compresses the dynamic range
+    so an n-fold hot spot doesn't flatten everything else to zero.
+    """
+    v = np.asarray(values, dtype=np.float64)
+    if v.ndim != 1 or v.size == 0:
+        raise ParameterError("values must be a non-empty 1-D array")
+    if width < 1:
+        raise ParameterError("width must be positive")
+    edges = np.linspace(0, v.size, min(width, v.size) + 1).astype(int)
+    peaks = np.array(
+        [v[a:b].max() if b > a else 0.0 for a, b in zip(edges, edges[1:])]
+    )
+    if log_scale:
+        floor = peaks[peaks > 0].min(initial=1.0)
+        peaks = np.where(peaks > 0, np.log10(peaks / floor) + 1.0, 0.0)
+    top = peaks.max()
+    if top <= 0:
+        return _SPARK_LEVELS[0] * peaks.size
+    idx = np.ceil(peaks / top * (len(_SPARK_LEVELS) - 1)).astype(int)
+    return "".join(_SPARK_LEVELS[i] for i in idx)
+
+
+def contention_profile(matrix, row: int | None = None, width: int = 64) -> str:
+    """Sparkline of a :class:`ContentionMatrix`'s total per-cell profile.
+
+    With ``row`` given, shows only that table row; otherwise the whole
+    flat profile, one table row per line, labelled with its peak.
+    """
+    total = matrix.total().reshape(matrix.rows, matrix.s)
+    if row is not None:
+        return sparkline(total[row], width)
+    lines = []
+    for r in range(matrix.rows):
+        peak = float(total[r].max())
+        lines.append(f"row {r:>2d} [{peak:9.3e}] {sparkline(total[r], width)}")
+    return "\n".join(lines)
+
+
+def horizontal_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    log_scale: bool = True,
+    unit: str = "",
+) -> str:
+    """Labelled horizontal bar chart (log scale by default).
+
+    Log scale suits contention ratios spanning 1x .. n x.
+    """
+    values = [float(v) for v in values]
+    if len(labels) != len(values):
+        raise ParameterError("labels and values must align")
+    if any(v < 0 for v in values):
+        raise ParameterError("values must be non-negative")
+    if log_scale:
+        positive = [v for v in values if v > 0]
+        floor = min(positive) if positive else 1.0
+        scaled = [
+            math.log10(v / floor) + 1.0 if v > 0 else 0.0 for v in values
+        ]
+    else:
+        scaled = values
+    top = max(scaled) if scaled else 1.0
+    label_w = max(len(str(l)) for l in labels)
+    lines = []
+    for label, value, sc in zip(labels, values, scaled):
+        bar = "#" * (int(round(sc / top * width)) if top > 0 else 0)
+        lines.append(f"{str(label):>{label_w}s} | {bar:<{width}s} {value:g}{unit}")
+    return "\n".join(lines)
+
+
+def loglog_series(
+    n_values: Sequence[float], y_values: Sequence[float], label: str = "y"
+) -> str:
+    """A compact log-log slope table: successive slopes reveal the law.
+
+    Slope ~0: constant; ~0.5: sqrt; ~1: linear; slowly decaying
+    positive: polylog.
+    """
+    n = np.asarray(n_values, dtype=np.float64)
+    y = np.asarray(y_values, dtype=np.float64)
+    if n.shape != y.shape or n.size < 2:
+        raise ParameterError("need matching series of length >= 2")
+    rows = [f"{'n':>10s} {label:>12s} {'loglog slope':>13s}"]
+    for i in range(n.size):
+        if i == 0:
+            slope = ""
+        else:
+            with np.errstate(divide="ignore"):
+                num = math.log(y[i] / y[i - 1]) if y[i] > 0 and y[i - 1] > 0 else float("nan")
+            slope = f"{num / math.log(n[i] / n[i - 1]):13.3f}"
+        rows.append(f"{n[i]:>10.0f} {y[i]:>12.4g} {slope:>13s}")
+    return "\n".join(rows)

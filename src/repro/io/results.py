@@ -1,0 +1,46 @@
+"""Experiment result records and JSON serialization."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.io.tables import render_table
+
+
+@dataclasses.dataclass
+class ExperimentResult:
+    """One experiment's regenerated table plus provenance.
+
+    ``rows`` is the table body; ``claim`` quotes what the paper asserts;
+    ``finding`` summarizes what the measurement showed (filled by the
+    runner).  EXPERIMENTS.md is assembled from these.
+    """
+
+    experiment_id: str
+    title: str
+    claim: str
+    rows: list[dict]
+    finding: str = ""
+    notes: str = ""
+
+    def render(self) -> str:
+        """Human-readable block: header, claim, table, finding, notes."""
+        header = f"[{self.experiment_id}] {self.title}\nClaim: {self.claim}"
+        table = render_table(self.rows)
+        tail = f"Finding: {self.finding}" if self.finding else ""
+        notes = f"Notes: {self.notes}" if self.notes else ""
+        return "\n".join(p for p in (header, table, tail, notes) if p)
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for JSON serialization."""
+        return dataclasses.asdict(self)
+
+
+def save_results(results: list[ExperimentResult], path) -> None:
+    """Write a list of results as pretty JSON."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps([r.as_dict() for r in results], indent=2, default=str)
+    )

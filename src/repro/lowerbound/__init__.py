@@ -1,0 +1,62 @@
+"""The Section 3 lower bound, made executable.
+
+Theorem 13: any balanced cell-probing scheme (Definition 12) for a
+problem of VC-dimension n, with cell size b <= polylog(n) and contention
+phi* <= polylog(n)/s, needs t* = Omega(log log n) probes.  The proof is
+a chain of constructive lemmas, each implemented and tested here:
+
+- :mod:`~repro.lowerbound.productspace` — Lemma 19: simulating one
+  adaptive probe by independent per-cell Bernoulli probes (success
+  probability >= 1/4 per step, conditional law proportional to the
+  original);
+- :mod:`~repro.lowerbound.coupling` — Lemma 21: the joint distribution
+  of n probe sets minimizing the expected union size
+  (E[|union L_i|] <= sum_j max_i Pr[j in J_i]);
+- :mod:`~repro.lowerbound.matrixbounds` — Lemma 16: the combinatorial
+  bound |R| >= sum_j max_i P(i, j);
+- :mod:`~repro.lowerbound.adversary` — Lemma 15: the probabilistic-
+  method construction of a query distribution violating every "good"
+  probe specification;
+- :mod:`~repro.lowerbound.game` — the Lemma 14 communication game:
+  probe-specification players against a bit-charging black box, with a
+  replication strategy driven by real dictionary probe plans;
+- :mod:`~repro.lowerbound.recursion` — the E[C_t] <= sqrt(a E[C_{t-1}])
+  recursion and the numeric t*(n) = Theta(log log n) curve (E9's
+  figure).
+"""
+
+from repro.lowerbound.adversarial_game import (
+    AdversarialRound,
+    play_adversarial_game,
+)
+from repro.lowerbound.adversary import lemma15_distribution
+from repro.lowerbound.coupling import couple_probe_sets, expected_union_bound
+from repro.lowerbound.game import CommunicationGame, GameTranscript, ProbeSpecification
+from repro.lowerbound.matrixbounds import lemma16_lhs, lemma16_rhs
+from repro.lowerbound.productspace import (
+    ProductSpaceProbe,
+    simulate_probe_sequence,
+)
+from repro.lowerbound.recursion import (
+    information_deficit_tstar,
+    recursion_trace,
+    tstar_curve,
+)
+
+__all__ = [
+    "ProductSpaceProbe",
+    "simulate_probe_sequence",
+    "couple_probe_sets",
+    "expected_union_bound",
+    "lemma16_lhs",
+    "lemma16_rhs",
+    "lemma15_distribution",
+    "play_adversarial_game",
+    "AdversarialRound",
+    "CommunicationGame",
+    "GameTranscript",
+    "ProbeSpecification",
+    "recursion_trace",
+    "information_deficit_tstar",
+    "tstar_curve",
+]

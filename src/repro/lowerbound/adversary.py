@@ -1,0 +1,96 @@
+"""Lemma 15: the adversary's query-distribution construction.
+
+Setting: M is an N x n non-negative matrix (in Theorem 13,
+``M(u, i) = phi* / max_j P_u(i, j)`` over the N possible next probe
+specifications).  If every row u has a set R_u of r entries summing to
+<= delta, then there is a stochastic vector q with total mass epsilon
+that *violates* every row: for each u some i has M(u, i) < q_i — i.e.
+the contention constraint (2) forbids every one of those probe
+specifications.
+
+Construction (probabilistic method, derandomized by retry):
+
+1. for each row, R'_u = the indices of the r/2 smallest entries of R_u
+   (each such entry is <= 2 delta / r);
+2. sample a uniform transversal T of size ceil(2 n ln N / r) until it
+   intersects every R'_u (success probability > 0, so expected O(1)
+   draws);
+3. q_i = epsilon / |T| for i in T, else 0.
+
+Then for i in R'_u ∩ T: M(u, i) <= 2 delta / r < r epsilon / (2 n ln N)
+= q_i, provided r > sqrt(4 epsilon^{-1} delta n ln N) — the lemma uses
+r = sqrt(5 epsilon^{-1} delta n ln N) for slack.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GameError, ParameterError
+from repro.utils.rng import as_generator
+
+
+def lemma15_r(epsilon: float, delta: float, n: int, N: int) -> int:
+    """The lemma's r = sqrt(5 epsilon^-1 delta n ln N)."""
+    if epsilon <= 0 or delta <= 0 or n < 1 or N < 2:
+        raise ParameterError("need epsilon, delta > 0, n >= 1, N >= 2")
+    return max(2, int(math.ceil(math.sqrt(5.0 * delta * n * math.log(N) / epsilon))))
+
+
+def lemma15_distribution(
+    M: np.ndarray,
+    epsilon: float,
+    delta: float,
+    rng=None,
+    r: int | None = None,
+    max_attempts: int = 10_000,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Construct q (mass epsilon) violating every row of M.
+
+    Returns ``(q, T)`` where T is the support.  Rows are assumed to
+    satisfy the lemma's hypothesis with the given r (default: the
+    lemma's formula); a row whose r smallest entries sum to more than
+    delta violates the hypothesis and raises :class:`GameError`.
+    """
+    M = np.asarray(M, dtype=np.float64)
+    if M.ndim != 2:
+        raise ParameterError("M must be an N x n matrix")
+    rng = as_generator(rng)
+    N, n = M.shape
+    if r is None:
+        r = lemma15_r(epsilon, delta, n, max(N, 2))
+    r = min(r, n)
+    half = max(1, r // 2)
+
+    # R'_u: indices of the r/2 smallest entries of the r smallest entries
+    # (equivalently, the r/2 smallest overall once R_u is chosen greedily).
+    order = np.argsort(M, axis=1)
+    smallest_r = np.take_along_axis(M, order[:, :r], axis=1)
+    if np.any(smallest_r.sum(axis=1) > delta + 1e-12):
+        bad = int(np.argmax(smallest_r.sum(axis=1)))
+        raise GameError(
+            f"row {bad} violates the Lemma 15 hypothesis: its {r} smallest "
+            f"entries sum to {smallest_r.sum(axis=1)[bad]:.4g} > delta={delta}"
+        )
+    R_prime = order[:, :half]  # (N, half)
+
+    t_size = max(1, min(n, int(math.ceil(2.0 * n * math.log(max(N, 2)) / r))))
+    for _ in range(max_attempts):
+        T = rng.choice(n, size=t_size, replace=False)
+        hit = np.isin(R_prime, T).any(axis=1)
+        if bool(hit.all()):
+            q = np.zeros(n, dtype=np.float64)
+            q[T] = epsilon / t_size
+            return q, np.sort(T)
+    raise GameError(
+        f"no transversal of size {t_size} found in {max_attempts} draws"
+    )
+
+
+def violates_all_rows(M: np.ndarray, q: np.ndarray) -> bool:
+    """Check the lemma's conclusion: every row has some M(u, i) < q_i."""
+    M = np.asarray(M, dtype=np.float64)
+    q = np.asarray(q, dtype=np.float64)
+    return bool(np.all((M < q[None, :]).any(axis=1)))

@@ -1,0 +1,199 @@
+"""The Lemma 14 communication game, executable.
+
+Players:
+
+- **A''** sends, each round, a *probe specification*: an n x s matrix
+  P_t with row sums <= 1 (inequality (1)) and entries bounded by
+  phi* / q_i (inequality (2) — the contention constraint, which A''
+  must satisfy without knowing q);
+- the **black box B** holds the secret stochastic vector q and answers
+  with C_t bits, E[C_t] <= b * sum_j max_i P_t(i, j) (inequality (3) —
+  the Lemma 21 coupling bound).
+
+A'' needs n * 2**(-2 t*) bits after t* rounds (the information needed by
+the n product-space query instances that survive the Lemma 19
+simulation).  The *replication strategy* implemented here derives P_t
+from a real dictionary's batch probe plans — exactly the class of
+schemes Definition 12 admits ("the randomness is used only for
+balancing the cell-probes").
+
+The game is the bridge between the concrete schemes of Section 2 and
+the abstract recursion of :mod:`~repro.lowerbound.recursion`; E9 runs
+it on small instances and checks every inequality on the realized
+matrices.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import GameError, ParameterError
+from repro.lowerbound.matrixbounds import lemma16_rhs
+from repro.utils.rng import as_generator
+
+
+@dataclasses.dataclass
+class ProbeSpecification:
+    """One round's n x s probe-marginal matrix, with validation."""
+
+    P: np.ndarray
+
+    def __post_init__(self):
+        self.P = np.asarray(self.P, dtype=np.float64)
+        if self.P.ndim != 2:
+            raise ParameterError("P must be an n x s matrix")
+        if np.any(self.P < 0) or np.any(self.P > 1.0 + 1e-12):
+            raise ParameterError("entries must lie in [0, 1]")
+        if np.any(self.P.sum(axis=1) > 1.0 + 1e-9):
+            raise GameError("row sums must be <= 1 (Lemma 14, ineq. (1))")
+
+    @property
+    def n(self) -> int:
+        return self.P.shape[0]
+
+    @property
+    def s(self) -> int:
+        return self.P.shape[1]
+
+    def check_contention(self, q: np.ndarray, phi_star: float) -> None:
+        """Enforce inequality (2): max_j P(i, j) <= phi*/q_i."""
+        q = np.asarray(q, dtype=np.float64)
+        row_max = self.P.max(axis=1)
+        limit = np.where(q > 0, phi_star / np.where(q > 0, q, 1.0), np.inf)
+        if np.any(row_max > limit + 1e-12):
+            i = int(np.argmax(row_max - limit))
+            raise GameError(
+                f"contention constraint violated at row {i}: "
+                f"max_j P = {row_max[i]:.4g} > phi*/q_i = {limit[i]:.4g}"
+            )
+
+    def information_budget(self, b: int) -> float:
+        """Inequality (3)'s bound: b * sum_j max_i P(i, j)."""
+        return float(b) * lemma16_rhs(self.P)
+
+
+@dataclasses.dataclass
+class GameTranscript:
+    """Per-round record of a played communication game."""
+
+    rounds: int
+    bits_per_round: list[float]
+    budgets_per_round: list[float]
+    q_history: list[np.ndarray]
+
+    @property
+    def total_bits(self) -> float:
+        return float(sum(self.bits_per_round))
+
+    def information_target(self, n: int, t_star: int) -> float:
+        """The n * 2**(-2 t*) bits A'' must collect (Lemma 14, item 3)."""
+        return n * 2.0 ** (-2 * t_star)
+
+
+class CommunicationGame:
+    """Drives A''-vs-black-box rounds with full inequality checking.
+
+    Parameters
+    ----------
+    n, s:
+        Query count and table size.
+    b:
+        Cell size in bits.
+    phi_star:
+        Contention cap (Definition 12's phi*).
+    q:
+        The black box's secret stochastic vector (sum <= 1).  May be
+        replaced between rounds by an adversary via :meth:`set_q` —
+        Theorem 13's adversary raises coordinates only, which never
+        legalizes a previously violated specification.
+    """
+
+    def __init__(self, n: int, s: int, b: int, phi_star: float, q=None):
+        if n < 1 or s < 1 or b < 1:
+            raise ParameterError("n, s, b must be positive")
+        if phi_star <= 0:
+            raise ParameterError("phi_star must be positive")
+        self.n, self.s, self.b = int(n), int(s), int(b)
+        self.phi_star = float(phi_star)
+        self.q = np.zeros(self.n) if q is None else np.asarray(q, dtype=np.float64)
+        if self.q.shape != (self.n,) or np.any(self.q < 0) or self.q.sum() > 1 + 1e-9:
+            raise ParameterError("q must be a stochastic vector over [n]")
+        self.transcript = GameTranscript(
+            rounds=0, bits_per_round=[], budgets_per_round=[], q_history=[]
+        )
+
+    def set_q(self, q: np.ndarray) -> None:
+        """Adversary move: raise coordinates of q (mass stays <= 1)."""
+        q = np.asarray(q, dtype=np.float64)
+        if q.shape != (self.n,):
+            raise ParameterError("q must have length n")
+        if np.any(q < self.q - 1e-12):
+            raise GameError("the adversary may only increase coordinates")
+        if q.sum() > 1.0 + 1e-9:
+            raise GameError("q must remain stochastic (sum <= 1)")
+        self.q = q
+
+    def play_round(self, spec: ProbeSpecification) -> float:
+        """A'' sends ``spec``; B answers.  Returns the bits received.
+
+        B is modelled as charging exactly its upper envelope
+        ``b * sum_j max_i P`` (the most generous legal black box — a
+        lower bound argument must beat even this one).
+        """
+        if spec.n != self.n or spec.s != self.s:
+            raise ParameterError("specification shape mismatch")
+        spec.check_contention(self.q, self.phi_star)
+        budget = spec.information_budget(self.b)
+        self.transcript.rounds += 1
+        self.transcript.bits_per_round.append(budget)
+        self.transcript.budgets_per_round.append(budget)
+        self.transcript.q_history.append(self.q.copy())
+        return budget
+
+    # -- strategies ------------------------------------------------------------------
+
+    def uniform_specification(self) -> ProbeSpecification:
+        """The maximally spread P: every entry 1/s (always legal when
+        q_i <= phi* s for all i)."""
+        return ProbeSpecification(np.full((self.n, self.s), 1.0 / self.s))
+
+    def clipped_specification(self, desired: np.ndarray) -> ProbeSpecification:
+        """Clip a desired marginal matrix to satisfy the contention cap.
+
+        This is what a legal balanced scheme must effectively do: rows
+        whose queries are hot (large q_i) must spread out to
+        phi*/q_i per cell, re-normalizing row mass downward.
+        """
+        desired = np.asarray(desired, dtype=np.float64)
+        limit = np.where(
+            self.q > 0, self.phi_star / np.where(self.q > 0, self.q, 1.0), np.inf
+        )
+        clipped = np.minimum(desired, limit[:, None])
+        return ProbeSpecification(clipped)
+
+
+def specification_from_dictionary(
+    dictionary, queries: np.ndarray, step: int
+) -> ProbeSpecification:
+    """The step-``step`` probe marginals of real dictionary queries.
+
+    Row i is the probe distribution of query ``queries[i]`` at the given
+    step (zero row if that query has already terminated) — precisely the
+    P_t matrices of Definition 12 schemes.
+    """
+    queries = np.asarray(queries, dtype=np.int64)
+    steps = dictionary.probe_plan_batch(queries)
+    if step >= len(steps):
+        return ProbeSpecification(
+            np.zeros((queries.size, dictionary.table.s))
+        )
+    st = steps[step]
+    P = np.zeros((queries.size, dictionary.table.s))
+    for i in range(queries.size):
+        single = st.step_for(i)
+        if single is not None:
+            P[i, single.support()] = single.probability()
+    return ProbeSpecification(P)

@@ -1,0 +1,106 @@
+"""Lemma 16: the combinatorial envelope bound.
+
+For a non-negative n x s matrix P with row sums <= 1, let R be the
+largest subset of rows with ``sum_{i in R} 1 / max_j P(i, j) <= s``.
+Then ``|R| >= sum_j max_i P(i, j)``.
+
+Interpretation: the right side is the per-round information budget of
+the coupled parallel probes (Lemma 21); the left side says that budget
+is only large if many rows concentrate their probes on few cells — and
+such concentrated rows are exactly the queries the adversary can make
+"hot" (Lemma 15), forbidding the concentration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def _validate(P: np.ndarray) -> np.ndarray:
+    P = np.asarray(P, dtype=np.float64)
+    if P.ndim != 2:
+        raise ParameterError("P must be an n x s matrix")
+    if np.any(P < 0):
+        raise ParameterError("P must be non-negative")
+    if np.any(P.sum(axis=1) > 1.0 + 1e-9):
+        raise ParameterError("row sums must be <= 1")
+    return P
+
+
+def lemma16_rhs(P: np.ndarray) -> float:
+    """sum_j max_i P(i, j) — the information-budget side."""
+    P = _validate(P)
+    return float(np.sum(P.max(axis=0)))
+
+
+def lemma16_lhs(P: np.ndarray) -> int:
+    """|R|: the largest row set with sum of 1/max_j P(i,j) <= s.
+
+    Greedy by ascending 1/max is optimal (the knapsack has unit
+    values).  Rows with max_j P(i, j) = 0 contribute infinite reciprocal
+    cost and are never selected.
+    """
+    P = _validate(P)
+    s = P.shape[1]
+    row_max = P.max(axis=1)
+    positive = row_max > 0
+    costs = np.sort(1.0 / row_max[positive])
+    cumulative = np.cumsum(costs)
+    return int(np.searchsorted(cumulative, float(s), side="right"))
+
+
+def lemma16_lhs_fractional(P: np.ndarray) -> float:
+    """The LP relaxation: max sum_i x_i s.t. sum_i x_i/max_j P(i,j) <= s,
+    0 <= x_i <= 1 — the quantity the paper's proof actually bounds.
+
+    Note (reproduction finding): the paper states the bound with the
+    *integer* |R|, but its final maximization argument is the fractional
+    knapsack, whose optimum can exceed |R| by a fraction below 1.  The
+    correct chain is ``sum_j max_i P <= lhs_fractional <= |R| + 1``;
+    the slack is irrelevant to Theorem 13's asymptotics.  Tests verify
+    this corrected chain.
+    """
+    P = _validate(P)
+    s = float(P.shape[1])
+    row_max = P.max(axis=1)
+    costs = np.sort(1.0 / row_max[row_max > 0])
+    value = 0.0
+    for c in costs:
+        if c <= s:
+            value += 1.0
+            s -= c
+        else:
+            value += s / c
+            break
+    return value
+
+
+def lemma16_holds(P: np.ndarray) -> bool:
+    """Check sum_j max_i P(i, j) <= fractional lhs (corrected Lemma 16)."""
+    return lemma16_lhs_fractional(P) >= lemma16_rhs(P) - 1e-9
+
+
+def row_is_good(M_row: np.ndarray, r: int, threshold: float) -> bool:
+    """Theorem 13's goodness test for one row of M.
+
+    A row u of M (where ``M(u, i) = phi* / max_j P_u(i, j)``) is *good*
+    if some r of its entries sum to <= threshold (= phi* s).  Greedy:
+    check the r smallest entries.
+    """
+    if r <= 0:
+        return True
+    if r > M_row.size:
+        return False
+    smallest = np.partition(np.asarray(M_row, dtype=np.float64), r - 1)[:r]
+    return float(np.sum(smallest)) <= threshold
+
+
+def bad_row_budget(P: np.ndarray, r_t: float) -> bool:
+    """Claim (4): a *bad* row's specification has rhs <= r_t.
+
+    Used by tests: if ``row_is_good`` is False for the M-row derived
+    from P, then ``lemma16_rhs(P) <= r_t`` must hold.
+    """
+    return lemma16_rhs(P) <= r_t + 1e-9

@@ -1,0 +1,110 @@
+"""Lemma 19: product-space simulation of an adaptive cell-probe.
+
+A randomized probe I with distribution p over [s] is simulated by
+probing every cell *independently* (a "product-space cell-probe"):
+
+- probe cell i with probability p'_i = min(p_i, 1/2);
+- if the resulting set J has size != 1, fail;
+- if J = {i}, fail with probability eps_i = min(p_i, 1 - p_i);
+- otherwise output i.
+
+The paper's two cases (all p_i <= 1/2, or one p_0 > 1/2) both give
+success probability >= 1/4, with the conditional output law exactly p.
+Independence across steps then yields overall success >= 2**(-2 t*) for
+a t*-step query — the constant the information bound of Lemma 14 pays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_probability_vector
+
+#: Sentinel returned by a failed simulation step.
+FAIL = -1
+
+
+@dataclasses.dataclass
+class ProductSpaceProbe:
+    """The Lemma 19 simulator for one probe distribution p over [s]."""
+
+    p: np.ndarray
+
+    def __post_init__(self):
+        self.p = check_probability_vector("p", self.p)
+        # p' and eps exactly as in the proof's two cases.
+        self.p_prime = np.minimum(self.p, 0.5)
+        self.eps = np.minimum(self.p, 1.0 - self.p)
+
+    @property
+    def s(self) -> int:
+        return self.p.size
+
+    def sample_set(self, rng=None) -> np.ndarray:
+        """Draw the product-space probe set J (independent per-cell)."""
+        rng = as_generator(rng)
+        return np.nonzero(rng.random(self.s) < self.p_prime)[0]
+
+    def simulate(self, rng=None) -> int:
+        """One simulation: the probed cell index, or :data:`FAIL`."""
+        rng = as_generator(rng)
+        J = self.sample_set(rng)
+        if J.size != 1:
+            return FAIL
+        i = int(J[0])
+        if rng.random() < self.eps[i]:
+            return FAIL
+        return i
+
+    # -- exact quantities (used by tests and E10) ---------------------------------
+
+    def success_probability(self) -> float:
+        """Exact Pr[simulation succeeds] (>= 1/4 by Lemma 19)."""
+        return float(np.sum(self.output_distribution()))
+
+    def output_distribution(self) -> np.ndarray:
+        """Exact sub-probability vector Pr[output = i] (proportional to p)."""
+        # Pr[J = {i}] = p'_i * prod_{j != i} (1 - p'_j); times (1 - eps_i).
+        one_minus = 1.0 - self.p_prime
+        # Stable product-over-all-but-one via full product / term, with a
+        # guard for exact zeros (p'_j = 1/2 never gives zero, p'_j can be
+        # 0 though, and 1 - 0 = 1 is harmless).
+        total = np.prod(one_minus)
+        out = np.where(
+            one_minus > 0,
+            self.p_prime * (total / np.where(one_minus > 0, one_minus, 1.0)),
+            0.0,
+        )
+        return out * (1.0 - self.eps)
+
+    def expected_probes(self) -> float:
+        """E[|J|] = sum_i p'_i <= 1 — inequality (5) of Lemma 19."""
+        return float(np.sum(self.p_prime))
+
+    def marginal_probabilities(self) -> np.ndarray:
+        """Pr[i in J] = p'_i <= p_i — the contention never increases (6)."""
+        return self.p_prime.copy()
+
+
+def simulate_probe_sequence(
+    distributions: list[np.ndarray], rng=None
+) -> tuple[list[int], bool]:
+    """Simulate t* independent probes; returns (outputs, success).
+
+    ``success`` is True iff no step failed — an event of probability
+    >= 4**(-t) — in which case the outputs are jointly distributed as
+    the original probes (Lemma 19, property 1).
+    """
+    rng = as_generator(rng)
+    outputs: list[int] = []
+    success = True
+    for p in distributions:
+        result = ProductSpaceProbe(np.asarray(p, dtype=np.float64)).simulate(rng)
+        outputs.append(result)
+        if result == FAIL:
+            success = False
+    return outputs, success

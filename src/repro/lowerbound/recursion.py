@@ -1,0 +1,130 @@
+"""The information recursion of Theorem 13 and the t*(n) curve.
+
+Against the Lemma 15 adversary, every legal probe specification at round
+t corresponds to a *bad* row of M^(t), so by Claim (4) its information
+budget is at most ``b * r_t`` with ``r_t = sqrt(5 t* phi* s n ln N_t)``
+and ``N_t = 2**C_{t-1}``.  Taking expectations (Jensen for the concave
+square root):
+
+    E[C_1] <= a_1 := b phi* s,
+    E[C_t] <= sqrt(a * E[C_{t-1}]),   a := (5 ln 2) b**2 t* phi* s n,
+
+whose closed form is ``E[C_t] <= a_1**(2**(1-t)) * a**(1 - 2**(1-t))``.
+A'' needs ``n * 2**(-2 t*)`` bits in t* rounds, so
+
+    n * 2**(-2 t*) <= sum_{t<=t*} E[C_t] <= a_1 * a**(1 - 2**(-t*)),
+
+and with b <= polylog(n), phi* <= polylog(n)/s the smallest feasible t*
+is log log n - o(log log n) — :func:`information_deficit_tstar` solves
+the inequality numerically and :func:`tstar_curve` produces E9's
+t*-versus-n series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+@dataclasses.dataclass(frozen=True)
+class RecursionTrace:
+    """The per-round information bounds for given parameters."""
+
+    t_star: int
+    a1: float
+    a: float
+    per_round: tuple[float, ...]  # E[C_t] upper bounds, t = 1..t_star
+    total: float  # sum of per-round bounds
+    target: float  # n * 2**(-2 t*)
+
+    @property
+    def feasible(self) -> bool:
+        """Whether A'' can possibly collect enough information."""
+        return self.total >= self.target
+
+
+def recursion_bounds(a1: float, a: float, t_star: int) -> tuple[float, ...]:
+    """Closed-form E[C_t] <= a1**(2**(1-t)) * a**(1-2**(1-t)), t=1..t*."""
+    if a1 <= 0 or a <= 0 or t_star < 1:
+        raise ParameterError("a1, a must be positive and t_star >= 1")
+    out = []
+    for t in range(1, t_star + 1):
+        e = 2.0 ** (1 - t)
+        out.append((a1**e) * (a ** (1.0 - e)))
+    return tuple(out)
+
+
+def recursion_trace(
+    n: int, s: int, b: float, phi_star: float, t_star: int
+) -> RecursionTrace:
+    """Evaluate the Theorem 13 recursion for concrete parameters."""
+    if n < 1 or s < 1 or b <= 0 or phi_star <= 0 or t_star < 1:
+        raise ParameterError("invalid recursion parameters")
+    a1 = b * phi_star * s
+    a = (5.0 * math.log(2.0)) * (b**2) * t_star * phi_star * s * n
+    per_round = recursion_bounds(a1, a, t_star)
+    return RecursionTrace(
+        t_star=t_star,
+        a1=a1,
+        a=a,
+        per_round=per_round,
+        total=float(sum(per_round)),
+        target=n * (2.0 ** (-2 * t_star)),
+    )
+
+
+def information_deficit_tstar(
+    n: int,
+    s: int | None = None,
+    b: float | None = None,
+    phi_star: float | None = None,
+    polylog_exponent: float = 1.0,
+    t_max: int = 64,
+) -> int:
+    """Smallest t* for which the recursion total reaches the target.
+
+    Defaults realize Theorem 13's hypothesis: s = 2n cells of
+    b = (log2 n)**polylog_exponent bits and contention
+    phi* = (log2 n)**polylog_exponent / s.  Any t below the returned
+    value is information-theoretically impossible for a Definition 12
+    scheme, so the return value is a *lower bound* on cell-probe
+    complexity — the quantity Theorem 13 proves is Omega(log log n).
+    """
+    if n < 4:
+        return 1
+    if s is None:
+        s = 2 * n
+    lg = math.log2(n)
+    if b is None:
+        b = max(1.0, lg**polylog_exponent)
+    if phi_star is None:
+        phi_star = max(lg, 1.0) ** polylog_exponent / s
+    for t in range(1, t_max + 1):
+        if recursion_trace(n, s, b, phi_star, t).feasible:
+            return t
+    return t_max
+
+
+def tstar_curve(
+    exponents: range | list[int],
+    polylog_exponent: float = 1.0,
+) -> list[tuple[int, int, float]]:
+    """E9's series: (log2 n, t*(n), log2 log2 n) over n = 2**k.
+
+    Uses exact integer arithmetic-free floats; n can reach 2**1024 via
+    math.log-based parameterization — here we cap at IEEE range by
+    working with log2(n) = k directly.
+    """
+    rows = []
+    for k in exponents:
+        n = 2.0**k
+        # recursion in log-space would be cleaner; floats cover k <= 900.
+        if n > 1e300:
+            raise ParameterError("k too large for float evaluation")
+        t = information_deficit_tstar(int(n), polylog_exponent=polylog_exponent)
+        rows.append((k, t, math.log2(max(k, 1))))
+    return rows

@@ -1,0 +1,31 @@
+"""Data-structure problems f : Q × D → {0, 1} (paper Section 1.1).
+
+A *data structure problem* is a boolean function of a query and a data
+set.  The classic instance is :class:`~repro.problems.membership.MembershipProblem`
+(Q = [N], D = ([N] choose n), f(x, S) = [x in S]); the others exist to
+instantiate the VC-dimension lower bound (Theorem 13) on problems with
+different VC-dimensions: threshold/greater-than (VC-dim 1 per data set
+family structure), interval stabbing, and parity-of-intersection.
+
+:mod:`repro.problems.vc` computes VC-dimension exactly (shatter search)
+for small instances and provides the closed forms the paper relies on
+(VC-dim(membership with |S| = n) = n).
+"""
+
+from repro.problems.base import DataStructureProblem
+from repro.problems.interval import IntervalStabbingProblem
+from repro.problems.membership import MembershipProblem
+from repro.problems.parity import ParityProblem
+from repro.problems.threshold import ThresholdProblem
+from repro.problems.vc import shattered, vc_dimension_exact, vc_dimension_lower_bound
+
+__all__ = [
+    "DataStructureProblem",
+    "MembershipProblem",
+    "ThresholdProblem",
+    "IntervalStabbingProblem",
+    "ParityProblem",
+    "shattered",
+    "vc_dimension_exact",
+    "vc_dimension_lower_bound",
+]

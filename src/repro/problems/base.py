@@ -1,0 +1,46 @@
+"""Abstract data-structure problem f : Q × D → {0, 1}."""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+
+class DataStructureProblem(abc.ABC):
+    """A boolean query problem over a query set Q and data-set family D.
+
+    Queries are integers in ``[0, query_count)``; data sets are immutable
+    objects the concrete class understands (a frozenset of keys for
+    membership, a threshold integer for greater-than, ...).
+    """
+
+    @property
+    @abc.abstractmethod
+    def query_count(self) -> int:
+        """|Q|: queries are the integers [0, query_count)."""
+
+    @abc.abstractmethod
+    def evaluate(self, x: int, data_set) -> bool:
+        """f(x, S)."""
+
+    @abc.abstractmethod
+    def enumerate_data_sets(self) -> Iterator:
+        """Yield every S in D (only called for small instances, e.g. VC search)."""
+
+    @abc.abstractmethod
+    def sample_data_set(self, rng: np.random.Generator):
+        """Draw a uniformly random S in D."""
+
+    def evaluate_batch(self, xs: np.ndarray, data_set) -> np.ndarray:
+        """Vectorized f(·, S); the default loops, subclasses vectorize."""
+        return np.fromiter(
+            (self.evaluate(int(x), data_set) for x in np.asarray(xs)),
+            dtype=bool,
+            count=len(xs),
+        )
+
+    def classification(self, xs: Sequence[int], data_set) -> tuple[bool, ...]:
+        """The labelling of ``xs`` induced by ``data_set`` (for VC search)."""
+        return tuple(bool(self.evaluate(int(x), data_set)) for x in xs)

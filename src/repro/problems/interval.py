@@ -1,0 +1,51 @@
+"""Interval stabbing: f(x, S=(lo, hi)) = [lo <= x < hi].
+
+D = all half-open intervals of [N]; intervals shatter any 2 points but no
+3 (the labelling (1, 0, 1) of x1 < x2 < x3 is unrealizable), so the
+VC-dimension is exactly 2 — a second small-VC control for E11.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.problems.base import DataStructureProblem
+from repro.utils.validation import check_positive_integer
+
+
+class IntervalStabbingProblem(DataStructureProblem):
+    """f(x, (lo, hi)) = [lo <= x < hi] over Q = [N]."""
+
+    def __init__(self, universe_size: int):
+        self.universe_size = check_positive_integer("universe_size", universe_size)
+
+    @property
+    def query_count(self) -> int:
+        return self.universe_size
+
+    def evaluate(self, x: int, data_set) -> bool:
+        lo, hi = data_set
+        return int(lo) <= int(x) < int(hi)
+
+    def evaluate_batch(self, xs: np.ndarray, data_set) -> np.ndarray:
+        lo, hi = data_set
+        xs = np.asarray(xs, dtype=np.int64)
+        return (xs >= int(lo)) & (xs < int(hi))
+
+    def enumerate_data_sets(self) -> Iterator[tuple[int, int]]:
+        n = self.universe_size
+        for lo in range(n + 1):
+            for hi in range(lo, n + 1):
+                yield (lo, hi)
+
+    def sample_data_set(self, rng: np.random.Generator) -> tuple[int, int]:
+        a, b = sorted(
+            int(v) for v in rng.integers(0, self.universe_size + 1, size=2)
+        )
+        return (a, b)
+
+    def vc_dimension(self) -> int:
+        """Intervals shatter pairs but not triples: VC-dim = 2 (for N >= 2)."""
+        return min(2, self.universe_size)

@@ -1,0 +1,69 @@
+"""The membership problem: Q = [N], D = ([N] choose n), f(x, S) = [x in S].
+
+This is the paper's central problem.  Its VC-dimension equals n (any n
+distinct queries are shattered by choosing S to contain exactly the
+positively-labelled ones — possible because |S| = n can always be padded
+with elements outside the shattered set when N >= 2n).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.problems.base import DataStructureProblem
+from repro.utils.rng import sample_distinct
+from repro.utils.validation import check_positive_integer
+
+
+class MembershipProblem(DataStructureProblem):
+    """Membership of an n-subset of the universe [N]."""
+
+    def __init__(self, universe_size: int, set_size: int):
+        self.universe_size = check_positive_integer("universe_size", universe_size)
+        self.set_size = check_positive_integer("set_size", set_size)
+        if set_size > universe_size:
+            raise ParameterError(
+                f"set_size {set_size} exceeds universe_size {universe_size}"
+            )
+
+    @property
+    def query_count(self) -> int:
+        return self.universe_size
+
+    def evaluate(self, x: int, data_set) -> bool:
+        return int(x) in data_set
+
+    def evaluate_batch(self, xs: np.ndarray, data_set) -> np.ndarray:
+        keys = np.fromiter(data_set, dtype=np.int64, count=len(data_set))
+        keys.sort()
+        xs = np.asarray(xs, dtype=np.int64)
+        idx = np.searchsorted(keys, xs)
+        idx_clipped = np.minimum(idx, keys.size - 1)
+        return (idx < keys.size) & (keys[idx_clipped] == xs)
+
+    def enumerate_data_sets(self) -> Iterator[frozenset]:
+        for combo in itertools.combinations(range(self.universe_size), self.set_size):
+            yield frozenset(combo)
+
+    def sample_data_set(self, rng: np.random.Generator) -> frozenset:
+        keys = sample_distinct(rng, self.universe_size, self.set_size)
+        return frozenset(int(k) for k in keys)
+
+    def vc_dimension(self) -> int:
+        """Closed form: min(n, N - n, ...) — for N >= 2n this is exactly n.
+
+        A set of queries {x_1..x_k} is shattered iff every labelling is
+        realizable by some n-subset: we need at least ``ones`` elements
+        inside S and ``k - ones`` outside, for every split, which holds iff
+        k <= n and k <= N - n.
+        """
+        return min(self.set_size, self.universe_size - self.set_size)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MembershipProblem(N={self.universe_size}, n={self.set_size})"
+        )

@@ -1,0 +1,52 @@
+"""Set-intersection parity: f(x, S) = |bits(x) ∩ S| mod 2.
+
+Queries are subsets of a ground set [w] encoded as w-bit masks; data sets
+are subsets of [w].  f(x, S) = parity(|x ∩ S|) is the inner product over
+GF(2), whose VC-dimension is exactly w (the standard basis vectors are
+shattered: for a target labelling y, take S = {i : y_i = 1}).  This gives
+a *dense* high-VC problem over a small query set — the opposite regime
+from membership's sparse positives — used in E11 to show Theorem 13's
+hypothesis is about VC-dimension, not about sparsity.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.problems.base import DataStructureProblem
+from repro.utils.validation import check_integer
+
+
+class ParityProblem(DataStructureProblem):
+    """GF(2) inner product over w-bit masks: Q = D = 2^[w]."""
+
+    def __init__(self, width: int):
+        self.width = check_integer("width", width, minimum=1, maximum=20)
+
+    @property
+    def query_count(self) -> int:
+        return 1 << self.width
+
+    def evaluate(self, x: int, data_set) -> bool:
+        return bool(bin(int(x) & int(data_set)).count("1") & 1)
+
+    def evaluate_batch(self, xs: np.ndarray, data_set) -> np.ndarray:
+        v = np.asarray(xs, dtype=np.int64) & np.int64(int(data_set))
+        # Popcount via progressive bit folding (no Python loop over keys).
+        out = np.zeros(v.shape, dtype=np.int64)
+        while np.any(v):
+            out ^= v & 1
+            v >>= 1
+        return out.astype(bool)
+
+    def enumerate_data_sets(self) -> Iterator[int]:
+        yield from range(1 << self.width)
+
+    def sample_data_set(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, 1 << self.width))
+
+    def vc_dimension(self) -> int:
+        """The w standard basis masks are shattered: VC-dim = w."""
+        return self.width

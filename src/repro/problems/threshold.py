@@ -1,0 +1,44 @@
+"""The greater-than / threshold problem: f(x, S=theta) = [x >= theta].
+
+D is the set of thresholds [0, N]; the induced classifications of Q are
+the N+1 "suffix" labellings, so the VC-dimension is exactly 1 (no pair
+{x1 < x2} can realize the labelling (1, 0)).  It instantiates Theorem 13's
+hypothesis at the degenerate end: a problem with constant VC-dimension is
+*not* subject to the Ω(log log n) bound, and E11 uses it as the control.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.problems.base import DataStructureProblem
+from repro.utils.validation import check_positive_integer
+
+
+class ThresholdProblem(DataStructureProblem):
+    """f(x, theta) = [x >= theta] over Q = [N], D = {0, ..., N}."""
+
+    def __init__(self, universe_size: int):
+        self.universe_size = check_positive_integer("universe_size", universe_size)
+
+    @property
+    def query_count(self) -> int:
+        return self.universe_size
+
+    def evaluate(self, x: int, data_set) -> bool:
+        return int(x) >= int(data_set)
+
+    def evaluate_batch(self, xs: np.ndarray, data_set) -> np.ndarray:
+        return np.asarray(xs, dtype=np.int64) >= int(data_set)
+
+    def enumerate_data_sets(self) -> Iterator[int]:
+        yield from range(self.universe_size + 1)
+
+    def sample_data_set(self, rng: np.random.Generator) -> int:
+        return int(rng.integers(0, self.universe_size + 1))
+
+    def vc_dimension(self) -> int:
+        """Thresholds shatter singletons but no pair: VC-dim = 1."""
+        return 1

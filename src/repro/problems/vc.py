@@ -1,0 +1,103 @@
+"""VC-dimension of data-structure problems (paper Definition 11).
+
+The VC-dimension of f : Q × D → {0, 1} is the largest k for which some
+k queries are *shattered*: all 2**k labellings are realized by data sets.
+:func:`vc_dimension_exact` does the exhaustive search (exponential — only
+for small instances; E11 cross-checks it against each problem's closed
+form), and :func:`vc_dimension_lower_bound` certifies ``>= k`` by randomized
+search for a shattered set, which scales further.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.problems.base import DataStructureProblem
+from repro.utils.rng import as_generator, sample_distinct
+
+
+def realized_labellings(
+    problem: DataStructureProblem, queries: Sequence[int]
+) -> set[tuple[bool, ...]]:
+    """All labellings of ``queries`` realized by some data set in D."""
+    seen: set[tuple[bool, ...]] = set()
+    full = 1 << len(queries)
+    for data_set in problem.enumerate_data_sets():
+        seen.add(problem.classification(queries, data_set))
+        if len(seen) == full:
+            break
+    return seen
+
+
+def shattered(problem: DataStructureProblem, queries: Sequence[int]) -> bool:
+    """Whether ``queries`` are shattered by the problem's data sets."""
+    if len(set(queries)) != len(queries):
+        raise ParameterError("queries must be distinct")
+    return len(realized_labellings(problem, queries)) == (1 << len(queries))
+
+
+def vc_dimension_exact(problem: DataStructureProblem, max_k: int | None = None) -> int:
+    """Exact VC-dimension by exhaustive shatter search.
+
+    Complexity is O(|Q| choose k) * O(|D|) per level — call only on small
+    instances.  ``max_k`` caps the search (returns min(VC-dim, max_k)).
+    """
+    q = problem.query_count
+    limit = q if max_k is None else min(max_k, q)
+    best = 0
+    for k in range(1, limit + 1):
+        if not any(
+            shattered(problem, combo)
+            for combo in itertools.combinations(range(q), k)
+        ):
+            return best
+        best = k
+    return best
+
+
+def vc_dimension_lower_bound(
+    problem: DataStructureProblem,
+    k: int,
+    rng=None,
+    attempts: int = 50,
+) -> bool:
+    """Certify VC-dim >= k by randomized search for a shattered k-set.
+
+    Returns True iff a shattered set of size ``k`` was found; False is
+    *not* a proof of VC-dim < k (it is a failed search).
+    """
+    rng = as_generator(rng)
+    q = problem.query_count
+    if k > q:
+        return False
+    for _ in range(attempts):
+        queries = [int(v) for v in sample_distinct(rng, q, k)]
+        if shattered(problem, queries):
+            return True
+    return False
+
+
+def shatter_coefficient(
+    problem: DataStructureProblem, k: int, queries: Sequence[int] | None = None
+) -> int:
+    """The shatter (growth) coefficient: number of labellings realized.
+
+    For a shattered set this is 2**k; Sauer–Shelah bounds it by
+    sum_{i<=d} C(k, i) where d = VC-dim.  Used by E11's table.
+    """
+    if queries is None:
+        queries = list(range(min(k, problem.query_count)))
+    if len(queries) != k:
+        raise ParameterError(f"need exactly {k} queries, got {len(queries)}")
+    return len(realized_labellings(problem, queries))
+
+
+def sauer_shelah_bound(k: int, d: int) -> int:
+    """sum_{i=0}^{d} C(k, i): the Sauer–Shelah growth bound."""
+    import math
+
+    return sum(math.comb(k, i) for i in range(min(d, k) + 1))

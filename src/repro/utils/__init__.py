@@ -1,0 +1,22 @@
+"""Low-level utilities: primes, bit codecs, RNG discipline, validation."""
+
+from repro.utils.primes import is_prime, next_prime, prev_prime
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import (
+    check_integer,
+    check_positive_integer,
+    check_probability,
+    check_probability_vector,
+)
+
+__all__ = [
+    "is_prime",
+    "next_prime",
+    "prev_prime",
+    "as_generator",
+    "spawn_generators",
+    "check_integer",
+    "check_positive_integer",
+    "check_probability",
+    "check_probability_vector",
+]

@@ -1,0 +1,128 @@
+"""Bit-level codecs used by the low-contention dictionary.
+
+Section 2.2 of the paper stores, for each *group* of ``s/m`` buckets, a
+*group-histogram*: "a binary string where the load of each bucket in the
+group is represented consecutively in unary code separated by zeros".
+The histogram for a group with bucket loads ``(l_0, ..., l_{G-1})`` is the
+bit string ``1^{l_0} 0 1^{l_1} 0 ... 1^{l_{G-1}} 0`` packed into
+``rho = ceil(bits / b)`` b-bit words.  The query algorithm reads one random
+replica of each of the ``rho`` words and decodes all bucket loads of the
+group, from which it derives the squared-load prefix sums that address the
+bucket's owned cell range (Section 2.3).
+
+Bits are packed little-endian: stream bit ``k`` is bit ``k % word_bits`` of
+word ``k // word_bits``.  Unused high bits of the last word are zero.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Default cell width in bits (see DESIGN.md conventions).
+WORD_BITS = 64
+
+
+def unary_histogram_bit_length(loads: Sequence[int]) -> int:
+    """Number of bits of the unary, zero-separated encoding of ``loads``."""
+    return int(sum(loads)) + len(loads)
+
+
+def encode_unary_histogram(
+    loads: Sequence[int], word_bits: int = WORD_BITS
+) -> list[int]:
+    """Encode bucket ``loads`` as unary-with-separators, packed into words.
+
+    Returns the list of ``ceil(bits/word_bits)`` words (Python ints, each
+    ``< 2**word_bits``).  An empty ``loads`` encodes to zero words.
+    """
+    if word_bits < 1:
+        raise ParameterError("word_bits must be positive")
+    if any(l < 0 for l in loads):
+        raise ParameterError("loads must be non-negative")
+    nbits = unary_histogram_bit_length(loads)
+    if not loads:
+        return []
+    # Build the whole bit string as one big Python int, then slice words.
+    # Bit positions: for each load l, emit l ones then one zero.
+    big = 0
+    pos = 0
+    for l in loads:
+        if l:
+            big |= ((1 << l) - 1) << pos
+        pos += l + 1
+    mask = (1 << word_bits) - 1
+    nwords = (nbits + word_bits - 1) // word_bits
+    return [(big >> (i * word_bits)) & mask for i in range(nwords)]
+
+
+def decode_unary_histogram(
+    words: Sequence[int], num_buckets: int, word_bits: int = WORD_BITS
+) -> list[int]:
+    """Decode ``num_buckets`` loads from packed unary-histogram ``words``.
+
+    Inverse of :func:`encode_unary_histogram`.  Raises
+    :class:`ParameterError` if the words do not contain ``num_buckets``
+    zero separators.
+    """
+    if word_bits < 1:
+        raise ParameterError("word_bits must be positive")
+    if num_buckets == 0:
+        return []
+    big = 0
+    for i, w in enumerate(words):
+        if not 0 <= w < (1 << word_bits):
+            raise ParameterError(f"word {i} out of range for {word_bits}-bit cells")
+        big |= int(w) << (i * word_bits)
+    total_bits = len(words) * word_bits
+    loads: list[int] = []
+    run = 0
+    pos = 0
+    while len(loads) < num_buckets:
+        if pos >= total_bits:
+            raise ParameterError(
+                f"histogram truncated: decoded {len(loads)} of {num_buckets} buckets"
+            )
+        if (big >> pos) & 1:
+            run += 1
+        else:
+            loads.append(run)
+            run = 0
+        pos += 1
+    return loads
+
+
+def pack_pair(a: int, b: int, half_bits: int = 31) -> int:
+    """Pack two non-negative ints, each ``< 2**half_bits``, into one word.
+
+    Used to store the two parameters of a bucket's perfect hash function
+    in a single table cell (the paper stores "the perfect hash function
+    h*_i ... repeatedly in the space owned by the bucket"; with primes
+    below 2**31 both coefficients fit one 64-bit cell).
+    """
+    limit = 1 << half_bits
+    if not (0 <= a < limit and 0 <= b < limit):
+        raise ParameterError(
+            f"pack_pair operands must be in [0, 2**{half_bits}): got {a}, {b}"
+        )
+    return (a << half_bits) | b
+
+
+def unpack_pair(word: int, half_bits: int = 31) -> tuple[int, int]:
+    """Inverse of :func:`pack_pair`."""
+    if word < 0:
+        raise ParameterError("packed word must be non-negative")
+    mask = (1 << half_bits) - 1
+    return (word >> half_bits) & mask, word & mask
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value`` (utility for tests)."""
+    out = 0
+    for _ in range(width):
+        out = (out << 1) | (value & 1)
+        value >>= 1
+    return out

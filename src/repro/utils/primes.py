@@ -1,0 +1,111 @@
+"""Primality testing and prime search.
+
+The hash families in :mod:`repro.hashing` evaluate Carter–Wegman
+polynomials over a prime field GF(p).  For the vectorized uint64 Horner
+evaluation to be overflow-free we need ``p < 2**31`` (products of two
+residues stay below ``2**62``); :func:`next_prime` is typically called with
+bounds well under that, and :data:`MAX_VECTOR_PRIME` documents the limit.
+
+The Miller–Rabin test below is *deterministic* for all 64-bit inputs using
+the standard witness set {2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}
+(Sorenson & Webster 2015), so no probabilistic caveats apply anywhere in
+the library.
+"""
+
+from __future__ import annotations
+
+import functools
+
+from repro.errors import ParameterError
+
+#: Largest prime modulus usable by the vectorized uint64 polynomial
+#: evaluation without overflow (residue products must fit in 63 bits).
+MAX_VECTOR_PRIME = (1 << 31) - 1
+
+# Deterministic Miller-Rabin witnesses for n < 3.3 * 10**24 (covers uint64).
+_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+    71, 73, 79, 83, 89, 97,
+)
+
+
+def _miller_rabin_witness(a: int, d: int, r: int, n: int) -> bool:
+    """Return True if ``a`` witnesses that ``n`` is composite.
+
+    ``n - 1 = d * 2**r`` with ``d`` odd.
+    """
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+@functools.lru_cache(maxsize=65536)
+def is_prime(n: int) -> bool:
+    """Deterministically decide primality of ``n`` (exact for n < 2**64)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    return not any(
+        _miller_rabin_witness(a % n, d, r, n) for a in _WITNESSES if a % n
+    )
+
+
+@functools.lru_cache(maxsize=65536)
+def next_prime(n: int) -> int:
+    """Return the smallest prime ``p >= n``."""
+    if n <= 2:
+        return 2
+    candidate = n | 1  # first odd >= n
+    while not is_prime(candidate):
+        candidate += 2
+    return candidate
+
+
+def prev_prime(n: int) -> int:
+    """Return the largest prime ``p <= n``; raises for ``n < 2``."""
+    if n < 2:
+        raise ParameterError(f"no prime <= {n}")
+    if n == 2:
+        return 2
+    candidate = n if n % 2 else n - 1
+    while candidate >= 3:
+        if is_prime(candidate):
+            return candidate
+        candidate -= 2
+    return 2
+
+
+def field_prime_for_universe(universe_size: int) -> int:
+    """Return a prime ``p >= universe_size`` suitable for vectorized hashing.
+
+    Hash families evaluate polynomials over GF(p) with all keys reduced
+    mod p, so ``p`` must be at least the universe size for the family to be
+    genuinely d-wise independent on the whole universe.  Raises
+    :class:`ParameterError` if that would exceed :data:`MAX_VECTOR_PRIME`.
+    """
+    if universe_size < 1:
+        raise ParameterError("universe_size must be positive")
+    p = next_prime(max(universe_size, 2))
+    if p > MAX_VECTOR_PRIME:
+        raise ParameterError(
+            f"universe of size {universe_size} needs prime {p} > "
+            f"MAX_VECTOR_PRIME={MAX_VECTOR_PRIME}; shrink the universe "
+            "(the vectorized uint64 Horner evaluation would overflow)"
+        )
+    return p

@@ -1,0 +1,70 @@
+"""Seeding discipline.
+
+Every stochastic component of the library accepts either an integer seed,
+``None`` (fresh OS entropy) or an existing :class:`numpy.random.Generator`.
+:func:`as_generator` normalizes all three, and :func:`spawn_generators`
+derives statistically independent child streams so that, e.g., the hash
+functions of a dictionary and the probe randomness of its queries never
+share a stream (which would correlate construction with measurement).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+SeedLike = "int | None | np.random.Generator | np.random.SeedSequence"
+
+
+def as_generator(seed=None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    Passing an existing generator returns it unchanged (shared stream);
+    anything else creates a fresh PCG64 stream.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, np.random.SeedSequence):
+        return np.random.Generator(np.random.PCG64(seed))
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``seed``.
+
+    Independence comes from :class:`numpy.random.SeedSequence` spawning;
+    when ``seed`` is already a Generator, children are seeded from its
+    stream (still independent of each other).
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    if isinstance(seed, np.random.Generator):
+        seeds = seed.integers(0, 2**63 - 1, size=n)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    ss = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.Generator(np.random.PCG64(child)) for child in ss.spawn(n)]
+
+
+def sample_distinct(
+    rng: np.random.Generator, population_size: int, k: int
+) -> np.ndarray:
+    """Sample ``k`` distinct integers from ``[0, population_size)``.
+
+    Uses :meth:`Generator.choice` without replacement for small populations
+    and Floyd's algorithm for huge ones (where materializing the population
+    would dominate memory) — the universe U = [N] with N = n**2 is routinely
+    in the millions.
+    """
+    if k > population_size:
+        raise ValueError(f"cannot sample {k} distinct from {population_size}")
+    if population_size <= 8 * max(k, 1) or population_size <= 1 << 22:
+        return rng.choice(population_size, size=k, replace=False)
+    # Floyd's algorithm: O(k) expected time, O(k) space.
+    chosen: set[int] = set()
+    for j in range(population_size - k, population_size):
+        t = int(rng.integers(0, j + 1))
+        chosen.add(t if t not in chosen else j)
+    out = np.fromiter(chosen, dtype=np.int64, count=k)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,56 @@
+"""Small argument-validation helpers shared across the library."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import DistributionError, ParameterError
+
+
+def check_integer(name: str, value, *, minimum=None, maximum=None) -> int:
+    """Validate that ``value`` is an integer within optional bounds."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ParameterError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if minimum is not None and value < minimum:
+        raise ParameterError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise ParameterError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def check_positive_integer(name: str, value) -> int:
+    """Validate that ``value`` is a positive integer."""
+    return check_integer(name, value, minimum=1)
+
+
+def check_probability(name: str, value) -> float:
+    """Validate that ``value`` lies in [0, 1]."""
+    value = float(value)
+    if math.isnan(value) or not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def check_probability_vector(
+    name: str, values: Sequence[float] | np.ndarray, *, total: float = 1.0,
+    atol: float = 1e-9,
+) -> np.ndarray:
+    """Validate a non-negative vector summing to ``total`` (within atol)."""
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DistributionError(f"{name} must be 1-dimensional")
+    if arr.size == 0:
+        raise DistributionError(f"{name} must be non-empty")
+    if np.any(arr < -atol):
+        raise DistributionError(f"{name} has negative entries")
+    s = float(arr.sum())
+    if abs(s - total) > atol * max(1.0, arr.size):
+        raise DistributionError(
+            f"{name} must sum to {total}, got {s} (|diff|={abs(s - total):.3g})"
+        )
+    arr = np.clip(arr, 0.0, None)
+    return arr * (total / arr.sum()) if arr.sum() > 0 else arr

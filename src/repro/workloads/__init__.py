@@ -1,0 +1,37 @@
+"""Stateful query workloads for the concurrent simulator.
+
+The paper's model draws queries i.i.d. from a distribution q; real
+shared-memory workloads have *temporal structure* — working sets,
+phase changes, scans.  Since no production traces ship with a theory
+paper, this subpackage synthesizes the standard structures (the
+DESIGN.md substitution rule):
+
+- :class:`~repro.workloads.temporal.WorkingSetWorkload` — with
+  probability ``locality`` the next query repeats a recent one (LRU
+  working set of size w), else a fresh draw from the base
+  distribution; raises effective skew without changing the marginal
+  support;
+- :class:`~repro.workloads.phased.PhasedWorkload` — switches between
+  base distributions every ``phase_length`` samples (e.g. uniform →
+  hot-key attack → uniform);
+- :class:`~repro.workloads.trace.TraceWorkload` — replays an explicit
+  query trace cyclically; :func:`~repro.workloads.trace.synthesize_trace`
+  builds Zipf-with-scans traces.
+
+All of them duck-type the ``sample(rng, size)`` method the concurrent
+simulator uses, so they drop into E12-style runs; they are *not*
+:class:`~repro.distributions.base.QueryDistribution` instances (no
+well-defined single-query pmf), so the exact contention engine
+deliberately rejects them.
+"""
+
+from repro.workloads.phased import PhasedWorkload
+from repro.workloads.temporal import WorkingSetWorkload
+from repro.workloads.trace import TraceWorkload, synthesize_trace
+
+__all__ = [
+    "WorkingSetWorkload",
+    "PhasedWorkload",
+    "TraceWorkload",
+    "synthesize_trace",
+]

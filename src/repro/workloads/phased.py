@@ -1,0 +1,59 @@
+"""Phase-switching workload."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.distributions.base import QueryDistribution
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_integer
+
+
+class PhasedWorkload:
+    """Cycles through base distributions every ``phase_length`` samples.
+
+    Models regime changes (steady uniform traffic, then a hot-key
+    attack, then back); within a phase samples are i.i.d. from that
+    phase's distribution.  The phase clock is global across calls.
+    """
+
+    def __init__(
+        self,
+        phases: Sequence[QueryDistribution],
+        phase_length: int = 1000,
+    ):
+        if not phases:
+            raise ParameterError("need at least one phase")
+        sizes = {p.universe_size for p in phases}
+        if len(sizes) != 1:
+            raise ParameterError("phases must share a universe")
+        self.phases = list(phases)
+        self.phase_length = check_positive_integer("phase_length", phase_length)
+        self._clock = 0
+
+    @property
+    def universe_size(self) -> int:
+        return self.phases[0].universe_size
+
+    @property
+    def current_phase(self) -> int:
+        return (self._clock // self.phase_length) % len(self.phases)
+
+    def reset(self) -> None:
+        """Rewind the phase clock."""
+        self._clock = 0
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw the next ``size`` queries, advancing the phase clock."""
+        out = np.empty(size, dtype=np.int64)
+        filled = 0
+        while filled < size:
+            phase = self.phases[self.current_phase]
+            left_in_phase = self.phase_length - (self._clock % self.phase_length)
+            take = min(size - filled, left_in_phase)
+            out[filled : filled + take] = phase.sample(rng, take)
+            filled += take
+            self._clock += take
+        return out

@@ -1,0 +1,94 @@
+"""Trace replay and synthetic trace generation.
+
+Stands in for the production traces a systems evaluation would use
+(none exist for a theory paper — DESIGN.md substitution rule): traces
+are synthesized with the three standard ingredients of key-value
+workloads — a Zipf-skewed core, sequential scans, and uniform noise —
+then replayed deterministically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.rng import as_generator
+
+
+class TraceWorkload:
+    """Replays a fixed query trace cyclically (deterministic)."""
+
+    def __init__(self, trace, universe_size: int):
+        self.trace = np.asarray(trace, dtype=np.int64)
+        if self.trace.ndim != 1 or self.trace.size == 0:
+            raise ParameterError("trace must be a non-empty 1-D sequence")
+        self.universe_size = int(universe_size)
+        if int(self.trace.min()) < 0 or int(self.trace.max()) >= self.universe_size:
+            raise ParameterError("trace entries must lie in the universe")
+        self._position = 0
+
+    def reset(self) -> None:
+        """Rewind to the start of the trace."""
+        self._position = 0
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Return the next ``size`` trace entries (rng unused; cyclic)."""
+        idx = (self._position + np.arange(size)) % self.trace.size
+        self._position = (self._position + size) % self.trace.size
+        return self.trace[idx]
+
+    def __len__(self) -> int:
+        return int(self.trace.size)
+
+
+def synthesize_trace(
+    keys,
+    universe_size: int,
+    length: int,
+    zipf_exponent: float = 1.0,
+    scan_fraction: float = 0.1,
+    noise_fraction: float = 0.1,
+    seed=None,
+) -> TraceWorkload:
+    """Build a Zipf-core / scan / noise trace over ``keys``.
+
+    - ``1 - scan - noise`` of positions draw from a Zipf over the keys;
+    - scans are runs of 16 consecutive keys (in sorted order);
+    - noise positions are uniform over the whole universe (mostly
+      negative lookups).
+    """
+    rng = as_generator(seed)
+    keys = np.asarray(sorted(int(k) for k in keys), dtype=np.int64)
+    if keys.size == 0:
+        raise ParameterError("keys must be non-empty")
+    if length < 1:
+        raise ParameterError("length must be positive")
+    if scan_fraction + noise_fraction > 1.0:
+        raise ParameterError("scan + noise fractions must be <= 1")
+    ranks = np.arange(1, keys.size + 1, dtype=np.float64)
+    zipf_p = ranks ** (-float(zipf_exponent))
+    zipf_p /= zipf_p.sum()
+    shuffled = keys.copy()
+    rng.shuffle(shuffled)
+
+    trace = np.empty(length, dtype=np.int64)
+    i = 0
+    scan_run = 0
+    scan_pos = 0
+    while i < length:
+        u = rng.random()
+        if scan_run > 0:
+            trace[i] = keys[scan_pos % keys.size]
+            scan_pos += 1
+            scan_run -= 1
+            i += 1
+        elif u < scan_fraction:
+            scan_run = min(16, length - i)
+            scan_pos = int(rng.integers(0, keys.size))
+        elif u < scan_fraction + noise_fraction:
+            trace[i] = int(rng.integers(0, universe_size))
+            i += 1
+        else:
+            trace[i] = shuffled[int(rng.choice(keys.size, p=zipf_p))]
+            i += 1
+    return TraceWorkload(trace, universe_size)

@@ -1,0 +1,97 @@
+"""Shared fixtures: a small paper-regime instance and built schemes.
+
+Dictionaries are session-scoped because constructions are deterministic
+given their seeds and tests only *read* them — except probe counters,
+which tests must reset if they mutate (see ``fresh_counter``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import LowContentionDictionary
+from repro.dictionaries import (
+    CuckooDictionary,
+    DMDictionary,
+    FKSDictionary,
+    LinearProbingDictionary,
+    SortedArrayDictionary,
+)
+from repro.distributions import UniformPositiveNegative
+
+N_KEYS = 128
+UNIVERSE = N_KEYS * N_KEYS
+
+
+@pytest.fixture(scope="session")
+def keys() -> np.ndarray:
+    rng = np.random.default_rng(1234)
+    return np.sort(rng.choice(UNIVERSE, size=N_KEYS, replace=False))
+
+
+@pytest.fixture(scope="session")
+def universe_size() -> int:
+    return UNIVERSE
+
+
+@pytest.fixture(scope="session")
+def negatives(keys) -> np.ndarray:
+    pool = np.arange(4 * N_KEYS)
+    return np.setdiff1d(pool, keys)[:N_KEYS]
+
+
+@pytest.fixture(scope="session")
+def uniform_dist(keys) -> UniformPositiveNegative:
+    return UniformPositiveNegative(UNIVERSE, keys, 0.5)
+
+
+def _build(cls, keys, seed=99, **kwargs):
+    return cls(keys, UNIVERSE, rng=np.random.default_rng(seed), **kwargs)
+
+
+@pytest.fixture(scope="session")
+def lcd(keys) -> LowContentionDictionary:
+    return _build(LowContentionDictionary, keys)
+
+
+@pytest.fixture(scope="session")
+def fks(keys) -> FKSDictionary:
+    return _build(FKSDictionary, keys)
+
+
+@pytest.fixture(scope="session")
+def dm_dict(keys) -> DMDictionary:
+    return _build(DMDictionary, keys)
+
+
+@pytest.fixture(scope="session")
+def cuckoo(keys) -> CuckooDictionary:
+    return _build(CuckooDictionary, keys)
+
+
+@pytest.fixture(scope="session")
+def sorted_dict(keys) -> SortedArrayDictionary:
+    return _build(SortedArrayDictionary, keys)
+
+
+@pytest.fixture(scope="session")
+def linear_probing(keys) -> LinearProbingDictionary:
+    return _build(LinearProbingDictionary, keys)
+
+
+@pytest.fixture(scope="session")
+def all_dictionaries(lcd, fks, dm_dict, cuckoo, sorted_dict, linear_probing):
+    return {
+        "low-contention": lcd,
+        "fks": fks,
+        "dm": dm_dict,
+        "cuckoo": cuckoo,
+        "binary-search": sorted_dict,
+        "linear-probing": linear_probing,
+    }
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

@@ -1,0 +1,102 @@
+"""Lemma 9/10 empirical checkers and growth-law fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    GROWTH_LAWS,
+    best_growth_law,
+    fit_growth_law,
+)
+from repro.analysis.loadbounds import (
+    lemma9_condition_rates,
+    lemma10_negative_loads_ok,
+)
+from repro.core.params import SchemeParameters
+from repro.errors import ParameterError
+from repro.utils.primes import field_prime_for_universe
+
+
+class TestLemma9Rates:
+    def test_rates_structure(self, keys, universe_size):
+        params = SchemeParameters(n=keys.size)
+        prime = field_prime_for_universe(universe_size)
+        rates = lemma9_condition_rates(keys, params, prime, 40, 0)
+        assert rates.trials == 40
+        for r in (
+            rates.g_load_rate,
+            rates.group_load_rate,
+            rates.fks_rate,
+            rates.joint_rate,
+        ):
+            assert 0.0 <= r <= 1.0
+        assert rates.joint_rate <= min(
+            rates.g_load_rate, rates.group_load_rate, rates.fks_rate
+        )
+
+    def test_joint_rate_at_least_half(self, keys, universe_size):
+        """The paper's 1/2 - o(1): at this size it should be well above."""
+        params = SchemeParameters(n=keys.size)
+        prime = field_prime_for_universe(universe_size)
+        rates = lemma9_condition_rates(keys, params, prime, 60, 1)
+        assert rates.joint_rate >= 0.5
+
+
+class TestLemma10:
+    def test_dictionary_levels_pass(self, lcd, keys, universe_size):
+        con = lcd.construction
+        ok, worst = lemma10_negative_loads_ok(
+            con.h.g, keys, universe_size, lcd.params.r
+        )
+        assert ok and worst <= 2.0
+
+    def test_detects_skewed_function(self, keys, universe_size):
+        class Skewed:
+            def eval_batch(self, xs):
+                # Everything to bucket 0: maximally non-uniform.
+                return np.zeros(np.asarray(xs).shape, dtype=np.int64)
+
+        ok, worst = lemma10_negative_loads_ok(
+            Skewed(), keys, universe_size, 16
+        )
+        assert not ok and worst > 2.0
+
+
+class TestFitting:
+    def test_recovers_planted_law(self):
+        n = np.array([64, 128, 256, 512, 1024, 4096], dtype=float)
+        for law in ("const", "sqrt(n)", "log(n)", "1/n"):
+            y = 3.7 * GROWTH_LAWS[law](n)
+            fit = fit_growth_law(n, y, law)
+            assert fit.scale == pytest.approx(3.7)
+            assert fit.mean_relative_error < 1e-12
+            best, _ = best_growth_law(n, y)
+            assert best.law == law
+
+    def test_noisy_recovery(self, rng):
+        n = np.array([64, 256, 1024, 4096, 16384], dtype=float)
+        y = 2.0 * np.sqrt(n) * rng.uniform(0.95, 1.05, size=n.size)
+        best, fits = best_growth_law(n, y, ["const", "sqrt(n)", "n", "log(n)"])
+        assert best.law == "sqrt(n)"
+        assert fits == sorted(fits, key=lambda f: f.mean_relative_error)
+
+    def test_predict(self):
+        n = np.array([10.0, 100.0])
+        fit = fit_growth_law(n, 5 * n, "n")
+        assert np.allclose(fit.predict(np.array([2.0])), [10.0])
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fit_growth_law(np.array([1.0, 2.0]), np.array([1.0, 2.0]), "nope")
+        with pytest.raises(ParameterError):
+            fit_growth_law(np.array([1.0]), np.array([1.0]), "n")
+
+    def test_loglog_distinguishable_from_log_on_wide_range(self):
+        """The paper's log n / log log n vs log n: separable over a wide n
+        span (this is what E5's fits rely on)."""
+        n = 2.0 ** np.arange(4, 60, 4)
+        y = GROWTH_LAWS["log(n)/loglog(n)"](n)
+        best, _ = best_growth_law(
+            n, y, ["log(n)", "log(n)/loglog(n)", "sqrt(n)", "const"]
+        )
+        assert best.law == "log(n)/loglog(n)"

@@ -1,0 +1,90 @@
+"""Tail bounds (Theorems 6-8) as evaluable functions."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.tailbounds import (
+    dwise_tail_bound,
+    fact22_bound,
+    hoeffding_tail_bound,
+    lemma9_part3_failure_bound,
+)
+from repro.errors import ParameterError
+from repro.hashing import PolynomialFamily
+from repro.utils.primes import next_prime
+
+
+class TestDwiseTail:
+    def test_monotone_in_t(self):
+        bounds = [dwise_tail_bound(10.0, t, 4) for t in (5, 10, 20, 40)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_clipped_to_one(self):
+        assert dwise_tail_bound(10.0, 0.1, 4) == 1.0
+
+    def test_requires_d_leq_2E(self):
+        with pytest.raises(ParameterError):
+            dwise_tail_bound(1.0, 5.0, 4)
+
+    def test_dominates_empirical_polynomial_loads(self, rng):
+        """Empirical load-deviation frequency <= the (constant-free) bound
+        scaled by a modest constant — a sanity check, not a proof."""
+        prime = next_prime(1 << 16)
+        m, n, d = 32, 512, 4
+        fam = PolynomialFamily(prime, m, d)
+        keys = np.arange(n)
+        expectation = n / m  # 16
+        t = 2.0 * expectation
+        exceed = 0
+        trials = 300
+        for _ in range(trials):
+            h = fam.sample(rng)
+            if int(h.loads(keys)[0]) - expectation > t:
+                exceed += 1
+        bound = dwise_tail_bound(expectation, t, d)
+        assert exceed / trials <= 10 * bound + 0.02
+
+
+class TestHoeffding:
+    def test_decreasing_in_c(self):
+        bounds = [hoeffding_tail_bound(10.0, c, 1.0) for c in (3, 4, 8)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_requires_c_above_e(self):
+        with pytest.raises(ParameterError):
+            hoeffding_tail_bound(1.0, math.e, 1.0)
+
+    def test_paper_parameterization_is_small(self):
+        """With c = 2e and E[Y] = alpha ln n / d the bound is o(1/n)."""
+        n, d, alpha, c = 4096, 3, 1.25, 2 * math.e
+        expectation = alpha * math.log(n)  # n/m with m = n/(alpha ln n)
+        bound = hoeffding_tail_bound(expectation, c, d)
+        assert bound < 1.0 / n
+
+
+class TestFact22:
+    def test_formula(self):
+        assert fact22_bound(10, 100, 3) == pytest.approx(10 * (0.2) ** 3)
+
+    def test_clipping(self):
+        assert fact22_bound(100, 10, 3) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            fact22_bound(0, 10, 3)
+
+
+class TestLemma9Part3:
+    def test_beta2_gives_half(self):
+        assert lemma9_part3_failure_bound(100, 2.0) == pytest.approx(0.5)
+
+    def test_decreasing_in_beta(self):
+        assert lemma9_part3_failure_bound(100, 4.0) < lemma9_part3_failure_bound(
+            100, 2.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            lemma9_part3_failure_bound(100, 1.0)

@@ -1,0 +1,83 @@
+"""API quality gates: docstrings, exports, and error hygiene.
+
+These tests keep the library honest as it grows: every public module,
+class, and function must carry a docstring; every ``__all__`` entry
+must resolve; and library errors must derive from :class:`ReproError`.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = list(_walk_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_members_documented(module):
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module.__name__:
+            continue  # re-export; documented at its home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(f"{module.__name__}.{name}")
+        if inspect.isclass(obj):
+            for meth_name, meth in vars(obj).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                # An override of a documented base-class method inherits
+                # its contract (and, via inspect.getdoc, its docstring).
+                documented = any(
+                    getattr(base, meth_name, None) is not None
+                    and (inspect.getdoc(getattr(base, meth_name)) or "").strip()
+                    for base in obj.__mro__
+                )
+                if not documented:
+                    undocumented.append(
+                        f"{module.__name__}.{name}.{meth_name}"
+                    )
+    assert not undocumented, f"missing docstrings: {undocumented}"
+
+
+@pytest.mark.parametrize(
+    "module",
+    [m for m in ALL_MODULES if hasattr(m, "__all__")],
+    ids=lambda m: m.__name__,
+)
+def test_all_exports_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.__all__: {name}"
+
+
+def test_error_hierarchy():
+    from repro import errors
+
+    for name, obj in vars(errors).items():
+        if inspect.isclass(obj) and issubclass(obj, Exception):
+            if obj is not errors.ReproError:
+                assert issubclass(obj, errors.ReproError), name
+
+
+def test_version_is_exposed():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2

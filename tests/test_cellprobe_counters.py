@@ -1,0 +1,80 @@
+"""ProbeCounter semantics: stratified counts and contention estimates."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe import ProbeCounter
+from repro.errors import ParameterError
+
+
+def test_record_and_totals():
+    c = ProbeCounter(4)
+    c.record(0, 1)
+    c.record(0, 1)
+    c.record(2, 3)
+    assert c.num_steps == 3
+    assert c.total_counts().tolist() == [0, 2, 0, 1]
+    assert c.total_probes() == 3
+
+
+def test_record_batch_skips_negatives():
+    c = ProbeCounter(5)
+    c.record_batch(0, np.array([0, -1, 2, 2]))
+    assert c.total_counts().tolist() == [1, 0, 2, 0, 0]
+
+
+def test_record_batch_bounds():
+    c = ProbeCounter(3)
+    with pytest.raises(ParameterError):
+        c.record_batch(0, np.array([3]))
+
+
+def test_contention_requires_executions():
+    c = ProbeCounter(2)
+    c.record(0, 0)
+    with pytest.raises(ParameterError):
+        c.total_contention()
+    c.finish_execution()
+    assert c.total_contention().tolist() == [1.0, 0.0]
+
+
+def test_contention_normalization():
+    c = ProbeCounter(2)
+    for _ in range(4):
+        c.record(0, 0)
+        c.record(1, 1)
+    c.finish_execution(4)
+    per_step = c.contention_per_step()
+    assert per_step.shape == (2, 2)
+    assert per_step[0, 0] == pytest.approx(1.0)
+    assert per_step[1, 1] == pytest.approx(1.0)
+    assert c.max_contention() == pytest.approx(1.0)
+    assert c.max_step_contention() == pytest.approx(1.0)
+
+
+def test_reset():
+    c = ProbeCounter(2)
+    c.record(0, 0)
+    c.finish_execution()
+    c.reset()
+    assert c.num_steps == 0
+    assert c.executions == 0
+    assert c.total_probes() == 0
+
+
+def test_empty_counter_shapes():
+    c = ProbeCounter(3)
+    assert c.counts_per_step().shape == (0, 3)
+    assert c.total_counts().tolist() == [0, 0, 0]
+
+
+def test_invalid_arguments():
+    c = ProbeCounter(2)
+    with pytest.raises(ParameterError):
+        c.record(-1, 0)
+    with pytest.raises(ParameterError):
+        c.record(0, 2)
+    with pytest.raises(ParameterError):
+        c.finish_execution(0)
+    with pytest.raises(ParameterError):
+        ProbeCounter(0)

@@ -1,0 +1,90 @@
+"""CellProbeMachine: execution recording and plan conformance."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe import CellProbeMachine
+from repro.cellprobe.machine import PlanViolation
+from repro.cellprobe.steps import FixedCell
+from repro.errors import QueryError
+
+
+def test_records_probes_and_answer(sorted_dict, rng, keys):
+    machine = CellProbeMachine(sorted_dict)
+    record = machine.run_query(int(keys[0]), rng)
+    assert record.answer is True
+    assert 1 <= record.num_probes <= sorted_dict.max_probes
+    # Probes are (step, row, column) in step order.
+    steps = [p[0] for p in record.probes]
+    assert steps == sorted(steps)
+
+
+def test_negative_query(sorted_dict, rng, negatives):
+    machine = CellProbeMachine(sorted_dict)
+    record = machine.run_query(int(negatives[0]), rng)
+    assert record.answer is False
+
+
+def test_run_many(lcd, rng, keys, negatives):
+    machine = CellProbeMachine(lcd)
+    records = machine.run_many(
+        list(keys[:5]) + list(negatives[:5]), rng
+    )
+    assert [r.answer for r in records] == [True] * 5 + [False] * 5
+
+
+def test_plan_violation_detected(sorted_dict, rng, keys):
+    """A dictionary whose plan disagrees with execution must be caught."""
+
+    class LyingDict:
+        def __init__(self, inner):
+            self._inner = inner
+            self.table = inner.table
+            self.keys = inner.keys
+            self.universe_size = inner.universe_size
+
+        def query(self, x, rng=None):
+            return self._inner.query(x, rng)
+
+        def contains(self, x):
+            return self._inner.contains(x)
+
+        def probe_plan(self, x):  # wrong row on purpose
+            plan = self._inner.probe_plan(x)
+            return [FixedCell(0, (step.support()[0] + 1) % 2) for step in plan]
+
+    machine = CellProbeMachine(LyingDict(sorted_dict))
+    with pytest.raises(PlanViolation):
+        machine.run_query(int(keys[3]), rng)
+
+
+def test_wrong_answer_detected(sorted_dict, rng, keys):
+    class WrongDict:
+        def __init__(self, inner):
+            self._inner = inner
+            self.table = inner.table
+            self.keys = inner.keys
+            self.universe_size = inner.universe_size
+
+        def query(self, x, rng=None):
+            return not self._inner.query(x, rng)
+
+        def contains(self, x):
+            return self._inner.contains(x)
+
+        def probe_plan(self, x):
+            return self._inner.probe_plan(x)
+
+    machine = CellProbeMachine(WrongDict(sorted_dict), check_plan=False)
+    with pytest.raises(QueryError):
+        machine.run_query(int(keys[0]), rng)
+
+
+def test_counter_executions_incremented(fks, rng, keys):
+    counter = fks.table.counter
+    counter.reset()
+    machine = CellProbeMachine(fks)
+    machine.run_query(int(keys[0]), rng)
+    machine.run_query(int(keys[1]), rng)
+    assert counter.executions == 2
+    counter.reset()

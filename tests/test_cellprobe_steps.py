@@ -1,0 +1,181 @@
+"""Probe-step algebra tests: supports, sampling, accumulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cellprobe.steps import (
+    BatchStridedStep,
+    FixedCell,
+    UniformSet,
+    UniformStrided,
+)
+from repro.errors import ParameterError
+
+
+class TestFixedCell:
+    def test_basics(self, rng):
+        step = FixedCell(2, 7)
+        assert step.size == 1
+        assert step.probability() == 1.0
+        assert step.contains(7) and not step.contains(8)
+        assert step.sample(rng) == 7
+        assert step.support().tolist() == [7]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ParameterError):
+            FixedCell(-1, 0)
+
+
+class TestUniformStrided:
+    def test_support_and_contains(self):
+        step = UniformStrided(row=0, start=3, stride=5, count=4)
+        assert step.support().tolist() == [3, 8, 13, 18]
+        for c in (3, 8, 13, 18):
+            assert step.contains(c)
+        for c in (4, 23, 0, 2):
+            assert not step.contains(c)
+
+    def test_sampling_stays_in_support(self, rng):
+        step = UniformStrided(row=1, start=2, stride=3, count=10)
+        support = set(step.support().tolist())
+        draws = {step.sample(rng) for _ in range(200)}
+        assert draws <= support
+        assert len(draws) > 5  # actually random
+
+    def test_sampling_uniformity(self, rng):
+        step = UniformStrided(row=0, start=0, stride=1, count=4)
+        draws = np.array([step.sample(rng) for _ in range(4000)])
+        freq = np.bincount(draws, minlength=4) / 4000
+        assert np.abs(freq - 0.25).max() < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            UniformStrided(0, 0, 0, 5)
+        with pytest.raises(ParameterError):
+            UniformStrided(0, 0, 1, 0)
+
+
+class TestUniformSet:
+    def test_basics(self, rng):
+        step = UniformSet(row=0, columns=(4, 9, 1))
+        assert step.size == 3
+        assert step.probability() == pytest.approx(1 / 3)
+        assert step.contains(9) and not step.contains(2)
+        assert step.sample(rng) in {4, 9, 1}
+
+    def test_rejects_duplicates_and_empty(self):
+        with pytest.raises(ParameterError):
+            UniformSet(0, (1, 1))
+        with pytest.raises(ParameterError):
+            UniformSet(0, ())
+
+
+class TestBatchStridedStep:
+    def _step(self):
+        return BatchStridedStep(
+            row=1,
+            starts=np.array([0, 5, 2]),
+            strides=np.array([1, 2, 1]),
+            counts=np.array([3, 2, 0]),
+        )
+
+    def test_accumulate_matches_manual(self):
+        step = self._step()
+        s = 12
+        flat = np.zeros(2 * s)
+        step.accumulate(flat, np.array([0.3, 0.6, 0.9]), s)
+        expected = np.zeros(2 * s)
+        for c in (0, 1, 2):  # query 0: cells 0,1,2 at 0.1 each
+            expected[s + c] += 0.1
+        for c in (5, 7):  # query 1: cells 5,7 at 0.3 each
+            expected[s + c] += 0.3
+        # query 2: count 0 -> nothing.
+        assert np.allclose(flat, expected)
+
+    def test_shared_fast_path_equals_general(self):
+        starts = np.full(5, 3, dtype=np.int64)
+        strides = np.full(5, 2, dtype=np.int64)
+        counts = np.full(5, 4, dtype=np.int64)
+        w = np.array([0.1, 0.2, 0.3, 0.25, 0.15])
+        s = 20
+        shared = BatchStridedStep(0, starts, strides, counts, shared=True)
+        general = BatchStridedStep(0, starts, strides, counts, shared=False)
+        f1, f2 = np.zeros(s), np.zeros(s)
+        shared.accumulate(f1, w, s)
+        general.accumulate(f2, w, s)
+        assert np.allclose(f1, f2)
+
+    def test_shared_flag_requires_identical(self):
+        with pytest.raises(ParameterError):
+            BatchStridedStep(
+                0,
+                starts=np.array([0, 1]),
+                strides=np.array([1, 1]),
+                counts=np.array([2, 2]),
+                shared=True,
+            )
+
+    def test_sample_respects_counts(self, rng):
+        step = self._step()
+        cols = step.sample(rng)
+        assert cols[2] == -1  # count 0 -> no probe
+        assert cols[0] in {0, 1, 2}
+        assert cols[1] in {5, 7}
+
+    def test_step_for_roundtrip(self):
+        step = self._step()
+        s0 = step.step_for(0)
+        assert isinstance(s0, UniformStrided) and s0.count == 3
+        assert step.step_for(2) is None
+        one = BatchStridedStep(
+            0, np.array([4]), np.array([1]), np.array([1])
+        ).step_for(0)
+        assert isinstance(one, FixedCell) and one.column == 4
+
+    def test_weight_shape_mismatch(self):
+        step = self._step()
+        with pytest.raises(ParameterError):
+            step.accumulate(np.zeros(24), np.array([1.0]), 12)
+
+
+@settings(max_examples=50)
+@given(
+    start=st.integers(min_value=0, max_value=50),
+    stride=st.integers(min_value=1, max_value=7),
+    count=st.integers(min_value=1, max_value=20),
+)
+def test_strided_support_probability_consistency(start, stride, count):
+    step = UniformStrided(0, start, stride, count)
+    support = step.support()
+    assert support.size == step.size == count
+    assert step.probability() * count == pytest.approx(1.0)
+    assert all(step.contains(int(c)) for c in support)
+
+
+@settings(max_examples=30)
+@given(data=st.data())
+def test_batch_accumulation_mass_conservation(data):
+    """Total accumulated mass equals the active queries' weights."""
+    n = data.draw(st.integers(min_value=1, max_value=8))
+    starts = np.array(
+        data.draw(st.lists(st.integers(0, 10), min_size=n, max_size=n))
+    )
+    strides = np.array(
+        data.draw(st.lists(st.integers(1, 3), min_size=n, max_size=n))
+    )
+    counts = np.array(
+        data.draw(st.lists(st.integers(0, 5), min_size=n, max_size=n))
+    )
+    weights = np.array(
+        data.draw(
+            st.lists(
+                st.floats(0.0, 1.0, allow_nan=False), min_size=n, max_size=n
+            )
+        )
+    )
+    step = BatchStridedStep(0, starts, strides, counts)
+    flat = np.zeros(64)
+    step.accumulate(flat, weights, 64)
+    expected = weights[counts > 0].sum()
+    assert flat.sum() == pytest.approx(expected, abs=1e-12)

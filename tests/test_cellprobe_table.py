@@ -1,0 +1,90 @@
+"""Table semantics: writes are free, reads are charged, bounds checked."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe import EMPTY_CELL, ProbeCounter, Table
+from repro.errors import TableError
+
+
+def test_fresh_table_is_empty():
+    t = Table(rows=2, s=5)
+    assert t.occupancy() == 0.0
+    assert t.peek(0, 0) == EMPTY_CELL
+    assert t.num_cells == 10
+
+
+def test_write_then_read_roundtrip():
+    t = Table(rows=2, s=4)
+    t.write(1, 3, 12345)
+    assert t.read(1, 3, step=0) == 12345
+    assert t.counter.total_probes() == 1
+
+
+def test_writes_are_not_probes():
+    t = Table(rows=1, s=4)
+    for j in range(4):
+        t.write(0, j, j)
+    assert t.counter.total_probes() == 0
+    assert t.occupancy() == 1.0
+
+
+def test_peek_is_not_a_probe():
+    t = Table(rows=1, s=2)
+    t.write(0, 0, 9)
+    assert t.peek(0, 0) == 9
+    assert t.counter.total_probes() == 0
+
+
+def test_write_row_bulk():
+    t = Table(rows=2, s=3)
+    t.write_row(0, np.array([1, 2, 3], dtype=np.uint64))
+    assert [t.peek(0, j) for j in range(3)] == [1, 2, 3]
+    with pytest.raises(TableError):
+        t.write_row(0, np.array([1, 2], dtype=np.uint64))
+    with pytest.raises(TableError):
+        t.write_row(5, np.zeros(3, dtype=np.uint64))
+
+
+def test_bounds_checking():
+    t = Table(rows=2, s=3)
+    for row, col in ((2, 0), (0, 3), (-1, 0), (0, -1)):
+        with pytest.raises(TableError):
+            t.read(row, col, 0)
+        with pytest.raises(TableError):
+            t.write(row, col, 0)
+
+
+def test_value_must_fit_cell():
+    t = Table(rows=1, s=1)
+    t.write(0, 0, (1 << 64) - 1)  # max value OK (the EMPTY sentinel)
+    with pytest.raises(TableError):
+        t.write(0, 0, 1 << 64)
+    with pytest.raises(TableError):
+        t.write(0, 0, -1)
+
+
+def test_shared_counter_rejected_on_size_mismatch():
+    counter = ProbeCounter(5)
+    with pytest.raises(TableError):
+        Table(rows=2, s=3, counter=counter)
+
+
+def test_flat_index():
+    t = Table(rows=3, s=7)
+    assert t.flat_index(2, 4) == 2 * 7 + 4
+    with pytest.raises(TableError):
+        t.flat_index(3, 0)
+
+
+def test_reads_charge_correct_step_and_cell():
+    t = Table(rows=2, s=4)
+    t.write(0, 1, 5)
+    t.write(1, 2, 6)
+    t.read(0, 1, step=0)
+    t.read(1, 2, step=1)
+    t.read(1, 2, step=1)
+    counts = t.counter.counts_per_step()
+    assert counts[0, t.flat_index(0, 1)] == 1
+    assert counts[1, t.flat_index(1, 2)] == 2
+    assert counts.sum() == 3

@@ -1,0 +1,54 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_shows_all_experiments(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for i in range(1, 15):
+        assert f"E{i}" in out
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "SPAA 2010" in out
+    assert "EXPERIMENTS.md" in out
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "E11"]) == 0
+    out = capsys.readouterr().out
+    assert "[E11]" in out and "Claim:" in out
+
+
+def test_run_writes_json(tmp_path, capsys):
+    out_file = tmp_path / "res.json"
+    assert main(["run", "E11", "--json", str(out_file)]) == 0
+    data = json.loads(out_file.read_text())
+    assert data[0]["experiment_id"] == "E11"
+
+
+def test_run_unknown_experiment_raises():
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError):
+        main(["run", "E99"])
+
+
+def test_survey_small(capsys):
+    assert main(["survey", "--n", "64", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "low-contention" in out
+    assert "binary-search" in out
+    assert "ratio_step" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,152 @@
+"""Concurrent simulator and resolution models."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import (
+    ConcurrentSimulator,
+    CRCWModel,
+    QueuedModel,
+)
+from repro.distributions import UniformOverSet
+
+
+class TestResolutionModels:
+    def test_crcw_serves_everything(self, rng):
+        cells = np.array([3, 3, 3, 7])
+        assert CRCWModel().serve(cells, rng).all()
+
+    def test_queued_one_per_cell(self, rng):
+        cells = np.array([3, 3, 3, 7, 7, 9])
+        served = QueuedModel().serve(cells, rng)
+        for cell in (3, 7, 9):
+            assert served[cells == cell].sum() == 1
+
+    def test_queued_capacity(self, rng):
+        cells = np.zeros(10, dtype=np.int64)
+        served = QueuedModel(capacity=4).serve(cells, rng)
+        assert served.sum() == 4
+
+    def test_queued_fairness(self, rng):
+        """Each of k contenders wins ~1/k of the time."""
+        cells = np.zeros(4, dtype=np.int64)
+        model = QueuedModel()
+        wins = np.zeros(4)
+        for _ in range(2000):
+            wins += model.serve(cells, rng)
+        assert np.abs(wins / 2000 - 0.25).max() < 0.05
+
+    def test_empty_input(self, rng):
+        assert QueuedModel().serve(np.zeros(0, dtype=np.int64), rng).size == 0
+
+
+class TestSimulator:
+    def _dist(self, d, keys):
+        return UniformOverSet(d.universe_size, keys)
+
+    def test_crcw_completions_match_probe_counts(self, fks, keys):
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=8,
+            model=CRCWModel(), rng=np.random.default_rng(0),
+        )
+        res = sim.run(200)
+        assert res.completed_queries > 0
+        assert res.stalled_probes == 0
+        assert res.stall_fraction == 0.0
+        # Positive-only workload on FKS: every query takes 4 probes.
+        assert res.mean_latency == pytest.approx(4.0)
+        assert res.throughput == pytest.approx(8 / 4, rel=0.1)
+
+    def test_queued_throughput_bounded_by_hot_cell(self, sorted_dict, keys):
+        """Binary search root cell: <= 1 completion per ~log n cycles."""
+        sim = ConcurrentSimulator(
+            sorted_dict, self._dist(sorted_dict, keys), processors=64,
+            model=QueuedModel(), rng=np.random.default_rng(1),
+        )
+        res = sim.run(400)
+        assert res.throughput <= 1.05  # root serializes
+        assert res.stall_fraction > 0.5
+
+    def test_lcd_scales_better_than_binary(self, lcd, sorted_dict, keys):
+        kwargs = dict(processors=64, model=QueuedModel())
+        r_lcd = ConcurrentSimulator(
+            lcd, self._dist(lcd, keys), rng=np.random.default_rng(2), **kwargs
+        ).run(300)
+        r_bin = ConcurrentSimulator(
+            sorted_dict, self._dist(sorted_dict, keys),
+            rng=np.random.default_rng(2), **kwargs
+        ).run(300)
+        assert r_lcd.throughput > 2 * r_bin.throughput
+        assert r_lcd.stall_fraction < r_bin.stall_fraction
+
+    def test_max_collisions_bounded_by_m(self, cuckoo, keys):
+        sim = ConcurrentSimulator(
+            cuckoo, self._dist(cuckoo, keys), processors=16,
+            rng=np.random.default_rng(3),
+        )
+        res = sim.run(100)
+        assert 1 <= res.max_cell_collisions <= 16
+
+    def test_result_row_shape(self, fks, keys):
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=4,
+            rng=np.random.default_rng(4),
+        )
+        row = sim.run(50).row()
+        assert set(row) >= {"scheme", "model", "m", "throughput"}
+
+    def test_latency_percentiles_ordered(self, lcd, keys):
+        sim = ConcurrentSimulator(
+            lcd, self._dist(lcd, keys), processors=32,
+            model=QueuedModel(), rng=np.random.default_rng(5),
+        )
+        res = sim.run(200)
+        assert res.p95_latency >= res.mean_latency * 0.5
+        assert res.completed_queries > 0
+
+
+class TestBackoffModel:
+    def test_solo_probes_always_served(self, rng):
+        from repro.concurrent import BackoffModel
+
+        cells = np.array([1, 2, 3, 4])
+        assert BackoffModel().serve(cells, rng).all()
+
+    def test_contended_cell_serves_at_most_one(self, rng):
+        from repro.concurrent import BackoffModel
+
+        model = BackoffModel()
+        cells = np.array([5, 5, 5, 5, 9])
+        for _ in range(50):
+            served = model.serve(cells, rng)
+            assert served[cells == 5].sum() <= 1
+            assert served[4]  # the solo probe
+
+    def test_throughput_near_1_over_e_for_hot_cell(self, rng):
+        from repro.concurrent import BackoffModel
+
+        model = BackoffModel()
+        k = 16
+        cells = np.zeros(k, dtype=np.int64)
+        successes = sum(
+            int(model.serve(cells, rng).sum()) for _ in range(3000)
+        )
+        rate = successes / 3000
+        # k contenders, each transmits w.p. 1/k: P[exactly one] ~ e^-1.
+        assert abs(rate - np.exp(-1)) < 0.05
+
+    def test_backoff_worse_than_queued_on_binary_search(
+        self, sorted_dict, keys
+    ):
+        from repro.concurrent import BackoffModel
+
+        dist = UniformOverSet(sorted_dict.universe_size, keys)
+        queued = ConcurrentSimulator(
+            sorted_dict, dist, processors=64, model=QueuedModel(),
+            rng=np.random.default_rng(0),
+        ).run(300)
+        backoff = ConcurrentSimulator(
+            sorted_dict, dist, processors=64, model=BackoffModel(),
+            rng=np.random.default_rng(0),
+        ).run(300)
+        assert backoff.throughput < queued.throughput

@@ -1,0 +1,62 @@
+"""Adversarial distribution construction tests."""
+
+import numpy as np
+import pytest
+
+from repro.contention import exact_contention, worst_point_mass, worst_support_k
+from repro.errors import ParameterError
+
+
+class TestWorstSupportK:
+    def test_k1_matches_point_mass(self, lcd):
+        dist, predicted = worst_support_k(lcd, 1)
+        _, point_peak, _ = worst_point_mass(lcd)
+        assert predicted == pytest.approx(point_peak)
+        assert dist.support_size == 1
+
+    def test_prediction_matches_measurement(self, lcd):
+        for k in (1, 4, 16):
+            dist, predicted = worst_support_k(lcd, k)
+            measured = exact_contention(lcd, dist).max_step_contention()
+            assert measured == pytest.approx(predicted, rel=1e-9)
+
+    def test_contention_degrades_with_k(self, lcd):
+        values = []
+        for k in (1, 8, 64):
+            dist, predicted = worst_support_k(lcd, k)
+            values.append(predicted)
+        assert values[0] > values[1] > values[2]
+        # Exactly 1/k for the low-contention scheme (private data cells).
+        assert values[0] == pytest.approx(1.0)
+        assert values[1] == pytest.approx(1.0 / 8)
+
+    def test_support_is_uniform_k_queries(self, fks):
+        dist, _ = worst_support_k(fks, 8)
+        assert dist.support_size == 8
+        assert np.allclose(dist.masses, 1.0 / 8)
+
+    def test_shared_cell_adversary_beats_solo_on_fks(self, fks):
+        """FKS bucket headers are shared: a k-set hitting one header
+        gets contention ~1 (not 1/k) until k exceeds the bucket size."""
+        dist, predicted = worst_support_k(fks, 2)
+        # Two keys from the same level-1 bucket share the header cell.
+        loads = fks.loads
+        if int(loads.max()) >= 2:
+            assert predicted > 0.5  # ~1.0: both probe the shared header
+
+    def test_validation(self, lcd):
+        with pytest.raises(ParameterError):
+            worst_support_k(lcd, 0)
+        with pytest.raises(ParameterError):
+            worst_support_k(lcd, 10, candidates=np.array([1, 2]))
+
+
+class TestWorstPointMass:
+    def test_default_pool_is_keys(self, cuckoo, keys):
+        x, peak, _ = worst_point_mass(cuckoo)
+        assert x in set(keys.tolist())
+        assert peak == pytest.approx(1.0)
+
+    def test_empty_pool_rejected(self, cuckoo):
+        with pytest.raises(ParameterError):
+            worst_point_mass(cuckoo, np.array([], dtype=np.int64))

@@ -1,0 +1,115 @@
+"""Exact contention engine: Definition 1 realized, cross-validated."""
+
+import numpy as np
+import pytest
+
+from repro.contention import (
+    ContentionMatrix,
+    empirical_contention,
+    exact_contention,
+    sampled_contention,
+)
+from repro.distributions import PointMass, UniformOverSet, UniformPositiveNegative
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def lcd_matrix(lcd, uniform_dist):
+    return exact_contention(lcd, uniform_dist)
+
+
+class TestContentionMatrix:
+    def test_step_masses_are_probe_probabilities(self, lcd_matrix, lcd):
+        """sum_j Phi_t(j) = Pr[a t-th probe happens] — 1 for the first
+        2d + rho + 2 steps, <= 1 afterwards (empty buckets stop early)."""
+        mass = lcd_matrix.step_mass()
+        p = lcd.params
+        always = 2 * p.degree + p.rho + 2
+        assert np.allclose(mass[:always], 1.0)
+        assert np.all(mass[always:] <= 1.0 + 1e-12)
+
+    def test_expected_probes_consistent(self, lcd_matrix):
+        assert lcd_matrix.expected_probes() == pytest.approx(
+            float(lcd_matrix.step_mass().sum())
+        )
+
+    def test_max_bounds_ordering(self, lcd_matrix):
+        assert (
+            0
+            < lcd_matrix.max_step_contention()
+            <= lcd_matrix.max_total_contention()
+            <= lcd_matrix.expected_probes()
+        )
+
+    def test_per_row_max_shape(self, lcd_matrix, lcd):
+        per_row = lcd_matrix.per_row_max()
+        assert per_row.shape == (lcd.table.rows,)
+        # Coefficient rows are perfectly flat: every cell exactly 1/s.
+        assert per_row[0] == pytest.approx(1.0 / lcd.params.s)
+
+    def test_hottest_cells_sorted(self, lcd_matrix):
+        cells = lcd_matrix.hottest_cells(5)
+        values = [v for (_, _, v) in cells]
+        assert values == sorted(values, reverse=True)
+
+    def test_shape_validation(self):
+        with pytest.raises(ParameterError):
+            ContentionMatrix(phi=np.zeros((2, 5)), rows=2, s=3)
+
+
+class TestCrossValidation:
+    def test_exact_equals_rao_blackwell_on_explicit_support(self, fks, keys):
+        """On a finite-support distribution, RB sampling converges to exact."""
+        dist = UniformOverSet(fks.universe_size, keys)
+        exact = exact_contention(fks, dist)
+        rb = sampled_contention(fks, dist, 120_000, np.random.default_rng(0))
+        assert np.abs(exact.total() - rb.total()).max() < 5e-3
+
+    def test_exact_equals_empirical(self, cuckoo, keys):
+        dist = UniformOverSet(cuckoo.universe_size, keys)
+        exact = exact_contention(cuckoo, dist)
+        emp = empirical_contention(
+            cuckoo, dist, 40_000, np.random.default_rng(1)
+        )
+        assert np.abs(exact.total() - emp.total()).max() < 2e-2
+        # Expected probes must agree tightly (it's an average).
+        assert emp.expected_probes() == pytest.approx(
+            exact.expected_probes(), rel=0.02
+        )
+
+    def test_point_mass_contention_is_plan_distribution(self, lcd, keys):
+        x = int(keys[0])
+        matrix = exact_contention(lcd, PointMass(lcd.universe_size, x))
+        plan = lcd.probe_plan(x)
+        assert matrix.num_steps == len(plan)
+        for t, step in enumerate(plan):
+            row_slice = matrix.phi[t].reshape(lcd.table.rows, lcd.table.s)
+            support = step.support()
+            assert np.allclose(
+                row_slice[step.row, support], step.probability()
+            )
+            # Nothing outside the support.
+            assert row_slice.sum() == pytest.approx(1.0)
+
+
+class TestTheorem3Numbers:
+    def test_lcd_contention_near_optimal(self, lcd, uniform_dist):
+        matrix = exact_contention(lcd, uniform_dist)
+        ratio = matrix.max_step_contention() * lcd.params.s
+        assert ratio < 4.0, "Theorem 3: O(1) x optimal"
+
+    def test_binary_search_contention_is_one(self, sorted_dict, uniform_dist):
+        matrix = exact_contention(sorted_dict, uniform_dist)
+        assert matrix.max_step_contention() == pytest.approx(1.0)
+
+    def test_lcd_beats_fks(self, lcd, fks, uniform_dist):
+        lcd_phi = exact_contention(lcd, uniform_dist).max_step_contention()
+        fks_phi = exact_contention(fks, uniform_dist).max_step_contention()
+        assert lcd_phi < fks_phi
+
+    def test_lower_bound_floor(self, lcd, uniform_dist):
+        """1/s <= max_j Phi_t(j) (paper Section 1.1)."""
+        matrix = exact_contention(lcd, uniform_dist)
+        per_step_max = matrix.phi.max(axis=1)
+        active = matrix.step_mass() > 1 - 1e-9
+        assert np.all(per_step_max[active] >= 1.0 / lcd.params.s - 1e-15)

@@ -1,0 +1,136 @@
+"""Metrics: summaries, Lorenz/Gini, adversarial distributions, reports."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.contention import (
+    ContentionReport,
+    contention_summary,
+    exact_contention,
+    gini_coefficient,
+    lorenz_curve,
+    measure,
+    worst_point_mass,
+)
+from repro.contention.metrics import simultaneous_probe_bound
+from repro.distributions import PointMass
+
+
+class TestGiniLorenz:
+    def test_flat_distribution_gini_zero(self):
+        assert gini_coefficient(np.ones(100)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_spike_gini_near_one(self):
+        v = np.zeros(1000)
+        v[0] = 1.0
+        assert gini_coefficient(v) > 0.99
+
+    def test_gini_empty_and_zero(self):
+        assert gini_coefficient(np.zeros(5)) == 0.0
+        assert gini_coefficient(np.array([])) == 0.0
+
+    def test_lorenz_endpoints(self):
+        curve = lorenz_curve(np.random.default_rng(0).random(50))
+        assert curve[0] == pytest.approx(0.0)
+        assert curve[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(curve) >= -1e-12)  # non-decreasing
+
+    def test_lorenz_below_diagonal(self):
+        curve = lorenz_curve(np.arange(1, 100, dtype=float))
+        diagonal = np.linspace(0, 1, curve.size)
+        assert np.all(curve <= diagonal + 1e-9)
+
+    @given(st.lists(st.floats(0.0, 100.0), min_size=2, max_size=50))
+    def test_gini_in_unit_interval(self, values):
+        g = gini_coefficient(np.asarray(values))
+        assert -1e-9 <= g <= 1.0
+
+
+class TestSummaryAndReport:
+    def test_summary_fields(self, lcd, uniform_dist):
+        matrix = exact_contention(lcd, uniform_dist)
+        s = contention_summary(matrix)
+        assert s.scheme == "low-contention"
+        assert s.optimal == pytest.approx(1.0 / lcd.params.s)
+        assert s.ratio_step == pytest.approx(s.max_step_contention / s.optimal)
+        assert 0 <= s.gini_total <= 1
+
+    def test_measure_report_row(self, fks, uniform_dist):
+        report = measure(fks, uniform_dist)
+        row = report.row()
+        assert row["scheme"] == "fks"
+        assert row["n"] == fks.n
+        assert row["max_probes"] == 4
+        assert isinstance(str(report), str)
+
+    def test_simultaneous_probe_bound(self, lcd, uniform_dist):
+        matrix = exact_contention(lcd, uniform_dist)
+        assert simultaneous_probe_bound(matrix, 100) == pytest.approx(
+            100 * matrix.max_total_contention()
+        )
+
+
+class TestAdversarial:
+    def test_worst_point_mass_is_one_for_positives(self, lcd, keys):
+        x, peak, dist = worst_point_mass(lcd)
+        assert peak == pytest.approx(1.0)  # the fixed data probe
+        assert isinstance(dist, PointMass)
+        assert lcd.contains(x)
+
+    def test_worst_point_mass_matches_exact(self, fks):
+        x, peak, dist = worst_point_mass(fks)
+        measured = exact_contention(fks, dist).max_step_contention()
+        assert measured == pytest.approx(peak)
+
+    def test_candidate_pool_respected(self, cuckoo, negatives):
+        x, peak, _ = worst_point_mass(cuckoo, negatives[:10])
+        assert x in set(int(v) for v in negatives[:10])
+        assert 0 < peak <= 1.0
+
+
+class TestComponentBreakdown:
+    def test_fks_headers_are_hottest(self, fks, uniform_dist):
+        from repro.contention import component_breakdown
+
+        matrix = exact_contention(fks, uniform_dist)
+        breakdown = component_breakdown(matrix, fks)
+        assert breakdown[0]["component"].startswith("bucket-header")
+        assert breakdown[0]["peak_phi"] == matrix.max_total_contention()
+
+    def test_binary_search_root_row(self, sorted_dict, uniform_dist):
+        from repro.contention import component_breakdown
+
+        matrix = exact_contention(sorted_dict, uniform_dist)
+        breakdown = component_breakdown(matrix, sorted_dict)
+        assert breakdown == sorted(
+            breakdown, key=lambda d: d["peak_phi"], reverse=True
+        )
+        assert breakdown[0]["component"] == "sorted-keys"
+        assert breakdown[0]["peak_phi"] == pytest.approx(1.0)
+
+    def test_lcd_labels_cover_layout(self, lcd, uniform_dist):
+        from repro.contention import component_breakdown
+
+        matrix = exact_contention(lcd, uniform_dist)
+        breakdown = component_breakdown(matrix, lcd)
+        components = {row["component"] for row in breakdown}
+        assert "z-vector" in components
+        assert "GBAS" in components
+        assert "data" in components
+        assert len(breakdown) == lcd.table.rows
+        # Theorem 3: even the hottest component is O(1) x the floor.
+        assert breakdown[0]["peak_x_s"] < 4.0
+
+    def test_label_count_mismatch_rejected(self, fks, uniform_dist):
+        from repro.contention import component_breakdown
+        from repro.errors import ParameterError
+
+        matrix = exact_contention(fks, uniform_dist)
+
+        class Wrong:
+            def row_labels(self):
+                return ["just-one"]
+
+        with pytest.raises(ParameterError):
+            component_breakdown(matrix, Wrong())

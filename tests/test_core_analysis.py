@@ -1,0 +1,73 @@
+"""Closed-form contention bounds vs exact measurements."""
+
+import numpy as np
+import pytest
+
+from repro.contention import exact_contention
+from repro.core.analysis import (
+    con_keys,
+    contention_ratio,
+    optimal_contention,
+    predicted_step_bounds,
+)
+from repro.distributions import UniformPositiveNegative
+
+
+def test_con_keys_recovers_key_set(lcd, keys):
+    assert np.array_equal(con_keys(lcd.construction), np.sort(keys))
+
+
+def test_predicted_bounds_dominate_measured(lcd, keys, universe_size):
+    """The §2.3 accounting must upper-bound the exact per-step maxima."""
+    for p_mass in (1.0, 0.5):
+        bounds = predicted_step_bounds(
+            lcd.construction, universe_size, p_mass, exact_negatives=True
+        )
+        dist = UniformPositiveNegative(universe_size, keys, p_mass)
+        matrix = exact_contention(lcd, dist)
+        params = lcd.params
+        per_row = matrix.phi.max(axis=1).tolist()
+        d = params.degree
+        # Coefficient steps: exactly 1/s.
+        for t in range(2 * d):
+            assert per_row[t] == pytest.approx(bounds.coefficient)
+        assert per_row[2 * d] <= bounds.z + 1e-12
+        assert per_row[2 * d + 1] <= bounds.gbas + 1e-12
+        for t in range(2 * d + 2, 2 * d + 2 + params.rho):
+            assert per_row[t] <= bounds.histogram + 1e-12
+        assert per_row[2 * d + 2 + params.rho] <= bounds.phf + 1e-12
+        assert per_row[2 * d + 3 + params.rho] <= bounds.data + 1e-12
+        assert matrix.max_step_contention() <= bounds.overall + 1e-12
+
+
+def test_lemma10_bound_version_also_dominates(lcd, keys, universe_size):
+    """With exact_negatives=False the Lemma 10 estimate is used; it may be
+    loose but the positive-only distribution must still be dominated."""
+    bounds = predicted_step_bounds(
+        lcd.construction, universe_size, 1.0, exact_negatives=False
+    )
+    dist = UniformPositiveNegative(universe_size, keys, 1.0)
+    measured = exact_contention(lcd, dist).max_step_contention()
+    assert measured <= bounds.overall + 1e-12
+
+
+def test_overall_is_max_of_fields(lcd, universe_size):
+    bounds = predicted_step_bounds(lcd.construction, universe_size, 0.5)
+    d = bounds.as_dict()
+    assert d["overall"] == max(
+        v for k, v in d.items() if k != "overall"
+    )
+
+
+def test_optimal_and_ratio(lcd):
+    opt = optimal_contention(lcd.construction)
+    assert opt == pytest.approx(1.0 / lcd.params.s)
+    assert contention_ratio(2 * opt, lcd.construction) == pytest.approx(2.0)
+
+
+def test_theorem3_bound_is_o_one_over_n(lcd, universe_size):
+    """The predicted overall bound times n is a small constant."""
+    bounds = predicted_step_bounds(
+        lcd.construction, universe_size, 0.5, exact_negatives=True
+    )
+    assert bounds.overall * lcd.n < 4.0

@@ -1,0 +1,111 @@
+"""LowContentionDictionary: the §2.3 query algorithm end to end."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe import CellProbeMachine
+from repro.core import LowContentionDictionary, SchemeParameters
+
+
+def test_probe_count_exact_for_nonempty_buckets(lcd, keys, rng):
+    p = lcd.params
+    machine = CellProbeMachine(lcd)
+    for x in keys[:10]:
+        record = machine.run_query(int(x), rng)
+        assert record.num_probes == 2 * p.degree + p.rho + 4
+
+
+def test_empty_bucket_stops_two_probes_early(lcd, rng):
+    p = lcd.params
+    empty = np.nonzero(lcd.construction.loads == 0)[0]
+    assert empty.size > 0, "beta=2 guarantees empty buckets"
+    xs = np.arange(1 << 14)
+    hits = xs[np.isin(lcd.construction.h.eval_batch(xs), empty)]
+    hits = hits[~lcd.contains_batch(hits)]
+    assert hits.size > 0
+    machine = CellProbeMachine(lcd)
+    record = machine.run_query(int(hits[0]), rng)
+    assert record.answer is False
+    assert record.num_probes == 2 * p.degree + p.rho + 2
+
+
+def test_one_probe_per_row(lcd, keys, rng):
+    machine = CellProbeMachine(lcd)
+    record = machine.run_query(int(keys[3]), rng)
+    rows = [row for (_, row, _) in record.probes]
+    assert len(rows) == len(set(rows)), "at most one probe per row"
+    assert rows == sorted(rows)
+
+
+def test_coefficient_probes_span_whole_row(lcd, keys):
+    plan = lcd.probe_plan(int(keys[0]))
+    p = lcd.params
+    for i in range(2 * p.degree):
+        assert plan[i].row == i
+        assert plan[i].size == p.s  # uniform over the entire row
+
+
+def test_z_probe_geometry(lcd, keys):
+    p = lcd.params
+    x = int(keys[0])
+    gx = lcd.construction.h.g(x)
+    step = lcd.probe_plan(x)[2 * p.degree]
+    assert step.row == p.z_row
+    support = step.support()
+    assert np.all(support % p.r == gx)
+    assert support.size == p.z_copies(gx)
+
+
+def test_group_probes_congruent_mod_m(lcd, keys):
+    p = lcd.params
+    x = int(keys[1])
+    hx = lcd.construction.h(x)
+    plan = lcd.probe_plan(x)
+    for step in plan[2 * p.degree + 1 : 2 * p.degree + 2 + p.rho]:
+        assert np.all(step.support() % p.m == hx % p.m)
+        assert step.size == p.group_size
+
+
+def test_final_probe_hits_key_cell(lcd, keys):
+    p = lcd.params
+    con = lcd.construction
+    for x in keys[:10]:
+        x = int(x)
+        plan = lcd.probe_plan(x)
+        data_step = plan[-1]
+        assert data_step.row == p.data_row
+        cell = int(data_step.support()[0])
+        assert con.table.peek(p.data_row, cell) == x
+
+
+def test_rebuild_reproducible(keys, universe_size):
+    a = LowContentionDictionary(keys, universe_size, rng=np.random.default_rng(5))
+    b = LowContentionDictionary(keys, universe_size, rng=np.random.default_rng(5))
+    assert a.construction.h.parameter_words() == b.construction.h.parameter_words()
+    assert np.array_equal(a.construction.loads, b.construction.loads)
+
+
+def test_custom_params_accepted(keys, universe_size):
+    params = SchemeParameters(n=keys.size, beta=3.0, degree=4)
+    d = LowContentionDictionary(
+        keys, universe_size, rng=np.random.default_rng(5), params=params
+    )
+    assert d.params.beta == 3.0
+    assert d.max_probes == 2 * 4 + d.params.rho + 4
+    assert all(d.query(int(x), np.random.default_rng(1)) for x in keys[:10])
+
+
+def test_construction_trials_exposed(lcd):
+    assert lcd.construction_trials >= 1
+
+
+def test_small_n_edge(universe_size):
+    """The scheme degrades gracefully at tiny n (m=1, single group)."""
+    keys = [3, 77, 1009, 4242]
+    d = LowContentionDictionary(keys, universe_size, rng=np.random.default_rng(2))
+    rng = np.random.default_rng(3)
+    assert all(d.query(k, rng) for k in keys)
+    assert not d.query(5, rng)
+    machine = CellProbeMachine(d)
+    machine.run_query(3, rng)
+    machine.run_query(5, rng)

@@ -1,0 +1,102 @@
+"""Cross-scheme contract tests: every dictionary obeys the protocol.
+
+These tests run identically against all six schemes:
+
+- correctness on all keys and on negatives;
+- executed probes conform to the analytic plan (machine validation);
+- batch plans agree with single-query plans, query by query;
+- probe counts respect ``max_probes``;
+- honest queries never read construction-private state (checked
+  indirectly: the queries succeed using only a fresh rebuild of the
+  reader side from parameter words — covered per-scheme).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe import CellProbeMachine
+
+SCHEMES = [
+    "low-contention",
+    "fks",
+    "dm",
+    "cuckoo",
+    "binary-search",
+    "linear-probing",
+]
+
+
+@pytest.fixture(params=SCHEMES)
+def scheme(request, all_dictionaries):
+    return all_dictionaries[request.param]
+
+
+def test_all_positive_queries_found(scheme, keys, rng):
+    for x in keys:
+        assert scheme.query(int(x), rng) is True
+
+
+def test_negative_queries_rejected(scheme, negatives, rng):
+    for x in negatives:
+        assert scheme.query(int(x), rng) is False
+
+
+def test_plan_conformance(scheme, keys, negatives, rng):
+    machine = CellProbeMachine(scheme, check_plan=True)
+    for x in list(keys[:20]) + list(negatives[:20]):
+        record = machine.run_query(int(x), rng)
+        assert record.num_probes <= scheme.max_probes
+
+
+def test_batch_plan_agrees_with_single(scheme, keys, negatives):
+    xs = np.concatenate([keys[:25], negatives[:25]])
+    batch = scheme.probe_plan_batch(xs)
+    for i, x in enumerate(xs):
+        single = scheme.probe_plan(int(x))
+        batch_steps = [st.step_for(i) for st in batch]
+        batch_steps = [b for b in batch_steps if b is not None]
+        assert len(batch_steps) == len(single), f"query {x}"
+        for b, s in zip(batch_steps, single):
+            assert b.row == s.row, f"query {x}"
+            assert np.array_equal(b.support(), s.support()), f"query {x}"
+
+
+def test_plan_lengths_bounded(scheme, keys, negatives):
+    xs = np.concatenate([keys, negatives])
+    for x in xs[:50]:
+        assert len(scheme.probe_plan(int(x))) <= scheme.max_probes
+
+
+def test_contains_matches_membership(scheme, keys, negatives):
+    assert all(scheme.contains(int(x)) for x in keys)
+    assert not any(scheme.contains(int(x)) for x in negatives)
+    batch = scheme.contains_batch(np.concatenate([keys[:10], negatives[:10]]))
+    assert batch.tolist() == [True] * 10 + [False] * 10
+
+
+def test_out_of_universe_query_rejected(scheme, rng):
+    from repro.errors import QueryError
+
+    with pytest.raises(QueryError):
+        scheme.query(scheme.universe_size, rng)
+    with pytest.raises(QueryError):
+        scheme.probe_plan(-1)
+
+
+def test_space_is_positive_and_reported(scheme):
+    assert scheme.space_words == scheme.table.num_cells > 0
+    assert scheme.n > 0
+
+
+def test_probe_rows_within_table(scheme, keys, negatives):
+    for x in list(keys[:10]) + list(negatives[:10]):
+        for step in scheme.probe_plan(int(x)):
+            assert 0 <= step.row < scheme.table.rows
+            assert int(step.support().max()) < scheme.table.s
+
+
+def test_query_determinism_of_answers(scheme, keys, rng):
+    """Randomized probes, deterministic answers."""
+    x = int(keys[7])
+    answers = {scheme.query(x, np.random.default_rng(s)) for s in range(10)}
+    assert answers == {True}

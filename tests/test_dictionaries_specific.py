@@ -1,0 +1,172 @@
+"""Scheme-specific structural tests for the baselines."""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.steps import FixedCell, UniformStrided
+from repro.dictionaries import (
+    CuckooDictionary,
+    FKSDictionary,
+    LinearProbingDictionary,
+    SortedArrayDictionary,
+)
+from repro.errors import ConstructionError
+
+
+class TestSortedArray:
+    def test_root_cell_always_probed(self, sorted_dict, keys, negatives):
+        """The paper's opening observation: the middle cell is on every path."""
+        root = sorted_dict.n // 2
+        for x in list(keys[:20]) + list(negatives[:20]):
+            plan = sorted_dict.probe_plan(int(x))
+            assert isinstance(plan[0], FixedCell)
+            assert plan[0].column == root
+
+    def test_space_is_exactly_n(self, sorted_dict):
+        assert sorted_dict.space_words == sorted_dict.n
+
+    def test_probe_count_logarithmic(self, sorted_dict, negatives):
+        import math
+
+        bound = math.ceil(math.log2(sorted_dict.n)) + 1
+        for x in negatives[:30]:
+            assert len(sorted_dict.probe_plan(int(x))) <= bound
+
+
+class TestLinearProbing:
+    def test_slots_hold_all_keys(self, linear_probing, keys):
+        stored = linear_probing._slots[linear_probing._slots >= 0]
+        assert sorted(stored.tolist()) == sorted(keys.tolist())
+
+    def test_load_factor_respected(self, keys, universe_size):
+        d = LinearProbingDictionary(
+            keys, universe_size, rng=np.random.default_rng(0), load_factor=0.25
+        )
+        assert d.num_slots >= 4 * len(keys)
+
+    def test_bad_load_factor(self, keys, universe_size):
+        with pytest.raises(ConstructionError):
+            LinearProbingDictionary(
+                keys, universe_size, load_factor=1.5
+            )
+
+    def test_param_step_is_replicated(self, linear_probing, keys):
+        plan = linear_probing.probe_plan(int(keys[0]))
+        assert isinstance(plan[0], UniformStrided)
+        assert plan[0].count == linear_probing.replication > 1
+
+
+class TestFKS:
+    def test_fks_condition_holds(self, fks):
+        assert int(np.sum(fks.loads.astype(np.int64) ** 2)) <= 4 * fks.n
+
+    def test_loads_partition_keys(self, fks):
+        assert int(fks.loads.sum()) == fks.n
+
+    def test_offsets_are_prefix_sums_of_squares(self, fks):
+        sq = fks.loads.astype(np.int64) ** 2
+        expected = np.concatenate([[0], np.cumsum(sq)[:-1]])
+        assert np.array_equal(fks.offsets, expected)
+
+    def test_inner_hashes_are_perfect(self, fks, keys):
+        buckets = fks.level1.buckets(keys)
+        for i, bucket in enumerate(buckets):
+            if len(bucket) > 0:
+                assert fks.inner[i] is not None
+                assert fks.inner[i].is_perfect_on(bucket)
+                assert fks.inner[i].range_size == len(bucket) ** 2
+
+    def test_empty_bucket_query_stops_early(self, fks, universe_size, rng):
+        empty = np.nonzero(fks.loads == 0)[0]
+        if empty.size == 0:
+            pytest.skip("no empty buckets in this instance")
+        # Find a universe element hashing to an empty bucket.
+        xs = np.arange(min(universe_size, 1 << 14))
+        hits = xs[np.isin(fks.level1.eval_batch(xs), empty)]
+        assert hits.size > 0
+        x = int(hits[0])
+        plan = fks.probe_plan(x)
+        assert len(plan) == 2  # params + header A only
+        assert fks.query(x, rng) is False
+
+    def test_single_copy_params_have_contention_one(self, keys, universe_size):
+        d = FKSDictionary(
+            keys, universe_size, rng=np.random.default_rng(3),
+            param_replication=1,
+        )
+        plan = d.probe_plan(int(keys[0]))
+        assert plan[0].size == 1  # classic layout: one hot parameter cell
+
+
+class TestCuckoo:
+    def test_every_key_in_one_of_its_cells(self, cuckoo, keys):
+        for x in keys:
+            x = int(x)
+            in1 = int(cuckoo._slots1[cuckoo.h1(x)]) == x
+            in2 = int(cuckoo._slots2[cuckoo.h2(x)]) == x
+            assert in1 or in2
+            assert not (in1 and in2)  # stored exactly once
+
+    def test_occupancy_counts(self, cuckoo, keys):
+        stored = int((cuckoo._slots1 >= 0).sum() + (cuckoo._slots2 >= 0).sum())
+        assert stored == len(keys)
+
+    def test_positive_in_t1_needs_three_probes(self, cuckoo, keys):
+        t1_keys = [
+            int(x) for x in keys if int(cuckoo._slots1[cuckoo.h1(int(x))]) == int(x)
+        ]
+        assert t1_keys, "instance should place some keys in T1"
+        plan = cuckoo.probe_plan(t1_keys[0])
+        assert len(plan) == 3  # 2 params + T1 hit
+
+    def test_negative_needs_four_probes(self, cuckoo, negatives):
+        plan = cuckoo.probe_plan(int(negatives[0]))
+        assert len(plan) == 4
+
+    def test_side_size(self, cuckoo, keys):
+        assert cuckoo.side_size >= int(np.ceil(1.3 * len(keys)))
+
+    def test_epsilon_validation(self, keys, universe_size):
+        with pytest.raises(ConstructionError):
+            CuckooDictionary(keys, universe_size, epsilon=0)
+
+
+class TestDMDictionary:
+    def test_z_step_geometry(self, dm_dict, keys):
+        """The z probe spreads over columns congruent to g(x) mod r."""
+        x = int(keys[0])
+        W = len(dm_dict.param_words)
+        plan = dm_dict.probe_plan(x)
+        z_step = plan[W]
+        gx = dm_dict.level1.g(x)
+        support = z_step.support()
+        assert np.all(support % dm_dict.r == gx)
+        assert support.size == dm_dict._z_copies(gx)
+        assert int(support.max()) < dm_dict.table.s
+
+    def test_z_row_contents(self, dm_dict):
+        for j in range(0, dm_dict.table.s, max(dm_dict.table.s // 13, 1)):
+            assert dm_dict.table.peek(1, j) == int(
+                dm_dict.level1.z[j % dm_dict.r]
+            )
+
+    def test_level1_is_dm_formula(self, dm_dict, keys):
+        h = dm_dict.level1
+        for x in keys[:20]:
+            x = int(x)
+            assert h(x) == (h.f(x) + int(h.z[h.g(x)])) % dm_dict.num_buckets
+
+    def test_default_r_in_lemma9_interval(self):
+        from repro.dictionaries.dm_dict import default_r
+
+        for n in (64, 256, 4096):
+            for d in (3, 4, 5):
+                r = default_r(n, d)
+                lo, hi = 2.0 / (d + 2.0), 1.0 - 1.0 / d
+                # r = n^(1-delta) for some delta strictly inside (lo, hi):
+                # loose check since default_r rounds.
+                assert 1 <= r <= n
+
+    def test_max_bucket_load_small(self, dm_dict):
+        """Lemma 9-style behaviour: max load far below sqrt(n)."""
+        assert int(dm_dict.loads.max()) <= 4 * np.log2(dm_dict.n)

@@ -1,0 +1,174 @@
+"""Query-distribution semantics: pmf, sampling, support enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.distributions import (
+    ExplicitDistribution,
+    MixtureDistribution,
+    PointMass,
+    UniformOverSet,
+    UniformPositiveNegative,
+    UniformQueries,
+    ZipfDistribution,
+)
+from repro.errors import DistributionError
+
+
+class TestUniformPositiveNegative:
+    def test_total_mass_one(self, keys, universe_size):
+        d = UniformPositiveNegative(universe_size, keys, 0.3)
+        assert d.total_mass() == pytest.approx(1.0)
+
+    def test_pmf_values(self, keys, universe_size):
+        d = UniformPositiveNegative(universe_size, keys, 0.5)
+        n = keys.size
+        assert d.pmf(int(keys[0])) == pytest.approx(0.5 / n)
+        neg = 0 if 0 not in set(keys.tolist()) else 1
+        while neg in set(keys.tolist()):
+            neg += 1
+        assert d.pmf(neg) == pytest.approx(0.5 / (universe_size - n))
+
+    def test_sampling_class_balance(self, keys, universe_size, rng):
+        d = UniformPositiveNegative(universe_size, keys, 0.7)
+        samples = d.sample(rng, 20000)
+        frac_pos = float(np.isin(samples, keys).mean())
+        assert abs(frac_pos - 0.7) < 0.02
+
+    def test_negative_sampler_never_hits_keys(self, keys, universe_size, rng):
+        d = UniformPositiveNegative(universe_size, keys, 0.0)
+        samples = d.sample(rng, 5000)
+        assert not np.isin(samples, keys).any()
+        assert int(samples.min()) >= 0
+        assert int(samples.max()) < universe_size
+
+    def test_negative_sampler_uniformity(self, rng):
+        # Small universe: check every non-key is hit ~equally.
+        keys = [2, 5, 6]
+        d = UniformPositiveNegative(10, keys, 0.0)
+        samples = d.sample(rng, 14000)
+        counts = np.bincount(samples, minlength=10)
+        assert all(counts[k] == 0 for k in keys)
+        non_keys = [i for i in range(10) if i not in keys]
+        freq = counts[non_keys] / samples.size
+        assert np.abs(freq - 1 / 7).max() < 0.02
+
+    def test_enumerate_mass_covers_support(self):
+        keys = [1, 4, 7]
+        d = UniformPositiveNegative(12, keys, 0.5)
+        seen = {}
+        for xs, ws in d.enumerate_mass(chunk_size=4):
+            for x, w in zip(xs.tolist(), ws.tolist()):
+                assert x not in seen
+                seen[x] = w
+        assert set(seen) == set(range(12))
+        assert sum(seen.values()) == pytest.approx(1.0)
+        assert seen[1] == pytest.approx(0.5 / 3)
+        assert seen[0] == pytest.approx(0.5 / 9)
+
+    def test_pure_positive(self, keys, universe_size, rng):
+        d = UniformPositiveNegative(universe_size, keys, 1.0)
+        assert d.support_size == keys.size
+        assert np.isin(d.sample(rng, 100), keys).all()
+
+    def test_rejects_bad_keys(self):
+        with pytest.raises(DistributionError):
+            UniformPositiveNegative(10, [])
+        with pytest.raises(DistributionError):
+            UniformPositiveNegative(10, [3, 3])
+        with pytest.raises(DistributionError):
+            UniformPositiveNegative(10, [10])
+
+    def test_full_universe_needs_pure_positive(self):
+        with pytest.raises(DistributionError):
+            UniformPositiveNegative(3, [0, 1, 2], 0.5)
+        UniformPositiveNegative(3, [0, 1, 2], 1.0)  # fine
+
+
+class TestUniformQueries:
+    def test_is_flat_over_universe(self, keys, universe_size):
+        d = UniformQueries(universe_size, keys)
+        xs = np.array([0, int(keys[0]), universe_size - 1])
+        assert np.allclose(d.pmf_batch(xs), 1.0 / universe_size)
+
+
+class TestUniformOverSet:
+    def test_basics(self, rng):
+        d = UniformOverSet(100, [3, 1, 4, 15, 92])
+        assert d.support_size == 5
+        assert d.pmf(4) == pytest.approx(0.2)
+        assert d.pmf(5) == 0.0
+        assert set(d.sample(rng, 200).tolist()) <= {3, 1, 4, 15, 92}
+
+
+class TestExplicitAndPointMass:
+    def test_point_mass(self, rng):
+        d = PointMass(50, 7)
+        assert d.pmf(7) == 1.0 and d.pmf(8) == 0.0
+        assert np.all(d.sample(rng, 20) == 7)
+        assert d.total_mass() == pytest.approx(1.0)
+
+    def test_explicit_drops_zero_mass(self):
+        d = ExplicitDistribution(10, [1, 2, 3], [0.5, 0.0, 0.5])
+        assert d.support_size == 2
+
+    def test_explicit_validation(self):
+        with pytest.raises(DistributionError):
+            ExplicitDistribution(10, [1, 1], [0.5, 0.5])
+        with pytest.raises(DistributionError):
+            ExplicitDistribution(10, [10], [1.0])
+        with pytest.raises(DistributionError):
+            ExplicitDistribution(10, [1, 2], [0.7, 0.7])
+
+
+class TestZipf:
+    def test_mass_ordering(self):
+        d = ZipfDistribution(100, [10, 20, 30], exponent=1.0)
+        assert d.pmf(10) > d.pmf(20) > d.pmf(30)
+        assert d.total_mass() == pytest.approx(1.0)
+
+    def test_zero_exponent_is_uniform(self):
+        d = ZipfDistribution(100, [1, 2, 3, 4], exponent=0.0)
+        assert np.allclose(d.pmf_batch(np.array([1, 2, 3, 4])), 0.25)
+
+    def test_shuffled_ranks_deterministic(self):
+        a = ZipfDistribution(100, range(10), 1.0, shuffle_ranks=5)
+        b = ZipfDistribution(100, range(10), 1.0, shuffle_ranks=5)
+        xs = np.arange(10)
+        assert np.allclose(a.pmf_batch(xs), b.pmf_batch(xs))
+
+
+class TestMixture:
+    def test_pmf_is_weighted_sum(self, rng):
+        c1 = PointMass(20, 3)
+        c2 = UniformOverSet(20, [3, 5])
+        mix = MixtureDistribution([c1, c2], [0.25, 0.75])
+        assert mix.pmf(3) == pytest.approx(0.25 + 0.75 * 0.5)
+        assert mix.pmf(5) == pytest.approx(0.75 * 0.5)
+        assert mix.total_mass() == pytest.approx(1.0)
+
+    def test_sampling_respects_weights(self, rng):
+        mix = MixtureDistribution(
+            [PointMass(10, 0), PointMass(10, 9)], [0.8, 0.2]
+        )
+        samples = mix.sample(rng, 10000)
+        assert abs(float((samples == 0).mean()) - 0.8) < 0.02
+
+    def test_universe_mismatch_rejected(self):
+        with pytest.raises(DistributionError):
+            MixtureDistribution([PointMass(10, 0), PointMass(11, 0)], [0.5, 0.5])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(0, 1000),
+)
+def test_uniform_posneg_mass_property(p, seed):
+    rng = np.random.default_rng(seed)
+    keys = rng.choice(200, size=10, replace=False)
+    d = UniformPositiveNegative(200, keys, p)
+    assert d.total_mass() == pytest.approx(1.0)
+    xs = np.arange(200)
+    assert d.pmf_batch(xs).sum() == pytest.approx(1.0)

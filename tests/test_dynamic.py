@@ -1,0 +1,202 @@
+"""Dynamic dictionary: correctness, level discipline, cost accounting."""
+
+import numpy as np
+import pytest
+
+from repro.distributions import UniformPositiveNegative
+from repro.dynamic import DynamicLowContentionDictionary
+from repro.dynamic.levels import (
+    SingletonDictionary,
+    encode_delete,
+    encode_insert,
+)
+from repro.errors import ParameterError, QueryError
+
+UNIVERSE = 1 << 16
+
+
+@pytest.fixture()
+def dyn():
+    return DynamicLowContentionDictionary(
+        UNIVERSE, rng=np.random.default_rng(0)
+    )
+
+
+class TestCorrectness:
+    def test_insert_then_query(self, dyn, rng):
+        dyn.insert(42)
+        assert dyn.query(42, rng) is True
+        assert dyn.query(43, rng) is False
+        assert dyn.contains(42)
+
+    def test_delete(self, dyn, rng):
+        dyn.insert(7)
+        dyn.delete(7)
+        assert dyn.query(7, rng) is False
+        assert not dyn.contains(7)
+
+    def test_reinsert_after_delete(self, dyn, rng):
+        dyn.insert(5)
+        dyn.delete(5)
+        dyn.insert(5)
+        assert dyn.query(5, rng) is True
+
+    def test_idempotent_operations(self, dyn, rng):
+        for _ in range(4):
+            dyn.insert(9)
+        dyn.delete(100)  # absent: no-op
+        assert dyn.live_count == 1
+        assert dyn.query(9, rng) is True
+
+    def test_random_stream_matches_reference_set(self, rng):
+        dyn = DynamicLowContentionDictionary(
+            UNIVERSE, rng=np.random.default_rng(1)
+        )
+        ref = set()
+        for step in range(800):
+            k = int(rng.integers(0, 500))
+            if rng.random() < 0.65:
+                dyn.insert(k)
+                ref.add(k)
+            else:
+                dyn.delete(k)
+                ref.discard(k)
+            if step % 80 == 0:
+                for probe in rng.integers(0, 500, size=8):
+                    assert dyn.query(int(probe), rng) == (int(probe) in ref)
+        assert dyn.live_count == len(ref)
+        assert set(dyn.live_keys().tolist()) == ref
+
+    def test_out_of_universe(self, dyn, rng):
+        with pytest.raises(QueryError):
+            dyn.query(UNIVERSE, rng)
+        with pytest.raises(ParameterError):
+            dyn.insert(-1)
+
+
+class TestLevelDiscipline:
+    def test_binary_counter_shape(self, rng):
+        dyn = DynamicLowContentionDictionary(
+            UNIVERSE, rng=np.random.default_rng(2)
+        )
+        for k in range(1, 9):  # 8 distinct inserts, no deletes
+            dyn.insert(k)
+        # 8 = 2^3 ops -> single level of 8 (or a flattened equivalent).
+        assert dyn.live_count == 8
+        sizes = [s for s in dyn.level_sizes if s]
+        assert sum(sizes) == 8
+
+    def test_flatten_after_heavy_deletion(self, rng):
+        dyn = DynamicLowContentionDictionary(
+            UNIVERSE, rng=np.random.default_rng(3)
+        )
+        for k in range(32):
+            dyn.insert(k)
+        for k in range(30):
+            dyn.delete(k)
+        assert dyn.live_count == 2
+        # Flattening keeps total entries within 2x live.
+        assert sum(dyn.level_sizes) <= max(2 * dyn.live_count, 8)
+        for k in range(32):
+            assert dyn.contains(k) == (k >= 30)
+
+    def test_space_and_probes_reported(self, dyn):
+        dyn.insert(1)
+        dyn.insert(2)
+        assert dyn.space_words > 0
+        assert dyn.max_probes > 0
+
+
+class TestAccounting:
+    def test_update_and_query_counts(self, dyn, rng):
+        dyn.insert(1)
+        dyn.insert(2)
+        dyn.query(1, rng)
+        assert dyn.account.updates == 2
+        assert dyn.account.queries == 1
+        assert dyn.account.rebuilds
+
+    def test_amortized_cost_logarithmic(self, rng):
+        """Cells written per update stays O(rows * log(ops)) — far from
+        the O(n) of rebuild-everything-every-time."""
+        dyn = DynamicLowContentionDictionary(
+            UNIVERSE, rng=np.random.default_rng(4)
+        )
+        n_ops = 512
+        for k in range(n_ops):
+            dyn.insert(k)
+        amortized = dyn.account.amortized_write_cost()
+        assert amortized < 40 * np.log2(n_ops)
+        # Naive full-rebuild would pay ~ total space per update.
+        assert amortized < dyn.space_words / 4
+
+    def test_write_contention_dominated_by_small_levels(self, rng):
+        dyn = DynamicLowContentionDictionary(
+            UNIVERSE, rng=np.random.default_rng(5)
+        )
+        for k in range(128):
+            dyn.insert(k)
+        by_level = dyn.account.rebuild_count_by_level()
+        # Level 0 is rebuilt most often (every other op lands there).
+        assert by_level[0] == max(by_level.values())
+        assert 0 < dyn.account.max_write_contention() <= 1.0
+
+
+class TestContentionMeasurement:
+    def test_padding_restores_low_contention(self):
+        results = {}
+        for width in (0, 512):
+            dyn = DynamicLowContentionDictionary(
+                UNIVERSE, rng=np.random.default_rng(6), min_level_width=width
+            )
+            rng = np.random.default_rng(7)
+            for _ in range(300):
+                k = int(rng.integers(0, 600))
+                if rng.random() < 0.75:
+                    dyn.insert(k)
+                else:
+                    dyn.delete(k)
+            dist = UniformPositiveNegative(UNIVERSE, dyn.live_keys(), 0.5)
+            res = dyn.empirical_query_contention(
+                dist, 1200, np.random.default_rng(8)
+            )
+            results[width] = res["global_max_contention"]
+        assert results[512] < results[0] / 4
+
+    def test_contention_report_structure(self, dyn):
+        dyn.insert(3)
+        dyn.insert(4)
+        dyn.insert(5)
+        dist = UniformPositiveNegative(UNIVERSE, dyn.live_keys(), 0.5)
+        res = dyn.empirical_query_contention(
+            dist, 400, np.random.default_rng(9)
+        )
+        assert res["mean_probes"] > 0
+        assert res["per_level"]
+        for row in res["per_level"]:
+            assert row["max_contention"] >= row["floor_1_over_s"] - 1e-9
+
+
+class TestSingleton:
+    def test_semantics(self, rng):
+        s = SingletonDictionary([99], 1000, width=32)
+        assert s.query(99, rng) is True
+        assert s.query(98, rng) is False
+        assert s.max_probes == 1
+        plan = s.probe_plan(99)
+        assert len(plan) == 1 and plan[0].size == 32
+
+    def test_batch_plan(self, rng):
+        s = SingletonDictionary([99], 1000)
+        steps = s.probe_plan_batch(np.array([1, 99]))
+        assert len(steps) == 1 and steps[0].shared
+
+    def test_requires_one_key(self):
+        with pytest.raises(ParameterError):
+            SingletonDictionary([1, 2], 1000)
+
+
+class TestEncoding:
+    def test_encode_disjoint(self):
+        assert encode_insert(5) != encode_delete(5)
+        assert encode_insert(5) // 2 == encode_delete(5) // 2 == 5

@@ -1,0 +1,129 @@
+"""Property-based fuzzing: random instances across every scheme.
+
+For random (seed, n) instances each dictionary must answer all
+membership queries correctly, stay within its probe budget, and keep
+its batch plans consistent with execution.  These instances are much
+smaller than the fixtures (hypothesis runs many of them) but vary
+shape: clustered keys, adversarial arithmetic progressions, extreme
+universes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cellprobe import CellProbeMachine
+from repro.core import LowContentionDictionary
+from repro.dictionaries import (
+    CuckooDictionary,
+    DMDictionary,
+    FKSDictionary,
+    LinearProbingDictionary,
+    SortedArrayDictionary,
+)
+
+SCHEME_CLASSES = [
+    LowContentionDictionary,
+    FKSDictionary,
+    DMDictionary,
+    CuckooDictionary,
+    SortedArrayDictionary,
+    LinearProbingDictionary,
+]
+
+KEY_STYLES = ["random", "clustered", "arithmetic"]
+
+
+def _make_keys(style: str, n: int, universe: int, rng) -> np.ndarray:
+    if style == "random":
+        return np.sort(rng.choice(universe, size=n, replace=False))
+    if style == "clustered":
+        base = int(rng.integers(0, universe - 4 * n))
+        return np.sort(
+            base + rng.choice(4 * n, size=n, replace=False)
+        )
+    # Arithmetic progression — the classic bad case for weak hashing.
+    stride = int(rng.integers(1, max(2, universe // (n + 1))))
+    start = int(rng.integers(0, universe - stride * n))
+    return start + stride * np.arange(n, dtype=np.int64)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(8, 48),
+    style=st.sampled_from(KEY_STYLES),
+    scheme_idx=st.integers(0, len(SCHEME_CLASSES) - 1),
+)
+def test_random_instance_end_to_end(seed, n, style, scheme_idx):
+    rng = np.random.default_rng(seed)
+    universe = max(n * n, 4 * n)
+    keys = _make_keys(style, n, universe, rng)
+    cls = SCHEME_CLASSES[scheme_idx]
+    d = cls(keys, universe, rng=np.random.default_rng(seed + 1))
+    machine = CellProbeMachine(d, check_plan=True)
+    qrng = np.random.default_rng(seed + 2)
+    # All keys answer True, probing within budget and within plan.
+    for x in keys:
+        record = machine.run_query(int(x), qrng)
+        assert record.answer is True
+        assert record.num_probes <= d.max_probes
+    # A spread of negatives answers False.
+    negatives = [
+        x for x in range(0, universe, max(1, universe // 17))
+        if not d.contains(x)
+    ][:10]
+    for x in negatives:
+        assert machine.run_query(int(x), qrng).answer is False
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10_000), n=st.integers(8, 40))
+def test_lcd_batch_plan_mass(seed, n):
+    """Each query's plan mass equals its probe count, for random builds."""
+    rng = np.random.default_rng(seed)
+    universe = n * n
+    keys = np.sort(rng.choice(universe, size=n, replace=False))
+    d = LowContentionDictionary(keys, universe, rng=np.random.default_rng(seed))
+    xs = np.concatenate([keys, rng.integers(0, universe, size=n)])
+    flat = np.zeros(d.table.num_cells)
+    weights = np.ones(xs.size)
+    for step in d.probe_plan_batch(xs):
+        step.accumulate(flat, weights, d.table.s)
+    total_mass = flat.sum()
+    plan_lengths = sum(len(d.probe_plan(int(x))) for x in xs)
+    assert total_mass == pytest.approx(plan_lengths)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    n=st.integers(16, 64),
+    beta=st.floats(2.0, 5.0),
+    degree=st.integers(3, 5),
+)
+def test_lcd_parameter_fuzz(seed, n, beta, degree):
+    """Random legal parameters: construction succeeds, invariants hold,
+    and the independent verifier accepts the table."""
+    import math
+
+    from repro.core import SchemeParameters, verify_dictionary
+
+    alpha_min = degree / (2 * math.e * (math.log(2 * math.e) - 1))
+    params = SchemeParameters(
+        n=n, beta=beta, degree=degree, alpha=max(1.25, alpha_min * 1.05)
+    )
+    rng = np.random.default_rng(seed)
+    universe = max(n * n, 4 * n)
+    keys = np.sort(rng.choice(universe, size=n, replace=False))
+    d = LowContentionDictionary(
+        keys, universe, rng=np.random.default_rng(seed + 1), params=params
+    )
+    assert verify_dictionary(d, keys) == []
+    qrng = np.random.default_rng(seed + 2)
+    for x in keys[:: max(1, n // 8)]:
+        assert d.query(int(x), qrng)

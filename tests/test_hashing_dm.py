@@ -1,0 +1,96 @@
+"""DM family R^d_{r,m} tests (Definition 4)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.hashing import DMFamily
+from repro.hashing.dm import DMHashFunction
+from repro.utils.primes import next_prime
+
+PRIME = next_prime(1 << 16)
+
+
+def test_definition_formula(rng):
+    """h(x) = (f(x) + z_{g(x)}) mod m, literally."""
+    fam = DMFamily(PRIME, 50, 8, 3)
+    h = fam.sample(rng)
+    for x in rng.integers(0, 1 << 16, size=100):
+        x = int(x)
+        assert h(x) == (h.f(x) + int(h.z[h.g(x)])) % 50
+
+
+def test_scalar_matches_batch(rng):
+    fam = DMFamily(PRIME, 77, 13, 3)
+    h = fam.sample(rng)
+    xs = rng.integers(0, 1 << 16, size=400)
+    assert all(h(int(x)) == int(v) for x, v in zip(xs, h.eval_batch(xs)))
+
+
+def test_parameter_words_roundtrip(rng):
+    fam = DMFamily(PRIME, 40, 6, 3)
+    h = fam.sample(rng)
+    words = h.parameter_words()
+    assert len(words) == fam.words_per_function == 2 * 3 + 6
+    h2 = fam.from_parameter_words(words)
+    xs = np.arange(2000)
+    assert np.array_equal(h.eval_batch(xs), h2.eval_batch(xs))
+
+
+def test_mod_reduced(rng):
+    """h' = h mod m agrees with reducing the output (needs m | s)."""
+    s, m = 60, 12
+    fam = DMFamily(PRIME, s, 5, 3)
+    h = fam.sample(rng)
+    h_prime = h.mod_reduced(m)
+    xs = np.arange(3000)
+    assert np.array_equal(h.eval_batch(xs) % m, h_prime.eval_batch(xs))
+    assert h_prime.range_size == m
+
+
+def test_mod_reduced_requires_divisibility(rng):
+    h = DMFamily(PRIME, 60, 5, 3).sample(rng)
+    with pytest.raises(ParameterError):
+        h.mod_reduced(7)
+
+
+def test_z_validation(rng):
+    fam = DMFamily(PRIME, 10, 4, 3)
+    f = fam.f_family.sample(rng)
+    g = fam.g_family.sample(rng)
+    with pytest.raises(ParameterError):
+        DMHashFunction(f, g, np.array([0, 1, 2]))  # wrong length
+    with pytest.raises(ParameterError):
+        DMHashFunction(f, g, np.array([0, 1, 2, 10]))  # out of range
+
+
+def test_range_uniformity(rng):
+    """Marginal over random h of a fixed key is ~uniform on [m]."""
+    m = 8
+    fam = DMFamily(PRIME, m, 4, 3)
+    values = np.array([fam.sample(rng)(4242) for _ in range(4000)])
+    freq = np.bincount(values, minlength=m) / values.size
+    assert np.abs(freq - 1 / m).max() < 0.03
+
+
+def test_max_load_improves_on_plain_polynomial(rng):
+    """The DM shift spreads a clustered key set at least as well as f alone.
+
+    (Statistical smoke test of the Lemma 9 motivation, not a proof.)
+    """
+    keys = np.arange(512)  # adversarially clustered keys
+    m = 512
+    fam = DMFamily(PRIME, m, 22, 3)
+    dm_max = np.mean(
+        [fam.sample(rng).loads(keys).max() for _ in range(30)]
+    )
+    poly_max = np.mean(
+        [fam.f_family.sample(rng).loads(keys).max() for _ in range(30)]
+    )
+    assert dm_max <= poly_max * 1.5  # never much worse
+
+
+def test_from_parameter_words_validates_count():
+    fam = DMFamily(PRIME, 10, 4, 3)
+    with pytest.raises(ParameterError):
+        fam.from_parameter_words([0] * 5)

@@ -1,0 +1,123 @@
+"""Planted-block family tests (the E16 adversarial instance)."""
+
+import numpy as np
+import pytest
+
+from repro.contention import exact_contention
+from repro.dictionaries import FKSDictionary
+from repro.distributions import UniformOverSet
+from repro.errors import ConstructionError, ParameterError
+from repro.hashing import PlantedBlockFamily
+from repro.utils.primes import field_prime_for_universe
+
+N_KEYS = 256
+UNIVERSE = N_KEYS * N_KEYS
+
+
+@pytest.fixture(scope="module")
+def planted_setup():
+    rng = np.random.default_rng(0)
+    keys = np.sort(rng.choice(UNIVERSE, size=N_KEYS, replace=False))
+    prime = field_prime_for_universe(UNIVERSE)
+    family = PlantedBlockFamily(prime, N_KEYS, keys)
+    return keys, prime, family
+
+
+class TestFamily:
+    def test_activated_member_has_heavy_bucket(self, planted_setup, rng):
+        keys, prime, family = planted_setup
+        h = family.sample_activated(rng)
+        loads = h.loads(keys)
+        assert int(loads[0]) >= family.block_size
+
+    def test_inactive_member_behaves_like_base(self, planted_setup, rng):
+        keys, prime, family = planted_setup
+        h = family.from_parameter_words([12345 << 31 | 678, 0])
+        assert not h.activated
+        assert np.array_equal(h.eval_batch(keys), h.base.eval_batch(keys))
+
+    def test_scalar_matches_batch(self, planted_setup, rng):
+        keys, prime, family = planted_setup
+        h = family.sample_activated(rng)
+        xs = np.concatenate([keys[:50], np.arange(100)])
+        assert all(h(int(x)) == int(v) for x, v in zip(xs, h.eval_batch(xs)))
+
+    def test_collision_bound_near_2universal(self, planted_setup):
+        keys, prime, family = planted_setup
+        # Bound within a small constant of 1/m.
+        assert family.pairwise_collision_bound() <= 3.5 / N_KEYS
+
+    def test_empirical_collision_rate(self, planted_setup, rng):
+        keys, prime, family = planted_setup
+        x, y = int(keys[0]), int(keys[1])  # same block (sorted keys)
+        trials = 4000
+        collisions = 0
+        for _ in range(trials):
+            h = family.sample(rng)
+            if h(x) == h(y):
+                collisions += 1
+        assert collisions / trials <= family.pairwise_collision_bound() * 2
+
+    def test_activation_probability(self, planted_setup, rng):
+        keys, prime, family = planted_setup
+        rate = np.mean(
+            [family.sample(rng).activated for _ in range(3000)]
+        )
+        assert rate == pytest.approx(family.activation_prob, abs=0.02)
+
+    def test_validation(self, planted_setup):
+        keys, prime, _ = planted_setup
+        with pytest.raises(ParameterError):
+            PlantedBlockFamily(prime, N_KEYS, keys[:2])
+        with pytest.raises(ParameterError):
+            PlantedBlockFamily(prime, N_KEYS, keys, block_size=1)
+        with pytest.raises(ParameterError):
+            PlantedBlockFamily(prime, N_KEYS, keys, activation_prob=1.5)
+
+
+class TestFKSWithPlantedLevel1:
+    def test_fks_accepts_activated_member(self, planted_setup, rng):
+        keys, prime, family = planted_setup
+        h = family.sample_activated(np.random.default_rng(1))
+        fks = FKSDictionary(
+            keys, UNIVERSE, rng=np.random.default_rng(2), level1=h
+        )
+        assert fks.level1 is h
+        # Correctness end to end.
+        for x in keys[:30]:
+            assert fks.query(int(x), rng)
+        assert not fks.query(
+            next(v for v in range(UNIVERSE) if not fks.contains(v)), rng
+        )
+
+    def test_contention_is_block_over_n(self, planted_setup):
+        keys, prime, family = planted_setup
+        h = family.sample_activated(np.random.default_rng(1))
+        fks = FKSDictionary(
+            keys, UNIVERSE, rng=np.random.default_rng(2), level1=h
+        )
+        dist = UniformOverSet(UNIVERSE, keys)
+        phi = exact_contention(fks, dist).max_step_contention()
+        loads = h.loads(keys)
+        assert phi == pytest.approx(int(loads.max()) / N_KEYS)
+
+    def test_fks_condition_still_enforced(self, planted_setup):
+        keys, prime, family = planted_setup
+        huge = PlantedBlockFamily(
+            prime, N_KEYS, keys, block_size=N_KEYS, activation_prob=1.0
+        )
+        h = huge.sample_activated(np.random.default_rng(3))
+        with pytest.raises(ConstructionError):
+            # A block of size n gives sum of squares ~ n**2 > 4n.
+            FKSDictionary(
+                keys, UNIVERSE, rng=np.random.default_rng(4), level1=h
+            )
+
+    def test_level1_range_checked(self, planted_setup):
+        keys, prime, family = planted_setup
+        wrong = PlantedBlockFamily(prime, N_KEYS // 2, keys)
+        h = wrong.sample_activated(np.random.default_rng(5))
+        with pytest.raises(ConstructionError):
+            FKSDictionary(
+                keys, UNIVERSE, rng=np.random.default_rng(6), level1=h
+            )

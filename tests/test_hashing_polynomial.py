@@ -1,0 +1,112 @@
+"""Polynomial family: scalar/vector agreement, independence, storage."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.hashing import PolynomialFamily
+from repro.hashing.polynomial import PolynomialHashFunction
+from repro.utils.primes import next_prime
+
+PRIME = next_prime(1 << 16)
+
+
+def test_scalar_matches_batch(rng):
+    fam = PolynomialFamily(PRIME, 101, 4)
+    h = fam.sample(rng)
+    xs = rng.integers(0, 1 << 16, size=500)
+    batch = h.eval_batch(xs)
+    assert all(h(int(x)) == int(v) for x, v in zip(xs, batch))
+
+
+def test_range_respected(rng):
+    h = PolynomialFamily(PRIME, 37, 3).sample(rng)
+    values = h.eval_batch(np.arange(5000))
+    assert int(values.min()) >= 0 and int(values.max()) < 37
+
+
+def test_parameter_word_roundtrip(rng):
+    fam = PolynomialFamily(PRIME, 64, 3)
+    h = fam.sample(rng)
+    h2 = fam.from_parameter_words(h.parameter_words())
+    xs = np.arange(1000)
+    assert np.array_equal(h.eval_batch(xs), h2.eval_batch(xs))
+
+
+def test_degree_one_is_constant(rng):
+    fam = PolynomialFamily(PRIME, 100, 1)
+    h = fam.sample(rng)
+    values = h.eval_batch(np.arange(50))
+    assert np.unique(values).size == 1
+
+
+def test_pairwise_independence_statistics(rng):
+    """Empirical collision rate of a 2-wise family ~ 1/m."""
+    m = 64
+    fam = PolynomialFamily(PRIME, m, 2)
+    collisions = 0
+    trials = 3000
+    for _ in range(trials):
+        h = fam.sample(rng)
+        if h(12345) == h(54321):
+            collisions += 1
+    rate = collisions / trials
+    assert abs(rate - 1 / m) < 4 * np.sqrt((1 / m) / trials)
+
+
+def test_uniform_marginal_statistics(rng):
+    """For a fixed key, h(x) over random h is ~uniform over [m]."""
+    m = 16
+    fam = PolynomialFamily(PRIME, m, 2)
+    values = np.array([fam.sample(rng)(999) for _ in range(4000)])
+    freq = np.bincount(values, minlength=m) / values.size
+    assert np.abs(freq - 1 / m).max() < 0.03
+
+
+def test_loads_and_buckets(rng):
+    fam = PolynomialFamily(PRIME, 10, 2)
+    h = fam.sample(rng)
+    keys = np.arange(100)
+    loads = h.loads(keys)
+    buckets = h.buckets(keys)
+    assert loads.sum() == 100
+    assert [len(b) for b in buckets] == loads.tolist()
+    for i, b in enumerate(buckets):
+        assert all(h(int(x)) == i for x in b)
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        PolynomialFamily(10, 5, 2)  # not prime
+    with pytest.raises(ParameterError):
+        PolynomialFamily(PRIME, 0, 2)
+    with pytest.raises(ParameterError):
+        PolynomialFamily(PRIME, 5, 0)
+    with pytest.raises(ParameterError):
+        PolynomialHashFunction(PRIME, 5, [PRIME])  # coeff out of field
+    with pytest.raises(ParameterError):
+        PolynomialHashFunction(PRIME, 5, [])
+    fam = PolynomialFamily(PRIME, 5, 2)
+    with pytest.raises(ParameterError):
+        fam.from_parameter_words([1])  # wrong count
+
+
+def test_negative_keys_rejected(rng):
+    h = PolynomialFamily(PRIME, 5, 2).sample(rng)
+    with pytest.raises(ParameterError):
+        h.eval_batch(np.array([-1]))
+
+
+@settings(max_examples=25)
+@given(
+    x=st.integers(min_value=0, max_value=(1 << 31) - 1),
+    seed=st.integers(min_value=0, max_value=1 << 20),
+)
+def test_scalar_batch_agreement_property(x, seed):
+    from repro.utils.primes import MAX_VECTOR_PRIME
+
+    # 2**31 - 1 is prime (Mersenne) and is the largest legal modulus.
+    fam = PolynomialFamily(MAX_VECTOR_PRIME, 997, 3)
+    h = fam.sample(np.random.default_rng(seed))
+    assert h(x) == int(h.eval_batch(np.array([x]))[0])

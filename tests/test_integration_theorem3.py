@@ -1,0 +1,98 @@
+"""Headline integration test: Theorem 3 end to end at a non-toy size.
+
+Builds the full scheme at n = 512 (universe n**2), runs exact contention
+against the paper's distribution class, executes plan-validated queries,
+and asserts all four parameters of the
+``(O(n), b, O(1), O(1/n))``-balanced scheme simultaneously.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cellprobe import CellProbeMachine
+from repro.contention import exact_contention
+from repro.core import LowContentionDictionary
+from repro.distributions import UniformPositiveNegative
+
+N_KEYS = 512
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(2024)
+    N = N_KEYS * N_KEYS
+    keys = np.sort(rng.choice(N, size=N_KEYS, replace=False))
+    d = LowContentionDictionary(keys, N, rng=rng)
+    return keys, N, d
+
+
+def test_theorem3_all_four_parameters(instance):
+    keys, N, d = instance
+    # (1) Space O(n): words per key bounded by rows * beta + slack.
+    assert d.space_words <= 30 * N_KEYS
+    # (2) Cell size b: 64 >= log2 N.
+    assert 64 >= np.log2(N)
+    # (3) Probes O(1).
+    assert d.max_probes <= 2 * d.params.degree + d.params.rho + 4
+    # (4) Contention O(1/n) at EVERY step (Definition 2), for the whole
+    # distribution class: pure positive, pure negative, and mixes.
+    for p in (1.0, 0.75, 0.5, 0.25, 0.0):
+        dist = UniformPositiveNegative(N, keys, p)
+        matrix = exact_contention(d, dist)
+        phi = matrix.max_step_contention()
+        assert phi * N_KEYS < 3.0, f"positive_mass={p}: phi*n = {phi * N_KEYS}"
+
+
+def test_queries_correct_and_plan_conformant(instance):
+    keys, N, d = instance
+    rng = np.random.default_rng(7)
+    machine = CellProbeMachine(d, check_plan=True)
+    negatives = []
+    x = 0
+    key_set = set(keys.tolist())
+    while len(negatives) < 50:
+        if x not in key_set:
+            negatives.append(x)
+        x += 997
+    for q in list(keys[:50]) + negatives:
+        machine.run_query(int(q), rng)
+
+
+def test_balanced_scheme_definition2(instance):
+    """Definition 2 asks the contention bound per step AND per cell; the
+    whole matrix (not just its max) must be <= c/n."""
+    keys, N, d = instance
+    dist = UniformPositiveNegative(N, keys, 0.5)
+    matrix = exact_contention(d, dist)
+    assert float(matrix.phi.max()) * N_KEYS < 3.0
+    # And the total contention (summed over steps) is O(1/n) too since
+    # there are O(1) steps.
+    assert matrix.max_total_contention() * N_KEYS < 3.0 * d.max_probes
+
+
+def test_empirical_execution_agrees_with_exact(instance):
+    keys, N, d = instance
+    from repro.contention import empirical_contention
+
+    dist = UniformPositiveNegative(N, keys, 0.5)
+    exact = exact_contention(d, dist)
+    emp = empirical_contention(d, dist, 20_000, np.random.default_rng(3))
+    assert emp.expected_probes() == pytest.approx(
+        exact.expected_probes(), rel=0.01
+    )
+    # Hot-cell estimates within Monte-Carlo noise.
+    assert emp.max_step_contention() <= 3.0 * exact.max_step_contention()
+
+
+@pytest.mark.parametrize("seed", [11, 222, 3333])
+def test_theorem3_seed_robustness(seed):
+    """The O(1/n) constant is stable across independent instances."""
+    rng = np.random.default_rng(seed)
+    n = 256
+    N = n * n
+    keys = np.sort(rng.choice(N, size=n, replace=False))
+    d = LowContentionDictionary(keys, N, rng=rng)
+    dist = UniformPositiveNegative(N, keys, 0.5)
+    phi = exact_contention(d, dist).max_step_contention()
+    assert phi * n < 3.0
+    assert d.construction_trials <= 5

@@ -1,0 +1,70 @@
+"""Table rendering and result serialization."""
+
+import json
+
+import pytest
+
+from repro.io import ExperimentResult, render_table, save_results
+
+
+class TestRenderTable:
+    def test_basic_render(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        out = render_table(rows)
+        lines = out.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert "22" in lines[-1]
+        assert set(lines[1]) <= {"-", "+"}
+
+    def test_heterogeneous_rows_union_columns(self):
+        rows = [{"a": 1}, {"b": 2}]
+        out = render_table(rows)
+        assert "a" in out and "b" in out
+
+    def test_float_formatting(self):
+        out = render_table([{"v": 0.000123456}, {"v": 123456.0}, {"v": 0.5}])
+        assert "1.235e-04" in out
+        assert "1.235e+05" in out
+        assert "0.5" in out
+
+    def test_bool_formatting(self):
+        out = render_table([{"ok": True}, {"ok": False}])
+        assert "yes" in out and "no" in out
+
+    def test_empty_rows(self):
+        assert "(no rows)" in render_table([], title="T")
+
+    def test_title_and_explicit_columns(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b"], title="only b")
+        assert out.startswith("only b")
+        assert "a" not in out.splitlines()[1]
+
+
+class TestExperimentResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment_id="E0",
+            title="demo",
+            claim="the claim",
+            rows=[{"x": 1}],
+            finding="the finding",
+            notes="a note",
+        )
+
+    def test_render_contains_sections(self):
+        text = self._result().render()
+        assert "[E0] demo" in text
+        assert "Claim: the claim" in text
+        assert "Finding: the finding" in text
+        assert "Notes: a note" in text
+
+    def test_as_dict_roundtrips_json(self):
+        d = self._result().as_dict()
+        assert json.loads(json.dumps(d)) == d
+
+    def test_save_results(self, tmp_path):
+        path = tmp_path / "results.json"
+        save_results([self._result()], path)
+        data = json.loads(path.read_text())
+        assert data[0]["experiment_id"] == "E0"
+        assert data[0]["rows"] == [{"x": 1}]

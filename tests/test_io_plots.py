@@ -1,0 +1,105 @@
+"""ASCII chart tests."""
+
+import numpy as np
+import pytest
+
+from repro.contention import exact_contention
+from repro.distributions import UniformOverSet
+from repro.errors import ParameterError
+from repro.io.plots import (
+    contention_profile,
+    horizontal_bars,
+    loglog_series,
+    sparkline,
+)
+
+
+class TestSparkline:
+    def test_width_and_charset(self):
+        out = sparkline(np.arange(100), width=20)
+        assert len(out) == 20
+        assert set(out) <= set(" ▁▂▃▄▅▆▇█")
+
+    def test_monotone_input_monotone_output(self):
+        out = sparkline(np.arange(64), width=8)
+        levels = [" ▁▂▃▄▅▆▇█".index(c) for c in out]
+        assert levels == sorted(levels)
+        assert levels[-1] == 8  # max maps to full block
+
+    def test_flat_zero(self):
+        assert sparkline(np.zeros(10), width=5) == " " * 5
+
+    def test_spike_visible(self):
+        v = np.zeros(100)
+        v[50] = 1.0
+        out = sparkline(v, width=10)
+        assert out.count("█") == 1
+
+    def test_short_input(self):
+        assert len(sparkline(np.array([1.0, 2.0]), width=64)) == 2
+
+    def test_log_scale_preserves_nonzero(self):
+        v = np.array([1e-6, 1e-3, 1.0])
+        out = sparkline(v, width=3, log_scale=True)
+        assert out[0] != " "  # tiny value still visible
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            sparkline(np.array([]))
+        with pytest.raises(ParameterError):
+            sparkline(np.array([1.0]), width=0)
+
+
+class TestContentionProfile:
+    def test_whole_table_and_single_row(self, fks, keys):
+        dist = UniformOverSet(fks.universe_size, keys)
+        matrix = exact_contention(fks, dist)
+        whole = contention_profile(matrix, width=32)
+        assert len(whole.splitlines()) == fks.table.rows
+        assert "row  0" in whole
+        single = contention_profile(matrix, row=1, width=32)
+        assert len(single) == 32
+
+
+class TestHorizontalBars:
+    def test_renders_all_labels(self):
+        out = horizontal_bars(["a", "bb"], [1.0, 100.0])
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[0].strip().startswith("a")
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_zero_values_get_empty_bars(self):
+        out = horizontal_bars(["x", "y"], [0.0, 5.0])
+        assert "#" not in out.splitlines()[0]
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            horizontal_bars(["a"], [1.0, 2.0])
+        with pytest.raises(ParameterError):
+            horizontal_bars(["a"], [-1.0])
+
+
+class TestLogLogSeries:
+    def test_linear_law_slope_one(self):
+        n = [64, 128, 256, 512]
+        out = loglog_series(n, [2 * v for v in n])
+        slopes = [
+            float(line.split()[-1]) for line in out.splitlines()[2:]
+        ]
+        assert all(abs(s - 1.0) < 1e-9 for s in slopes)
+
+    def test_constant_law_slope_zero(self):
+        out = loglog_series([64, 128, 256], [5.0, 5.0, 5.0])
+        slopes = [float(line.split()[-1]) for line in out.splitlines()[2:]]
+        assert all(abs(s) < 1e-9 for s in slopes)
+
+    def test_sqrt_law_slope_half(self):
+        n = [64, 256, 1024]
+        out = loglog_series(n, [v**0.5 for v in n])
+        slopes = [float(line.split()[-1]) for line in out.splitlines()[2:]]
+        assert all(abs(s - 0.5) < 1e-9 for s in slopes)
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            loglog_series([1.0], [1.0])

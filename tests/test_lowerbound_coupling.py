@@ -1,0 +1,82 @@
+"""Lemma 21 tests: coupled probe sets with small unions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ParameterError
+from repro.lowerbound.coupling import (
+    couple_probe_sets,
+    empirical_marginals,
+    expected_union_bound,
+)
+
+
+def test_union_bound_formula():
+    P = np.array([[0.5, 0.0], [0.25, 0.5]])
+    assert expected_union_bound(P) == pytest.approx(0.5 + 0.5)
+
+
+def test_sets_are_subsets_of_base(rng):
+    P = rng.random((4, 20)) * 0.5
+    sets, B = couple_probe_sets(P, rng)
+    base = set(B.tolist())
+    for L in sets:
+        assert set(L.tolist()) <= base
+
+
+def test_marginals_preserved(rng):
+    P = rng.random((3, 15)) * 0.6
+    marg, _ = empirical_marginals(P, 4000, rng)
+    assert np.abs(marg - P).max() < 0.05
+
+
+def test_union_within_bound(rng):
+    P = rng.random((5, 25)) * 0.4
+    _, mean_union = empirical_marginals(P, 3000, rng)
+    assert mean_union <= expected_union_bound(P) + 0.2
+
+
+def test_identical_rows_share_all_probes(rng):
+    """When all marginals agree, the coupling makes L_i identical —
+    that's the whole point: n queries, one union."""
+    row = rng.random(30) * 0.5
+    P = np.tile(row, (6, 1))
+    sets, B = couple_probe_sets(P, rng)
+    for L in sets:
+        assert np.array_equal(np.sort(L), np.sort(B))
+    assert expected_union_bound(P) == pytest.approx(row.sum())
+
+
+def test_deterministic_columns(rng):
+    """Columns with marginal 1 for some row are always in that row's set."""
+    P = np.zeros((2, 5))
+    P[0, 3] = 1.0
+    sets, _ = couple_probe_sets(P, rng)
+    assert 3 in set(sets[0].tolist())
+    assert sets[1].size == 0
+
+
+def test_validation():
+    with pytest.raises(ParameterError):
+        expected_union_bound(np.array([0.5, 0.5]))  # 1-D
+    with pytest.raises(ParameterError):
+        expected_union_bound(np.array([[1.5]]))  # out of [0, 1]
+
+
+def test_empty_base_set(rng):
+    P = np.zeros((3, 4))
+    sets, B = couple_probe_sets(P, rng)
+    assert B.size == 0
+    assert all(L.size == 0 for L in sets)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 10000), n=st.integers(1, 6), s=st.integers(1, 20))
+def test_union_bound_property(seed, n, s):
+    rng = np.random.default_rng(seed)
+    P = rng.random((n, s)) * rng.random()
+    # Exact: E|union L_i| = E|B restricted to cols any row uses|... the
+    # bound sum_j ptilde_j always dominates the empirical mean union.
+    _, mean_union = empirical_marginals(P, 400, rng)
+    assert mean_union <= expected_union_bound(P) + 0.6  # MC slack

@@ -1,0 +1,152 @@
+"""Communication game (Lemma 14) and the t* recursion (Theorem 13)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import GameError, ParameterError
+from repro.lowerbound.game import (
+    CommunicationGame,
+    ProbeSpecification,
+    specification_from_dictionary,
+)
+from repro.lowerbound.recursion import (
+    information_deficit_tstar,
+    recursion_bounds,
+    recursion_trace,
+    tstar_curve,
+)
+
+
+class TestProbeSpecification:
+    def test_row_sum_constraint(self):
+        with pytest.raises(GameError):
+            ProbeSpecification(np.full((2, 4), 0.3))  # rows sum to 1.2
+        ProbeSpecification(np.full((2, 4), 0.25))  # exactly 1: fine
+
+    def test_contention_constraint(self):
+        spec = ProbeSpecification(np.full((2, 4), 0.25))
+        q = np.array([0.5, 0.5])
+        spec.check_contention(q, phi_star=0.2)  # 0.25 <= 0.2/0.5 = 0.4
+        with pytest.raises(GameError):
+            spec.check_contention(q, phi_star=0.1)  # 0.25 > 0.2
+
+    def test_zero_mass_queries_unconstrained(self):
+        spec = ProbeSpecification(np.eye(2) * 1.0)
+        spec.check_contention(np.zeros(2), phi_star=1e-9)
+
+    def test_information_budget(self):
+        P = np.zeros((3, 5))
+        P[0, 0] = 1.0
+        P[1, 0] = 0.5
+        P[2, 4] = 0.25
+        spec = ProbeSpecification(P)
+        assert spec.information_budget(b=8) == pytest.approx(8 * 1.25)
+
+
+class TestCommunicationGame:
+    def test_round_accounting(self):
+        game = CommunicationGame(n=4, s=10, b=8, phi_star=0.5)
+        bits = game.play_round(game.uniform_specification())
+        assert bits == pytest.approx(8 * 10 * (1 / 10))
+        assert game.transcript.rounds == 1
+        assert game.transcript.total_bits == pytest.approx(bits)
+
+    def test_adversary_can_only_raise_q(self):
+        game = CommunicationGame(n=3, s=5, b=4, phi_star=0.5)
+        game.set_q(np.array([0.1, 0.0, 0.0]))
+        with pytest.raises(GameError):
+            game.set_q(np.array([0.05, 0.0, 0.0]))
+        with pytest.raises(GameError):
+            game.set_q(np.array([0.9, 0.9, 0.0]))  # over-mass
+
+    def test_hot_query_forbids_concentration(self):
+        game = CommunicationGame(n=2, s=4, b=1, phi_star=0.1)
+        game.set_q(np.array([0.5, 0.0]))
+        P = np.zeros((2, 4))
+        P[0, 0] = 1.0  # query 0 concentrates: violates 0.1/0.5 = 0.2
+        with pytest.raises(GameError):
+            game.play_round(ProbeSpecification(P))
+        # The clipped version is legal.
+        clipped = game.clipped_specification(P)
+        game.play_round(clipped)
+        assert clipped.P[0, 0] == pytest.approx(0.2)
+
+    def test_information_target(self):
+        game = CommunicationGame(n=16, s=8, b=4, phi_star=0.5)
+        assert game.transcript.information_target(16, 2) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        game = CommunicationGame(n=2, s=4, b=1, phi_star=0.5)
+        with pytest.raises(ParameterError):
+            game.play_round(ProbeSpecification(np.zeros((3, 4))))
+
+
+class TestDictionarySpecifications:
+    def test_specs_from_lcd_are_legal(self, lcd, keys):
+        n = 16
+        q = np.full(n, 0.5 / n)
+        phi_star = (math.log2(n) ** 2) / lcd.table.s
+        game = CommunicationGame(
+            n=n, s=lcd.table.s, b=64, phi_star=phi_star, q=q
+        )
+        for t in range(lcd.max_probes):
+            spec = specification_from_dictionary(lcd, keys[:n], t)
+            game.play_round(spec)  # validates (1) and (2)
+        assert game.transcript.rounds == lcd.max_probes
+        assert game.transcript.total_bits > 0
+
+    def test_spec_rows_match_plans(self, fks, keys):
+        spec = specification_from_dictionary(fks, keys[:4], step=0)
+        for i in range(4):
+            plan0 = fks.probe_plan(int(keys[i]))[0]
+            assert spec.P[i, plan0.support()].sum() == pytest.approx(1.0)
+
+    def test_past_the_plan_is_zero(self, fks, keys):
+        spec = specification_from_dictionary(fks, keys[:3], step=99)
+        assert spec.P.sum() == 0.0
+
+
+class TestRecursion:
+    def test_closed_form_monotone_increasing_to_a(self):
+        bounds = recursion_bounds(a1=2.0, a=1000.0, t_star=6)
+        assert all(b1 <= b2 for b1, b2 in zip(bounds, bounds[1:]))
+        assert bounds[-1] <= 1000.0
+
+    def test_trace_feasibility_transition(self):
+        """For fixed n, small t is infeasible, large t feasible."""
+        n = 1 << 20
+        lg = math.log2(n)
+        s, b = 2 * n, lg
+        phi = lg / s
+        feasible = [
+            recursion_trace(n, s, b, phi, t).feasible for t in range(1, 8)
+        ]
+        assert feasible[-1], "large t must be feasible"
+        assert not all(feasible), "tiny t must be infeasible"
+        # Once feasible, stays feasible (target shrinks, total grows).
+        first = feasible.index(True)
+        assert all(feasible[first:])
+
+    def test_tstar_grows_like_loglog(self):
+        curve = tstar_curve([4, 16, 64, 256, 512])
+        ts = [t for (_, t, _) in curve]
+        assert ts == sorted(ts)
+        assert ts[-1] > ts[0]
+        # Ratio to log log n stays bounded in a narrow band.
+        ratios = [t / ll for (_, t, ll) in curve if ll > 0]
+        assert max(ratios) < 1.5 and min(ratios) > 0.2
+
+    def test_tstar_sublogarithmic(self):
+        """t*(n) is genuinely tiny: for n = 2^256, still single digits."""
+        assert information_deficit_tstar(2**256) <= 8
+
+    def test_bad_params(self):
+        with pytest.raises(ParameterError):
+            recursion_bounds(0, 1, 1)
+        with pytest.raises(ParameterError):
+            recursion_trace(10, 10, 1, 0.1, 0)
+
+    def test_small_n_floor(self):
+        assert information_deficit_tstar(2) == 1

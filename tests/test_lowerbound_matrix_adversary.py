@@ -1,0 +1,120 @@
+"""Lemma 16 (envelope bound) and Lemma 15 (adversary) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GameError, ParameterError
+from repro.lowerbound.adversary import (
+    lemma15_distribution,
+    lemma15_r,
+    violates_all_rows,
+)
+from repro.lowerbound.matrixbounds import (
+    bad_row_budget,
+    lemma16_holds,
+    lemma16_lhs,
+    lemma16_lhs_fractional,
+    lemma16_rhs,
+    row_is_good,
+)
+
+
+class TestLemma16:
+    def test_concentrated_matrix(self):
+        """Rows that each put mass 1 on distinct cells: rhs = min(n, s)."""
+        n, s = 4, 10
+        P = np.zeros((n, s))
+        for i in range(n):
+            P[i, i] = 1.0
+        assert lemma16_rhs(P) == pytest.approx(4.0)
+        assert lemma16_lhs(P) == 4  # each costs 1, budget s=10
+
+    def test_spread_matrix(self):
+        """Uniform rows: rhs = 1, and only one row fits the budget...
+        but fractionally lhs >= 1 still holds."""
+        P = np.full((3, 6), 1 / 6)
+        assert lemma16_rhs(P) == pytest.approx(1.0)
+        assert lemma16_lhs(P) == 1  # cost 6 each, budget 6
+        assert lemma16_holds(P)
+
+    def test_fractional_dominates_integer(self, rng):
+        for _ in range(10):
+            P = rng.random((6, 30))
+            P /= P.sum(axis=1, keepdims=True) * rng.uniform(1, 4)
+            frac = lemma16_lhs_fractional(P)
+            assert lemma16_lhs(P) <= frac <= lemma16_lhs(P) + 1
+
+    def test_row_sum_validation(self):
+        with pytest.raises(ParameterError):
+            lemma16_rhs(np.full((2, 3), 0.9))
+
+    def test_zero_rows_handled(self):
+        P = np.zeros((3, 5))
+        P[0, 0] = 0.5
+        assert lemma16_lhs(P) == 1
+        assert lemma16_rhs(P) == pytest.approx(0.5)
+
+    def test_row_goodness(self):
+        row = np.array([1.0, 2.0, 3.0, 100.0])
+        assert row_is_good(row, r=3, threshold=6.0)
+        assert not row_is_good(row, r=4, threshold=6.0)
+        assert not row_is_good(row, r=5, threshold=1e9)  # r > size
+
+    def test_bad_row_budget_claim4(self, rng):
+        """Claim (4): if the M-row is bad, rhs(P) <= r_t.
+
+        Constructed instance: phi* = 0.01, s = 50; a spread-out P whose
+        reciprocal maxima are large makes the row bad for small r_t.
+        """
+        s, phi_star = 50, 0.02
+        P = np.full((8, s), 1.0 / s)  # max_j P = 1/s each row
+        M_row = np.full(8, phi_star / (1.0 / s))  # = phi* s = 1.0 each
+        r_t = 9  # sum of r_t smallest = r_t > phi*.s = 1 -> row is bad
+        assert not row_is_good(M_row, r=len(M_row), threshold=phi_star * s)
+        assert bad_row_budget(P, r_t)
+
+    @settings(max_examples=40)
+    @given(seed=st.integers(0, 10000), n=st.integers(1, 10), s=st.integers(1, 40))
+    def test_corrected_lemma16_property(self, seed, n, s):
+        rng = np.random.default_rng(seed)
+        P = rng.random((n, s))
+        P /= np.maximum(P.sum(axis=1, keepdims=True), 1.0) * rng.uniform(1, 3)
+        assert lemma16_holds(P)
+
+
+class TestLemma15:
+    def test_constructed_q_violates_everything(self, rng):
+        M = rng.random((60, 300)) * 0.01
+        q, T = lemma15_distribution(M, epsilon=0.5, delta=1.5, rng=rng)
+        assert violates_all_rows(M, q)
+        assert q.sum() == pytest.approx(0.5)
+        assert np.all(q[T] > 0)
+        assert np.count_nonzero(q) == T.size
+
+    def test_r_formula(self):
+        assert lemma15_r(0.5, 2.0, 100, 50) == int(
+            np.ceil(np.sqrt(5 * 2.0 * 100 * np.log(50) / 0.5))
+        )
+
+    def test_hypothesis_violation_detected(self, rng):
+        M = np.full((5, 20), 10.0)  # every entry huge: no small R_u
+        with pytest.raises(GameError):
+            lemma15_distribution(M, epsilon=0.5, delta=1.0, rng=rng, r=5)
+
+    def test_explicit_r(self, rng):
+        M = rng.random((20, 100)) * 0.01
+        q, T = lemma15_distribution(M, epsilon=0.3, delta=1.0, rng=rng, r=40)
+        assert violates_all_rows(M, q)
+
+    def test_mass_is_epsilon(self, rng):
+        M = rng.random((10, 200)) * 0.005
+        for eps in (0.1, 0.9):
+            q, _ = lemma15_distribution(M, epsilon=eps, delta=1.0, rng=rng)
+            assert q.sum() == pytest.approx(eps)
+
+    def test_invalid_params(self):
+        with pytest.raises(ParameterError):
+            lemma15_r(0, 1, 10, 10)
+        with pytest.raises(ParameterError):
+            lemma15_distribution(np.zeros(3), 0.5, 1.0)

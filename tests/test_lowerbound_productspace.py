@@ -1,0 +1,118 @@
+"""Lemma 19 tests: success floor, conditional law, both proof cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lowerbound.productspace import (
+    FAIL,
+    ProductSpaceProbe,
+    simulate_probe_sequence,
+)
+
+
+def _dirichlet(seed, s):
+    return np.random.default_rng(seed).dirichlet(np.ones(s))
+
+
+class TestCaseOne:
+    """All p_i <= 1/2."""
+
+    def test_success_floor(self):
+        p = np.full(10, 0.1)
+        probe = ProductSpaceProbe(p)
+        assert probe.success_probability() >= 0.25
+
+    def test_worst_case_is_exactly_quarter(self):
+        # Two cells at 1/2 minimize rho = prod(1 - p_i) = 1/4; success
+        # = sum_i p_i rho = rho.
+        probe = ProductSpaceProbe(np.array([0.5, 0.5]))
+        assert probe.success_probability() == pytest.approx(0.25)
+
+    def test_output_proportional_to_p(self):
+        p = _dirichlet(0, 16)
+        probe = ProductSpaceProbe(p)
+        out = probe.output_distribution()
+        assert np.allclose(out / out.sum(), p)
+
+    def test_deterministic_probe(self):
+        """p concentrated on one cell: case 2 with p_0 = 1."""
+        p = np.zeros(5)
+        p[2] = 1.0
+        probe = ProductSpaceProbe(p)
+        assert probe.success_probability() >= 0.25
+        out = probe.output_distribution()
+        assert out[2] == probe.success_probability()
+        assert np.all(out[[0, 1, 3, 4]] == 0)
+
+
+class TestCaseTwo:
+    """One p_0 > 1/2."""
+
+    def test_success_floor(self):
+        p = np.array([0.7, 0.1, 0.1, 0.1])
+        probe = ProductSpaceProbe(p)
+        # rho' = prod_{j>0}(1 - p_j) > 1/2; success = rho'/2 > 1/4.
+        assert probe.success_probability() > 0.25
+
+    def test_output_proportional_to_p(self):
+        p = np.array([0.6] + [0.4 / 7] * 7)
+        probe = ProductSpaceProbe(p)
+        out = probe.output_distribution()
+        assert np.allclose(out / out.sum(), p)
+
+    def test_marginals_never_exceed_p(self):
+        """Inequality (6): the simulation never increases contention."""
+        p = np.array([0.9, 0.05, 0.05])
+        probe = ProductSpaceProbe(p)
+        assert np.all(probe.marginal_probabilities() <= p + 1e-15)
+
+    def test_expected_probes_at_most_one(self):
+        """Inequality (5): E[|J|] = sum p'_i <= 1."""
+        for seed in range(5):
+            p = _dirichlet(seed, 12)
+            assert ProductSpaceProbe(p).expected_probes() <= 1.0 + 1e-12
+
+
+class TestSimulation:
+    def test_empirical_matches_exact(self, rng):
+        p = _dirichlet(3, 8)
+        probe = ProductSpaceProbe(p)
+        outcomes = np.array([probe.simulate(rng) for _ in range(20000)])
+        emp_success = float(np.mean(outcomes != FAIL))
+        assert emp_success == pytest.approx(
+            probe.success_probability(), abs=0.02
+        )
+        succ = outcomes[outcomes != FAIL]
+        freq = np.bincount(succ, minlength=8) / succ.size
+        assert np.abs(freq - p).max() < 0.03
+
+    def test_sequence_success_floor(self, rng):
+        dists = [_dirichlet(s, 6) for s in range(4)]
+        exact = np.prod(
+            [ProductSpaceProbe(p).success_probability() for p in dists]
+        )
+        assert exact >= 4.0 ** (-4)
+        wins = sum(
+            simulate_probe_sequence(dists, rng)[1] for _ in range(4000)
+        )
+        assert wins / 4000 == pytest.approx(exact, abs=0.03)
+
+    def test_sequence_outputs_mark_failures(self, rng):
+        dists = [np.array([0.5, 0.5])] * 3
+        outputs, success = simulate_probe_sequence(dists, rng)
+        assert len(outputs) == 3
+        assert success == all(o != FAIL for o in outputs)
+
+
+@settings(max_examples=40)
+@given(seed=st.integers(0, 100000), s=st.integers(2, 40))
+def test_success_floor_property(seed, s):
+    """Lemma 19's >= 1/4 holds for arbitrary probe distributions."""
+    p = np.random.default_rng(seed).dirichlet(np.ones(s))
+    probe = ProductSpaceProbe(p)
+    assert probe.success_probability() >= 0.25 - 1e-12
+    out = probe.output_distribution()
+    nz = p > 1e-12
+    ratios = out[nz] / p[nz]
+    assert np.allclose(ratios, ratios[0])  # exactly proportional

@@ -1,0 +1,93 @@
+"""Data-structure problem semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.problems import (
+    IntervalStabbingProblem,
+    MembershipProblem,
+    ParityProblem,
+    ThresholdProblem,
+)
+
+
+class TestMembership:
+    def test_evaluate(self):
+        p = MembershipProblem(10, 3)
+        S = frozenset({1, 5, 9})
+        assert p.evaluate(5, S) and not p.evaluate(4, S)
+
+    def test_batch_matches_scalar(self, rng):
+        p = MembershipProblem(100, 10)
+        S = p.sample_data_set(rng)
+        xs = np.arange(100)
+        batch = p.evaluate_batch(xs, S)
+        assert all(bool(b) == p.evaluate(int(x), S) for x, b in zip(xs, batch))
+
+    def test_sample_data_set_size(self, rng):
+        p = MembershipProblem(50, 7)
+        S = p.sample_data_set(rng)
+        assert len(S) == 7 and all(0 <= x < 50 for x in S)
+
+    def test_enumerate_count(self):
+        import math
+
+        p = MembershipProblem(6, 2)
+        assert sum(1 for _ in p.enumerate_data_sets()) == math.comb(6, 2)
+
+    def test_invalid(self):
+        with pytest.raises(ParameterError):
+            MembershipProblem(3, 4)
+
+
+class TestThreshold:
+    def test_semantics(self):
+        p = ThresholdProblem(10)
+        assert p.evaluate(5, 5) and not p.evaluate(4, 5)
+        assert np.array_equal(
+            p.evaluate_batch(np.array([3, 7]), 5), [False, True]
+        )
+
+    def test_enumerate(self):
+        assert list(ThresholdProblem(3).enumerate_data_sets()) == [0, 1, 2, 3]
+
+
+class TestInterval:
+    def test_semantics(self):
+        p = IntervalStabbingProblem(10)
+        assert p.evaluate(3, (2, 5)) and not p.evaluate(5, (2, 5))
+
+    def test_batch(self):
+        p = IntervalStabbingProblem(6)
+        out = p.evaluate_batch(np.arange(6), (1, 4))
+        assert out.tolist() == [False, True, True, True, False, False]
+
+    def test_sample_ordered(self, rng):
+        p = IntervalStabbingProblem(20)
+        for _ in range(50):
+            lo, hi = p.sample_data_set(rng)
+            assert lo <= hi
+
+
+class TestParity:
+    def test_semantics(self):
+        p = ParityProblem(3)
+        assert p.evaluate(0b011, 0b001)  # one shared bit
+        assert not p.evaluate(0b011, 0b011)  # two shared bits
+
+    def test_batch_matches_scalar(self, rng):
+        p = ParityProblem(5)
+        S = p.sample_data_set(rng)
+        xs = np.arange(32)
+        batch = p.evaluate_batch(xs, S)
+        assert all(bool(b) == p.evaluate(int(x), S) for x, b in zip(xs, batch))
+
+    def test_width_cap(self):
+        with pytest.raises(ParameterError):
+            ParityProblem(25)
+
+
+def test_classification_tuple():
+    p = ThresholdProblem(5)
+    assert p.classification([0, 2, 4], 3) == (False, False, True)

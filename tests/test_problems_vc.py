@@ -1,0 +1,93 @@
+"""VC-dimension machinery vs closed forms (Definition 11)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.problems import (
+    IntervalStabbingProblem,
+    MembershipProblem,
+    ParityProblem,
+    ThresholdProblem,
+    shattered,
+    vc_dimension_exact,
+    vc_dimension_lower_bound,
+)
+from repro.problems.vc import (
+    realized_labellings,
+    sauer_shelah_bound,
+    shatter_coefficient,
+)
+
+
+def test_membership_vc_equals_n():
+    for N, n in [(6, 3), (8, 2), (5, 1)]:
+        p = MembershipProblem(N, n)
+        assert vc_dimension_exact(p) == p.vc_dimension() == min(n, N - n)
+
+
+def test_membership_vc_capped_by_complement():
+    # n close to N: can't shatter more than N - n points (need negatives).
+    p = MembershipProblem(8, 6)
+    assert vc_dimension_exact(p) == 2 == p.vc_dimension()
+
+
+def test_threshold_vc_is_one():
+    p = ThresholdProblem(12)
+    assert vc_dimension_exact(p) == 1
+    assert shattered(p, [4])
+    assert not shattered(p, [3, 7])  # labelling (1, 0) unrealizable
+
+
+def test_interval_vc_is_two():
+    p = IntervalStabbingProblem(12)
+    assert vc_dimension_exact(p, max_k=4) == 2
+    assert shattered(p, [3, 8])
+    assert not shattered(p, [2, 5, 9])  # (1, 0, 1) unrealizable
+
+
+def test_parity_vc_is_width():
+    p = ParityProblem(3)
+    assert vc_dimension_exact(p) == 3
+    # The standard basis is shattered.
+    assert shattered(p, [1, 2, 4])
+
+
+def test_shattered_requires_distinct():
+    with pytest.raises(ParameterError):
+        shattered(ThresholdProblem(5), [1, 1])
+
+
+def test_vc_lower_bound_search(rng):
+    p = MembershipProblem(10, 4)
+    assert vc_dimension_lower_bound(p, 4, rng)
+    assert not vc_dimension_lower_bound(p, 11, rng)  # > |Q| impossible
+
+
+def test_realized_labellings_threshold():
+    p = ThresholdProblem(4)
+    labels = realized_labellings(p, [0, 1, 2, 3])
+    # Exactly the 5 suffix labellings.
+    assert len(labels) == 5
+    assert (False, False, False, False) in labels
+    assert (True, True, True, True) in labels
+    assert (True, False, True, False) not in labels
+
+
+def test_shatter_coefficient_and_sauer_shelah():
+    p = IntervalStabbingProblem(8)
+    k = 5
+    coeff = shatter_coefficient(p, k)
+    assert coeff <= sauer_shelah_bound(k, 2)
+    # Intervals over k points realize exactly C(k+1, 2) + 1 labellings.
+    assert coeff == (k * (k + 1)) // 2 + 1
+
+
+def test_sauer_shelah_values():
+    assert sauer_shelah_bound(5, 0) == 1
+    assert sauer_shelah_bound(5, 5) == 32
+    assert sauer_shelah_bound(5, 2) == 1 + 5 + 10
+
+
+def test_vc_exact_max_k_cap():
+    p = MembershipProblem(8, 4)
+    assert vc_dimension_exact(p, max_k=2) == 2  # capped below true value

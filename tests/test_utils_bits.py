@@ -1,0 +1,81 @@
+"""Group-histogram codec and word-packing tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.bits import (
+    WORD_BITS,
+    decode_unary_histogram,
+    encode_unary_histogram,
+    pack_pair,
+    unary_histogram_bit_length,
+    unpack_pair,
+)
+
+
+def test_empty_histogram():
+    assert encode_unary_histogram([]) == []
+    assert decode_unary_histogram([], 0) == []
+
+
+def test_single_bucket():
+    assert decode_unary_histogram(encode_unary_histogram([5]), 1) == [5]
+    assert decode_unary_histogram(encode_unary_histogram([0]), 1) == [0]
+
+
+def test_known_encoding():
+    # loads (1, 2): bits 1 0 1 1 0 -> little-endian word 0b01101 = 13.
+    assert encode_unary_histogram([1, 2]) == [0b01101]
+
+
+def test_bit_length():
+    assert unary_histogram_bit_length([3, 0, 2]) == 3 + 0 + 2 + 3
+
+
+def test_word_boundary_crossing():
+    # Force the unary string across a word boundary with tiny words.
+    loads = [5, 7, 3]
+    words = encode_unary_histogram(loads, word_bits=8)
+    assert len(words) == (sum(loads) + len(loads) + 7) // 8
+    assert decode_unary_histogram(words, 3, word_bits=8) == loads
+
+
+def test_truncated_histogram_raises():
+    # Trailing zero bits of the last word decode as empty buckets, so a
+    # "too many buckets" request only fails once the words run out of bits.
+    words = encode_unary_histogram([3, 3], word_bits=8)
+    with pytest.raises(ParameterError):
+        decode_unary_histogram(words, 20, word_bits=8)
+
+
+def test_negative_load_rejected():
+    with pytest.raises(ParameterError):
+        encode_unary_histogram([1, -1])
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=30),
+    st.sampled_from([8, 16, 64]),
+)
+def test_histogram_roundtrip(loads, word_bits):
+    words = encode_unary_histogram(loads, word_bits)
+    assert all(0 <= w < (1 << word_bits) for w in words)
+    assert decode_unary_histogram(words, len(loads), word_bits) == loads
+
+
+@given(
+    st.integers(min_value=0, max_value=(1 << 31) - 1),
+    st.integers(min_value=0, max_value=(1 << 31) - 1),
+)
+def test_pack_pair_roundtrip(a, b):
+    word = pack_pair(a, b)
+    assert 0 <= word < (1 << WORD_BITS)
+    assert unpack_pair(word) == (a, b)
+
+
+def test_pack_pair_range_check():
+    with pytest.raises(ParameterError):
+        pack_pair(1 << 31, 0)
+    with pytest.raises(ParameterError):
+        pack_pair(0, -1)

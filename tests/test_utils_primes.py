@@ -1,0 +1,72 @@
+"""Primality and prime-search tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParameterError
+from repro.utils.primes import (
+    MAX_VECTOR_PRIME,
+    field_prime_for_universe,
+    is_prime,
+    next_prime,
+    prev_prime,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 11, 13, 101, 997, 7919, 104729, 2147483647]
+KNOWN_COMPOSITES = [0, 1, 4, 6, 9, 100, 1000, 7917, 104730, 2147483649]
+# Strong pseudoprimes to small bases — Miller-Rabin stress cases.
+PSEUDOPRIME_TRAPS = [2047, 1373653, 25326001, 3215031751, 3825123056546413051]
+
+
+def test_known_primes():
+    assert all(is_prime(p) for p in KNOWN_PRIMES)
+
+
+def test_known_composites():
+    assert not any(is_prime(c) for c in KNOWN_COMPOSITES)
+
+
+def test_pseudoprime_traps_are_composite():
+    assert not any(is_prime(n) for n in PSEUDOPRIME_TRAPS)
+
+
+def test_next_prime_basics():
+    assert next_prime(0) == 2
+    assert next_prime(2) == 2
+    assert next_prime(8) == 11
+    assert next_prime(7919) == 7919
+    assert next_prime(7920) == 7927
+
+
+def test_prev_prime_basics():
+    assert prev_prime(2) == 2
+    assert prev_prime(10) == 7
+    assert prev_prime(7919) == 7919
+    with pytest.raises(ParameterError):
+        prev_prime(1)
+
+
+@given(st.integers(min_value=2, max_value=200_000))
+def test_next_prime_is_prime_and_minimal(n):
+    p = next_prime(n)
+    assert p >= n and is_prime(p)
+    # No prime strictly between n and p.
+    assert not any(is_prime(k) for k in range(n, p))
+
+
+@given(st.integers(min_value=2, max_value=10_000))
+def test_is_prime_matches_trial_division(n):
+    by_trial = n >= 2 and all(n % d for d in range(2, int(n**0.5) + 1))
+    assert is_prime(n) == by_trial
+
+
+def test_field_prime_covers_universe():
+    p = field_prime_for_universe(1 << 20)
+    assert is_prime(p) and p >= (1 << 20)
+
+
+def test_field_prime_rejects_oversized_universe():
+    with pytest.raises(ParameterError):
+        field_prime_for_universe(MAX_VECTOR_PRIME + 1)
+    with pytest.raises(ParameterError):
+        field_prime_for_universe(0)

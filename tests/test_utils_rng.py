@@ -1,0 +1,71 @@
+"""Seeding-discipline tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_generator, sample_distinct, spawn_generators
+
+
+def test_as_generator_passthrough():
+    g = np.random.default_rng(0)
+    assert as_generator(g) is g
+
+
+def test_as_generator_from_int_deterministic():
+    a = as_generator(42).integers(0, 1 << 30, size=10)
+    b = as_generator(42).integers(0, 1 << 30, size=10)
+    assert np.array_equal(a, b)
+
+
+def test_as_generator_from_seedsequence():
+    ss = np.random.SeedSequence(5)
+    a = as_generator(ss).integers(0, 1 << 30, size=5)
+    b = as_generator(np.random.SeedSequence(5)).integers(0, 1 << 30, size=5)
+    assert np.array_equal(a, b)
+
+
+def test_spawn_generators_independent_streams():
+    gens = spawn_generators(7, 3)
+    draws = [g.integers(0, 1 << 30, size=8) for g in gens]
+    assert not np.array_equal(draws[0], draws[1])
+    assert not np.array_equal(draws[1], draws[2])
+
+
+def test_spawn_from_generator():
+    g = np.random.default_rng(3)
+    gens = spawn_generators(g, 2)
+    assert len(gens) == 2
+    assert not np.array_equal(
+        gens[0].integers(0, 1 << 30, size=8),
+        gens[1].integers(0, 1 << 30, size=8),
+    )
+
+
+def test_spawn_rejects_negative():
+    with pytest.raises(ValueError):
+        spawn_generators(0, -1)
+
+
+def test_sample_distinct_small_population():
+    rng = np.random.default_rng(0)
+    out = sample_distinct(rng, 10, 10)
+    assert sorted(out.tolist()) == list(range(10))
+
+
+def test_sample_distinct_large_population_floyd():
+    rng = np.random.default_rng(0)
+    out = sample_distinct(rng, 1 << 40, 1000)
+    assert len(set(out.tolist())) == 1000
+    assert int(out.max()) < (1 << 40)
+
+
+def test_sample_distinct_rejects_oversample():
+    with pytest.raises(ValueError):
+        sample_distinct(np.random.default_rng(0), 5, 6)
+
+
+def test_sample_distinct_uniformity_rough():
+    # Means of repeated draws should center on the population mean.
+    rng = np.random.default_rng(1)
+    means = [sample_distinct(rng, 1000, 50).mean() for _ in range(200)]
+    assert abs(np.mean(means) - 499.5) < 15

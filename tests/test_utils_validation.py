@@ -1,0 +1,67 @@
+"""Validation-helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DistributionError, ParameterError
+from repro.utils.validation import (
+    check_integer,
+    check_positive_integer,
+    check_probability,
+    check_probability_vector,
+)
+
+
+def test_check_integer_accepts_numpy_ints():
+    assert check_integer("x", np.int64(5)) == 5
+    assert isinstance(check_integer("x", np.int64(5)), int)
+
+
+def test_check_integer_rejects_bool_and_float():
+    with pytest.raises(ParameterError):
+        check_integer("x", True)
+    with pytest.raises(ParameterError):
+        check_integer("x", 1.5)
+
+
+def test_check_integer_bounds():
+    assert check_integer("x", 5, minimum=5, maximum=5) == 5
+    with pytest.raises(ParameterError):
+        check_integer("x", 4, minimum=5)
+    with pytest.raises(ParameterError):
+        check_integer("x", 6, maximum=5)
+
+
+def test_check_positive_integer():
+    assert check_positive_integer("x", 1) == 1
+    with pytest.raises(ParameterError):
+        check_positive_integer("x", 0)
+
+
+def test_check_probability():
+    assert check_probability("p", 0.0) == 0.0
+    assert check_probability("p", 1) == 1.0
+    for bad in (-0.01, 1.01, float("nan")):
+        with pytest.raises(ParameterError):
+            check_probability("p", bad)
+
+
+def test_probability_vector_normalizes_tiny_drift():
+    v = check_probability_vector("q", [0.5, 0.5 + 1e-12])
+    assert abs(v.sum() - 1.0) < 1e-15
+
+
+def test_probability_vector_rejects_bad():
+    with pytest.raises(DistributionError):
+        check_probability_vector("q", [0.5, 0.6])
+    with pytest.raises(DistributionError):
+        check_probability_vector("q", [-0.5, 1.5])
+    with pytest.raises(DistributionError):
+        check_probability_vector("q", [])
+    with pytest.raises(DistributionError):
+        check_probability_vector("q", [[0.5], [0.5]])
+
+
+def test_probability_vector_custom_total():
+    v = check_probability_vector("q", [0.25, 0.25], total=0.5)
+    assert abs(v.sum() - 0.5) < 1e-12

@@ -1,0 +1,150 @@
+"""Stateful workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.concurrent import ConcurrentSimulator, QueuedModel
+from repro.distributions import PointMass, UniformOverSet, UniformPositiveNegative
+from repro.errors import ParameterError
+from repro.workloads import (
+    PhasedWorkload,
+    TraceWorkload,
+    WorkingSetWorkload,
+    synthesize_trace,
+)
+
+UNIVERSE = 1 << 14
+
+
+@pytest.fixture()
+def base_dist(keys):
+    return UniformOverSet(UNIVERSE, np.arange(100))
+
+
+class TestWorkingSet:
+    def test_zero_locality_matches_base(self, base_dist, rng):
+        wl = WorkingSetWorkload(base_dist, locality=0.0)
+        samples = wl.sample(rng, 2000)
+        # Roughly uniform over the 100-key support.
+        counts = np.bincount(samples, minlength=100)[:100]
+        assert counts.min() > 0
+        assert counts.max() / counts.mean() < 2.5
+
+    def test_high_locality_repeats_recent_queries(self, base_dist, rng):
+        wl = WorkingSetWorkload(base_dist, working_set_size=4, locality=0.95)
+        samples = wl.sample(rng, 2000)
+        # The working set rotates over time, so *global* counts stay
+        # spread; locality shows up as repeats of RECENT queries.
+        recent_hits = sum(
+            samples[i] in set(samples[max(0, i - 8) : i].tolist())
+            for i in range(1, samples.size)
+        )
+        assert recent_hits / (samples.size - 1) > 0.7
+
+    def test_samples_stay_in_support(self, base_dist, rng):
+        wl = WorkingSetWorkload(base_dist, locality=0.7)
+        samples = wl.sample(rng, 500)
+        assert int(samples.max()) < 100
+
+    def test_reset(self, base_dist, rng):
+        wl = WorkingSetWorkload(base_dist, locality=1.0)
+        wl.sample(rng, 10)
+        wl.reset()
+        assert len(wl._window) == 0
+
+    def test_validation(self, base_dist):
+        with pytest.raises(ParameterError):
+            WorkingSetWorkload(base_dist, working_set_size=0)
+        with pytest.raises(ParameterError):
+            WorkingSetWorkload(base_dist, locality=1.5)
+
+
+class TestPhased:
+    def test_phase_switching(self, rng):
+        p0 = PointMass(UNIVERSE, 1)
+        p1 = PointMass(UNIVERSE, 2)
+        wl = PhasedWorkload([p0, p1], phase_length=10)
+        first = wl.sample(rng, 10)
+        second = wl.sample(rng, 10)
+        assert np.all(first == 1) and np.all(second == 2)
+        third = wl.sample(rng, 10)
+        assert np.all(third == 1)  # cycles back
+
+    def test_mid_phase_boundary_in_one_call(self, rng):
+        wl = PhasedWorkload(
+            [PointMass(UNIVERSE, 5), PointMass(UNIVERSE, 6)], phase_length=3
+        )
+        out = wl.sample(rng, 8)
+        assert out.tolist() == [5, 5, 5, 6, 6, 6, 5, 5]
+
+    def test_reset_and_current_phase(self, rng):
+        wl = PhasedWorkload(
+            [PointMass(UNIVERSE, 0), PointMass(UNIVERSE, 1)], phase_length=2
+        )
+        wl.sample(rng, 3)
+        assert wl.current_phase == 1
+        wl.reset()
+        assert wl.current_phase == 0
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            PhasedWorkload([])
+        with pytest.raises(ParameterError):
+            PhasedWorkload([PointMass(10, 1), PointMass(20, 1)])
+
+
+class TestTrace:
+    def test_replay_is_cyclic_and_deterministic(self, rng):
+        wl = TraceWorkload([3, 1, 4, 1, 5], 10)
+        a = wl.sample(rng, 7)
+        assert a.tolist() == [3, 1, 4, 1, 5, 3, 1]
+        wl.reset()
+        assert wl.sample(rng, 5).tolist() == [3, 1, 4, 1, 5]
+        assert len(wl) == 5
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            TraceWorkload([], 10)
+        with pytest.raises(ParameterError):
+            TraceWorkload([10], 10)
+
+    def test_synthesize_trace_composition(self, rng):
+        keys = np.arange(0, 512, 2)
+        wl = synthesize_trace(
+            keys, UNIVERSE, length=4000,
+            zipf_exponent=1.0, scan_fraction=0.2, noise_fraction=0.1, seed=3,
+        )
+        samples = wl.sample(rng, 4000)
+        in_keys = np.isin(samples, keys)
+        # Most queries hit keys (zipf core + scans), some noise misses.
+        assert 0.75 < in_keys.mean() <= 1.0
+        # Scans create runs of consecutive keys (stride 2 here).
+        diffs = np.diff(samples)
+        assert np.sum(diffs == 2) > 50
+
+    def test_synthesize_validation(self):
+        with pytest.raises(ParameterError):
+            synthesize_trace([], UNIVERSE, 10)
+        with pytest.raises(ParameterError):
+            synthesize_trace([1], UNIVERSE, 0)
+        with pytest.raises(ParameterError):
+            synthesize_trace([1], UNIVERSE, 10, scan_fraction=0.9, noise_fraction=0.5)
+
+
+class TestSimulatorIntegration:
+    def test_working_set_raises_stalls_on_fks(self, fks, keys, universe_size):
+        """Temporal locality creates transient hot cells: the queued
+        model should stall more than under the stationary distribution."""
+        base = UniformPositiveNegative(universe_size, keys, 1.0)
+        stationary = ConcurrentSimulator(
+            fks, base, processors=64, model=QueuedModel(),
+            rng=np.random.default_rng(0),
+        ).run(300)
+        local = ConcurrentSimulator(
+            fks,
+            WorkingSetWorkload(base, working_set_size=2, locality=0.95),
+            processors=64,
+            model=QueuedModel(),
+            rng=np.random.default_rng(0),
+        ).run(300)
+        assert local.stall_fraction > stationary.stall_fraction
