@@ -1,0 +1,157 @@
+"""Bench — vectorized ``query_batch`` vs the scalar ``query`` path.
+
+Two entry points:
+
+- ``python benchmarks/bench_batch_vs_scalar.py`` — standalone: sweeps
+  every scheme over an n-ladder, measures seconds/query for both paths,
+  and writes the machine-readable ``BENCH_PR1.json`` at the repo root
+  (the PR-1 acceptance artifact).  The end-to-end section repeats the
+  acceptance measurement: ``empirical_contention`` on the low-contention
+  dictionary at n = 1024 with 10^5 queries, batched vs scalar-loop.
+- under pytest-benchmark (``pytest benchmarks/bench_batch_vs_scalar.py``)
+  — times the batched estimator on a small instance and checks the
+  batch path agrees with ground truth.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from repro.contention import empirical_contention
+from repro.distributions import UniformPositiveNegative
+from repro.experiments.common import SCHEMES, make_instance
+from repro.utils.rng import as_generator
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Query counts: scalar loops are slow, so they get a smaller sample.
+SCALAR_QUERIES = 2_000
+BATCH_QUERIES = 50_000
+
+
+def _time_scalar(d, xs) -> float:
+    rng = as_generator(1)
+    t0 = time.perf_counter()
+    for x in xs:
+        d.query(int(x), rng)
+    return (time.perf_counter() - t0) / len(xs)
+
+
+def _time_batch(d, xs) -> float:
+    rng = as_generator(1)
+    t0 = time.perf_counter()
+    d.query_batch(xs, rng)
+    return (time.perf_counter() - t0) / len(xs)
+
+
+def _queries(keys, N, count, rng):
+    pos = rng.choice(keys, size=count // 2)
+    neg = rng.integers(0, N, size=count - count // 2)
+    return np.concatenate([pos, neg])
+
+
+def sweep(sizes=(256, 1024, 4096), seed: int = 0) -> list[dict]:
+    rows = []
+    for name, cls in SCHEMES.items():
+        for n in sizes:
+            keys, N = make_instance(n, seed)
+            d = cls(keys, N, rng=as_generator(seed + 1))
+            rng = as_generator(seed + 2)
+            scalar_s = _time_scalar(
+                d, _queries(keys, N, SCALAR_QUERIES, rng)
+            )
+            batch_s = _time_batch(d, _queries(keys, N, BATCH_QUERIES, rng))
+            rows.append(
+                {
+                    "scheme": name,
+                    "n": n,
+                    "scalar_s_per_query": scalar_s,
+                    "batch_s_per_query": batch_s,
+                    "speedup": scalar_s / batch_s,
+                }
+            )
+            print(
+                f"{name:>16} n={n:<5} scalar {scalar_s * 1e6:8.2f} us/q  "
+                f"batch {batch_s * 1e6:6.2f} us/q  "
+                f"speedup {scalar_s / batch_s:6.1f}x"
+            )
+    return rows
+
+
+def end_to_end(seed: int = 0) -> dict:
+    """The PR-1 acceptance measurement: empirical_contention at n=1024."""
+    n, num_queries = 1024, 100_000
+    keys, N = make_instance(n, seed)
+    d = SCHEMES["low-contention"](keys, N, rng=as_generator(seed + 1))
+    dist = UniformPositiveNegative(N, keys, 0.5)
+
+    t0 = time.perf_counter()
+    empirical_contention(d, dist, num_queries, rng=as_generator(seed + 2))
+    batched = time.perf_counter() - t0
+
+    # The pre-batching implementation: one scalar query per sample.
+    counter = d.table.counter
+    counter.reset()
+    rng = as_generator(seed + 2)
+    t0 = time.perf_counter()
+    for x in dist.sample(rng, num_queries):
+        d.query(int(x), rng)
+    scalar = time.perf_counter() - t0
+    counter.reset()
+
+    out = {
+        "scheme": "low-contention",
+        "n": n,
+        "num_queries": num_queries,
+        "scalar_loop_s": scalar,
+        "batched_s": batched,
+        "speedup": scalar / batched,
+    }
+    print(
+        f"\nempirical_contention n={n}, {num_queries} queries: "
+        f"scalar loop {scalar:.2f}s, batched {batched:.3f}s "
+        f"({scalar / batched:.1f}x)"
+    )
+    return out
+
+
+def main() -> int:
+    rows = sweep()
+    e2e = end_to_end()
+    payload = {
+        "benchmark": "batch_vs_scalar",
+        "scalar_queries": SCALAR_QUERIES,
+        "batch_queries": BATCH_QUERIES,
+        "per_scheme": rows,
+        "empirical_contention_end_to_end": e2e,
+    }
+    out_path = REPO_ROOT / "BENCH_PR1.json"
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {out_path}")
+    return 0
+
+
+# -- pytest-benchmark entry point ---------------------------------------------
+
+
+def test_bench_batch_contention(benchmark):
+    """Batched empirical contention on a small LCD instance."""
+    keys, N = make_instance(256, 0)
+    d = SCHEMES["low-contention"](keys, N, rng=as_generator(1))
+    dist = UniformPositiveNegative(N, keys, 0.5)
+    matrix = benchmark.pedantic(
+        empirical_contention,
+        args=(d, dist, 20_000),
+        kwargs={"rng": as_generator(2)},
+        rounds=3,
+        iterations=1,
+    )
+    assert matrix.step_mass()[0] == 1.0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,9 @@ class Table:
         self.rows = check_positive_integer("rows", rows)
         self.s = check_positive_integer("s", s)
         self._cells = np.full((self.rows, self.s), EMPTY_CELL, dtype=np.uint64)
+        #: Cells written during construction — a deterministic proxy for
+        #: construction work (writes are free in the model but O(build time)).
+        self.writes = 0
         self.counter = counter if counter is not None else ProbeCounter(self.rows * self.s)
         if self.counter.num_cells != self.rows * self.s:
             raise TableError(
@@ -56,6 +59,7 @@ class Table:
         if not 0 <= value < (1 << CELL_BITS):
             raise TableError(f"value {value} does not fit a {CELL_BITS}-bit cell")
         self._cells[row, column] = value
+        self.writes += 1
 
     def write_row(self, row: int, values: np.ndarray) -> None:
         """Bulk-store an entire row during construction; not a probe."""
@@ -65,6 +69,7 @@ class Table:
         if values.shape != (self.s,):
             raise TableError(f"row must have shape ({self.s},), got {values.shape}")
         self._cells[row, :] = values
+        self.writes += self.s
 
     def peek(self, row: int, column: int) -> int:
         """Read without charging a probe (analysis / debugging only)."""
@@ -82,6 +87,45 @@ class Table:
         self._check(row, column)
         self.counter.record(step, row * self.s + column)
         return int(self._cells[row, column])
+
+    def read_batch(
+        self, rows: np.ndarray | int, columns: np.ndarray, step: int
+    ) -> np.ndarray:
+        """Probe many cells at the same query step and return their values.
+
+        ``rows`` broadcasts against ``columns`` (pass a scalar row to probe
+        one row at many columns).  Entries with ``column < 0`` are *skipped*:
+        no probe is charged and :data:`EMPTY_CELL` is returned in their
+        place — this is how batched query algorithms express per-key steps
+        that the scalar algorithm would not execute (e.g. a second cuckoo
+        probe after a first-table hit).
+
+        All executed probes are charged to the counter under step index
+        ``step`` via one :meth:`ProbeCounter.record_batch` call.
+        """
+        columns = np.asarray(columns, dtype=np.int64)
+        rows_arr = np.broadcast_to(
+            np.asarray(rows, dtype=np.int64), columns.shape
+        )
+        active = columns >= 0
+        if bool(np.any(active)):
+            r_act = rows_arr[active]
+            c_act = columns[active]
+            if r_act.size and (
+                int(r_act.min()) < 0
+                or int(r_act.max()) >= self.rows
+                or int(c_act.max()) >= self.s
+            ):
+                raise TableError(
+                    f"batch probe out of range for table "
+                    f"({self.rows} rows x {self.s} cells)"
+                )
+        flat = np.where(active, rows_arr * self.s + columns, -1)
+        self.counter.record_batch(step, flat)
+        out = np.full(columns.shape, EMPTY_CELL, dtype=np.uint64)
+        if bool(np.any(active)):
+            out[active] = self._cells[rows_arr[active], columns[active]]
+        return out
 
     # -- misc ------------------------------------------------------------------
 

@@ -20,7 +20,7 @@ import argparse
 import sys
 
 from repro import __version__
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import EXPERIMENTS
 from repro.io.results import save_results
 
 
@@ -32,11 +32,16 @@ def _cmd_list(args) -> int:
 
 
 def _cmd_run(args) -> int:
-    ids = list(EXPERIMENTS) if args.experiment.lower() == "all" else [args.experiment]
-    results = []
-    for eid in ids:
-        result = run_experiment(eid, fast=not args.full, seed=args.seed)
-        results.append(result)
+    from repro.experiments.parallel import run_experiments
+
+    results = run_experiments(
+        args.experiments,
+        fast=not args.full,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+    )
+    for result in results:
         print(result.render())
         print()
     if args.json:
@@ -94,11 +99,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
 
-    run_p = sub.add_parser("run", help="run an experiment (or 'all')")
-    run_p.add_argument("experiment", help="experiment id, e.g. E5, or 'all'")
+    run_p = sub.add_parser("run", help="run experiments (ids or 'all')")
+    run_p.add_argument(
+        "experiments",
+        nargs="+",
+        help="experiment ids, e.g. E1 E5, or 'all'",
+    )
     run_p.add_argument("--full", action="store_true", help="full size ladders")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--json", help="also write results as JSON")
+    run_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (results are identical for any count)",
+    )
+    run_p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="on-disk construction cache directory (default: memory-only)",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     survey_p = sub.add_parser("survey", help="cross-scheme contention table")

@@ -132,28 +132,44 @@ class ConcurrentSimulator:
         completed = 0
         total_probes = 0
         stalled = 0
-        latencies: list[int] = []
+        # Latencies accumulate into a geometrically grown numpy buffer
+        # (bounded by one completion per processor per cycle).
+        lat_buf = np.empty(min(1024, self.m * cycles), dtype=np.int64)
+        lat_n = 0
         max_collisions = 0
         all_procs = np.arange(self.m)
         for cycle in range(cycles):
             cells = self._seq[all_procs, self._pos]
-            # Every processor always has a pending probe (closed loop).
-            counts = np.bincount(cells, minlength=1)
-            max_collisions = max(max_collisions, int(counts.max(initial=0)))
-            served = self.model.serve(cells, self.rng)
+            # Zero-length plans surface as cell -1: no probe to make, the
+            # query completes immediately (np.bincount rejects negatives).
+            valid = cells >= 0
+            n_valid = int(valid.sum())
+            if n_valid:
+                counts = np.bincount(cells[valid], minlength=1)
+                max_collisions = max(max_collisions, int(counts.max(initial=0)))
+            served = np.zeros(self.m, dtype=bool)
+            if n_valid:
+                served[valid] = self.model.serve(cells[valid], self.rng)
             n_served = int(served.sum())
             total_probes += n_served
-            stalled += self.m - n_served
+            stalled += n_valid - n_served
             self._pos[served] += 1
-            finished = served & (self._pos >= self._len)
+            finished = (served & (self._pos >= self._len)) | ~valid
             if np.any(finished):
                 fin_idx = all_procs[finished]
                 completed += fin_idx.shape[0]
-                latencies.extend(
-                    (cycle + 1 - self._start_cycle[fin_idx]).tolist()
-                )
+                new_lats = cycle + 1 - self._start_cycle[fin_idx]
+                needed = lat_n + new_lats.shape[0]
+                if needed > lat_buf.shape[0]:
+                    grown = np.empty(
+                        max(needed, 2 * lat_buf.shape[0]), dtype=np.int64
+                    )
+                    grown[:lat_n] = lat_buf[:lat_n]
+                    lat_buf = grown
+                lat_buf[lat_n:needed] = new_lats
+                lat_n = needed
                 self._assign(fin_idx, cycle=cycle + 1)
-        lat = np.asarray(latencies, dtype=np.float64)
+        lat = lat_buf[:lat_n].astype(np.float64)
         return SimulationResult(
             scheme=getattr(self.dictionary, "name", "scheme"),
             model=self.model.name,

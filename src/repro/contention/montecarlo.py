@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.contention.exact import ContentionMatrix
 from repro.distributions.base import QueryDistribution
+from repro.errors import VerificationError
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
@@ -64,25 +65,34 @@ def empirical_contention(
     distribution: QueryDistribution,
     num_queries: int,
     rng=None,
+    batch_size: int = 1 << 14,
 ) -> ContentionMatrix:
     """Fully empirical contention: execute queries, count probes.
 
-    Resets the dictionary table's probe counter first, so repeated calls
-    are independent measurements.
+    Queries execute through the vectorized :meth:`query_batch` path in
+    chunks of ``batch_size`` (identical probe accounting to the scalar
+    algorithm).  Resets the dictionary table's probe counter first, so
+    repeated calls are independent measurements.  Raises
+    :class:`~repro.errors.VerificationError` if any executed answer
+    disagrees with ground truth.
     """
     num_queries = check_positive_integer("num_queries", num_queries)
     rng = as_generator(rng)
     table = dictionary.table
     counter = table.counter
     counter.reset()
-    xs = distribution.sample(rng, num_queries)
-    for x in xs:
-        answer = dictionary.query(int(x), rng)
-        expected = dictionary.contains(int(x))
-        if answer != expected:
-            raise AssertionError(
-                f"query({int(x)}) = {answer}, ground truth {expected}"
+    remaining = num_queries
+    while remaining > 0:
+        take = min(remaining, batch_size)
+        xs = distribution.sample(rng, take)
+        answers = dictionary.query_batch(xs, rng)
+        expected = dictionary.contains_batch(xs)
+        if bool(np.any(answers != expected)):
+            bad = int(np.argmax(answers != expected))
+            raise VerificationError(
+                int(xs[bad]), bool(answers[bad]), bool(expected[bad])
             )
+        remaining -= take
     counter.finish_execution(num_queries)
     phi = counter.counts_per_step().astype(np.float64) / num_queries
     counter.reset()

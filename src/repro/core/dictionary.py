@@ -33,8 +33,12 @@ from repro.core.construction import ConstructionResult, construct
 from repro.core.params import SchemeParameters
 from repro.dictionaries.base import StaticDictionary
 from repro.hashing.perfect import PerfectHashFunction
-from repro.hashing.polynomial import PolynomialHashFunction
-from repro.utils.bits import decode_unary_histogram
+from repro.hashing.polynomial import PolynomialHashFunction, horner_eval_batch
+from repro.utils.bits import (
+    decode_unary_histogram,
+    decode_unary_histogram_batch,
+    unpack_pair_batch,
+)
 from repro.utils.rng import as_generator
 
 
@@ -120,6 +124,78 @@ class LowContentionDictionary(StaticDictionary):
         )
         probe = span_start + h_star(x)
         return table.read(p.data_row, probe, 2 * d + 3 + p.rho) == x
+
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        """Vectorized honest query: same four phases, whole batch at once."""
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        batch = xs.shape[0]
+        p = self.params
+        table = self.table
+        d = p.degree
+
+        # Phase 1: recover f, g from random cells of the coefficient rows.
+        words = [
+            table.read_batch(i, rng.integers(0, p.s, size=batch), i)
+            for i in range(2 * d)
+        ]
+        fx = horner_eval_batch(words[:d], xs, self.prime, p.s)
+        gx = horner_eval_batch(words[d:], xs, self.prime, p.r)
+        z_copies = (p.s - gx + p.r - 1) // p.r
+        k = np.minimum(
+            (rng.random(batch) * z_copies).astype(np.int64), z_copies - 1
+        )
+        z_val = table.read_batch(p.z_row, gx + k * p.r, 2 * d).astype(np.int64)
+        hx = (fx + z_val) % p.s
+        group = hx % p.m
+        member = hx // p.m
+
+        # Phase 2: GBAS and the group histogram.
+        k = rng.integers(0, p.group_size, size=batch)
+        gbas = table.read_batch(
+            p.gbas_row, group + k * p.m, 2 * d + 1
+        ).astype(np.int64)
+        hist_words = np.stack(
+            [
+                table.read_batch(
+                    row,
+                    group + rng.integers(0, p.group_size, size=batch) * p.m,
+                    2 * d + 2 + i,
+                )
+                for i, row in enumerate(p.histogram_rows)
+            ],
+            axis=1,
+        )
+        member_loads = decode_unary_histogram_batch(
+            hist_words, p.group_size, p.word_bits
+        )
+
+        # Phase 3: locate the bucket's span.
+        rows_idx = np.arange(batch)
+        load = member_loads[rows_idx, member]
+        nonempty = load > 0
+        sq = member_loads * member_loads
+        span_start = gbas + np.cumsum(sq, axis=1)[rows_idx, member] - sq[
+            rows_idx, member
+        ]
+        span_len = load * load
+
+        # Phase 4: perfect hash and the final comparison.
+        sl = np.maximum(span_len, 1)
+        j = np.minimum((rng.random(batch) * sl).astype(np.int64), sl - 1)
+        phf_word = table.read_batch(
+            p.phf_row,
+            np.where(nonempty, span_start + j, -1),
+            2 * d + 2 + p.rho,
+        )
+        a, c = unpack_pair_batch(phf_word)
+        pf = np.uint64(self.prime)
+        v = (a * (xs.astype(np.uint64) % pf) + c) % pf
+        probe = span_start + (v % sl.astype(np.uint64)).astype(np.int64)
+        data = table.read_batch(
+            p.data_row, np.where(nonempty, probe, -1), 2 * d + 3 + p.rho
+        )
+        return nonempty & (data == xs.astype(np.uint64))
 
     # -- analytic probe plans ---------------------------------------------------------
 

@@ -93,6 +93,29 @@ def batch_from_step(step: ProbeStep, batch: int) -> BatchStridedStep:
     )
 
 
+def read_interleaved_params_batch(
+    table: Table,
+    row: int,
+    words: int,
+    replication: int,
+    batch: int,
+    rng: np.random.Generator,
+    first_step: int = 0,
+) -> list[np.ndarray]:
+    """Read each interleaved parameter word once per query in a batch.
+
+    Word ``j`` is probed at a uniformly random replica column
+    ``j + k*words`` for every query (step ``first_step + j``), exactly as
+    the scalar query algorithms do.  Returns one uint64 value array per
+    word.
+    """
+    values = []
+    for j in range(words):
+        k = rng.integers(0, replication, size=batch)
+        values.append(table.read_batch(row, j + k * words, first_step + j))
+    return values
+
+
 class StaticDictionary(abc.ABC):
     """A static membership dictionary over ``[universe_size]``.
 
@@ -121,7 +144,34 @@ class StaticDictionary(abc.ABC):
     def probe_plan_batch(self, xs: np.ndarray) -> list[BatchStridedStep]:
         """Vectorized probe plans for a batch of queries."""
 
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        """Honest membership queries for a whole batch.
+
+        Semantically equivalent to ``[self.query(x, rng) for x in xs]``
+        (same probes charged, same per-step accounting); subclasses
+        override with vectorized implementations.  This base fallback
+        runs the scalar algorithm per key.
+        """
+        rng = as_generator(rng)
+        xs = np.asarray(xs, dtype=np.int64)
+        out = np.empty(xs.shape, dtype=bool)
+        for i, x in enumerate(xs.ravel()):
+            out.ravel()[i] = self.query(int(x), rng)
+        return out
+
     # -- shared helpers -------------------------------------------------------------
+
+    def check_keys_batch(self, xs: np.ndarray) -> np.ndarray:
+        """Validate a batch of queries against the universe; returns int64."""
+        xs = np.asarray(xs, dtype=np.int64)
+        if xs.size and (
+            int(xs.min()) < 0 or int(xs.max()) >= self.universe_size
+        ):
+            bad = xs[(xs < 0) | (xs >= self.universe_size)][0]
+            raise QueryError(
+                f"query {int(bad)} outside universe [0, {self.universe_size})"
+            )
+        return xs
 
     def contains(self, x: int) -> bool:
         """Ground-truth membership (no probes; used for verification)."""

@@ -25,11 +25,14 @@ from repro.dictionaries.base import (
     StaticDictionary,
     batch_from_step,
     param_read_steps,
+    read_interleaved_params_batch,
     resolve_replication,
     write_interleaved_params,
 )
 from repro.errors import ConstructionError
 from repro.hashing.perfect import PerfectHashFunction
+from repro.hashing.polynomial import horner_eval_batch
+from repro.utils.bits import unpack_pair_batch
 from repro.utils.primes import field_prime_for_universe
 from repro.utils.rng import as_generator
 
@@ -131,6 +134,24 @@ class CuckooDictionary(StaticDictionary):
         if self.table.read(_T1_ROW, h1(x), 2) == x:
             return True
         return self.table.read(_T2_ROW, h2(x), 3) == x
+
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        batch = xs.shape[0]
+        w1, w2 = read_interleaved_params_batch(
+            self.table, _PARAM_ROW, 2, self.replication, batch, rng
+        )
+        a1, c1 = unpack_pair_batch(w1)
+        a2, c2 = unpack_pair_batch(w2)
+        pos1 = horner_eval_batch([c1, a1], xs, self.prime, self.side_size)
+        xs_u = xs.astype(np.uint64)
+        hit1 = self.table.read_batch(_T1_ROW, pos1, 2) == xs_u
+        pos2 = horner_eval_batch([c2, a2], xs, self.prime, self.side_size)
+        hit2 = (
+            self.table.read_batch(_T2_ROW, np.where(hit1, -1, pos2), 3) == xs_u
+        )
+        return hit1 | hit2
 
     def probe_plan(self, x: int) -> list[ProbeStep]:
         x = self.check_key(x)

@@ -28,13 +28,15 @@ from repro.dictionaries.base import (
     StaticDictionary,
     batch_from_step,
     param_read_steps,
+    read_interleaved_params_batch,
     resolve_replication,
     write_interleaved_params,
 )
 from repro.errors import ConstructionError
 from repro.hashing.dm import DMFamily, DMHashFunction
 from repro.hashing.perfect import PerfectHashFunction, find_perfect_hash
-from repro.utils.bits import pack_pair, unpack_pair
+from repro.hashing.polynomial import horner_eval_batch
+from repro.utils.bits import pack_pair, unpack_pair, unpack_pair_batch
 from repro.utils.primes import field_prime_for_universe
 from repro.utils.rng import as_generator
 
@@ -178,6 +180,45 @@ class DMDictionary(StaticDictionary):
             inner_word, self.prime, load * load
         )
         return self.table.read(_DATA_ROW, offset + h_star(x), W + 3) == x
+
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        batch = xs.shape[0]
+        W = len(self.param_words)
+        d = self.degree
+        words = read_interleaved_params_batch(
+            self.table, _PARAM_ROW, W, self.replication, batch, rng
+        )
+        fx = horner_eval_batch(words[:d], xs, self.prime, self.num_buckets)
+        gx = horner_eval_batch(words[d:], xs, self.prime, self.r)
+        # One uniformly random replica of z[gx] (columns ≡ gx mod r).
+        copies = (self.table.s - gx + self.r - 1) // self.r
+        k = np.minimum(
+            (rng.random(batch) * copies).astype(np.int64), copies - 1
+        )
+        z_val = self.table.read_batch(_Z_ROW, gx + self.r * k, W)
+        i = ((fx.astype(np.uint64) + z_val) % np.uint64(self.num_buckets)).astype(
+            np.int64
+        )
+        offset, load = unpack_pair_batch(
+            self.table.read_batch(_HEADER_A_ROW, i, W + 1)
+        )
+        nonempty = load > 0
+        ia, ic = unpack_pair_batch(
+            self.table.read_batch(
+                _HEADER_B_ROW, np.where(nonempty, i, -1), W + 2
+            )
+        )
+        p = np.uint64(self.prime)
+        v = (ia * (xs.astype(np.uint64) % p) + ic) % p
+        pos = (offset + v % np.maximum(load * load, np.uint64(1))).astype(
+            np.int64
+        )
+        data = self.table.read_batch(
+            _DATA_ROW, np.where(nonempty, pos, -1), W + 3
+        )
+        return nonempty & (data == xs.astype(np.uint64))
 
     def probe_plan(self, x: int) -> list[ProbeStep]:
         x = self.check_key(x)

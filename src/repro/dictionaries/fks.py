@@ -34,12 +34,14 @@ from repro.dictionaries.base import (
     StaticDictionary,
     batch_from_step,
     param_read_steps,
+    read_interleaved_params_batch,
     resolve_replication,
     write_interleaved_params,
 )
 from repro.errors import ConstructionError
 from repro.hashing.perfect import PerfectHashFunction, find_perfect_hash
-from repro.utils.bits import pack_pair, unpack_pair
+from repro.hashing.polynomial import horner_eval_batch
+from repro.utils.bits import pack_pair, unpack_pair, unpack_pair_batch
 from repro.utils.primes import field_prime_for_universe
 from repro.utils.rng import as_generator
 
@@ -177,6 +179,40 @@ class FKSDictionary(StaticDictionary):
             inner_word, self.prime, load * load
         )
         return self.table.read(_DATA_ROW, offset + h_star(x), W + 2) == x
+
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        batch = xs.shape[0]
+        W = len(self.param_words)
+        words = read_interleaved_params_batch(
+            self.table, _PARAM_ROW, W, self.replication, batch, rng
+        )
+        if self._custom_level1:
+            # Same conservative convention as the scalar path: custom
+            # families evaluate directly, probes charged identically.
+            i = self.level1.eval_batch(xs)
+        else:
+            a, c = unpack_pair_batch(words[0])
+            i = horner_eval_batch([c, a], xs, self.prime, self.num_buckets)
+        offset, load = unpack_pair_batch(
+            self.table.read_batch(_HEADER_A_ROW, i, W)
+        )
+        nonempty = load > 0
+        ia, ic = unpack_pair_batch(
+            self.table.read_batch(_HEADER_B_ROW, np.where(nonempty, i, -1), W + 1)
+        )
+        # Unpacked halves are < 2**31, so the inner-hash products fit
+        # uint64 even for the garbage halves of skipped (empty) buckets.
+        p = np.uint64(self.prime)
+        v = (ia * (xs.astype(np.uint64) % p) + ic) % p
+        pos = (offset + v % np.maximum(load * load, np.uint64(1))).astype(
+            np.int64
+        )
+        data = self.table.read_batch(
+            _DATA_ROW, np.where(nonempty, pos, -1), W + 2
+        )
+        return nonempty & (data == xs.astype(np.uint64))
 
     def probe_plan(self, x: int) -> list[ProbeStep]:
         x = self.check_key(x)

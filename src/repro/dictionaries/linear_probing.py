@@ -22,6 +22,8 @@ from repro.dictionaries.base import (
 )
 from repro.errors import ConstructionError
 from repro.hashing.perfect import PerfectHashFunction
+from repro.hashing.polynomial import horner_eval_batch
+from repro.utils.bits import unpack_pair_batch
 from repro.utils.primes import field_prime_for_universe
 from repro.utils.rng import as_generator
 
@@ -109,6 +111,29 @@ class LinearProbingDictionary(StaticDictionary):
                 return True
             pos = (pos + 1) % self.num_slots
         return False
+
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        batch = xs.shape[0]
+        words = self.table.read_batch(
+            _PARAM_ROW, rng.integers(0, self.replication, size=batch), 0
+        )
+        a, c = unpack_pair_batch(words)
+        pos = horner_eval_batch([c, a], xs, self.prime, self.num_slots)
+        found = np.zeros(batch, dtype=bool)
+        active = np.ones(batch, dtype=bool)
+        empty = np.uint64((1 << 64) - 1)
+        xs_u = xs.astype(np.uint64)
+        step = 1
+        while np.any(active):
+            v = self.table.read_batch(_SLOT_ROW, np.where(active, pos, -1), step)
+            step += 1
+            hit = active & (v == xs_u)
+            found |= hit
+            active &= ~hit & (v != empty)
+            pos = (pos + 1) % self.num_slots
+        return found
 
     def _probe_positions(self, x: int) -> list[int]:
         positions = []

@@ -50,6 +50,10 @@ class _ReplicaView:
     def read(self, row: int, column: int, step: int) -> int:
         return self._outer.read(self._offset + row, column, step)
 
+    def read_batch(self, rows, columns, step: int):
+        rows = np.asarray(rows, dtype=np.int64) + self._offset
+        return self._outer.read_batch(rows, columns, step)
+
     def peek(self, row: int, column: int) -> int:
         return self._outer.peek(self._offset + row, column)
 
@@ -93,6 +97,30 @@ class ReplicatedDictionary(StaticDictionary):
             return self.inner.query(x, rng)
         finally:
             self.inner.table = original
+
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        """Batch queries grouped by sampled replica.
+
+        Each query draws its replica uniformly (as in the scalar path),
+        then the inner batch algorithm runs once per distinct replica on
+        that replica's rows — probes are charged identically, only the
+        order of RNG draws differs.
+        """
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        replica = rng.integers(0, self.replicas, size=xs.shape[0])
+        out = np.empty(xs.shape[0], dtype=bool)
+        original = self.inner.table
+        try:
+            for r in np.unique(replica):
+                sel = replica == r
+                self.inner.table = _ReplicaView(
+                    self.table, self._inner_rows, int(r)
+                )
+                out[sel] = self.inner.query_batch(xs[sel], rng)
+        finally:
+            self.inner.table = original
+        return out
 
     def _lift_step(self, step: ProbeStep) -> ProbeStep:
         """Spread an inner step's support across all replicas.

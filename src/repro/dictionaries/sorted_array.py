@@ -45,6 +45,30 @@ class SortedArrayDictionary(StaticDictionary):
                 hi = mid
         return False
 
+    def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
+        xs = self.check_keys_batch(xs)
+        batch = xs.shape[0]
+        lo = np.zeros(batch, dtype=np.int64)
+        hi = np.full(batch, self.n, dtype=np.int64)
+        found = np.zeros(batch, dtype=bool)
+        step = 0
+        while True:
+            active = ~found & (lo < hi)
+            if not np.any(active):
+                break
+            mid = (lo + hi) // 2
+            # Skipped entries (column -1) surface EMPTY_CELL, which casts
+            # to -1 and is masked out by `active` below.
+            v = self.table.read_batch(0, np.where(active, mid, -1), step).astype(
+                np.int64
+            )
+            step += 1
+            hit = active & (v == xs)
+            found |= hit
+            lo = np.where(active & ~hit & (v < xs), mid + 1, lo)
+            hi = np.where(active & ~hit & (v > xs), mid, hi)
+        return found
+
     def probe_plan(self, x: int) -> list[ProbeStep]:
         x = self.check_key(x)
         plan: list[ProbeStep] = []

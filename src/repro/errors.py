@@ -38,6 +38,27 @@ class QueryError(ReproError, RuntimeError):
     """A query could not be answered (corrupt table or key outside universe)."""
 
 
+class VerificationError(ReproError, AssertionError):
+    """An executed query disagreed with ground-truth membership.
+
+    Raised by the empirical measurement paths when the honest query
+    algorithm returns a wrong answer — which would mean the executable
+    algorithm has diverged from the construction it runs against.
+    Carries the offending ``key``, the ``answer`` the query gave, and
+    the ``expected`` ground truth.  Derives from :class:`AssertionError`
+    for compatibility with callers that treated the old bare assertion
+    as the failure signal.
+    """
+
+    def __init__(self, key: int, answer: bool, expected: bool):
+        self.key = int(key)
+        self.answer = bool(answer)
+        self.expected = bool(expected)
+        super().__init__(
+            f"query({self.key}) = {self.answer}, ground truth {self.expected}"
+        )
+
+
 class DistributionError(ReproError, ValueError):
     """A query distribution is invalid (negative mass, wrong support, ...)."""
 

@@ -12,6 +12,6 @@ Each runner returns an :class:`repro.io.results.ExperimentResult`; the
 runner is deterministic given ``seed``.
 """
 
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.experiments.registry import EXPERIMENTS, run_all, run_experiment
 
-__all__ = ["EXPERIMENTS", "run_experiment"]
+__all__ = ["EXPERIMENTS", "run_all", "run_experiment"]

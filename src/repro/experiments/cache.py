@@ -1,0 +1,164 @@
+"""Construction cache: stop rebuilding identical dictionary instances.
+
+Constructions are deterministic functions of ``(scheme, keys, N, seed,
+scalar kwargs)`` — every builder derives its randomness from
+``as_generator(seed)`` — so E1–E17 rebuilding the same instances over
+and over is pure waste.  This module provides a two-level cache:
+
+- **in-process**: a small LRU of live dictionary objects, on by default
+  (a cached object is indistinguishable from a fresh build: tables are
+  static and the probe counter is reset on every hit);
+- **on-disk**: optional pickle directory for reuse across processes and
+  runs, enabled via :func:`configure_cache`, the ``--cache-dir`` CLI
+  flag, or the ``REPRO_CACHE_DIR`` environment variable.
+
+Builds are only cached when the key is trustworthy: an integer seed and
+scalar-only kwargs.  Anything else (Generator seeds, planted hash
+objects, parameter objects) bypasses the cache and builds directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from collections import OrderedDict
+from typing import Callable
+
+import numpy as np
+
+#: In-process LRU capacity (entries, not bytes).
+MEMORY_CAPACITY = 16
+
+_SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+class ConstructionCache:
+    """Two-level (memory + optional disk) cache of built dictionaries."""
+
+    def __init__(self, cache_dir=None, capacity: int = MEMORY_CAPACITY):
+        self.cache_dir = None if cache_dir is None else os.fspath(cache_dir)
+        self.capacity = int(capacity)
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- keying -----------------------------------------------------------------
+
+    @staticmethod
+    def cache_key(name: str, keys: np.ndarray, N: int, seed, kwargs) -> str | None:
+        """Stable digest of a build request; None if uncacheable."""
+        if not isinstance(seed, (int, np.integer)):
+            return None
+        if any(
+            not isinstance(v, _SCALAR_TYPES) for v in kwargs.values()
+        ):
+            return None
+        h = hashlib.sha256()
+        h.update(
+            repr(
+                (name, int(N), int(seed), sorted(kwargs.items()))
+            ).encode()
+        )
+        h.update(np.asarray(keys, dtype=np.int64).tobytes())
+        return h.hexdigest()
+
+    # -- lookup -----------------------------------------------------------------
+
+    def get_or_build(
+        self,
+        name: str,
+        keys: np.ndarray,
+        N: int,
+        seed,
+        kwargs: dict,
+        builder: Callable[[], object],
+    ):
+        """Return a cached build of ``builder()`` for this request, or run it.
+
+        Uncacheable requests (see :meth:`cache_key`) always build.  On a
+        hit the returned object's probe counter is reset, making it
+        indistinguishable from a fresh construction.
+        """
+        key = self.cache_key(name, keys, N, seed, kwargs)
+        if key is None:
+            return builder()
+        obj = self._memory.get(key)
+        if obj is not None:
+            self._memory.move_to_end(key)
+            self.hits += 1
+            obj.table.counter.reset()
+            return obj
+        obj = self._disk_load(key)
+        if obj is not None:
+            self.hits += 1
+            obj.table.counter.reset()
+            self._memory_put(key, obj)
+            return obj
+        self.misses += 1
+        obj = builder()
+        self._memory_put(key, obj)
+        self._disk_store(key, obj)
+        return obj
+
+    # -- internals ---------------------------------------------------------------
+
+    def _memory_put(self, key: str, obj) -> None:
+        self._memory[key] = obj
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _disk_path(self, key: str) -> str:
+        return os.path.join(self.cache_dir, f"{key}.pkl")
+
+    def _disk_load(self, key: str):
+        if self.cache_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            with open(path, "rb") as f:
+                return pickle.load(f)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def _disk_store(self, key: str, obj) -> None:
+        if self.cache_dir is None:
+            return
+        path = self._disk_path(key)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        try:
+            os.makedirs(self.cache_dir, exist_ok=True)
+            with open(tmp, "wb") as f:
+                pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def clear(self) -> None:
+        """Drop the in-memory level (disk entries are left in place)."""
+        self._memory.clear()
+
+
+#: Process-wide cache used by :func:`repro.experiments.common.build_scheme`.
+_cache = ConstructionCache(cache_dir=os.environ.get("REPRO_CACHE_DIR"))
+
+
+def configure_cache(cache_dir=None, capacity: int | None = None) -> ConstructionCache:
+    """Reconfigure the process-wide cache; returns it.
+
+    ``cache_dir=None`` keeps the cache memory-only; the in-memory level
+    is cleared so stale settings never leak across configurations.
+    """
+    global _cache
+    _cache = ConstructionCache(
+        cache_dir=cache_dir,
+        capacity=MEMORY_CAPACITY if capacity is None else capacity,
+    )
+    return _cache
+
+
+def get_cache() -> ConstructionCache:
+    """The process-wide construction cache."""
+    return _cache

@@ -21,6 +21,7 @@ from repro.dictionaries import (
     SortedArrayDictionary,
 )
 from repro.distributions import UniformPositiveNegative
+from repro.experiments.cache import get_cache
 from repro.utils.rng import as_generator, sample_distinct
 
 SCHEMES: dict[str, Callable] = {
@@ -47,9 +48,22 @@ def make_instance(
 
 
 def build_scheme(name: str, keys: np.ndarray, N: int, seed, **kwargs):
-    """Construct scheme ``name`` with its own derived RNG stream."""
+    """Construct scheme ``name`` with its own derived RNG stream.
+
+    Builds are memoized through the process-wide
+    :class:`~repro.experiments.cache.ConstructionCache` (constructions
+    are deterministic given an integer ``seed``; non-scalar kwargs or
+    Generator seeds bypass the cache).
+    """
     cls = SCHEMES[name]
-    return cls(keys, N, rng=as_generator(seed), **kwargs)
+    return get_cache().get_or_build(
+        name,
+        keys,
+        N,
+        seed,
+        kwargs,
+        lambda: cls(keys, N, rng=as_generator(seed), **kwargs),
+    )
 
 
 def uniform_distribution(

@@ -60,7 +60,7 @@ def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
         from repro.contention import sampled_contention
         from repro.utils.rng import as_generator
 
-        for n in (4096, 8192):
+        for n in (4096, 8192, 16384):
             keys, N = make_instance(n, seed)
             d = build_scheme("low-contention", keys, N, seed + 1)
             dist = uniform_distribution(keys, N, 0.5)

@@ -1,0 +1,140 @@
+"""Parallel experiment runner: fan experiments over worker processes.
+
+Every experiment runner is deterministic given ``seed``, and experiments
+are independent of one another, so the E1–E17 grid parallelizes freely:
+each experiment is one grid point dispatched to a
+:class:`concurrent.futures.ProcessPoolExecutor` worker.  Results are
+collected **in request order**, so the rendered output is byte-identical
+for any worker count (including ``jobs=1``, which runs inline without a
+pool).
+
+Workers inherit the parent's interpreter state via fork/spawn and
+reconfigure their own construction cache from ``cache_dir``; they never
+share in-memory cache state, which is exactly why determinism holds
+regardless of parallelism.
+
+:func:`grid_map` is the same machinery for ad-hoc grids: it derives one
+independent seeded RNG stream per grid point (via
+:func:`~repro.utils.rng.spawn_generators`-style child seeding) so a
+point's randomness never depends on which worker ran it or in what
+order.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.experiments.cache import configure_cache
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.io.results import ExperimentResult
+
+
+def normalize_ids(ids: Iterable[str] | str) -> list[str]:
+    """Expand ``"all"`` and validate/uppercase experiment ids."""
+    if isinstance(ids, str):
+        ids = [ids]
+    out: list[str] = []
+    for eid in ids:
+        if eid.lower() == "all":
+            out.extend(EXPERIMENTS)
+            continue
+        key = eid.upper()
+        if key not in EXPERIMENTS:
+            raise ParameterError(
+                f"unknown experiment {eid!r}; options: {sorted(EXPERIMENTS)}"
+            )
+        out.append(key)
+    return out
+
+
+def _run_one(eid: str, fast: bool, seed: int, cache_dir) -> ExperimentResult:
+    """Worker entry point: set up this process's cache, run, return."""
+    if cache_dir is not None:
+        configure_cache(cache_dir=cache_dir)
+    return run_experiment(eid, fast=fast, seed=seed)
+
+
+def run_experiments(
+    ids: Iterable[str] | str,
+    fast: bool = True,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir=None,
+) -> list[ExperimentResult]:
+    """Run experiments, optionally across ``jobs`` worker processes.
+
+    Returns results in the order of ``ids`` (after ``"all"`` expansion)
+    no matter how many workers ran them.
+    """
+    ids = normalize_ids(ids)
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ParameterError("jobs must be >= 1")
+    if cache_dir is not None:
+        configure_cache(cache_dir=cache_dir)
+    if jobs == 1 or len(ids) <= 1:
+        return [run_experiment(eid, fast=fast, seed=seed) for eid in ids]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
+        futures = [
+            pool.submit(_run_one, eid, fast, seed, cache_dir) for eid in ids
+        ]
+        return [f.result() for f in futures]
+
+
+def grid_point_seeds(seed: int, count: int) -> list[int]:
+    """``count`` independent child seeds derived from ``seed``.
+
+    Uses numpy's SeedSequence spawning, the same discipline as
+    :func:`repro.utils.rng.spawn_generators`: child streams are
+    statistically independent and a pure function of ``(seed, index)``.
+    """
+    children = np.random.SeedSequence(seed).spawn(count)
+    return [int(c.generate_state(1)[0]) for c in children]
+
+
+def grid_map(
+    fn: Callable,
+    points: Sequence,
+    seed: int = 0,
+    jobs: int = 1,
+    cache_dir=None,
+) -> list:
+    """Map ``fn(point, point_seed)`` over a grid, optionally in parallel.
+
+    Each point gets its own derived seed (see :func:`grid_point_seeds`),
+    so results are deterministic in ``(seed, points)`` and independent
+    of ``jobs``.  ``fn`` must be picklable (a module-level function).
+    """
+    points = list(points)
+    seeds = grid_point_seeds(seed, len(points))
+    jobs = int(jobs)
+    if jobs < 1:
+        raise ParameterError("jobs must be >= 1")
+    if cache_dir is not None:
+        configure_cache(cache_dir=cache_dir)
+    if jobs == 1 or len(points) <= 1:
+        return [fn(p, s) for p, s in zip(points, seeds)]
+    with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+        futures = [
+            pool.submit(_grid_worker, fn, p, s, cache_dir)
+            for p, s in zip(points, seeds)
+        ]
+        return [f.result() for f in futures]
+
+
+def _grid_worker(fn, point, point_seed, cache_dir):
+    if cache_dir is not None:
+        configure_cache(cache_dir=cache_dir)
+    return fn(point, point_seed)
+
+
+# Not imported eagerly by repro.experiments.__init__ to keep the
+# registry import cycle-free; prefer `os.cpu_count()`-bounded jobs.
+def default_jobs() -> int:
+    """A sensible default worker count (half the cores, at least 1)."""
+    return max(1, (os.cpu_count() or 2) // 2)

@@ -61,6 +61,17 @@ def run_experiment(
     return runner(fast=fast, seed=seed)
 
 
-def run_all(fast: bool = True, seed: int = 0) -> list[ExperimentResult]:
-    """Run the whole suite (fast mode by default)."""
-    return [run_experiment(eid, fast=fast, seed=seed) for eid in EXPERIMENTS]
+def run_all(
+    fast: bool = True, seed: int = 0, jobs: int = 1, cache_dir=None
+) -> list[ExperimentResult]:
+    """Run the whole suite (fast mode by default).
+
+    ``jobs > 1`` fans experiments over worker processes; output order
+    and content are identical for any worker count.
+    """
+    # Imported lazily: parallel imports this registry.
+    from repro.experiments.parallel import run_experiments
+
+    return run_experiments(
+        list(EXPERIMENTS), fast=fast, seed=seed, jobs=jobs, cache_dir=cache_dir
+    )

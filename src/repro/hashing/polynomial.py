@@ -80,6 +80,30 @@ class PolynomialHashFunction(HashFunction):
         )
 
 
+def horner_eval_batch(
+    word_arrays: list[np.ndarray],
+    xs: np.ndarray,
+    prime: int,
+    range_size: int,
+) -> np.ndarray:
+    """Evaluate per-query polynomials whose coefficients come from probes.
+
+    ``word_arrays[i]`` holds, for every query in the batch, the coefficient
+    of ``x**i`` as read back from the table (lowest-degree first, matching
+    :meth:`PolynomialHashFunction.parameter_words`).  All words must already
+    lie in ``[0, prime)``; with ``prime < 2**31`` the uint64 Horner
+    intermediates cannot overflow.  Returns int64 values in
+    ``[0, range_size)``.
+    """
+    xs = np.asarray(xs, dtype=np.uint64)
+    p = np.uint64(prime)
+    x = xs % p
+    acc = np.zeros(x.shape, dtype=np.uint64)
+    for words in reversed(word_arrays):
+        acc = (acc * x + np.asarray(words, dtype=np.uint64) % p) % p
+    return (acc % np.uint64(range_size)).astype(np.int64)
+
+
 class PolynomialFamily(HashFamily):
     """The family H^d_m: uniformly random degree-(d−1) polynomials.
 

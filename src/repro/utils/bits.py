@@ -95,6 +95,62 @@ def decode_unary_histogram(
     return loads
 
 
+def decode_unary_histogram_batch(
+    words: np.ndarray, num_buckets: int, word_bits: int = WORD_BITS
+) -> np.ndarray:
+    """Decode a batch of packed unary histograms at once.
+
+    ``words`` has shape ``(batch, rho)`` (uint64); the return value has
+    shape ``(batch, num_buckets)`` (int64 loads).  Semantically identical
+    to calling :func:`decode_unary_histogram` on each row, including the
+    :class:`ParameterError` when any row lacks ``num_buckets`` separators.
+    """
+    if word_bits < 1:
+        raise ParameterError("word_bits must be positive")
+    words = np.asarray(words, dtype=np.uint64)
+    if words.ndim != 2:
+        raise ParameterError(f"words must be 2-D (batch, rho), got {words.ndim}-D")
+    batch = words.shape[0]
+    if num_buckets == 0:
+        return np.zeros((batch, 0), dtype=np.int64)
+    # Expand to the little-endian bit stream: bit k of the stream is bit
+    # (k % word_bits) of word (k // word_bits).  Byte-aligned word sizes
+    # take the fast unpackbits path (the hot loop of batched queries).
+    if word_bits % 8 == 0 and word_bits <= 64:
+        nbytes = word_bits // 8
+        raw = np.ascontiguousarray(words.astype("<u8")).view(np.uint8)
+        raw = raw.reshape(batch, words.shape[1], 8)[:, :, :nbytes]
+        bits = np.unpackbits(
+            np.ascontiguousarray(raw).reshape(batch, -1),
+            axis=1,
+            bitorder="little",
+        )
+        zeros = bits == 0
+    else:
+        shifts = np.arange(word_bits, dtype=np.uint64)
+        bits = (
+            (words[:, :, None] >> shifts[None, None, :]) & np.uint64(1)
+        ).reshape(batch, -1)
+        zeros = bits == 0
+    counts = zeros.sum(axis=1)
+    if int(counts.min(initial=num_buckets)) < num_buckets:
+        bad = int(np.argmax(counts < num_buckets))
+        raise ParameterError(
+            f"histogram truncated: row {bad} decoded "
+            f"{int(counts[bad])} of {num_buckets} buckets"
+        )
+    # Positions of the first num_buckets zero separators in each row.
+    _, cols = np.nonzero(zeros)
+    offsets = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    take = offsets[:, None] + np.arange(num_buckets)
+    positions = cols[take]
+    loads = np.empty((batch, num_buckets), dtype=np.int64)
+    loads[:, 0] = positions[:, 0]
+    if num_buckets > 1:
+        loads[:, 1:] = np.diff(positions, axis=1) - 1
+    return loads
+
+
 def pack_pair(a: int, b: int, half_bits: int = 31) -> int:
     """Pack two non-negative ints, each ``< 2**half_bits``, into one word.
 
@@ -117,6 +173,21 @@ def unpack_pair(word: int, half_bits: int = 31) -> tuple[int, int]:
         raise ParameterError("packed word must be non-negative")
     mask = (1 << half_bits) - 1
     return (word >> half_bits) & mask, word & mask
+
+
+def unpack_pair_batch(
+    words: np.ndarray, half_bits: int = 31
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`unpack_pair` over a uint64 array of packed words.
+
+    Returns ``(a, b)`` uint64 arrays of the same shape as ``words``.
+    Skipped reads that surfaced :data:`~repro.cellprobe.table.EMPTY_CELL`
+    unpack to garbage halves; callers must mask such entries out before
+    using the result.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    mask = np.uint64((1 << half_bits) - 1)
+    return (words >> np.uint64(half_bits)) & mask, words & mask
 
 
 def bit_reverse(value: int, width: int) -> int:
