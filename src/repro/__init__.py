@@ -11,7 +11,11 @@ Public API highlights (see README.md for a tour):
 - :mod:`repro.concurrent` — simultaneous-query shared-memory simulation.
 - :mod:`repro.lowerbound` — the Section 3 communication game, lemma
   machinery, and the t* = Ω(log log n) recursion.
-- :mod:`repro.experiments` — the E1–E13 experiment registry (the paper
+- :mod:`repro.faults` — seeded fault injection (stuck cells, bit flips,
+  crashed replicas) for the cell-probe substrate; pairs with the
+  fault-tolerant query modes of
+  :class:`repro.dictionaries.ReplicatedDictionary`.
+- :mod:`repro.experiments` — the E1–E18 experiment registry (the paper
   has no tables/figures; these reify its claims — see DESIGN.md).
 """
 
@@ -19,10 +23,15 @@ __version__ = "1.0.0"
 
 from repro.errors import (
     ConstructionError,
+    CorruptQueryError,
     DistributionError,
+    ExperimentFailureError,
+    FaultError,
+    FaultExhaustedError,
     GameError,
     ParameterError,
     QueryError,
+    ReplicaUnavailableError,
     ReproError,
     TableError,
 )
@@ -36,4 +45,9 @@ __all__ = [
     "QueryError",
     "DistributionError",
     "GameError",
+    "FaultError",
+    "CorruptQueryError",
+    "ReplicaUnavailableError",
+    "FaultExhaustedError",
+    "ExperimentFailureError",
 ]

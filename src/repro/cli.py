@@ -3,9 +3,14 @@
 Commands
 --------
 
-- ``list`` — show the experiment registry (E1–E14) with titles.
+- ``list`` — show the experiment registry (E1–E18) with titles.
 - ``run E5 [--full] [--seed 0] [--json out.json]`` — run one experiment
-  (or ``all``) and print its regenerated table.
+  (or ``all``) and print its regenerated table.  Resilience is opt-in:
+  ``--timeout``/``--retries``/``--retry-backoff`` harden individual
+  experiments, ``--checkpoint-dir`` makes multi-experiment runs
+  crash-safe (kill and re-invoke to resume), and
+  ``--fail-fast``/``--keep-going`` pick the multi-experiment failure
+  semantics.
 - ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
   across all schemes on one instance.
 - ``info`` — package, paper, and reproduction-band summary.
@@ -20,6 +25,7 @@ import argparse
 import sys
 
 from repro import __version__
+from repro.errors import ExperimentFailureError, ReproError
 from repro.experiments import EXPERIMENTS
 from repro.io.results import save_results
 
@@ -31,22 +37,39 @@ def _cmd_list(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from repro.experiments.parallel import run_experiments
-
-    results = run_experiments(
-        args.experiments,
-        fast=not args.full,
-        seed=args.seed,
-        jobs=args.jobs,
-        cache_dir=args.cache_dir,
-    )
+def _print_results(results, json_path) -> None:
     for result in results:
         print(result.render())
         print()
-    if args.json:
-        save_results(results, args.json)
-        print(f"wrote {args.json}")
+    if json_path:
+        save_results(results, json_path)
+        print(f"wrote {json_path}")
+
+
+def _cmd_run(args) -> int:
+    from repro.experiments.parallel import run_experiments
+
+    try:
+        results = run_experiments(
+            args.experiments,
+            fast=not args.full,
+            seed=args.seed,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            timeout=args.timeout,
+            retries=args.retries,
+            retry_backoff=args.retry_backoff,
+            checkpoint_dir=args.checkpoint_dir,
+            keep_going=args.keep_going,
+        )
+    except ExperimentFailureError as exc:
+        # Keep-going runs still render everything that completed; either
+        # way each failure becomes one line on stderr and a nonzero exit.
+        _print_results(exc.results, args.json if exc.results else None)
+        for eid, reason in exc.failures.items():
+            print(f"error: {eid} failed: {reason}", file=sys.stderr)
+        return 1
+    _print_results(results, args.json)
     return 0
 
 
@@ -119,7 +142,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="on-disk construction cache directory (default: memory-only)",
     )
-    run_p.set_defaults(func=_cmd_run)
+    run_p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-experiment timeout in seconds (worker is killed)",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="retry a failed/timed-out experiment this many times",
+    )
+    run_p.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.5,
+        help="base retry backoff in seconds (doubles per attempt)",
+    )
+    run_p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="persist completed results here and resume from them "
+        "on re-invocation (crash-safe multi-experiment runs)",
+    )
+    halting = run_p.add_mutually_exclusive_group()
+    halting.add_argument(
+        "--fail-fast",
+        dest="keep_going",
+        action="store_false",
+        help="stop at the first failed experiment (default)",
+    )
+    halting.add_argument(
+        "--keep-going",
+        dest="keep_going",
+        action="store_true",
+        help="run remaining experiments past a failure; report all "
+        "failures at the end and exit nonzero",
+    )
+    run_p.set_defaults(func=_cmd_run, keep_going=False)
 
     survey_p = sub.add_parser("survey", help="cross-scheme contention table")
     survey_p.add_argument("--n", type=int, default=512)
@@ -133,9 +194,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv=None) -> int:
-    """Parse arguments and dispatch to a command; returns the exit code."""
+    """Parse arguments and dispatch to a command; returns the exit code.
+
+    Library failures (:class:`~repro.errors.ReproError`) become a
+    one-line ``error:`` message on stderr and exit code 2 — never a
+    traceback.  Programming errors still raise.
+    """
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -21,6 +21,11 @@ while the low-contention scheme scales almost linearly until m
 approaches s.
 """
 
+from repro.concurrent.adversaries import (
+    Adversary,
+    CellOutageAdversary,
+    ContentionSpikeAdversary,
+)
 from repro.concurrent.resolution import (
     BackoffModel,
     CRCWModel,
@@ -36,4 +41,7 @@ __all__ = [
     "CRCWModel",
     "QueuedModel",
     "BackoffModel",
+    "Adversary",
+    "CellOutageAdversary",
+    "ContentionSpikeAdversary",
 ]

@@ -1,0 +1,136 @@
+"""Per-cycle adversaries for the concurrent simulator.
+
+The paper's contention bound is an expectation over an *oblivious*
+query distribution; a production system also faces environments that
+actively misbehave.  Two seeded adversaries model the classic failure
+modes:
+
+- :class:`CellOutageAdversary` — transient cell outages: each cycle,
+  with probability ``event_rate``, a batch of uniformly random cells
+  goes down for ``duration`` cycles.  ``mode="block"`` makes probes to
+  down cells stall (they retry until the cell recovers: availability
+  and retry amplification degrade); ``mode="corrupt"`` serves them but
+  *taints* the reading query, which is pessimistically counted as a
+  wrong answer on completion (any corrupted read is assumed fatal to
+  the answer — an upper bound on the true wrong-answer rate).
+- :class:`ContentionSpikeAdversary` — periodic workload spikes: during
+  windows of ``width`` cycles every ``period`` cycles, every freshly
+  assigned query is collapsed onto one key, focusing the whole machine
+  on that key's probe path and spiking per-cell collisions.
+
+Adversaries own a private seeded RNG: with ``adversary=None`` the
+simulator's draw sequence — and therefore its results — is untouched
+(the zero-overhead default).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_integer, check_probability
+
+__all__ = ["Adversary", "CellOutageAdversary", "ContentionSpikeAdversary"]
+
+
+class Adversary:
+    """Base adversary: no outages, no corruption, no query override.
+
+    The simulator calls :meth:`bind` once, :meth:`begin_cycle` at the
+    top of each cycle, then consults :attr:`blocked` / :attr:`corrupted`
+    (boolean masks over flat cells, or ``None`` for "none this cycle")
+    and routes fresh query assignments through :meth:`override_queries`.
+    """
+
+    name = "none"
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+        self.blocked: np.ndarray | None = None
+        self.corrupted: np.ndarray | None = None
+        self._cycle_done: int | None = None
+
+    def bind(self, num_cells: int) -> None:
+        """Size internal state to the table being attacked."""
+        self.num_cells = int(num_cells)
+
+    def advance(self, cycle: int) -> None:
+        """Move to ``cycle`` exactly once (idempotent per cycle)."""
+        if self._cycle_done != cycle:
+            self._cycle_done = cycle
+            self.begin_cycle(cycle)
+
+    def begin_cycle(self, cycle: int) -> None:
+        """Advance adversarial state to ``cycle``."""
+
+    def override_queries(self, xs: np.ndarray) -> np.ndarray:
+        """Rewrite a batch of freshly assigned queries (identity here)."""
+        return xs
+
+
+class CellOutageAdversary(Adversary):
+    """Knocks out (or silently corrupts) random cells for a while."""
+
+    def __init__(
+        self,
+        event_rate: float = 0.1,
+        cells_per_event: int = 1,
+        duration: int = 10,
+        mode: str = "block",
+        seed: int = 0,
+    ):
+        super().__init__(seed)
+        self.event_rate = check_probability("event_rate", event_rate)
+        self.cells_per_event = check_positive_integer(
+            "cells_per_event", cells_per_event
+        )
+        self.duration = check_positive_integer("duration", duration)
+        if mode not in ("block", "corrupt"):
+            raise ParameterError(
+                f"mode must be 'block' or 'corrupt', got {mode!r}"
+            )
+        self.mode = mode
+        self.name = f"outage[{mode}]"
+
+    def bind(self, num_cells: int) -> None:
+        super().bind(num_cells)
+        self._down_until = np.zeros(num_cells, dtype=np.int64)
+
+    def begin_cycle(self, cycle: int) -> None:
+        if self.rng.random() < self.event_rate:
+            k = min(self.cells_per_event, self.num_cells)
+            cells = self.rng.choice(self.num_cells, size=k, replace=False)
+            self._down_until[cells] = np.maximum(
+                self._down_until[cells], cycle + self.duration
+            )
+        mask = self._down_until > cycle
+        if not mask.any():
+            mask = None
+        if self.mode == "block":
+            self.blocked, self.corrupted = mask, None
+        else:
+            self.blocked, self.corrupted = None, mask
+
+
+class ContentionSpikeAdversary(Adversary):
+    """Collapses fresh assignments onto one key during periodic windows."""
+
+    def __init__(self, period: int = 50, width: int = 5, seed: int = 0):
+        super().__init__(seed)
+        self.period = check_positive_integer("period", period)
+        self.width = check_positive_integer("width", width)
+        if self.width > self.period:
+            raise ParameterError("width must be <= period")
+        self.name = "spike"
+        self._active = False
+
+    def begin_cycle(self, cycle: int) -> None:
+        self._active = (cycle % self.period) < self.width
+
+    def override_queries(self, xs: np.ndarray) -> np.ndarray:
+        if self._active and xs.size:
+            # The spike target is whatever key the workload dealt first
+            # this batch: every processor re-assigned during the window
+            # hammers the same probe path, no extra RNG draws needed.
+            xs = np.full_like(xs, xs.flat[0])
+        return xs

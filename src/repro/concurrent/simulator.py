@@ -28,12 +28,17 @@ from repro.concurrent.resolution import CRCWModel, ResolutionModel
 from repro.distributions.base import QueryDistribution
 from repro.errors import ParameterError
 from repro.utils.rng import as_generator
-from repro.utils.validation import check_positive_integer
+from repro.utils.validation import check_integer, check_positive_integer
 
 
 @dataclasses.dataclass(frozen=True)
 class SimulationResult:
-    """Aggregate statistics of one concurrent simulation run."""
+    """Aggregate statistics of one concurrent simulation run.
+
+    The degradation fields (``blocked_probes``, ``wrong_answers``) stay
+    zero unless an adversary was attached; availability and retry
+    amplification then quantify graceful (or not) degradation.
+    """
 
     scheme: str
     model: str
@@ -46,6 +51,8 @@ class SimulationResult:
     p95_latency: float
     max_cell_collisions: int
     predicted_max_collisions: float | None = None
+    blocked_probes: int = 0
+    wrong_answers: int = 0
 
     @property
     def throughput(self) -> float:
@@ -57,6 +64,27 @@ class SimulationResult:
         """Fraction of probe attempts that stalled."""
         attempts = self.total_probes + self.stalled_probes
         return self.stalled_probes / attempts if attempts else 0.0
+
+    @property
+    def availability(self) -> float:
+        """Fraction of probe attempts not blocked by cell outages."""
+        attempts = self.total_probes + self.stalled_probes + self.blocked_probes
+        return 1.0 - self.blocked_probes / attempts if attempts else 1.0
+
+    @property
+    def retry_amplification(self) -> float:
+        """Probe attempts per served probe (1.0 = no stalls, no outages)."""
+        attempts = self.total_probes + self.stalled_probes + self.blocked_probes
+        return attempts / self.total_probes if self.total_probes else float("nan")
+
+    @property
+    def wrong_answer_rate(self) -> float:
+        """Completed queries tainted by a corrupted read, per completion."""
+        return (
+            self.wrong_answers / self.completed_queries
+            if self.completed_queries
+            else 0.0
+        )
 
     def row(self) -> dict:
         """Flat dict for experiment tables."""
@@ -72,6 +100,17 @@ class SimulationResult:
             "max_collisions": self.max_cell_collisions,
         }
 
+    def degradation_row(self) -> dict:
+        """Flat dict of the fault-facing metrics (E18 tables)."""
+        return {
+            "scheme": self.scheme,
+            "m": self.processors,
+            "availability": round(self.availability, 4),
+            "retry_amp": round(self.retry_amplification, 3),
+            "wrong_rate": round(self.wrong_answer_rate, 4),
+            "throughput": round(self.throughput, 3),
+        }
+
 
 class ConcurrentSimulator:
     """Closed-loop simulation of ``m`` processors querying one table."""
@@ -83,21 +122,28 @@ class ConcurrentSimulator:
         processors: int,
         model: ResolutionModel | None = None,
         rng=None,
+        adversary=None,
     ):
         self.dictionary = dictionary
         self.distribution = distribution
         self.m = check_positive_integer("processors", processors)
         self.model = model if model is not None else CRCWModel()
         self.rng = as_generator(rng)
+        self.adversary = adversary
         table = dictionary.table
         self._s = table.s
         self._num_cells = table.num_cells
+        if adversary is not None:
+            adversary.bind(self._num_cells)
+            adversary.advance(0)
         max_probes = int(dictionary.max_probes)
         # Per-processor pre-sampled probe sequences (flat cells, -1 pad).
         self._seq = np.full((self.m, max_probes), -1, dtype=np.int64)
         self._len = np.zeros(self.m, dtype=np.int64)
         self._pos = np.zeros(self.m, dtype=np.int64)
         self._start_cycle = np.zeros(self.m, dtype=np.int64)
+        # Tainted = consumed at least one corrupted read this query.
+        self._tainted = np.zeros(self.m, dtype=bool)
         self._assign(np.arange(self.m), cycle=0)
 
     def _assign(self, procs: np.ndarray, cycle: int) -> None:
@@ -106,6 +152,8 @@ class ConcurrentSimulator:
         if k == 0:
             return
         xs = self.distribution.sample(self.rng, k)
+        if self.adversary is not None:
+            xs = self.adversary.override_queries(xs)
         steps = self.dictionary.probe_plan_batch(xs)
         if len(steps) > self._seq.shape[1]:
             raise ParameterError(
@@ -125,39 +173,59 @@ class ConcurrentSimulator:
         self._len[procs] = lengths
         self._pos[procs] = 0
         self._start_cycle[procs] = cycle
+        self._tainted[procs] = False
 
     def run(self, cycles: int) -> SimulationResult:
-        """Advance the system ``cycles`` synchronous rounds."""
-        cycles = check_positive_integer("cycles", cycles)
+        """Advance the system ``cycles`` synchronous rounds.
+
+        ``cycles=0`` is a legal no-op run: zero completions, NaN
+        latencies, assignments untouched.
+        """
+        cycles = check_integer("cycles", cycles, minimum=0)
         completed = 0
         total_probes = 0
         stalled = 0
+        blocked_probes = 0
+        wrong_answers = 0
+        adversary = self.adversary
         # Latencies accumulate into a geometrically grown numpy buffer
         # (bounded by one completion per processor per cycle).
-        lat_buf = np.empty(min(1024, self.m * cycles), dtype=np.int64)
+        lat_buf = np.empty(min(1024, max(1, self.m * cycles)), dtype=np.int64)
         lat_n = 0
         max_collisions = 0
         all_procs = np.arange(self.m)
         for cycle in range(cycles):
+            if adversary is not None:
+                adversary.advance(cycle)
             cells = self._seq[all_procs, self._pos]
             # Zero-length plans surface as cell -1: no probe to make, the
             # query completes immediately (np.bincount rejects negatives).
             valid = cells >= 0
-            n_valid = int(valid.sum())
-            if n_valid:
-                counts = np.bincount(cells[valid], minlength=1)
+            blocked = np.zeros(self.m, dtype=bool)
+            if adversary is not None and adversary.blocked is not None:
+                blocked = valid & adversary.blocked[np.where(valid, cells, 0)]
+            attempt = valid & ~blocked
+            blocked_probes += int(blocked.sum())
+            n_attempt = int(attempt.sum())
+            if n_attempt:
+                counts = np.bincount(cells[attempt], minlength=1)
                 max_collisions = max(max_collisions, int(counts.max(initial=0)))
             served = np.zeros(self.m, dtype=bool)
-            if n_valid:
-                served[valid] = self.model.serve(cells[valid], self.rng)
+            if n_attempt:
+                served[attempt] = self.model.serve(cells[attempt], self.rng)
             n_served = int(served.sum())
             total_probes += n_served
-            stalled += n_valid - n_served
+            stalled += n_attempt - n_served
+            if adversary is not None and adversary.corrupted is not None:
+                self._tainted |= served & adversary.corrupted[
+                    np.where(valid, cells, 0)
+                ]
             self._pos[served] += 1
             finished = (served & (self._pos >= self._len)) | ~valid
             if np.any(finished):
                 fin_idx = all_procs[finished]
                 completed += fin_idx.shape[0]
+                wrong_answers += int(self._tainted[fin_idx].sum())
                 new_lats = cycle + 1 - self._start_cycle[fin_idx]
                 needed = lat_n + new_lats.shape[0]
                 if needed > lat_buf.shape[0]:
@@ -181,4 +249,6 @@ class ConcurrentSimulator:
             mean_latency=float(lat.mean()) if lat.size else float("nan"),
             p95_latency=float(np.percentile(lat, 95)) if lat.size else float("nan"),
             max_cell_collisions=max_collisions,
+            blocked_probes=blocked_probes,
+            wrong_answers=wrong_answers,
         )

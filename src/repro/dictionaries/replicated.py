@@ -28,8 +28,25 @@ import numpy as np
 from repro.cellprobe.steps import BatchStridedStep, FixedCell, ProbeStep, UniformSet, UniformStrided
 from repro.cellprobe.table import Table
 from repro.dictionaries.base import StaticDictionary
-from repro.errors import ParameterError
+from repro.errors import (
+    CorruptQueryError,
+    FaultExhaustedError,
+    ParameterError,
+    ReplicaUnavailableError,
+    ReproError,
+)
+from repro.faults import FaultConfig, FaultInjector, FaultStats, FaultyTable
 from repro.utils.rng import as_generator
+
+#: Exceptions treated as a *detected* per-replica failure by the
+#: fault-tolerant query paths: corrupted words can drive an honest query
+#: algorithm to an out-of-range probe (``TableError``), an impossible
+#: decode (``ValueError``/``OverflowError``/``IndexError``), or an
+#: explicit crash (``ReplicaUnavailableError`` is a ``ReproError``).
+_REPLICA_FAILURES = (ReproError, OverflowError, IndexError, ValueError)
+
+#: Query-routing modes of :class:`ReplicatedDictionary`.
+QUERY_MODES = ("random", "majority", "failover")
 
 
 class _ReplicaView:
@@ -63,16 +80,57 @@ class _ReplicaView:
 
 
 class ReplicatedDictionary(StaticDictionary):
-    """R copies of an inner static dictionary; queries pick one uniformly."""
+    """R copies of an inner static dictionary; queries pick one uniformly.
 
-    def __init__(self, inner: StaticDictionary, replicas: int, rng=None):
+    Fault tolerance (opt-in, zero overhead by default): attach a
+    :class:`~repro.faults.FaultConfig` and pick a query-routing ``mode``:
+
+    - ``"random"`` (default) — the paper's scheme: one uniformly random
+      replica per query.  Under faults it is the fragile baseline:
+      corrupt cells silently flip answers and a crashed replica raises
+      :class:`~repro.errors.ReplicaUnavailableError`.
+    - ``"majority"`` — query every live replica (all probes charged) and
+      return the majority vote; replicas whose execution detectably
+      fails (crash, out-of-range probe from a corrupt word) abstain.
+      Correct whenever a strict majority of replicas is healthy.
+    - ``"failover"`` — one replica at a time with bounded retries: a
+      *detected* failure triggers failover to a fresh random replica
+      after exponential backoff (``2**attempt`` probe-equivalents,
+      recorded in :attr:`fault_stats`); retries exhausted raises
+      :class:`~repro.errors.FaultExhaustedError`.  Silent corruption is
+      not detected — failover buys availability, not integrity.
+
+    With ``faults=None`` (or a config with every rate zero) and
+    ``mode="random"`` every RNG draw, probe, and answer is byte-identical
+    to the pre-fault-layer implementation (property-tested).
+    """
+
+    def __init__(
+        self,
+        inner: StaticDictionary,
+        replicas: int,
+        rng=None,
+        mode: str = "random",
+        faults: FaultConfig | None = None,
+        max_retries: int = 3,
+    ):
         if replicas < 1:
             raise ParameterError("replicas must be >= 1")
+        if mode not in QUERY_MODES:
+            raise ParameterError(
+                f"unknown query mode {mode!r}; options: {QUERY_MODES}"
+            )
+        if max_retries < 0:
+            raise ParameterError("max_retries must be >= 0")
         self.inner = inner
         self.replicas = int(replicas)
+        self.mode = mode
+        self.max_retries = int(max_retries)
         self.universe_size = inner.universe_size
         self.keys = inner.keys
         self.name = f"replicated({inner.name}, R={replicas})"
+        if mode != "random":
+            self.name += f"[{mode}]"
         inner_table = inner.table
         self._inner_rows = inner_table.rows
         self.table = Table(
@@ -83,14 +141,31 @@ class ReplicatedDictionary(StaticDictionary):
                 self.table.write_row(
                     r * self._inner_rows + row, inner_table._cells[row]
                 )
+        self.fault_stats = FaultStats()
+        if faults is not None and faults.enabled:
+            self.faults = faults
+            self._injector = FaultInjector(
+                faults, self.table.rows, self.table.s, self.replicas
+            )
+            self._read_table = FaultyTable(self.table, self._injector)
+        else:
+            self.faults = None
+            self._injector = None
+            self._read_table = self.table
 
     # -- queries -----------------------------------------------------------------
 
-    def query(self, x: int, rng=None) -> bool:
-        x = self.check_key(x)
-        rng = as_generator(rng)
-        replica = int(rng.integers(0, self.replicas))
-        view = _ReplicaView(self.table, self._inner_rows, replica)
+    def live_replicas(self) -> list[int]:
+        """Replica indices that are not crashed."""
+        if self._injector is None:
+            return list(range(self.replicas))
+        return [
+            r for r in range(self.replicas) if self._injector.available(r)
+        ]
+
+    def _query_on(self, x: int, replica: int, rng) -> bool:
+        """Run the inner query against one replica's rows (probes charged)."""
+        view = _ReplicaView(self._read_table, self._inner_rows, replica)
         original = self.inner.table
         self.inner.table = view
         try:
@@ -98,14 +173,91 @@ class ReplicatedDictionary(StaticDictionary):
         finally:
             self.inner.table = original
 
+    def query(self, x: int, rng=None) -> bool:
+        x = self.check_key(x)
+        rng = as_generator(rng)
+        if self.mode == "majority":
+            return self._query_majority(x, rng)
+        if self.mode == "failover":
+            return self._query_failover(x, rng)
+        replica = int(rng.integers(0, self.replicas))
+        if self._injector is None:
+            return self._query_on(x, replica, rng)
+        if not self._injector.available(replica):
+            self.fault_stats.crash_hits += 1
+            raise ReplicaUnavailableError(replica)
+        try:
+            return self._query_on(x, replica, rng)
+        except _REPLICA_FAILURES as exc:
+            self.fault_stats.corrupted_reads += 1
+            raise CorruptQueryError(
+                f"query({x}) on replica {replica} detectably corrupted"
+            ) from exc
+
+    def _query_majority(self, x: int, rng) -> bool:
+        """All live replicas vote; detected failures abstain.
+
+        Ties (possible only when at least half the voting replicas
+        answered corruptly, i.e. outside the strict-majority-healthy
+        guarantee) resolve to ``False``.
+        """
+        votes_true = votes_false = 0
+        for replica in range(self.replicas):
+            if self._injector is not None and not self._injector.available(
+                replica
+            ):
+                self.fault_stats.crash_hits += 1
+                continue
+            try:
+                answer = self._query_on(x, replica, rng)
+            except _REPLICA_FAILURES:
+                self.fault_stats.corrupted_reads += 1
+                continue
+            if answer:
+                votes_true += 1
+            else:
+                votes_false += 1
+        if votes_true == 0 and votes_false == 0:
+            self.fault_stats.exhausted += 1
+            raise FaultExhaustedError(self.replicas)
+        return votes_true > votes_false
+
+    def _query_failover(self, x: int, rng) -> bool:
+        """Random replica with bounded retry-on-detected-failure."""
+        attempts = 0
+        backoff_spent = 0
+        while True:
+            replica = int(rng.integers(0, self.replicas))
+            if self._injector is None or self._injector.available(replica):
+                try:
+                    return self._query_on(x, replica, rng)
+                except _REPLICA_FAILURES:
+                    self.fault_stats.corrupted_reads += 1
+            else:
+                self.fault_stats.crash_hits += 1
+            if attempts >= self.max_retries:
+                self.fault_stats.exhausted += 1
+                raise FaultExhaustedError(attempts + 1, backoff_spent)
+            # Exponential backoff, denominated in probe-equivalents: the
+            # model has no wall clock, so waiting 2**k "slots" is charged
+            # as 2**k probes a real system would have had time to make.
+            cost = 2**attempts
+            self.fault_stats.retries += 1
+            self.fault_stats.backoff_probes += cost
+            backoff_spent += cost
+            attempts += 1
+
     def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
         """Batch queries grouped by sampled replica.
 
         Each query draws its replica uniformly (as in the scalar path),
         then the inner batch algorithm runs once per distinct replica on
         that replica's rows — probes are charged identically, only the
-        order of RNG draws differs.
+        order of RNG draws differs.  Fault-tolerant modes fall back to
+        the scalar path per key (their control flow is data-dependent).
         """
+        if self.mode != "random" or self._injector is not None:
+            return super().query_batch(xs, rng)
         xs = self.check_keys_batch(xs)
         rng = as_generator(rng)
         replica = rng.integers(0, self.replicas, size=xs.shape[0])

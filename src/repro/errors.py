@@ -69,3 +69,66 @@ class GameError(ReproError, RuntimeError):
     Raised, e.g., when a probe specification violates the row-sum constraint
     (1) or the contention constraint (2) of Lemma 14.
     """
+
+
+class FaultError(ReproError, RuntimeError):
+    """Base class for injected-fault failures (see :mod:`repro.faults`)."""
+
+
+class ReplicaUnavailableError(FaultError):
+    """A query was routed to a crashed (unavailable) replica.
+
+    Raised by :class:`~repro.dictionaries.replicated.ReplicatedDictionary`
+    in the default ``"random"`` routing mode, which has no failover: the
+    fragile baseline that E18 measures against.  Carries the replica index.
+    """
+
+    def __init__(self, replica: int):
+        self.replica = int(replica)
+        super().__init__(f"replica {self.replica} is crashed/unavailable")
+
+
+class CorruptQueryError(FaultError):
+    """A query execution was detectably derailed by injected faults.
+
+    Raised by the ``"random"`` routing mode (which has no failover) when
+    corrupted words drive the honest query algorithm into an illegal
+    state — e.g. a hash coefficient outside its field or a probe address
+    outside the table.  The original error is chained as ``__cause__``.
+    """
+
+
+class FaultExhaustedError(FaultError):
+    """A fault-tolerant query path ran out of retries or healthy replicas.
+
+    Raised by the ``"failover"`` mode when ``max_retries`` consecutive
+    replica attempts all failed, and by the ``"majority"`` mode when no
+    replica produced a vote.  Carries the number of ``attempts`` made and
+    the total exponential-backoff cost in probe-equivalents.
+    """
+
+    def __init__(self, attempts: int, backoff_probes: int = 0):
+        self.attempts = int(attempts)
+        self.backoff_probes = int(backoff_probes)
+        super().__init__(
+            f"no healthy replica after {self.attempts} attempts "
+            f"({self.backoff_probes} backoff probe-equivalents spent)"
+        )
+
+
+class ExperimentFailureError(ReproError, RuntimeError):
+    """One or more experiments failed (crashed, errored, or timed out).
+
+    Raised by the resilient runner after retries are exhausted.  Carries
+    ``failures`` (experiment id -> one-line reason) and ``results`` (the
+    experiments that *did* complete, in request order) so callers running
+    with keep-going semantics can still report partial output.
+    """
+
+    def __init__(self, failures: dict, results: list = ()):  # type: ignore[assignment]
+        self.failures = dict(failures)
+        self.results = list(results)
+        detail = "; ".join(f"{k}: {v}" for k, v in self.failures.items())
+        super().__init__(
+            f"{len(self.failures)} experiment(s) failed — {detail}"
+        )

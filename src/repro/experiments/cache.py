@@ -15,6 +15,13 @@ and over is pure waste.  This module provides a two-level cache:
 Builds are only cached when the key is trustworthy: an integer seed and
 scalar-only kwargs.  Anything else (Generator seeds, planted hash
 objects, parameter objects) bypasses the cache and builds directly.
+
+Disk entries are **checksum-validated**: each file carries a magic +
+format-version header and the SHA-256 of its pickle payload.  A
+truncated, corrupted, or version-mismatched file is *never* unpickled —
+it degrades to a cache miss with a :class:`RuntimeWarning` (and is
+rebuilt/rewritten), so a damaged cache directory can slow a run down
+but can never poison its results.
 """
 
 from __future__ import annotations
@@ -22,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import warnings
 from collections import OrderedDict
 from typing import Callable
 
@@ -30,7 +38,20 @@ import numpy as np
 #: In-process LRU capacity (entries, not bytes).
 MEMORY_CAPACITY = 16
 
+#: On-disk entry header: magic (includes the format version) + SHA-256.
+DISK_MAGIC = b"REPROCACHE:2\n"
+_DIGEST_BYTES = hashlib.sha256().digest_size
+
 _SCALAR_TYPES = (bool, int, float, str, type(None))
+
+
+def _warn_corrupt(path: str, reason: str) -> None:
+    warnings.warn(
+        f"construction cache entry {path} is unusable ({reason}); "
+        "treating as a miss and rebuilding",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 class ConstructionCache:
@@ -118,8 +139,28 @@ class ConstructionCache:
         path = self._disk_path(key)
         try:
             with open(path, "rb") as f:
-                return pickle.load(f)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                blob = f.read()
+        except OSError:
+            return None
+        header = len(DISK_MAGIC) + _DIGEST_BYTES
+        if not blob.startswith(DISK_MAGIC):
+            _warn_corrupt(path, "bad magic / old format version")
+            return None
+        if len(blob) < header:
+            _warn_corrupt(path, "truncated header")
+            return None
+        digest = blob[len(DISK_MAGIC):header]
+        payload = blob[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            _warn_corrupt(path, "checksum mismatch (truncated or corrupt)")
+            return None
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError) as exc:
+            # A valid checksum with an unloadable payload means the
+            # pickle was written by an incompatible library version.
+            _warn_corrupt(path, f"unpicklable payload ({type(exc).__name__})")
             return None
 
     def _disk_store(self, key: str, obj) -> None:
@@ -129,8 +170,11 @@ class ConstructionCache:
         tmp = f"{path}.tmp.{os.getpid()}"
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
+            payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
             with open(tmp, "wb") as f:
-                pickle.dump(obj, f, protocol=pickle.HIGHEST_PROTOCOL)
+                f.write(DISK_MAGIC)
+                f.write(hashlib.sha256(payload).digest())
+                f.write(payload)
             os.replace(tmp, path)
         except (OSError, pickle.PicklingError):
             if os.path.exists(tmp):

@@ -18,20 +18,52 @@ independent seeded RNG stream per grid point (via
 :func:`~repro.utils.rng.spawn_generators`-style child seeding) so a
 point's randomness never depends on which worker ran it or in what
 order.
+
+**Resilience** (all opt-in; the default path is byte-identical to the
+plain runner): requesting a ``timeout``, ``retries``, ``keep_going``, or
+a ``checkpoint_dir`` routes dispatch through a process-per-experiment
+scheduler that
+
+- enforces a per-attempt wall-clock **timeout** by killing the worker
+  process;
+- **retries** failed/timed-out experiments with exponential backoff
+  (``retry_backoff * 2**attempt`` seconds);
+- **checkpoints** each completed result as checksummed-by-parse JSON in
+  ``checkpoint_dir`` and, on a later invocation with the same directory,
+  resumes by loading completed experiments instead of recomputing them
+  (kill a run mid-flight and re-invoke to pick up where it left off);
+- aborts at the first exhausted experiment (fail-fast, default) or runs
+  everything and reports all failures at the end (``keep_going``),
+  raising :class:`~repro.errors.ExperimentFailureError` either way with
+  the partial results attached.
+
+Experiments are deterministic in ``seed``, so a resumed run's output is
+identical to an uninterrupted one.
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import os
+import pathlib
+import queue as queue_mod
+import time
+import warnings
+from concurrent.futures import ThreadPoolExecutor, as_completed
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import ParameterError
+from repro.errors import ExperimentFailureError, ParameterError
 from repro.experiments.cache import configure_cache
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.io.results import ExperimentResult
+
+#: Bumped when the checkpoint JSON layout changes; older files are
+#: treated as missing (recomputed), never misread.
+CHECKPOINT_VERSION = 1
 
 
 def normalize_ids(ids: Iterable[str] | str) -> list[str]:
@@ -65,18 +97,41 @@ def run_experiments(
     seed: int = 0,
     jobs: int = 1,
     cache_dir=None,
+    timeout: float | None = None,
+    retries: int = 0,
+    retry_backoff: float = 0.5,
+    checkpoint_dir=None,
+    keep_going: bool = False,
 ) -> list[ExperimentResult]:
     """Run experiments, optionally across ``jobs`` worker processes.
 
     Returns results in the order of ``ids`` (after ``"all"`` expansion)
-    no matter how many workers ran them.
+    no matter how many workers ran them.  ``timeout``/``retries``/
+    ``checkpoint_dir``/``keep_going`` engage the resilient scheduler
+    (see the module docstring); leaving them all at their defaults runs
+    the plain deterministic path unchanged.
     """
     ids = normalize_ids(ids)
     jobs = int(jobs)
     if jobs < 1:
         raise ParameterError("jobs must be >= 1")
+    if retries < 0:
+        raise ParameterError("retries must be >= 0")
+    if timeout is not None and timeout <= 0:
+        raise ParameterError("timeout must be positive")
     if cache_dir is not None:
         configure_cache(cache_dir=cache_dir)
+    resilient = (
+        timeout is not None
+        or retries > 0
+        or checkpoint_dir is not None
+        or keep_going
+    )
+    if resilient:
+        return _run_resilient(
+            ids, fast, seed, jobs, cache_dir, timeout, retries,
+            retry_backoff, checkpoint_dir, keep_going,
+        )
     if jobs == 1 or len(ids) <= 1:
         return [run_experiment(eid, fast=fast, seed=seed) for eid in ids]
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
@@ -84,6 +139,193 @@ def run_experiments(
             pool.submit(_run_one, eid, fast, seed, cache_dir) for eid in ids
         ]
         return [f.result() for f in futures]
+
+
+# -- checkpoints ------------------------------------------------------------------
+
+
+def checkpoint_path(checkpoint_dir, eid: str, fast: bool, seed: int) -> pathlib.Path:
+    """Where experiment ``eid``'s completed result is checkpointed."""
+    mode = "fast" if fast else "full"
+    return pathlib.Path(checkpoint_dir) / f"{eid}_{mode}_s{int(seed)}.json"
+
+
+def _jsonify(value):
+    """Recursively convert numpy scalars/arrays to plain JSON values."""
+    if isinstance(value, (np.integer, np.bool_)):
+        return value.item()
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_jsonify(v) for v in value.tolist()]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    return value
+
+
+def save_checkpoint(
+    checkpoint_dir, eid: str, fast: bool, seed: int, result: ExperimentResult
+) -> None:
+    """Atomically persist a completed result for later resume."""
+    path = checkpoint_path(checkpoint_dir, eid, fast, seed)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = json.dumps(
+        {
+            "version": CHECKPOINT_VERSION,
+            "experiment_id": eid,
+            "fast": bool(fast),
+            "seed": int(seed),
+            "result": _jsonify(result.as_dict()),
+        },
+        indent=2,
+    )
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    tmp.write_text(blob)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(
+    checkpoint_dir, eid: str, fast: bool, seed: int
+) -> ExperimentResult | None:
+    """A previously checkpointed result, or None if absent/unusable.
+
+    Corrupt, truncated, or version-mismatched checkpoints degrade to a
+    miss with a warning — the experiment is simply recomputed.
+    """
+    path = checkpoint_path(checkpoint_dir, eid, fast, seed)
+    if not path.exists():
+        return None
+    try:
+        data = json.loads(path.read_text())
+        if (
+            data.get("version") != CHECKPOINT_VERSION
+            or data.get("experiment_id") != eid
+            or data.get("fast") != bool(fast)
+            or data.get("seed") != int(seed)
+        ):
+            raise ValueError("checkpoint metadata mismatch")
+        result = ExperimentResult(**data["result"])
+        if result.experiment_id != eid or not isinstance(result.rows, list):
+            raise ValueError("checkpoint body mismatch")
+        return result
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        warnings.warn(
+            f"ignoring unusable checkpoint {path} "
+            f"({type(exc).__name__}: {exc}); recomputing {eid}",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
+# -- resilient scheduler -----------------------------------------------------------
+
+
+def _subprocess_entry(eid, fast, seed, cache_dir, q) -> None:
+    """Dedicated-process entry: always posts exactly one message."""
+    try:
+        if cache_dir is not None:
+            configure_cache(cache_dir=cache_dir)
+        q.put(("ok", run_experiment(eid, fast=fast, seed=seed)))
+    except BaseException as exc:  # noqa: BLE001 — must never die silently
+        try:
+            q.put(("error", f"{type(exc).__name__}: {exc}"))
+        except Exception:
+            pass
+
+
+def _run_isolated(
+    eid: str, fast: bool, seed: int, cache_dir, timeout: float | None
+) -> tuple[str, object]:
+    """One attempt in its own process; the process is killed on timeout."""
+    ctx = multiprocessing.get_context()
+    q = ctx.Queue()
+    proc = ctx.Process(
+        target=_subprocess_entry,
+        args=(eid, fast, seed, cache_dir, q),
+        daemon=True,
+    )
+    proc.start()
+    deadline = None if timeout is None else time.monotonic() + timeout
+    while True:
+        try:
+            status, payload = q.get(timeout=0.05)
+            break
+        except queue_mod.Empty:
+            if deadline is not None and time.monotonic() > deadline:
+                proc.terminate()
+                proc.join()
+                return "timeout", f"{eid} exceeded {timeout:g}s"
+            if not proc.is_alive():
+                # Drain once more: the child may have posted right
+                # before exiting.
+                try:
+                    status, payload = q.get(timeout=0.5)
+                    break
+                except queue_mod.Empty:
+                    return "error", f"{eid} worker died without a result"
+    proc.join()
+    return status, payload
+
+
+def _resilient_task(
+    eid, fast, seed, cache_dir, timeout, retries, retry_backoff,
+    checkpoint_dir,
+) -> tuple[ExperimentResult | None, str]:
+    """Attempt ``eid`` with retries+backoff; checkpoint on success."""
+    reason = ""
+    for attempt in range(retries + 1):
+        if attempt:
+            time.sleep(retry_backoff * 2 ** (attempt - 1))
+        status, payload = _run_isolated(eid, fast, seed, cache_dir, timeout)
+        if status == "ok":
+            if checkpoint_dir is not None:
+                save_checkpoint(checkpoint_dir, eid, fast, seed, payload)
+            return payload, ""
+        reason = str(payload)
+    return None, f"{reason} (after {retries + 1} attempt(s))"
+
+
+def _run_resilient(
+    ids, fast, seed, jobs, cache_dir, timeout, retries, retry_backoff,
+    checkpoint_dir, keep_going,
+) -> list[ExperimentResult]:
+    done: dict[str, ExperimentResult] = {}
+    unique = list(dict.fromkeys(ids))
+    if checkpoint_dir is not None:
+        for eid in unique:
+            cached = load_checkpoint(checkpoint_dir, eid, fast, seed)
+            if cached is not None:
+                done[eid] = cached
+    pending = [eid for eid in unique if eid not in done]
+    failures: dict[str, str] = {}
+    if pending:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+            futures = {
+                pool.submit(
+                    _resilient_task, eid, fast, seed, cache_dir, timeout,
+                    retries, retry_backoff, checkpoint_dir,
+                ): eid
+                for eid in pending
+            }
+            for fut in as_completed(futures):
+                eid = futures[fut]
+                result, reason = fut.result()
+                if result is None:
+                    failures[eid] = reason
+                    if not keep_going:
+                        for other in futures:
+                            other.cancel()
+                        break
+                else:
+                    done[eid] = result
+    if failures:
+        raise ExperimentFailureError(
+            failures, [done[eid] for eid in ids if eid in done]
+        )
+    return [done[eid] for eid in ids]
 
 
 def grid_point_seeds(seed: int, count: int) -> list[int]:

@@ -23,6 +23,7 @@ from repro.experiments import (
     e15_replication_cost,
     e16_worst_case_fks,
     e17_tail_bounds,
+    e18_fault_tolerance,
 )
 from repro.io.results import ExperimentResult
 
@@ -44,6 +45,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E15": ("Extension: space cost of naive replication (§1.3)", e15_replication_cost.run),
     "E16": ("Worst-case family: FKS at Theta(sqrt n) x optimal (§1.3)", e16_worst_case_fks.run),
     "E17": ("Tail-bound sharpness (Theorems 6-8)", e17_tail_bounds.run),
+    "E18": ("Fault tolerance via replication (robustness extension)", e18_fault_tolerance.run),
 }
 
 

@@ -34,11 +34,48 @@ def test_run_writes_json(tmp_path, capsys):
     assert data[0]["experiment_id"] == "E11"
 
 
-def test_run_unknown_experiment_raises():
-    from repro.errors import ParameterError
+def test_run_unknown_experiment_exits_nonzero(capsys):
+    # Library errors become a one-line stderr message + exit 2, never a
+    # traceback (satellite: CLI catches ReproError).
+    assert main(["run", "E99"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "E99" in err and err.count("\n") == 1
 
-    with pytest.raises(ParameterError):
-        main(["run", "E99"])
+
+def test_fail_fast_and_keep_going_mutually_exclusive(capsys):
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "E11", "--fail-fast", "--keep-going"])
+    capsys.readouterr()
+
+
+def test_run_timeout_failure_exits_one(capsys):
+    # A tiny timeout kills the worker; with --fail-fast (default) that is
+    # one stderr line and exit code 1.
+    assert main(["run", "E11", "--timeout", "0.001"]) == 1
+    err = capsys.readouterr().err
+    assert "E11 failed" in err and "exceeded" in err
+
+
+def test_run_keep_going_renders_survivors(capsys):
+    # E1 (~0.4s fast mode) exceeds the timeout; E9 (~15ms) beats it.
+    # --keep-going runs past the E1 failure, renders E9's table, and
+    # still exits nonzero with the failure on stderr.
+    code = main(["run", "E1", "E9", "--keep-going", "--timeout", "0.15"])
+    assert code == 1
+    captured = capsys.readouterr()
+    assert "E1 failed" in captured.err
+    assert "[E9]" in captured.out
+
+
+def test_checkpoint_resume_round_trip(tmp_path, capsys):
+    ckpt = str(tmp_path / "ckpts")
+    assert main(["run", "E11", "--checkpoint-dir", ckpt]) == 0
+    first = capsys.readouterr().out
+    assert list((tmp_path / "ckpts").glob("*.json"))
+    # Second invocation resumes from the checkpoint: same rendered
+    # output, no recomputation needed.
+    assert main(["run", "E11", "--checkpoint-dir", ckpt]) == 0
+    assert capsys.readouterr().out == first
 
 
 def test_survey_small(capsys):

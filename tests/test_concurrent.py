@@ -1,10 +1,12 @@
-"""Concurrent simulator and resolution models."""
+"""Concurrent simulator, resolution models, and fault adversaries."""
 
 import numpy as np
 import pytest
 
 from repro.concurrent import (
+    CellOutageAdversary,
     ConcurrentSimulator,
+    ContentionSpikeAdversary,
     CRCWModel,
     QueuedModel,
 )
@@ -103,6 +105,144 @@ class TestSimulator:
         res = sim.run(200)
         assert res.p95_latency >= res.mean_latency * 0.5
         assert res.completed_queries > 0
+
+
+class TestSimulatorEdgeCases:
+    def _dist(self, d, keys):
+        return UniformOverSet(d.universe_size, keys)
+
+    def test_zero_cycles(self, fks, keys):
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=8,
+            rng=np.random.default_rng(0),
+        )
+        res = sim.run(0)
+        assert res.completed_queries == 0
+        assert res.total_probes == 0
+        assert res.throughput == 0.0
+        assert res.availability == 1.0
+        assert res.wrong_answer_rate == 0.0
+        assert np.isnan(res.mean_latency)  # no completions to average
+
+    def test_single_processor(self, fks, keys):
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=1,
+            model=QueuedModel(), rng=np.random.default_rng(1),
+        )
+        res = sim.run(100)
+        # One processor never contends with itself.
+        assert res.stalled_probes == 0
+        assert res.completed_queries == 100 // 4
+        assert res.max_cell_collisions == 1
+
+    def test_latency_buffer_grows_past_initial_capacity(self, fks, keys):
+        # 64 processors x 400 cycles on a 4-probe scheme completes ~6400
+        # queries — far past the 1024-entry initial latency buffer.
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=64,
+            model=CRCWModel(), rng=np.random.default_rng(2),
+        )
+        res = sim.run(400)
+        assert res.completed_queries > 1024
+        assert res.mean_latency == pytest.approx(4.0)
+
+    def test_negative_cycles_rejected(self, fks, keys):
+        from repro.errors import ParameterError
+
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=2,
+            rng=np.random.default_rng(3),
+        )
+        with pytest.raises(ParameterError):
+            sim.run(-1)
+
+
+class TestAdversaries:
+    def _dist(self, d, keys):
+        return UniformOverSet(d.universe_size, keys)
+
+    def test_outage_block_mode_degrades_availability(self, fks, keys):
+        adv = CellOutageAdversary(
+            event_rate=0.8, cells_per_event=32, duration=20,
+            mode="block", seed=0,
+        )
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=16,
+            model=CRCWModel(), rng=np.random.default_rng(0), adversary=adv,
+        )
+        res = sim.run(300)
+        assert res.blocked_probes > 0
+        assert res.availability < 1.0
+        assert res.retry_amplification > 1.0
+        # Blocked probes stall queries but never corrupt answers.
+        assert res.wrong_answers == 0
+        assert res.throughput < 16 / 4
+
+    def test_outage_corrupt_mode_produces_wrong_answers(self, fks, keys):
+        adv = CellOutageAdversary(
+            event_rate=0.8, cells_per_event=32, duration=20,
+            mode="corrupt", seed=1,
+        )
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=16,
+            model=CRCWModel(), rng=np.random.default_rng(1), adversary=adv,
+        )
+        res = sim.run(300)
+        # Corrupt cells serve probes (no blocking) but taint answers.
+        assert res.blocked_probes == 0
+        assert res.wrong_answers > 0
+        assert 0.0 < res.wrong_answer_rate <= 1.0
+
+    def test_contention_spike_hurts_queued_throughput(self, lcd, keys):
+        kwargs = dict(processors=32, model=QueuedModel())
+        clean = ConcurrentSimulator(
+            lcd, self._dist(lcd, keys),
+            rng=np.random.default_rng(2), **kwargs,
+        ).run(300)
+        spiked = ConcurrentSimulator(
+            lcd, self._dist(lcd, keys),
+            rng=np.random.default_rng(2),
+            adversary=ContentionSpikeAdversary(period=20, width=10, seed=3),
+            **kwargs,
+        ).run(300)
+        # Spike cycles aim every new query at one key: the low-contention
+        # guarantee is distributional, so the adversary serializes it.
+        assert spiked.throughput < clean.throughput
+        assert spiked.stall_fraction > clean.stall_fraction
+
+    def test_adversary_runs_are_deterministic(self, fks, keys):
+        def run():
+            adv = CellOutageAdversary(
+                event_rate=0.5, cells_per_event=8, duration=10,
+                mode="block", seed=5,
+            )
+            sim = ConcurrentSimulator(
+                fks, self._dist(fks, keys), processors=8,
+                rng=np.random.default_rng(4), adversary=adv,
+            )
+            return sim.run(200).row()
+
+        assert run() == run()
+
+    def test_advance_is_idempotent_per_cycle(self):
+        adv = CellOutageAdversary(
+            event_rate=1.0, cells_per_event=4, duration=5, seed=6
+        )
+        adv.bind(64)
+        adv.advance(0)
+        blocked = adv.blocked.copy()
+        adv.advance(0)  # same cycle: no new RNG draws, same mask
+        assert np.array_equal(adv.blocked, blocked)
+        adv.advance(1)  # new cycle may change it
+
+    def test_degradation_row_fields(self, fks, keys):
+        sim = ConcurrentSimulator(
+            fks, self._dist(fks, keys), processors=4,
+            rng=np.random.default_rng(7),
+            adversary=CellOutageAdversary(seed=8),
+        )
+        row = sim.run(50).degradation_row()
+        assert set(row) >= {"availability", "retry_amp", "wrong_rate"}
 
 
 class TestBackoffModel:

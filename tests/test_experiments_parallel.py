@@ -163,7 +163,45 @@ class TestConstructionCache:
         for p in tmp_path.iterdir():
             p.write_bytes(b"not a pickle")
         cache = configure_cache(cache_dir=tmp_path)
-        d = build_scheme("fks", keys, N, 3)
+        with pytest.warns(RuntimeWarning, match="bad magic"):
+            d = build_scheme("fks", keys, N, 3)
+        assert cache.misses == 1
+        assert d.contains(int(keys[0]))
+
+    def test_truncated_cache_file_is_checksum_miss(self, tmp_path):
+        """Regression: a cache file cut mid-byte must fail the checksum,
+        warn, and rebuild — never unpickle garbage or crash."""
+        keys, N = make_instance(16, seed=0)
+        configure_cache(cache_dir=tmp_path)
+        d1 = build_scheme("fks", keys, N, 5)
+        (entry,) = list(tmp_path.iterdir())
+        blob = entry.read_bytes()
+        entry.write_bytes(blob[: len(blob) - len(blob) // 3])
+        cache = configure_cache(cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="checksum|truncated"):
+            d2 = build_scheme("fks", keys, N, 5)
+        assert cache.misses == 1 and cache.hits == 0
+        assert d2 is not d1
+        xs = np.concatenate([keys, (keys + 1) % N])
+        np.testing.assert_array_equal(
+            d1.contains_batch(xs), d2.contains_batch(xs)
+        )
+        # The rebuild re-stored a valid entry: next cold read hits.
+        cache3 = configure_cache(cache_dir=tmp_path)
+        build_scheme("fks", keys, N, 5)
+        assert cache3.hits == 1
+
+    def test_bitflipped_payload_fails_checksum(self, tmp_path):
+        keys, N = make_instance(16, seed=0)
+        configure_cache(cache_dir=tmp_path)
+        build_scheme("fks", keys, N, 6)
+        (entry,) = list(tmp_path.iterdir())
+        blob = bytearray(entry.read_bytes())
+        blob[-1] ^= 0x01  # single bit deep in the pickle payload
+        entry.write_bytes(bytes(blob))
+        cache = configure_cache(cache_dir=tmp_path)
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            d = build_scheme("fks", keys, N, 6)
         assert cache.misses == 1
         assert d.contains(int(keys[0]))
 
@@ -184,6 +222,114 @@ class TestConstructionCache:
         # Seed 1 was evicted: rebuilding it is a miss, seeds 2/3 are hits.
         assert build_scheme("fks", keys, N, 1) is not builds[0]
         assert build_scheme("fks", keys, N, 3) is builds[2]
+
+
+class TestCheckpoints:
+    def _result(self):
+        from repro.experiments.registry import run_experiment
+
+        return run_experiment("E11", fast=True, seed=0)
+
+    def test_round_trip(self, tmp_path):
+        from repro.experiments.parallel import load_checkpoint, save_checkpoint
+
+        result = self._result()
+        save_checkpoint(tmp_path, "E11", True, 0, result)
+        loaded = load_checkpoint(tmp_path, "E11", True, 0)
+        assert loaded is not None
+        assert loaded.render() == result.render()
+
+    def test_metadata_mismatch_is_miss(self, tmp_path):
+        from repro.experiments.parallel import (
+            checkpoint_path,
+            load_checkpoint,
+            save_checkpoint,
+        )
+
+        save_checkpoint(tmp_path, "E11", True, 0, self._result())
+        assert load_checkpoint(tmp_path, "E11", True, 1) is None  # other seed
+        assert load_checkpoint(tmp_path, "E11", False, 0) is None  # other mode
+        # Same key but the file lies about what it holds: warn + miss.
+        good = checkpoint_path(tmp_path, "E11", True, 0)
+        bad = checkpoint_path(tmp_path, "E3", True, 0)
+        bad.write_text(good.read_text())
+        with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
+            assert load_checkpoint(tmp_path, "E3", True, 0) is None
+
+    def test_corrupt_json_is_miss(self, tmp_path):
+        from repro.experiments.parallel import checkpoint_path, load_checkpoint
+
+        path = checkpoint_path(tmp_path, "E11", True, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text('{"version": 1, "experiment')
+        with pytest.warns(RuntimeWarning, match="unusable checkpoint"):
+            assert load_checkpoint(tmp_path, "E11", True, 0) is None
+
+    def test_resume_skips_recompute_and_matches(self, tmp_path):
+        first = run_experiments(
+            ["E11", "E13"], seed=0, checkpoint_dir=tmp_path
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        # Second invocation must resume purely from checkpoints — make
+        # recomputation impossible to prove none happens.
+        import repro.experiments.parallel as parallel_mod
+
+        def _boom(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("resumed run recomputed an experiment")
+
+        orig = parallel_mod._run_isolated
+        parallel_mod._run_isolated = _boom
+        try:
+            second = run_experiments(
+                ["E11", "E13"], seed=0, checkpoint_dir=tmp_path
+            )
+        finally:
+            parallel_mod._run_isolated = orig
+        assert [r.render() for r in first] == [r.render() for r in second]
+
+    def test_partial_checkpoints_resume_the_rest(self, tmp_path):
+        from repro.experiments.parallel import load_checkpoint
+
+        run_experiments(["E11"], seed=0, checkpoint_dir=tmp_path)
+        # A "killed mid-flight" run left E11 done, E13 not: re-invoking
+        # with both finishes E13 and checkpoints it too.
+        results = run_experiments(
+            ["E11", "E13"], seed=0, checkpoint_dir=tmp_path
+        )
+        assert [r.experiment_id for r in results] == ["E11", "E13"]
+        assert load_checkpoint(tmp_path, "E13", True, 0) is not None
+
+
+class TestResilientFailures:
+    def test_timeout_failure_carries_partial_results(self):
+        from repro.errors import ExperimentFailureError
+
+        # E9 (~15ms) beats the timeout, E1 (~0.4s) cannot.
+        with pytest.raises(ExperimentFailureError) as exc_info:
+            run_experiments(
+                ["E9", "E1"], seed=0, timeout=0.15, keep_going=True
+            )
+        err = exc_info.value
+        assert set(err.failures) == {"E1"}
+        assert "exceeded" in err.failures["E1"]
+        assert [r.experiment_id for r in err.results] == ["E9"]
+
+    def test_retries_are_counted_in_failure_reason(self):
+        from repro.errors import ExperimentFailureError
+
+        with pytest.raises(ExperimentFailureError) as exc_info:
+            run_experiments(
+                ["E1"], seed=0, timeout=0.05, retries=2, retry_backoff=0.01
+            )
+        assert "3 attempt(s)" in exc_info.value.failures["E1"]
+
+    def test_resilient_path_matches_plain_results(self, tmp_path):
+        plain = run_experiments(["E11"], seed=0)
+        resilient = run_experiments(
+            ["E11"], seed=0, timeout=120, retries=1, checkpoint_dir=tmp_path
+        )
+        assert [r.render() for r in plain] == [r.render() for r in resilient]
 
 
 def test_cli_multi_id_and_jobs(capsys):

@@ -1,0 +1,292 @@
+"""Fault-injection layer: config, injector, faulty table, query modes.
+
+The two load-bearing guarantees:
+
+1. **Zero overhead by default** — with faults disabled the replicated
+   dictionary's answers, RNG draw sequence, and per-step probe counts
+   are byte-identical to the fault-free implementation (property-based).
+2. **Honest accounting under faults** — every fault-injected read is
+   still charged to the real counter at the real cell; faults change
+   what queries see, never what they cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cellprobe.table import EMPTY_CELL, Table
+from repro.dictionaries import ReplicatedDictionary, SortedArrayDictionary
+from repro.errors import (
+    FaultError,
+    FaultExhaustedError,
+    ParameterError,
+    ReplicaUnavailableError,
+)
+from repro.faults import FaultConfig, FaultInjector, FaultStats, FaultyTable
+
+
+class TestFaultConfig:
+    def test_disabled_by_default(self):
+        assert not FaultConfig().enabled
+
+    def test_enabled_variants(self):
+        assert FaultConfig(stuck_rate=0.1).enabled
+        assert FaultConfig(flip_rate=0.1).enabled
+        assert FaultConfig(crash_rate=0.1).enabled
+        assert FaultConfig(crashed_replicas=(1,)).enabled
+
+    def test_rates_validated(self):
+        with pytest.raises(ParameterError):
+            FaultConfig(stuck_rate=1.5)
+        with pytest.raises(ParameterError):
+            FaultConfig(flip_rate=-0.1)
+
+    def test_hashable_and_deterministic(self):
+        a = FaultConfig(stuck_rate=0.1, seed=3)
+        b = FaultConfig(stuck_rate=0.1, seed=3)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestFaultInjector:
+    def _table(self, rows=4, s=32):
+        t = Table(rows, s)
+        for r in range(rows):
+            t.write_row(r, np.arange(s, dtype=np.uint64) + r * 1000)
+        return t
+
+    def test_stuck_cells_deterministic(self):
+        cfg = FaultConfig(stuck_rate=0.25, seed=9)
+        a = FaultInjector(cfg, 4, 32)
+        b = FaultInjector(cfg, 4, 32)
+        assert np.array_equal(a._stuck_cells, b._stuck_cells)
+        assert np.array_equal(a._stuck_values, b._stuck_values)
+        assert a.num_stuck == round(0.25 * 4 * 32)
+
+    def test_stuck_read_returns_stuck_value(self):
+        table = self._table()
+        cfg = FaultConfig(stuck_rate=0.5, seed=1)
+        inj = FaultInjector(cfg, table.rows, table.s)
+        faulty = FaultyTable(table, inj)
+        flat = int(inj._stuck_cells[0])
+        row, col = divmod(flat, table.s)
+        value = faulty.read(row, col, step=0)
+        assert value == int(inj._stuck_values[0])
+        assert faulty.peek(row, col) == value  # stuck damage is physical
+
+    def test_scalar_and_batch_corruption_agree_on_stuck(self):
+        table = self._table()
+        inj = FaultInjector(FaultConfig(stuck_rate=0.3, seed=2), 4, 32)
+        faulty = FaultyTable(table, inj)
+        cols = np.arange(32)
+        batch = faulty.read_batch(1, cols, step=0)
+        for c in range(32):
+            flat = table.s + c
+            if inj.is_stuck(flat):
+                assert int(batch[c]) == faulty.peek(1, c)
+            else:
+                assert int(batch[c]) == table.peek(1, c)
+
+    def test_flips_are_single_bit(self):
+        table = self._table()
+        inj = FaultInjector(FaultConfig(flip_rate=1.0, seed=3), 4, 32)
+        faulty = FaultyTable(table, inj)
+        for c in range(16):
+            clean = table.peek(2, c)
+            seen = faulty.read(2, c, step=0)
+            xor = clean ^ seen
+            assert xor != 0 and (xor & (xor - 1)) == 0  # exactly one bit
+
+    def test_flip_stream_independent_of_query_rng(self):
+        """Transient flips never consume the caller's generator."""
+        table = self._table()
+        inj = FaultInjector(FaultConfig(flip_rate=0.5, seed=4), 4, 32)
+        faulty = FaultyTable(table, inj)
+        rng = np.random.default_rng(0)
+        before = rng.bit_generator.state["state"]["state"]
+        for c in range(16):
+            faulty.read(0, c, step=0)
+        assert rng.bit_generator.state["state"]["state"] == before
+
+    def test_probes_charged_identically(self):
+        """Fault wrapping changes values, never the probe accounting."""
+        table = self._table()
+        inj = FaultInjector(
+            FaultConfig(stuck_rate=0.4, flip_rate=0.4, seed=5), 4, 32
+        )
+        faulty = FaultyTable(table, inj)
+        faulty.read(1, 3, step=0)
+        faulty.read_batch(2, np.array([0, 5, -1, 9]), step=1)
+        counts = table.counter.counts_per_step()
+        assert counts[0].sum() == 1
+        assert counts[0][table.s + 3] == 1
+        assert counts[1].sum() == 3  # -1 skipped, exactly as Table does
+        assert counts[1][2 * table.s + 5] == 1
+
+    def test_skipped_batch_entries_stay_empty(self):
+        table = self._table()
+        inj = FaultInjector(FaultConfig(flip_rate=1.0, seed=6), 4, 32)
+        faulty = FaultyTable(table, inj)
+        out = faulty.read_batch(0, np.array([-1, -1]), step=0)
+        assert all(int(v) == EMPTY_CELL for v in out)
+
+    def test_crash_sampling_respects_faulty_replicas(self):
+        cfg = FaultConfig(
+            crash_rate=1.0, faulty_replicas=(0, 2), seed=7
+        )
+        inj = FaultInjector(cfg, rows=8, s=4, replicas=4)
+        assert inj.crashed == frozenset({0, 2})
+        assert inj.available(1) and inj.available(3)
+
+    def test_faults_confined_to_faulty_replicas(self):
+        cfg = FaultConfig(stuck_rate=0.5, faulty_replicas=(1,), seed=8)
+        inj = FaultInjector(cfg, rows=8, s=16, replicas=4)
+        rows = inj._stuck_cells // 16
+        assert rows.size > 0
+        assert all(2 <= r < 4 for r in rows)  # replica 1 owns rows [2, 4)
+
+    def test_rows_must_split_into_replicas(self):
+        with pytest.raises(ValueError):
+            FaultInjector(FaultConfig(), rows=7, s=4, replicas=2)
+
+
+def _make_pair(keys, universe, R, **kwargs):
+    inner = SortedArrayDictionary(keys, universe)
+    return ReplicatedDictionary(inner, R, **kwargs)
+
+
+class TestZeroOverheadDefault:
+    """Faults disabled => byte-identical to the fault-free wrapper."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(0, 10_000),
+        n=st.integers(8, 32),
+        replicas=st.integers(1, 6),
+        disabled=st.sampled_from(["none", "zero-config"]),
+    )
+    def test_answers_probes_and_rng_identical(
+        self, seed, n, replicas, disabled
+    ):
+        rng = np.random.default_rng(seed)
+        universe = 4 * n * n
+        keys = np.sort(rng.choice(universe, size=n, replace=False))
+        faults = None if disabled == "none" else FaultConfig()
+        base = _make_pair(keys, universe, replicas)
+        cand = _make_pair(keys, universe, replicas, faults=faults)
+        assert cand._injector is None  # nothing wrapped at all
+        assert cand._read_table is cand.table
+        xs = np.concatenate([keys, rng.integers(0, universe, size=n)])
+        r1, r2 = np.random.default_rng(seed + 1), np.random.default_rng(seed + 1)
+        got_base = [base.query(int(x), r1) for x in xs]
+        got_cand = [cand.query(int(x), r2) for x in xs]
+        assert got_base == got_cand
+        # Same RNG draw sequence: the two generators stay in lockstep.
+        assert r1.bit_generator.state == r2.bit_generator.state
+        # Same per-step probe totals on every cell.
+        assert np.array_equal(
+            base.table.counter.counts_per_step(),
+            cand.table.counter.counts_per_step(),
+        )
+
+    def test_batch_path_identical(self, keys, universe_size):
+        base = _make_pair(keys, universe_size, 4)
+        cand = _make_pair(keys, universe_size, 4, faults=FaultConfig())
+        xs = np.concatenate([keys[:40], keys[:40] + 1])
+        r1, r2 = np.random.default_rng(3), np.random.default_rng(3)
+        assert np.array_equal(
+            base.query_batch(xs, r1), cand.query_batch(xs, r2)
+        )
+        assert np.array_equal(
+            base.table.counter.counts_per_step(),
+            cand.table.counter.counts_per_step(),
+        )
+
+
+class TestQueryModes:
+    def test_unknown_mode_rejected(self, keys, universe_size):
+        with pytest.raises(ParameterError):
+            _make_pair(keys, universe_size, 2, mode="quorum")
+
+    def test_random_mode_raises_on_crashed_replica(self, keys, universe_size):
+        rep = _make_pair(
+            keys, universe_size, 2,
+            faults=FaultConfig(crashed_replicas=(0, 1)),
+        )
+        with pytest.raises(ReplicaUnavailableError):
+            rep.query(int(keys[0]), np.random.default_rng(0))
+        assert rep.fault_stats.crash_hits == 1
+
+    def test_majority_outvotes_crashed_minority(self, keys, universe_size):
+        rep = _make_pair(
+            keys, universe_size, 5, mode="majority",
+            faults=FaultConfig(crashed_replicas=(1, 3)),
+        )
+        rng = np.random.default_rng(0)
+        for x in list(keys[:10]) + [int(keys[0]) + 1]:
+            assert rep.query(int(x), rng) == rep.contains(int(x))
+        assert rep.fault_stats.crash_hits > 0
+
+    def test_majority_all_crashed_exhausts(self, keys, universe_size):
+        rep = _make_pair(
+            keys, universe_size, 3, mode="majority",
+            faults=FaultConfig(crashed_replicas=(0, 1, 2)),
+        )
+        with pytest.raises(FaultExhaustedError):
+            rep.query(int(keys[0]), np.random.default_rng(0))
+        assert rep.fault_stats.exhausted == 1
+
+    def test_failover_survives_crashes_with_backoff(self, keys, universe_size):
+        rep = _make_pair(
+            keys, universe_size, 4, mode="failover", max_retries=8,
+            faults=FaultConfig(crashed_replicas=(0, 1, 2)),
+        )
+        rng = np.random.default_rng(1)
+        for x in keys[:20]:
+            assert rep.query(int(x), rng) is True
+        stats = rep.fault_stats
+        assert stats.retries > 0
+        # Exponential backoff: cost is sum of 2**k over retries, so the
+        # probe-equivalent spend dominates the retry count.
+        assert stats.backoff_probes >= stats.retries
+
+    def test_failover_exhausts_when_all_crashed(self, keys, universe_size):
+        rep = _make_pair(
+            keys, universe_size, 2, mode="failover", max_retries=3,
+            faults=FaultConfig(crashed_replicas=(0, 1)),
+        )
+        with pytest.raises(FaultExhaustedError) as exc_info:
+            rep.query(int(keys[0]), np.random.default_rng(0))
+        assert exc_info.value.attempts == 4
+        assert exc_info.value.backoff_probes == 1 + 2 + 4
+
+    def test_live_replicas(self, keys, universe_size):
+        rep = _make_pair(
+            keys, universe_size, 4,
+            faults=FaultConfig(crashed_replicas=(2,)),
+        )
+        assert rep.live_replicas() == [0, 1, 3]
+
+    def test_fault_stats_reset(self):
+        stats = FaultStats(retries=3, backoff_probes=7)
+        stats.reset()
+        assert stats.retries == 0 and stats.backoff_probes == 0
+
+    def test_majority_charges_probes_on_all_live_replicas(
+        self, keys, universe_size
+    ):
+        rep = _make_pair(
+            keys, universe_size, 3, mode="majority",
+            faults=FaultConfig(crashed_replicas=(0,)),
+        )
+        rep.table.counter.reset()
+        rep.query(int(keys[0]), np.random.default_rng(0))
+        counts = rep.table.counter.total_counts().reshape(
+            rep.table.rows, -1
+        )
+        inner_rows = rep._inner_rows
+        per_replica = [
+            int(counts[r * inner_rows:(r + 1) * inner_rows].sum())
+            for r in range(3)
+        ]
+        assert per_replica[0] == 0  # crashed: never probed
+        assert per_replica[1] > 0 and per_replica[2] > 0

@@ -99,6 +99,54 @@ def test_lcd_batch_plan_mass(seed, n):
     assert total_mass == pytest.approx(plan_lengths)
 
 
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(8, 32),
+    replicas=st.sampled_from([3, 4, 5, 7]),
+    stuck_rate=st.floats(0.0, 1.0),
+    flip_rate=st.floats(0.0, 1.0),
+    crash_minority=st.booleans(),
+)
+def test_majority_vote_never_wrong_with_healthy_majority(
+    seed, n, replicas, stuck_rate, flip_rate, crash_minority
+):
+    """The fuzzed fault-tolerance guarantee (ISSUE satellite): as long as
+    a strict majority of replicas is healthy, majority-vote mode answers
+    every membership query correctly — for *any* fault rates (up to 100%
+    stuck cells and certain bit flips) confined to the faulty minority,
+    whether those replicas are corrupted, crashed, or both."""
+    from repro.dictionaries import ReplicatedDictionary
+    from repro.faults import FaultConfig
+
+    rng = np.random.default_rng(seed)
+    universe = max(n * n, 4 * n)
+    keys = np.sort(rng.choice(universe, size=n, replace=False))
+    inner = SortedArrayDictionary(keys, universe)
+    f = (replicas - 1) // 2  # largest strict minority
+    faulty = tuple(
+        sorted(rng.choice(replicas, size=f, replace=False).tolist())
+    )
+    faults = FaultConfig(
+        stuck_rate=stuck_rate,
+        flip_rate=flip_rate,
+        crashed_replicas=faulty if crash_minority else (),
+        faulty_replicas=faulty,
+        seed=seed + 1,
+    )
+    rep = ReplicatedDictionary(
+        inner, replicas, mode="majority", faults=faults
+    )
+    qrng = np.random.default_rng(seed + 2)
+    xs = np.concatenate([keys, rng.integers(0, universe, size=n)])
+    for x in xs:
+        assert rep.query(int(x), qrng) == inner.contains(int(x))
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     seed=st.integers(0, 5000),
