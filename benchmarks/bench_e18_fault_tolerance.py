@@ -1,0 +1,40 @@
+"""Bench E18 — fault tolerance via replication.
+
+Regenerates the E18 table (see DESIGN.md section 3) and times the full
+runner.  The rendered table is printed and written to
+benchmarks/results/E18.txt.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e18_fault_tolerance(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E18",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    majority = [
+        row for row in result.rows
+        if row["series"] == "corruption" and row["mode"] == "majority"
+    ]
+    biggest = max(row["R"] for row in majority)
+    assert all(
+        row["wrong_rate"] == 0.0
+        for row in majority
+        if row["R"] == biggest
+    )
+    crash = [row for row in result.rows if row["series"] == "crash"]
+    random_failed = {
+        row["R"]: row["failed_rate"]
+        for row in crash
+        if row["mode"] == "random"
+    }
+    assert all(
+        row["failed_rate"] <= random_failed[row["R"]]
+        for row in crash
+        if row["mode"] == "failover"
+    )

@@ -1,0 +1,33 @@
+"""Bench E19 — live serving vs exact contention.
+
+Regenerates the E19 table (see DESIGN.md section 3) and times the full
+runner.  The rendered table is printed and written to
+benchmarks/results/E19.txt.  Asserts the two headline invariants: the
+live per-cell load sits within 3 sigma of the exact Binomial
+prediction at every step's hottest cell, and least-loaded routing
+achieves a lower max per-replica probe load than round-robin on the
+Zipf workload.
+"""
+
+from repro.experiments import run_experiment
+
+
+def test_bench_e19_serving(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E19",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    phi_rows = [row for row in result.rows if row["part"] == "A:phi"]
+    assert phi_rows and all(row["z"] <= 3.0 for row in phi_rows)
+    loads = {
+        row["router"]: row["max_replica_load"]
+        for row in result.rows
+        if row["part"] == "B:routing"
+    }
+    assert loads["least-loaded"] < loads["round-robin"]
+    fault_rows = [row for row in result.rows if row["part"] == "C:faults"]
+    assert all(row["wrong"] == 0 for row in fault_rows)

@@ -29,10 +29,12 @@ from repro.errors import (
     FaultError,
     FaultExhaustedError,
     GameError,
+    OverloadError,
     ParameterError,
     QueryError,
     ReplicaUnavailableError,
     ReproError,
+    ServeError,
     TableError,
 )
 
@@ -49,5 +51,7 @@ __all__ = [
     "CorruptQueryError",
     "ReplicaUnavailableError",
     "FaultExhaustedError",
+    "ServeError",
+    "OverloadError",
     "ExperimentFailureError",
 ]

@@ -3,7 +3,8 @@
 Commands
 --------
 
-- ``list`` — show the experiment registry (E1–E18) with titles.
+- ``list [--json]`` — show the experiment registry (E1–E19) with
+  titles (``--json`` prints a machine-readable object).
 - ``run E5 [--full] [--seed 0] [--json out.json]`` — run one experiment
   (or ``all``) and print its regenerated table.  Resilience is opt-in:
   ``--timeout``/``--retries``/``--retry-backoff`` harden individual
@@ -13,7 +14,14 @@ Commands
   semantics.
 - ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
   across all schemes on one instance.
-- ``info`` — package, paper, and reproduction-band summary.
+- ``serve [--n 256] [--smoke-queries 64] [--duration 0]`` — boot the
+  asyncio dictionary server (:mod:`repro.serve`) over a random
+  instance, answer a seeded self-test workload, optionally stay up.
+- ``loadgen [--requests 2000] [--discipline open] [--router
+  least-loaded]`` — deterministic virtual-time load generation against
+  a fresh service; prints throughput, latency percentiles, and
+  per-replica probe loads.
+- ``info [--json]`` — package, paper, and reproduction-band summary.
 
 The CLI is a thin veneer over :mod:`repro.experiments`; everything it
 prints is available programmatically.
@@ -31,6 +39,16 @@ from repro.io.results import save_results
 
 
 def _cmd_list(args) -> int:
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {eid: title for eid, (title, _) in EXPERIMENTS.items()},
+                indent=2,
+            )
+        )
+        return 0
     width = max(len(eid) for eid in EXPERIMENTS)
     for eid, (title, _) in EXPERIMENTS.items():
         print(f"{eid:<{width}}  {title}")
@@ -101,6 +119,26 @@ def _cmd_survey(args) -> int:
 
 
 def _cmd_info(args) -> int:
+    if args.json:
+        import json
+
+        print(
+            json.dumps(
+                {
+                    "package": "repro",
+                    "version": __version__,
+                    "paper": {
+                        "title": "Low-Contention Data Structures",
+                        "authors": ["Aspnes", "Eisenstat", "Yin"],
+                        "venue": "SPAA 2010",
+                    },
+                    "experiments": list(EXPERIMENTS),
+                    "docs": ["README.md", "DESIGN.md", "EXPERIMENTS.md"],
+                },
+                indent=2,
+            )
+        )
+        return 0
     print(
         f"repro {__version__} — reproduction of 'Low-Contention Data "
         "Structures'\n(Aspnes, Eisenstat, Yin; SPAA 2010).\n\n"
@@ -112,6 +150,121 @@ def _cmd_info(args) -> int:
     return 0
 
 
+def _make_service(args):
+    """Shared ``serve``/``loadgen`` setup: instance + service + dist."""
+    import numpy as np
+
+    from repro.distributions import ZipfDistribution
+    from repro.experiments.common import make_instance, uniform_distribution
+    from repro.serve import build_service
+
+    keys, N = make_instance(args.n, args.seed)
+    service = build_service(
+        keys,
+        N,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        scheme=args.scheme,
+        router=args.router,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        capacity=args.capacity,
+        probe_time=args.probe_time,
+        seed=args.seed + 1,
+    )
+    if args.workload == "zipf":
+        rng = np.random.default_rng(args.seed + 2)
+        candidates = np.unique(
+            np.concatenate([keys, rng.integers(0, N, size=args.n)])
+        )
+        dist = ZipfDistribution(
+            N, candidates, exponent=args.zipf_exponent,
+            shuffle_ranks=args.seed + 3,
+        )
+    else:
+        dist = uniform_distribution(keys, N)
+    return keys, N, service, dist
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    import numpy as np
+
+    from repro.serve import AsyncDictionaryServer
+
+    keys, N, service, dist = _make_service(args)
+
+    async def session() -> int:
+        async with AsyncDictionaryServer(service) as server:
+            print(
+                f"serving n={args.n} keys over universe [0, {N}) — "
+                f"{args.shards} shard(s) x {args.replicas} replicas, "
+                f"router={args.router}"
+            )
+            if args.smoke_queries:
+                rng = np.random.default_rng(args.seed + 4)
+                xs = dist.sample(rng, args.smoke_queries)
+                answers = await server.query_many(xs)
+                sorted_keys = np.sort(keys)
+                idx = np.clip(
+                    np.searchsorted(sorted_keys, xs), 0, keys.size - 1
+                )
+                truth = sorted_keys[idx] == xs
+                wrong = int(np.sum(np.asarray(answers) != truth))
+                print(
+                    f"smoke: {len(answers)} queries answered, "
+                    f"{wrong} wrong, {service.stats.batches} batches, "
+                    f"{service.stats.probes} probes"
+                )
+                if wrong:
+                    return 1
+            if args.duration > 0:
+                print(f"serving for {args.duration}s (ctrl-c to stop)")
+                try:
+                    await asyncio.sleep(args.duration)
+                except (KeyboardInterrupt, asyncio.CancelledError):
+                    pass
+        return 0
+
+    return asyncio.run(session())
+
+
+def _cmd_loadgen(args) -> int:
+    from repro.io import render_table
+    from repro.serve import run_loadgen
+
+    keys, N, service, dist = _make_service(args)
+    report = run_loadgen(
+        service,
+        dist,
+        args.requests,
+        discipline=args.discipline,
+        rate=args.rate,
+        clients=args.clients,
+        think_time=args.think_time,
+        seed=args.seed + 4,
+        expected_keys=keys,
+    )
+    print(
+        render_table(
+            [report.row()],
+            title=(
+                f"loadgen: {args.discipline} loop, {args.workload} "
+                f"workload, router={args.router}, n={args.n}"
+            ),
+        )
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.row(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if report.wrong_answers else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse tree (exposed for testing/completion)."""
     parser = argparse.ArgumentParser(
@@ -120,7 +273,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list experiments").set_defaults(func=_cmd_list)
+    list_p = sub.add_parser("list", help="list experiments")
+    list_p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    list_p.set_defaults(func=_cmd_list)
 
     run_p = sub.add_parser("run", help="run experiments (ids or 'all')")
     run_p.add_argument(
@@ -187,9 +344,80 @@ def build_parser() -> argparse.ArgumentParser:
     survey_p.add_argument("--seed", type=int, default=0)
     survey_p.set_defaults(func=_cmd_survey)
 
-    sub.add_parser("info", help="package and paper summary").set_defaults(
-        func=_cmd_info
+    def add_service_options(p) -> None:
+        from repro.experiments.common import SCHEMES
+        from repro.serve import ROUTERS
+
+        p.add_argument("--n", type=int, default=256, help="keys in the instance")
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--shards", type=int, default=1)
+        p.add_argument("--replicas", type=int, default=3)
+        p.add_argument(
+            "--scheme", default="low-contention", choices=sorted(SCHEMES)
+        )
+        p.add_argument(
+            "--router", default="least-loaded", choices=list(ROUTERS)
+        )
+        p.add_argument("--max-batch", type=int, default=32)
+        p.add_argument(
+            "--max-delay",
+            type=float,
+            default=0.25,
+            help="batch flush deadline (seconds / virtual time units)",
+        )
+        p.add_argument("--capacity", type=int, default=1024)
+        p.add_argument(
+            "--probe-time",
+            type=float,
+            default=0.0,
+            help="virtual replica service time per probe (loadgen only)",
+        )
+        p.add_argument(
+            "--workload", default="uniform", choices=("uniform", "zipf")
+        )
+        p.add_argument("--zipf-exponent", type=float, default=1.1)
+
+    serve_p = sub.add_parser(
+        "serve", help="boot the asyncio dictionary server"
     )
+    add_service_options(serve_p)
+    serve_p.add_argument(
+        "--smoke-queries",
+        type=int,
+        default=64,
+        help="seeded self-test queries to answer on boot (0 = none)",
+    )
+    serve_p.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="stay up this many seconds after the smoke test",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
+
+    loadgen_p = sub.add_parser(
+        "loadgen", help="deterministic load generation against a service"
+    )
+    add_service_options(loadgen_p)
+    loadgen_p.add_argument("--requests", type=int, default=2000)
+    loadgen_p.add_argument(
+        "--discipline", default="open", choices=("open", "closed")
+    )
+    loadgen_p.add_argument(
+        "--rate", type=float, default=64.0, help="open-loop arrival rate"
+    )
+    loadgen_p.add_argument(
+        "--clients", type=int, default=16, help="closed-loop population"
+    )
+    loadgen_p.add_argument("--think-time", type=float, default=0.0)
+    loadgen_p.add_argument("--json", help="also write the report as JSON")
+    loadgen_p.set_defaults(func=_cmd_loadgen)
+
+    info_p = sub.add_parser("info", help="package and paper summary")
+    info_p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    info_p.set_defaults(func=_cmd_info)
     return parser
 
 

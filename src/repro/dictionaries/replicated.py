@@ -247,6 +247,53 @@ class ReplicatedDictionary(StaticDictionary):
             backoff_spent += cost
             attempts += 1
 
+    def query_batch_on(
+        self, xs: np.ndarray, replica: int, rng=None
+    ) -> np.ndarray:
+        """Run the inner batch algorithm against one *chosen* replica.
+
+        The replica-addressed dispatch primitive of :mod:`repro.serve`:
+        a router picks ``replica`` and the whole batch executes against
+        that replica's rows — every probe charged to the shared counter
+        at the replica's cells, and reads passing through the fault
+        layer when one is attached.  Raises
+        :class:`~repro.errors.ReplicaUnavailableError` when the chosen
+        replica is crashed, so dispatchers can fail over and reweight.
+        """
+        xs = self.check_keys_batch(xs)
+        rng = as_generator(rng)
+        replica = int(replica)
+        if not 0 <= replica < self.replicas:
+            raise ParameterError(
+                f"replica {replica} out of range [0, {self.replicas})"
+            )
+        if self._injector is not None and not self._injector.available(
+            replica
+        ):
+            self.fault_stats.crash_hits += 1
+            raise ReplicaUnavailableError(replica)
+        original = self.inner.table
+        self.inner.table = _ReplicaView(
+            self._read_table, self._inner_rows, replica
+        )
+        try:
+            return self.inner.query_batch(xs, rng)
+        finally:
+            self.inner.table = original
+
+    def replica_probe_loads(self) -> np.ndarray:
+        """Probes charged so far to each replica's rows, shape ``(R,)``.
+
+        The live per-replica load signal contention-aware routers
+        balance on; derived from the shared per-cell probe counter, so
+        it reflects every probe ever charged (including failed or
+        fault-corrupted executions).
+        """
+        totals = self.table.counter.total_counts()
+        return totals.reshape(
+            self.replicas, self._inner_rows * self.table.s
+        ).sum(axis=1)
+
     def query_batch(self, xs: np.ndarray, rng=None) -> np.ndarray:
         """Batch queries grouped by sampled replica.
 

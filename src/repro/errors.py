@@ -116,6 +116,28 @@ class FaultExhaustedError(FaultError):
         )
 
 
+class ServeError(ReproError, RuntimeError):
+    """Base class for failures of the :mod:`repro.serve` subsystem."""
+
+
+class OverloadError(ServeError):
+    """A request was shed by admission control (service at capacity).
+
+    Raised by :class:`~repro.serve.admission.AdmissionController` when
+    the bounded in-flight queue is full.  Carries the observed queue
+    ``depth`` and the configured ``capacity`` so clients can implement
+    informed backoff.
+    """
+
+    def __init__(self, depth: int, capacity: int):
+        self.depth = int(depth)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"service overloaded: {self.depth} requests in flight "
+            f"(capacity {self.capacity})"
+        )
+
+
 class ExperimentFailureError(ReproError, RuntimeError):
     """One or more experiments failed (crashed, errored, or timed out).
 

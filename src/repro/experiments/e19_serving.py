@@ -1,0 +1,208 @@
+"""E19 — serving: live traffic matches exact Φ_t; routing exploits it.
+
+The contention engine predicts, for every cell and step, the
+probability a query probes it.  This experiment closes the loop
+through the full serving stack (:mod:`repro.serve`): micro-batching,
+replica routing, admission control, failover.
+
+- **Part A (validation)** — drive an open-loop uniform workload through
+  a replicated service with the paper's *uniform random* replica
+  routing and compare the measured per-cell probe counts against the
+  exact replicated Φ_t.  With per-query uniform routing, the count at
+  cell ``(t, j)`` over ``Q`` completed queries is exactly
+  ``Binomial(Q, Φ_t(j))``; we check the hottest cell of every step sits
+  within 3σ of its prediction (one cell per step — no multiple-
+  comparisons inflation).
+- **Part B (exploitation)** — a Zipf(1.1) workload through two
+  otherwise identical services: blind round-robin vs contention-aware
+  least-loaded routing (greedy balancing on the live probe counters).
+  Under skew, deadline flushes give batches variable probe cost;
+  balancing on *measured* cost keeps the max per-replica load strictly
+  below round-robin's.
+- **Part C (composition)** — the same service with a crashed replica
+  (PR 2 fault layer): dispatch failover marks it down, the router
+  reweights, and every request still completes with the right answer.
+
+Everything runs in virtual time with seeded RNG streams: the table is
+byte-identical across runs and ``--jobs`` settings.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.contention import exact_contention
+from repro.dictionaries.replicated import ReplicatedDictionary
+from repro.distributions import ZipfDistribution
+from repro.experiments.common import (
+    build_scheme,
+    make_instance,
+    uniform_distribution,
+)
+from repro.faults import FaultConfig
+from repro.io.results import ExperimentResult
+from repro.serve import build_service, run_loadgen
+
+CLAIM = (
+    "Definition 1 computes the exact probability each cell is probed at "
+    "each step; a live service whose router follows the paper's uniform "
+    "replica choice must observe those probabilities, and a router that "
+    "watches the probe counters can balance load better than one that "
+    "does not."
+)
+
+
+def _phi_rows(
+    phi: np.ndarray, counts: np.ndarray, completed: int, s: int
+) -> tuple[list[dict], float]:
+    """Hottest-cell z per step: measured vs Binomial(Q, Φ_t(j))."""
+    rows = []
+    worst = 0.0
+    for t in range(phi.shape[0]):
+        j = int(np.argmax(phi[t]))
+        p = float(phi[t, j])
+        if p <= 0.0:
+            continue
+        measured = (
+            int(counts[t, j]) if t < counts.shape[0] else 0
+        )
+        expect = completed * p
+        sigma = float(np.sqrt(completed * p * (1.0 - p)))
+        z = abs(measured - expect) / sigma if sigma > 0 else 0.0
+        worst = max(worst, z)
+        rows.append(
+            {
+                "part": "A:phi",
+                "step": t,
+                "cell": f"r{j // s}c{j % s}",
+                "phi_t": round(p, 6),
+                "expected": round(expect, 1),
+                "measured": measured,
+                "z": round(z, 2),
+            }
+        )
+    return rows, worst
+
+
+def _route_metrics(report) -> tuple[int, float]:
+    """Worst per-shard max replica load and max/mean imbalance."""
+    worst_max = 0
+    worst_ratio = 0.0
+    for loads in report.replica_loads:
+        arr = np.asarray(loads, dtype=np.float64)
+        worst_max = max(worst_max, int(arr.max()))
+        worst_ratio = max(worst_ratio, float(arr.max() / arr.mean()))
+    return worst_max, worst_ratio
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """Run the experiment; ``fast`` shrinks ladders, ``seed`` fixes RNG."""
+    n = 96 if fast else 192
+    requests = 3000 if fast else 12000
+    replicas = 3
+    keys, N = make_instance(n, seed)
+    dist = uniform_distribution(keys, N, 0.5)
+    rows: list[dict] = []
+
+    # -- Part A: measured per-cell load vs exact replicated Phi_t ----------------
+    inner = build_scheme("low-contention", keys, N, seed + 1)
+    phi = exact_contention(ReplicatedDictionary(inner, replicas), dist).phi
+    svc = build_service(
+        keys, N, num_shards=1, replicas=replicas, router="random",
+        max_batch=32, max_delay=0.25, seed=seed + 2,
+    )
+    rep_a = run_loadgen(
+        svc, dist, requests, discipline="open", rate=64.0,
+        seed=seed + 3, expected_keys=keys,
+    )
+    counts = svc.cell_load_matrix(0)
+    s = svc.shards[0].table.s
+    phi_rows, worst_z = _phi_rows(phi, counts, rep_a.completed, s)
+    rows.extend(phi_rows)
+
+    # -- Part B: round-robin vs least-loaded under Zipf skew ---------------------
+    zipf_rng = np.random.default_rng(seed + 4)
+    candidates = np.concatenate(
+        [keys, zipf_rng.integers(0, N, size=n)]
+    )
+    zipf = ZipfDistribution(
+        N, np.unique(candidates), exponent=1.1, shuffle_ranks=seed + 5
+    )
+    by_router: dict[str, tuple[int, float, object]] = {}
+    for router in ("round-robin", "least-loaded", "random"):
+        svc_b = build_service(
+            keys, N, num_shards=2, replicas=replicas, router=router,
+            max_batch=16, max_delay=0.1, probe_time=0.001,
+            seed=seed + 6,
+        )
+        rep_b = run_loadgen(
+            svc_b, zipf, requests, discipline="open", rate=96.0,
+            seed=seed + 7, expected_keys=keys,
+        )
+        max_load, ratio = _route_metrics(rep_b)
+        by_router[router] = (max_load, ratio, rep_b)
+        rows.append(
+            {
+                "part": "B:routing",
+                "router": router,
+                "workload": "zipf(1.1)",
+                "completed": rep_b.completed,
+                "max_replica_load": max_load,
+                "load_imbalance": round(ratio, 4),
+                "p99_latency": round(rep_b.latency_p99, 4),
+                "wrong": rep_b.wrong_answers,
+            }
+        )
+
+    # -- Part C: crashed replica, failover through the router --------------------
+    svc_c = build_service(
+        keys, N, num_shards=1, replicas=replicas, router="least-loaded",
+        mode="failover",
+        faults=FaultConfig(crashed_replicas=(0,), seed=seed + 8),
+        seed=seed + 9,
+    )
+    rep_c = run_loadgen(
+        svc_c, dist, requests // 4, discipline="closed", clients=16,
+        think_time=0.01, seed=seed + 10, expected_keys=keys,
+    )
+    rows.append(
+        {
+            "part": "C:faults",
+            "router": "least-loaded",
+            "crashed": "replica 0",
+            "completed": rep_c.completed,
+            "failovers": rep_c.failovers,
+            "live_after": len(svc_c.routers[0].live),
+            "wrong": rep_c.wrong_answers,
+        }
+    )
+
+    rr_max = by_router["round-robin"][0]
+    ll_max = by_router["least-loaded"][0]
+    win = 1.0 - ll_max / rr_max
+    return ExperimentResult(
+        experiment_id="E19",
+        title="Live serving: measured load matches exact Phi_t; "
+        "contention-aware routing beats round-robin",
+        claim=CLAIM,
+        rows=rows,
+        finding=(
+            f"Part A: across {len(phi_rows)} steps the hottest cell's "
+            f"measured load sits within {worst_z:.2f} sigma of the exact "
+            f"Binomial(Q, Phi_t(j)) prediction (threshold 3). Part B: on "
+            f"Zipf(1.1), least-loaded routing cuts the max per-replica "
+            f"probe load to {ll_max} vs round-robin's {rr_max} "
+            f"({100 * win:.1f}% lower; routing win "
+            f"{'holds' if ll_max < rr_max else 'FAILS'}). Part C: with "
+            f"replica 0 crashed, {rep_c.failovers} failover(s) rerouted "
+            f"every request — {rep_c.completed} completed, "
+            f"{rep_c.wrong_answers} wrong answers."
+        ),
+        notes=(
+            "Part A routing is per-query uniform over replicas, so "
+            "per-cell counts are exactly Binomial; only each step's "
+            "hottest cell is tested to avoid multiple-comparisons "
+            "inflation. Loads in part B are probes charged by the live "
+            "ProbeCounter, not request counts."
+        ),
+    )

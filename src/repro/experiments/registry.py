@@ -24,6 +24,7 @@ from repro.experiments import (
     e16_worst_case_fks,
     e17_tail_bounds,
     e18_fault_tolerance,
+    e19_serving,
 )
 from repro.io.results import ExperimentResult
 
@@ -46,6 +47,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E16": ("Worst-case family: FKS at Theta(sqrt n) x optimal (§1.3)", e16_worst_case_fks.run),
     "E17": ("Tail-bound sharpness (Theorems 6-8)", e17_tail_bounds.run),
     "E18": ("Fault tolerance via replication (robustness extension)", e18_fault_tolerance.run),
+    "E19": ("Live serving validates Phi_t; contention-aware routing (serving extension)", e19_serving.run),
 }
 
 

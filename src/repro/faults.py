@@ -70,6 +70,15 @@ class FaultConfig:
         ``crash_rate`` sampling to these replicas — the "f faulty
         replicas out of R" regime the majority-vote guarantee is stated
         in.  Explicit ``crashed_replicas`` are always honored.
+    faulty_rows:
+        If not ``None``, restrict stuck cells and transient flips to
+        these *inner-structure* row indices (the pattern repeats in
+        every replica of a replicated structure).  Composes with
+        ``faulty_replicas`` by intersection.  Row-scoped faults are how
+        the batch/scalar probe-accounting equivalence is property-tested
+        under corruption: flips confined to rows that never steer the
+        probe sequence (e.g. the data row) leave the number of probes
+        per step a deterministic function of the instance.
     seed:
         Seeds both the up-front fault placement and the transient-flip
         stream; identical configs inject identical faults.
@@ -80,6 +89,7 @@ class FaultConfig:
     crash_rate: float = 0.0
     crashed_replicas: tuple[int, ...] = ()
     faulty_replicas: tuple[int, ...] | None = None
+    faulty_rows: tuple[int, ...] | None = None
     seed: int = 0
 
     def __post_init__(self):
@@ -94,6 +104,11 @@ class FaultConfig:
             object.__setattr__(
                 self, "faulty_replicas",
                 tuple(int(r) for r in self.faulty_replicas),
+            )
+        if self.faulty_rows is not None:
+            object.__setattr__(
+                self, "faulty_rows",
+                tuple(int(r) for r in self.faulty_rows),
             )
 
     @property
@@ -185,13 +200,24 @@ class FaultInjector:
     # -- fault placement ---------------------------------------------------------
 
     def _eligible_rows(self) -> np.ndarray:
-        if self.config.faulty_replicas is None:
-            return np.arange(self.rows, dtype=np.int64)
+        replicas = (
+            range(self.replicas)
+            if self.config.faulty_replicas is None
+            else [
+                r for r in self.config.faulty_replicas
+                if 0 <= r < self.replicas
+            ]
+        )
+        inner = (
+            range(self._inner_rows)
+            if self.config.faulty_rows is None
+            else [
+                i for i in self.config.faulty_rows
+                if 0 <= i < self._inner_rows
+            ]
+        )
         rows = [
-            r * self._inner_rows + i
-            for r in self.config.faulty_replicas
-            if 0 <= r < self.replicas
-            for i in range(self._inner_rows)
+            r * self._inner_rows + i for r in replicas for i in inner
         ]
         return np.asarray(rows, dtype=np.int64)
 

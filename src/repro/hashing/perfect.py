@@ -58,9 +58,13 @@ class PerfectHashFunction(HashFunction):
     ) -> "PerfectHashFunction":
         """Rebuild from a table cell; the query knows ``prime``/``range_size``
         (the former is a scheme constant, the latter comes from the decoded
-        group histogram)."""
+        group histogram).  Parameters are reduced mod ``prime``: words
+        written by construction are always in range, but a corrupted cell
+        (:mod:`repro.faults`) may decode out of range, and a query must
+        degrade to a wrong answer — never a crash — matching the batch
+        path, which reduces implicitly."""
         a, c = unpack_pair(int(word))
-        return cls(prime, a, c, range_size)
+        return cls(prime, a % prime, c % prime, range_size)
 
     def is_perfect_on(self, keys: np.ndarray) -> bool:
         """Whether this function is injective on ``keys``."""

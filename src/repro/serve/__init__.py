@@ -1,0 +1,71 @@
+"""repro.serve — sharded dictionary serving with contention-aware routing.
+
+The serving subsystem turns the library's static dictionaries into a
+live membership service and closes the loop between the paper's
+*analysis* (exact per-cell contention Φ_t) and *operations* (what a
+running replica fleet actually experiences):
+
+- :mod:`~repro.serve.batcher` — micro-batching of the request stream
+  into ``query_batch`` calls (size/deadline flush policy);
+- :mod:`~repro.serve.router` — replica routing: the paper's uniform
+  marginal, round-robin, and contention-aware least-loaded balancing on
+  live probe counters;
+- :mod:`~repro.serve.admission` — bounded in-flight queue with typed
+  load shedding;
+- :mod:`~repro.serve.service` — the clockless sharded core composing
+  all of the above over ``ReplicatedDictionary`` shards, with failover
+  on injected replica crashes;
+- :mod:`~repro.serve.client` — deterministic virtual-time load
+  generation (open/closed loop) with latency and load reporting;
+- :mod:`~repro.serve.asyncio_server` — the wall-clock asyncio shell.
+
+Experiment E19 validates the stack end-to-end: measured per-cell load
+under live random routing matches exact Φ_t within sampling error, and
+least-loaded routing beats round-robin on Zipf workloads.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.asyncio_server import AsyncDictionaryServer, serve_forever
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.client import (
+    LoadReport,
+    run_closed_loop,
+    run_loadgen,
+    run_open_loop,
+)
+from repro.serve.router import (
+    ROUTERS,
+    LeastLoadedRouter,
+    RandomRouter,
+    RoundRobinRouter,
+    Router,
+    make_router,
+)
+from repro.serve.service import (
+    ServiceStats,
+    ShardedDictionaryService,
+    Ticket,
+    build_service,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AsyncDictionaryServer",
+    "Batch",
+    "LeastLoadedRouter",
+    "LoadReport",
+    "MicroBatcher",
+    "ROUTERS",
+    "RandomRouter",
+    "RoundRobinRouter",
+    "Router",
+    "ServiceStats",
+    "ShardedDictionaryService",
+    "Ticket",
+    "build_service",
+    "make_router",
+    "run_closed_loop",
+    "run_loadgen",
+    "run_open_loop",
+    "serve_forever",
+]

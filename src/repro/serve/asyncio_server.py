@@ -1,0 +1,150 @@
+"""Asyncio front end for the sharded dictionary service.
+
+:class:`~repro.serve.service.ShardedDictionaryService` is clockless and
+synchronous; this module is the thin real-time shell around it:
+
+- :meth:`AsyncDictionaryServer.query` awaits one membership answer —
+  the request joins its shard's micro-batch and the future resolves
+  when the batch dispatches;
+- a single background *flusher* task sleeps until the earliest batch
+  deadline and fires it, so the ``max_delay`` latency bound holds on
+  the wall clock;
+- concurrency control is the service's own admission layer —
+  :class:`~repro.errors.OverloadError` propagates to the awaiting
+  caller immediately (shed fast, never queue).
+
+All service mutation happens on the event-loop thread (submits run in
+``query``, deadline flushes in the flusher coroutine), so the sans-io
+core needs no locks.  Time comes from ``loop.time()`` — the service
+never reads a clock itself.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+
+from repro.errors import ServeError
+from repro.serve.service import ShardedDictionaryService, Ticket
+
+
+class AsyncDictionaryServer:
+    """Awaitable membership queries over a sharded dictionary service."""
+
+    def __init__(self, service: ShardedDictionaryService):
+        self.service = service
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._flusher: asyncio.Task | None = None
+        self._kick = asyncio.Event()
+        self._futures: dict[int, asyncio.Future] = {}
+        self._closing = False
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        """Whether the flusher task is active."""
+        return self._flusher is not None and not self._flusher.done()
+
+    async def start(self) -> None:
+        """Attach to the running loop and start the deadline flusher."""
+        if self.running:
+            raise ServeError("server already started")
+        self._loop = asyncio.get_running_loop()
+        self._closing = False
+        self.service.on_complete = self._resolve
+        self._flusher = asyncio.create_task(
+            self._flush_loop(), name="repro-serve-flusher"
+        )
+
+    async def stop(self) -> None:
+        """Drain pending batches, resolve their futures, stop the flusher."""
+        self._closing = True
+        self._kick.set()
+        if self._flusher is not None:
+            await self._flusher
+            self._flusher = None
+        if self._loop is not None:
+            self.service.drain(self._loop.time())
+        self.service.on_complete = None
+
+    async def __aenter__(self) -> "AsyncDictionaryServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- request path ------------------------------------------------------------
+
+    async def query(self, x: int) -> bool:
+        """Membership of ``x``, served through batch + routing.
+
+        Raises :class:`~repro.errors.OverloadError` when shed by
+        admission control and :class:`~repro.errors.QueryError` for
+        keys outside the universe.
+        """
+        if not self.running:
+            raise ServeError("server is not running")
+        assert self._loop is not None
+        future: asyncio.Future = self._loop.create_future()
+        ticket = self.service.submit(int(x), self._loop.time())
+        if ticket.done:
+            # The arrival itself flushed a full batch; _resolve already
+            # ran for the *other* tickets but this one had no future
+            # registered yet.
+            return bool(ticket.answer)
+        self._futures[id(ticket)] = future
+        self._kick.set()  # new deadline may now be earliest
+        return await future
+
+    async def query_many(self, xs) -> list[bool]:
+        """Concurrent :meth:`query` for every key in ``xs``."""
+        xs = np.asarray(xs, dtype=np.int64)
+        return list(
+            await asyncio.gather(*(self.query(int(x)) for x in xs))
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _resolve(self, tickets: list[Ticket]) -> None:
+        for t in tickets:
+            future = self._futures.pop(id(t), None)
+            if future is not None and not future.done():
+                future.set_result(bool(t.answer))
+
+    async def _flush_loop(self) -> None:
+        assert self._loop is not None
+        while not self._closing:
+            deadline = self.service.next_deadline()
+            if deadline is None:
+                self._kick.clear()
+                await self._kick.wait()
+                continue
+            delay = deadline - self._loop.time()
+            if delay > 0:
+                self._kick.clear()
+                try:
+                    await asyncio.wait_for(self._kick.wait(), delay)
+                    continue  # woken early: recompute earliest deadline
+                except asyncio.TimeoutError:
+                    pass
+            self.service.advance(self._loop.time())
+
+
+async def serve_forever(
+    service: ShardedDictionaryService,
+    ready: asyncio.Event | None = None,
+) -> AsyncDictionaryServer:  # pragma: no cover - exercised by CLI smoke
+    """Run a server until cancelled (the ``repro serve`` entry point)."""
+    server = AsyncDictionaryServer(service)
+    await server.start()
+    if ready is not None:
+        ready.set()
+    try:
+        while True:
+            await asyncio.sleep(3600.0)
+    except asyncio.CancelledError:
+        await server.stop()
+        raise

@@ -1,0 +1,119 @@
+"""Micro-batching: turn a request stream into ``query_batch`` calls.
+
+The PR 1 batch engine made *offline* batches fast; serving needs the
+inverse direction — accumulate an *online* stream of single-key
+requests into batches without holding any request too long.  The
+paper's structures make this safe: probe distributions are fixed per
+query (non-adaptive across queries), so a batch executes out-of-order
+with probe accounting identical to the scalar path (property-tested in
+``tests/test_batch_query.py``).
+
+:class:`MicroBatcher` is sans-io and clockless: callers pass ``now``
+explicitly, so the same batcher drives both the deterministic
+virtual-time loadgen (:mod:`repro.serve.client`) and the wall-clock
+asyncio server (:mod:`repro.serve.asyncio_server`).
+
+Flush policy — the standard two-knob rule:
+
+- **max_size** — a batch never exceeds ``max_size`` requests; hitting
+  the cap flushes immediately (throughput bound);
+- **max_delay** — the *oldest* pending request never waits more than
+  ``max_delay`` time units for dispatch (latency bound).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.errors import ParameterError
+from repro.utils.validation import check_positive_integer
+
+
+@dataclasses.dataclass
+class Batch:
+    """One flushed batch: the requests plus flush bookkeeping."""
+
+    requests: list
+    opened: float
+    flushed: float
+    reason: str  # "size" | "delay" | "drain"
+
+    @property
+    def size(self) -> int:
+        """Number of requests in the batch."""
+        return len(self.requests)
+
+
+class MicroBatcher:
+    """Size/deadline micro-batcher for one shard's request stream.
+
+    Parameters
+    ----------
+    max_size:
+        Flush as soon as this many requests are pending.
+    max_delay:
+        Flush once the oldest pending request is this old (same time
+        unit as the ``now`` values passed by the caller).
+    """
+
+    def __init__(self, max_size: int = 32, max_delay: float = 1.0):
+        self.max_size = check_positive_integer("max_size", max_size)
+        if not float(max_delay) >= 0.0:
+            raise ParameterError("max_delay must be >= 0")
+        self.max_delay = float(max_delay)
+        self._pending: list = []
+        self._opened: float = 0.0
+        self.flushed_batches = 0
+        self.flushed_requests = 0
+
+    @property
+    def pending(self) -> int:
+        """Requests currently waiting for dispatch."""
+        return len(self._pending)
+
+    def next_deadline(self) -> float | None:
+        """Latest time the pending batch may flush; None when empty."""
+        if not self._pending:
+            return None
+        return self._opened + self.max_delay
+
+    def add(self, request: Any, now: float) -> Batch | None:
+        """Enqueue one request; returns a batch iff the size cap flushed."""
+        if not self._pending:
+            self._opened = float(now)
+        self._pending.append(request)
+        if len(self._pending) >= self.max_size:
+            return self._flush(now, "size")
+        return None
+
+    def poll(self, now: float) -> Batch | None:
+        """Returns the pending batch iff its deadline has passed."""
+        deadline = self.next_deadline()
+        if deadline is not None and float(now) >= deadline:
+            return self._flush(now, "delay")
+        return None
+
+    def drain(self, now: float) -> Batch | None:
+        """Flush whatever is pending regardless of deadline (shutdown)."""
+        if self._pending:
+            return self._flush(now, "drain")
+        return None
+
+    def _flush(self, now: float, reason: str) -> Batch:
+        batch = Batch(
+            requests=self._pending,
+            opened=self._opened,
+            flushed=float(now),
+            reason=reason,
+        )
+        self._pending = []
+        self.flushed_batches += 1
+        self.flushed_requests += batch.size
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MicroBatcher(max_size={self.max_size}, "
+            f"max_delay={self.max_delay}, pending={self.pending})"
+        )

@@ -1,0 +1,288 @@
+"""Load generation against the sharded dictionary service.
+
+Both canonical arrival disciplines, driven in **virtual time** so every
+run is a deterministic function of its seed (the E19 reproducibility
+requirement):
+
+- **open loop** — Poisson arrivals at a configured rate, independent of
+  service progress.  This is the discipline that exposes overload: the
+  arrival process does not slow down when the service falls behind, so
+  admission control must shed.
+- **closed loop** — a fixed population of clients, each waiting for its
+  answer plus a think time before issuing the next request.  Offered
+  load self-limits, making this the discipline for latency-vs-
+  concurrency curves.
+
+Queries are drawn i.i.d. from any
+:class:`~repro.distributions.base.QueryDistribution` (uniform, Zipf,
+adversarial …), so the loadgen stresses the service with exactly the
+workloads the contention analysis covers.  The generator verifies every
+answer against ground-truth membership when given the key set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+
+import numpy as np
+
+from repro.distributions.base import QueryDistribution
+from repro.errors import OverloadError, ParameterError
+from repro.serve.service import ShardedDictionaryService, Ticket
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_integer
+
+
+@dataclasses.dataclass
+class LoadReport:
+    """Aggregate outcome of one loadgen run (deterministic given seed)."""
+
+    discipline: str
+    requested: int
+    completed: int
+    shed: int
+    wrong_answers: int
+    duration: float
+    throughput: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    batches: int
+    mean_batch_size: float
+    failovers: int
+    probes: int
+    replica_loads: list[list[int]]
+
+    def row(self) -> dict:
+        """Flat dict for experiment tables (loads joined as text)."""
+        d = dataclasses.asdict(self)
+        d["replica_loads"] = "|".join(
+            ",".join(str(x) for x in shard) for shard in self.replica_loads
+        )
+        return d
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float, float, float]:
+    if not latencies:
+        return (float("nan"),) * 4
+    arr = np.asarray(latencies, dtype=np.float64)
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return float(arr.mean()), float(p50), float(p95), float(p99)
+
+
+def _finish_report(
+    service: ShardedDictionaryService,
+    discipline: str,
+    requested: int,
+    shed: int,
+    done: list[Ticket],
+    expected: np.ndarray | None,
+    end: float,
+) -> LoadReport:
+    wrong = 0
+    if expected is not None and expected.size and done:
+        keys = np.asarray([t.key for t in done], dtype=np.int64)
+        answers = np.asarray([t.answer for t in done], dtype=bool)
+        idx = np.searchsorted(expected, keys)
+        idx = np.clip(idx, 0, expected.size - 1)
+        truth = expected[idx] == keys
+        wrong = int(np.sum(answers != truth))
+    mean, p50, p95, p99 = _percentiles([t.latency for t in done])
+    batches = service.stats.batches
+    return LoadReport(
+        discipline=discipline,
+        requested=requested,
+        completed=len(done),
+        shed=shed,
+        wrong_answers=wrong,
+        duration=float(end),
+        throughput=len(done) / end if end > 0 else float("nan"),
+        latency_mean=mean,
+        latency_p50=p50,
+        latency_p95=p95,
+        latency_p99=p99,
+        batches=batches,
+        mean_batch_size=len(done) / batches if batches else float("nan"),
+        failovers=service.stats.failovers,
+        probes=service.stats.probes,
+        replica_loads=[
+            [int(x) for x in loads] for loads in service.replica_loads()
+        ],
+    )
+
+
+def _flush_due(service: ShardedDictionaryService, now: float) -> None:
+    """Fire every batch deadline at or before ``now``, in time order."""
+    while True:
+        deadline = service.next_deadline()
+        if deadline is None or deadline > now:
+            return
+        service.advance(deadline)
+
+
+def run_open_loop(
+    service: ShardedDictionaryService,
+    dist: QueryDistribution,
+    num_requests: int,
+    rate: float,
+    seed=0,
+    expected_keys: np.ndarray | None = None,
+) -> LoadReport:
+    """Poisson arrivals at ``rate`` requests per virtual time unit.
+
+    Arrivals never wait for answers; requests beyond the admission
+    capacity are shed and counted.  Returns after the final batch
+    drains.
+    """
+    num_requests = check_positive_integer("num_requests", num_requests)
+    if not float(rate) > 0.0:
+        raise ParameterError("rate must be > 0")
+    rng = as_generator(seed)
+    arrivals = np.cumsum(
+        rng.exponential(1.0 / float(rate), size=num_requests)
+    )
+    keys = dist.sample(rng, num_requests)
+    done: list[Ticket] = []
+    service.on_complete = done.extend
+    shed = 0
+    try:
+        for t, x in zip(arrivals, keys):
+            _flush_due(service, float(t))
+            try:
+                service.submit(int(x), float(t))
+            except OverloadError:
+                shed += 1
+        end = float(arrivals[-1])
+        while service.next_deadline() is not None:
+            end = service.next_deadline()
+            service.advance(end)
+        end = max(end, max((t.completion for t in done), default=end))
+    finally:
+        service.on_complete = None
+    return _finish_report(
+        service, "open", num_requests, shed, done, expected_keys, end
+    )
+
+
+def run_closed_loop(
+    service: ShardedDictionaryService,
+    dist: QueryDistribution,
+    num_requests: int,
+    clients: int,
+    think_time: float = 0.0,
+    seed=0,
+    expected_keys: np.ndarray | None = None,
+) -> LoadReport:
+    """A fixed client population, each one request in flight at a time.
+
+    Every client waits for its answer, thinks for an exponential time
+    with mean ``think_time`` (zero = immediate re-issue), then submits
+    its next query.  Offered load self-limits, so nothing is shed
+    unless ``clients`` exceeds the admission capacity.
+    """
+    num_requests = check_positive_integer("num_requests", num_requests)
+    clients = check_positive_integer("clients", clients)
+    if float(think_time) < 0.0:
+        raise ParameterError("think_time must be >= 0")
+    rng = as_generator(seed)
+    keys = dist.sample(rng, num_requests)
+    issued = 0
+    done: list[Ticket] = []
+    owner: dict[int, int] = {}
+    # (time, sequence, client) — the sequence number breaks ties
+    # deterministically.
+    events: list[tuple[float, int, int]] = []
+    counter = 0
+
+    def think(now: float) -> float:
+        if think_time == 0.0:
+            return now
+        return now + float(rng.exponential(float(think_time)))
+
+    def completed(tickets: list[Ticket]) -> None:
+        nonlocal counter
+        done.extend(tickets)
+        for t in tickets:
+            # A ticket whose own arrival flushed the batch completes
+            # inside submit(), before registration; its client is
+            # rescheduled on the submit path below.
+            client = owner.pop(id(t), None)
+            if client is None:
+                continue
+            heapq.heappush(
+                events, (think(t.completion), counter, client)
+            )
+            counter += 1
+
+    service.on_complete = completed
+    for client in range(min(clients, num_requests)):
+        heapq.heappush(events, (0.0, counter, client))
+        counter += 1
+    shed = 0
+    end = 0.0
+    try:
+        while len(done) + shed < num_requests:
+            deadline = service.next_deadline()
+            if events and (
+                deadline is None or events[0][0] <= deadline
+            ):
+                now, _, client = heapq.heappop(events)
+                _flush_due(service, now)
+                end = max(end, now)
+                if issued >= num_requests:
+                    continue  # population shrinks as the run winds down
+                x = int(keys[issued])
+                issued += 1
+                try:
+                    ticket = service.submit(x, now)
+                    if ticket.done:
+                        heapq.heappush(
+                            events,
+                            (think(ticket.completion), counter, client),
+                        )
+                        counter += 1
+                    else:
+                        owner[id(ticket)] = client
+                except OverloadError:
+                    shed += 1
+                    heapq.heappush(events, (think(now), counter, client))
+                    counter += 1
+            elif deadline is not None:
+                end = max(end, deadline)
+                service.advance(deadline)
+            else:  # pragma: no cover - defensive
+                break
+        end = max(end, max((t.completion for t in done), default=end))
+    finally:
+        service.on_complete = None
+    return _finish_report(
+        service, "closed", num_requests, shed, done, expected_keys, end
+    )
+
+
+def run_loadgen(
+    service: ShardedDictionaryService,
+    dist: QueryDistribution,
+    num_requests: int,
+    discipline: str = "open",
+    rate: float = 64.0,
+    clients: int = 16,
+    think_time: float = 0.0,
+    seed=0,
+    expected_keys: np.ndarray | None = None,
+) -> LoadReport:
+    """Dispatch to :func:`run_open_loop` / :func:`run_closed_loop`."""
+    if discipline == "open":
+        return run_open_loop(
+            service, dist, num_requests, rate, seed, expected_keys
+        )
+    if discipline == "closed":
+        return run_closed_loop(
+            service, dist, num_requests, clients, think_time, seed,
+            expected_keys,
+        )
+    raise ParameterError(
+        f"unknown discipline {discipline!r}; options: open, closed"
+    )

@@ -1,0 +1,151 @@
+"""Replica routing policies for the sharded dictionary service.
+
+The paper's replication theorem (§1.3, measured in E15) divides every
+cell's contention by R when queries pick replicas *uniformly*; a
+serving system can do better than blind uniformity because it observes
+the load it has already created.  Three policies, sharing one
+interface:
+
+- :class:`RandomRouter` — the paper's scheme: every query gets an
+  independent uniformly random live replica.  This is the policy whose
+  stationary per-cell load equals the exact Φ_t tables (validated live
+  by E19 part A).
+- :class:`RoundRobinRouter` — classic dispatch-count balancing: whole
+  batches alternate over live replicas.  Balances *how many* dispatches
+  each replica gets while staying blind to what they cost.
+- :class:`LeastLoadedRouter` — contention-aware: assigns each batch to
+  the live replica with the smallest accumulated probe load, fed back
+  from the table's live per-cell probe counters after every dispatch
+  (greedy makespan balancing).  Under variable batch cost — skewed
+  arrivals, deadline flushes, faulty replicas — it keeps the max
+  per-replica probe load strictly below round-robin's (E19 part B).
+
+Routers also own replica *health*: the service marks a replica down
+when dispatch raises
+:class:`~repro.errors.ReplicaUnavailableError`, and every policy
+reweights onto the surviving replicas (the PR 2 fault-layer
+composition).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import FaultExhaustedError, ParameterError
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_integer
+
+#: Router names accepted by :func:`make_router` / the CLI.
+ROUTERS = ("least-loaded", "round-robin", "random")
+
+
+class Router(abc.ABC):
+    """Assigns each request of a batch to a live replica."""
+
+    #: Policy name (used in tables and the CLI).
+    name: str = "router"
+
+    def __init__(self, replicas: int):
+        self.replicas = check_positive_integer("replicas", replicas)
+        self._down: set[int] = set()
+
+    # -- health ------------------------------------------------------------------
+
+    @property
+    def live(self) -> list[int]:
+        """Replica indices currently believed healthy (sorted)."""
+        return [r for r in range(self.replicas) if r not in self._down]
+
+    def mark_down(self, replica: int) -> None:
+        """Record a replica as crashed; future assignments skip it."""
+        self._down.add(int(replica))
+        if not self.live:
+            raise FaultExhaustedError(self.replicas)
+
+    def mark_up(self, replica: int) -> None:
+        """Return a replica to the rotation."""
+        self._down.discard(int(replica))
+
+    # -- assignment --------------------------------------------------------------
+
+    @abc.abstractmethod
+    def assign(self, size: int) -> np.ndarray:
+        """Replica index for each of ``size`` requests (int64 array)."""
+
+    def record(self, replica: int, probes: int) -> None:
+        """Load feedback after a dispatch (no-op for blind policies)."""
+
+    def _require_live(self) -> list[int]:
+        live = self.live
+        if not live:
+            raise FaultExhaustedError(self.replicas)
+        return live
+
+
+class RandomRouter(Router):
+    """Independent uniform replica per request — the paper's marginal."""
+
+    name = "random"
+
+    def __init__(self, replicas: int, seed=0):
+        super().__init__(replicas)
+        self._rng = as_generator(seed)
+
+    def assign(self, size: int) -> np.ndarray:
+        live = np.asarray(self._require_live(), dtype=np.int64)
+        return live[self._rng.integers(0, live.size, size=size)]
+
+
+class RoundRobinRouter(Router):
+    """Whole batches cycle over live replicas (dispatch-count balancing)."""
+
+    name = "round-robin"
+
+    def __init__(self, replicas: int, seed=0):
+        super().__init__(replicas)
+        self._cursor = 0
+
+    def assign(self, size: int) -> np.ndarray:
+        live = self._require_live()
+        replica = live[self._cursor % len(live)]
+        self._cursor += 1
+        return np.full(size, replica, dtype=np.int64)
+
+
+class LeastLoadedRouter(Router):
+    """Whole batches go to the replica with the least accumulated probes.
+
+    ``record`` feeds back the probes each dispatch actually charged
+    (measured from the live per-cell probe counters by the service), so
+    the policy balances *measured contention*, not dispatch counts.
+    Ties break toward the lowest replica index (deterministic).
+    """
+
+    name = "least-loaded"
+
+    def __init__(self, replicas: int, seed=0):
+        super().__init__(replicas)
+        self.loads = np.zeros(replicas, dtype=np.int64)
+
+    def assign(self, size: int) -> np.ndarray:
+        live = self._require_live()
+        replica = min(live, key=lambda r: (int(self.loads[r]), r))
+        return np.full(size, replica, dtype=np.int64)
+
+    def record(self, replica: int, probes: int) -> None:
+        self.loads[int(replica)] += int(probes)
+
+
+def make_router(name: str, replicas: int, seed=0) -> Router:
+    """Construct a router by policy name (see :data:`ROUTERS`)."""
+    if name == "random":
+        return RandomRouter(replicas, seed)
+    if name == "round-robin":
+        return RoundRobinRouter(replicas, seed)
+    if name == "least-loaded":
+        return LeastLoadedRouter(replicas, seed)
+    raise ParameterError(
+        f"unknown router {name!r}; options: {ROUTERS}"
+    )

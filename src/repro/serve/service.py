@@ -1,0 +1,388 @@
+"""The sharded dictionary service: the deterministic serving core.
+
+Composes the whole serving stack around the library's structures:
+
+- **keyspace sharding** — the universe ``[0, N)`` splits into
+  contiguous ranges, one :class:`~repro.dictionaries.replicated.
+  ReplicatedDictionary` (R replicas of an inner scheme) per range;
+- **micro-batching** — per-shard :class:`~repro.serve.batcher.
+  MicroBatcher` turns the request stream into ``query_batch`` calls
+  (the PR 1 batch engine);
+- **routing** — a per-shard :class:`~repro.serve.router.Router` assigns
+  each batch to replicas; the contention-aware policy balances on the
+  live per-cell probe counters;
+- **admission control** — a bounded in-flight queue sheds requests with
+  :class:`~repro.errors.OverloadError` beyond capacity;
+- **fault composition** — a dispatch that hits a crashed replica
+  (:class:`~repro.errors.ReplicaUnavailableError` from the PR 2 fault
+  layer) marks the replica down in the router, reweights onto the
+  survivors, and retries the batch.
+
+The service is **clockless**: every entry point takes ``now``
+explicitly and all randomness comes from seeded generators, so a run
+driven by the virtual-time loadgen (:mod:`repro.serve.client`) is
+byte-reproducible — the E19 determinism guarantee.  The asyncio server
+(:mod:`repro.serve.asyncio_server`) drives the same object with the
+wall clock.
+
+Replica *service time* is modeled in probe-equivalents: a dispatched
+batch occupies its replica for ``probes * probe_time`` time units
+(the cell-probe model's only cost measure), which yields honest
+queueing latency under load without inventing a second cost model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+import numpy as np
+
+from repro.dictionaries.replicated import ReplicatedDictionary
+from repro.errors import (
+    ParameterError,
+    QueryError,
+    ReplicaUnavailableError,
+)
+from repro.faults import FaultConfig
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.router import Router, make_router
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import check_positive_integer
+
+
+@dataclasses.dataclass
+class Ticket:
+    """One request's lifecycle: arrival → batch → dispatch → answer."""
+
+    key: int
+    shard: int
+    arrival: float
+    completion: float | None = None
+    answer: bool | None = None
+    replica: int | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request has been served."""
+        return self.completion is not None
+
+    @property
+    def latency(self) -> float:
+        """Completion minus arrival (NaN while in flight)."""
+        if self.completion is None:
+            return float("nan")
+        return self.completion - self.arrival
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Lifetime counters of one service instance."""
+
+    submitted: int = 0
+    completed: int = 0
+    batches: int = 0
+    probes: int = 0
+    failovers: int = 0
+
+    def row(self) -> dict:
+        """Flat dict for experiment tables."""
+        return dataclasses.asdict(self)
+
+
+class ShardedDictionaryService:
+    """Shards × replicas of a static dictionary behind batch + routing.
+
+    Parameters
+    ----------
+    shards:
+        One replica set per contiguous keyspace range, in range order;
+        all must share a ``universe_size``.
+    boundaries:
+        Shard range starts (``boundaries[i]`` is the first key of shard
+        ``i``; shard ``i`` covers ``[boundaries[i], boundaries[i+1])``
+        with the last shard ending at ``universe_size``).
+    router:
+        Routing policy name (:data:`~repro.serve.router.ROUTERS`) —
+        each shard gets its own router instance.
+    max_batch / max_delay:
+        Micro-batch flush policy, per shard.
+    capacity:
+        Admission-control bound on requests in flight.
+    probe_time:
+        Replica service time per probe, in virtual time units
+        (0 = infinitely fast replicas: completion at flush time).
+    seed:
+        Seeds the query-execution RNG and the routers.
+    """
+
+    def __init__(
+        self,
+        shards: list[ReplicatedDictionary],
+        boundaries: list[int],
+        router: str = "least-loaded",
+        max_batch: int = 32,
+        max_delay: float = 1.0,
+        capacity: int = 1024,
+        probe_time: float = 0.0,
+        seed=0,
+    ):
+        if not shards:
+            raise ParameterError("service needs at least one shard")
+        if len(boundaries) != len(shards):
+            raise ParameterError(
+                f"{len(shards)} shards need {len(shards)} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        if list(boundaries) != sorted(set(int(b) for b in boundaries)):
+            raise ParameterError("boundaries must be strictly increasing")
+        if int(boundaries[0]) != 0:
+            raise ParameterError("first shard must start at key 0")
+        self.universe_size = int(shards[0].universe_size)
+        if any(
+            int(s.universe_size) != self.universe_size for s in shards
+        ):
+            raise ParameterError("shards must share one universe size")
+        if float(probe_time) < 0.0:
+            raise ParameterError("probe_time must be >= 0")
+        self.shards = list(shards)
+        self.num_shards = len(self.shards)
+        self._boundaries = np.asarray(
+            [int(b) for b in boundaries], dtype=np.int64
+        )
+        self.router_name = router
+        streams = spawn_generators(as_generator(seed), self.num_shards + 1)
+        self._rng = streams[-1]
+        self.routers: list[Router] = [
+            make_router(router, self.shards[i].replicas, streams[i])
+            for i in range(self.num_shards)
+        ]
+        self.batchers = [
+            MicroBatcher(max_size=max_batch, max_delay=max_delay)
+            for _ in range(self.num_shards)
+        ]
+        self.admission = AdmissionController(capacity=capacity)
+        self.probe_time = float(probe_time)
+        # Per-(shard, replica) virtual busy-until times: dispatched
+        # batches queue behind whatever their replica is still serving.
+        self._busy_until = [
+            np.zeros(s.replicas, dtype=np.float64) for s in self.shards
+        ]
+        self.stats = ServiceStats()
+        #: Optional hook called with the list of tickets each dispatch
+        #: completes (the asyncio server resolves futures here).
+        self.on_complete: Callable[[list[Ticket]], None] | None = None
+
+    # -- keyspace ----------------------------------------------------------------
+
+    def shard_of(self, x: int) -> int:
+        """Index of the shard whose keyspace range contains ``x``."""
+        x = int(x)
+        if not 0 <= x < self.universe_size:
+            raise QueryError(
+                f"query {x} outside universe [0, {self.universe_size})"
+            )
+        return int(
+            np.searchsorted(self._boundaries, x, side="right") - 1
+        )
+
+    # -- request path ------------------------------------------------------------
+
+    def submit(self, x: int, now: float) -> Ticket:
+        """Admit one request at virtual time ``now``.
+
+        Raises :class:`~repro.errors.OverloadError` when admission
+        control sheds the request.  The returned ticket may already be
+        ``done`` if its arrival flushed a full batch.
+        """
+        shard = self.shard_of(x)
+        self.admission.admit()
+        ticket = Ticket(key=int(x), shard=shard, arrival=float(now))
+        self.stats.submitted += 1
+        batch = self.batchers[shard].add(ticket, now)
+        if batch is not None:
+            self._dispatch(shard, batch)
+        return ticket
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending flush deadline across shards (None if idle)."""
+        deadlines = [
+            b.next_deadline()
+            for b in self.batchers
+            if b.next_deadline() is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def advance(self, now: float) -> int:
+        """Flush every batch whose deadline passed; returns completions."""
+        completed = 0
+        for shard, batcher in enumerate(self.batchers):
+            batch = batcher.poll(now)
+            if batch is not None:
+                completed += self._dispatch(shard, batch)
+        return completed
+
+    def drain(self, now: float) -> int:
+        """Flush all pending requests regardless of deadline (shutdown)."""
+        completed = 0
+        for shard, batcher in enumerate(self.batchers):
+            batch = batcher.drain(now)
+            if batch is not None:
+                completed += self._dispatch(shard, batch)
+        return completed
+
+    # -- dispatch ----------------------------------------------------------------
+
+    def _dispatch(self, shard: int, batch: Batch) -> int:
+        """Execute one flushed batch: route, run, time, complete."""
+        dictionary = self.shards[shard]
+        router = self.routers[shard]
+        tickets: list[Ticket] = batch.requests
+        xs = np.asarray([t.key for t in tickets], dtype=np.int64)
+        assignment = router.assign(xs.shape[0])
+        order = np.arange(xs.shape[0])
+        for replica in np.unique(assignment):
+            sel = order[assignment == replica]
+            self._run_group(
+                shard, dictionary, router, tickets, xs, sel,
+                int(replica), batch.flushed,
+            )
+        self.stats.batches += 1
+        done = [t for t in tickets if t.done]
+        self.admission.release(len(done))
+        self.stats.completed += len(done)
+        if self.on_complete is not None and done:
+            self.on_complete(done)
+        return len(done)
+
+    def _run_group(
+        self,
+        shard: int,
+        dictionary: ReplicatedDictionary,
+        router: Router,
+        tickets: list[Ticket],
+        xs: np.ndarray,
+        sel: np.ndarray,
+        replica: int,
+        now: float,
+    ) -> None:
+        """Run one replica's share of a batch, failing over on crashes."""
+        while True:
+            before = dictionary.table.counter.total_probes()
+            try:
+                answers = dictionary.query_batch_on(
+                    xs[sel], replica, self._rng
+                )
+            except ReplicaUnavailableError:
+                # PR 2 composition: the crash marks the replica down,
+                # the router reweights, and the batch retries on a
+                # survivor.  No healthy replica left raises
+                # FaultExhaustedError out of the service.
+                router.mark_down(replica)
+                self.stats.failovers += 1
+                candidates = router.assign(1)
+                replica = int(candidates[0])
+                continue
+            break
+        probes = dictionary.table.counter.total_probes() - before
+        router.record(replica, probes)
+        self.stats.probes += probes
+        busy = self._busy_until[shard]
+        start = max(float(now), float(busy[replica]))
+        finish = start + probes * self.probe_time
+        busy[replica] = finish
+        for pos, i in enumerate(sel):
+            tickets[i].answer = bool(answers[pos])
+            tickets[i].completion = finish
+            tickets[i].replica = replica
+
+    # -- introspection -----------------------------------------------------------
+
+    def replica_loads(self) -> list[np.ndarray]:
+        """Per-shard arrays of probes charged to each replica so far."""
+        return [s.replica_probe_loads() for s in self.shards]
+
+    def cell_load_matrix(self, shard: int = 0) -> np.ndarray:
+        """One shard's raw per-step per-cell probe counts (copy)."""
+        return self.shards[shard].table.counter.counts_per_step()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ShardedDictionaryService(shards={self.num_shards}, "
+            f"router={self.router_name!r}, "
+            f"completed={self.stats.completed})"
+        )
+
+
+def build_service(
+    keys: np.ndarray,
+    universe_size: int,
+    num_shards: int = 1,
+    replicas: int = 3,
+    scheme: str = "low-contention",
+    router: str = "least-loaded",
+    max_batch: int = 32,
+    max_delay: float = 1.0,
+    capacity: int = 1024,
+    probe_time: float = 0.0,
+    faults: FaultConfig | None = None,
+    mode: str = "random",
+    seed=0,
+) -> ShardedDictionaryService:
+    """Construct a service over ``keys``: shard, build, replicate.
+
+    The universe splits into ``num_shards`` equal contiguous ranges;
+    each range's keys build one inner dictionary (scheme from
+    :data:`~repro.experiments.common.SCHEMES`), wrapped in a
+    :class:`~repro.dictionaries.replicated.ReplicatedDictionary` with
+    ``replicas`` copies and the given fault configuration.  Every shard
+    must own at least one key (shard counts far below n keep this true
+    for random instances; a violating split raises
+    :class:`~repro.errors.ParameterError`).
+    """
+    # Imported here, not at module level: repro.experiments.e19_serving
+    # imports repro.serve, so a top-level import would be circular.
+    from repro.experiments.common import SCHEMES
+
+    keys = np.asarray(keys, dtype=np.int64)
+    universe_size = int(universe_size)
+    num_shards = check_positive_integer("num_shards", num_shards)
+    if scheme not in SCHEMES:
+        raise ParameterError(
+            f"unknown scheme {scheme!r}; options: {sorted(SCHEMES)}"
+        )
+    rng = as_generator(seed)
+    boundaries = [
+        (universe_size * i) // num_shards for i in range(num_shards)
+    ]
+    edges = boundaries + [universe_size]
+    shards: list[ReplicatedDictionary] = []
+    for i in range(num_shards):
+        lo, hi = edges[i], edges[i + 1]
+        shard_keys = keys[(keys >= lo) & (keys < hi)]
+        if shard_keys.size == 0:
+            raise ParameterError(
+                f"shard {i} (keys in [{lo}, {hi})) is empty; "
+                f"use fewer shards for this instance"
+            )
+        inner = SCHEMES[scheme](
+            shard_keys,
+            universe_size,
+            rng=np.random.default_rng(rng.integers(0, 2**63 - 1)),
+        )
+        shards.append(
+            ReplicatedDictionary(
+                inner, replicas, mode=mode, faults=faults
+            )
+        )
+    return ShardedDictionaryService(
+        shards,
+        boundaries,
+        router=router,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        capacity=capacity,
+        probe_time=probe_time,
+        seed=rng.integers(0, 2**63 - 1),
+    )

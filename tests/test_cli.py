@@ -14,11 +14,25 @@ def test_list_shows_all_experiments(capsys):
         assert f"E{i}" in out
 
 
+def test_list_json(capsys):
+    assert main(["list", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["E1"].startswith("Contention optimality")
+    assert set(data) == {f"E{i}" for i in range(1, 20)}
+
+
 def test_info(capsys):
     assert main(["info"]) == 0
     out = capsys.readouterr().out
     assert "SPAA 2010" in out
     assert "EXPERIMENTS.md" in out
+
+
+def test_info_json(capsys):
+    assert main(["info", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["paper"]["venue"] == "SPAA 2010"
+    assert data["experiments"] == [f"E{i}" for i in range(1, 20)]
 
 
 def test_run_single_experiment(capsys):
@@ -84,6 +98,41 @@ def test_survey_small(capsys):
     assert "low-contention" in out
     assert "binary-search" in out
     assert "ratio_step" in out
+
+
+def test_serve_smoke(capsys):
+    # Boots the asyncio server, answers a seeded self-test workload,
+    # exits cleanly (the CI serving job runs the same command).
+    assert main(["serve", "--n", "64", "--smoke-queries", "16"]) == 0
+    out = capsys.readouterr().out
+    assert "serving n=64" in out
+    assert "0 wrong" in out
+
+
+def test_loadgen_deterministic(tmp_path, capsys):
+    args = [
+        "loadgen", "--n", "64", "--requests", "200", "--workload", "zipf",
+    ]
+    assert main(args + ["--json", str(tmp_path / "a.json")]) == 0
+    first = capsys.readouterr().out
+    assert main(args + ["--json", str(tmp_path / "b.json")]) == 0
+    second = capsys.readouterr().out
+    # Byte-identical report: the loadgen runs in seeded virtual time.
+    assert (tmp_path / "a.json").read_text() == (
+        tmp_path / "b.json"
+    ).read_text()
+    assert first.replace("a.json", "b.json") == second
+    data = json.loads((tmp_path / "a.json").read_text())
+    assert data["completed"] == 200 and data["wrong_answers"] == 0
+
+
+def test_loadgen_closed_loop(capsys):
+    assert main(
+        ["loadgen", "--n", "64", "--requests", "100", "--discipline",
+         "closed", "--clients", "8", "--probe-time", "0.001"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "closed" in out
 
 
 def test_parser_requires_command():

@@ -1,0 +1,174 @@
+"""FaultyTable × query_batch composition: faults never change probe cost.
+
+The fault layer's contract is "faults change what a query *sees*, never
+what it *cost*": probes are charged to the real counter at the real
+cell before any corruption is applied.  The batch engine's contract is
+that per-step probe *totals* are a deterministic function of the
+instance (batch and scalar consume the RNG differently, so addresses
+differ, but counts do not).  These properties must compose — a batched
+query stream through a faulty table must charge exactly the probe
+counts the scalar faulted path charges.
+
+Transient flips are scoped with ``FaultConfig.faulty_rows`` to the
+perfect-hash and data rows of the low-contention dictionary: those
+values never steer the probe *sequence* (phases 1–3 read clean control
+words, phase 4 issues exactly one phf read and one data read per
+non-empty bucket regardless of what the corrupted words decode to), so
+the per-step totals of the faulted paths also equal the clean run's.
+Flips on control rows (histogram, GBAS) legitimately change the probe
+addresses and the early-exit pattern — that is why the scoping exists.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cellprobe import Table
+from repro.core import LowContentionDictionary
+from repro.dictionaries import ReplicatedDictionary
+from repro.faults import FaultConfig, FaultInjector, FaultyTable
+from repro.utils.rng import as_generator, sample_distinct
+
+
+def _instance(n: int, seed: int):
+    rng = as_generator(seed)
+    N = n * n
+    keys = np.sort(sample_distinct(rng, N, n))
+    return keys, N
+
+
+def _queries(keys, N, count, seed):
+    rng = as_generator(seed)
+    pos = rng.choice(keys, size=count // 2)
+    neg = rng.integers(0, N, size=count - count // 2)
+    return np.concatenate([pos, neg])
+
+
+def _faulted_dictionary(
+    n: int, seed: int, flip_rate: float, flip_seed: int
+) -> LowContentionDictionary:
+    """A fresh dictionary whose reads pass through row-scoped flips."""
+    keys, N = _instance(n, seed)
+    d = LowContentionDictionary(keys, N, rng=as_generator(seed + 1))
+    config = FaultConfig(
+        flip_rate=flip_rate,
+        faulty_rows=(d.params.phf_row, d.params.data_row),
+        seed=flip_seed,
+    )
+    injector = FaultInjector(config, d.table.rows, d.table.s)
+    d.table = FaultyTable(d.table, injector)
+    return d
+
+
+class TestFaultyTableProbeCharging:
+    """Table-level: corruption is applied after the probe is charged."""
+
+    @given(
+        flip_rate=st.floats(min_value=0.0, max_value=1.0),
+        stuck_rate=st.floats(min_value=0.0, max_value=0.5),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_charges_match_bare_table(self, flip_rate, stuck_rate, seed):
+        rng = np.random.default_rng(seed)
+        reads = rng.integers(0, 16, size=(20, 2))
+        steps = rng.integers(0, 5, size=20)
+
+        bare = Table(16, 16)
+        faulty_inner = Table(16, 16)
+        injector = FaultInjector(
+            FaultConfig(
+                flip_rate=flip_rate, stuck_rate=stuck_rate, seed=seed
+            ),
+            16,
+            16,
+        )
+        faulty = FaultyTable(faulty_inner, injector)
+        for (row, col), step in zip(reads, steps):
+            bare.read(int(row), int(col), int(step))
+            faulty.read(int(row), int(col), int(step))
+        batch_cols = rng.integers(-1, 16, size=(5, 8))
+        for i, cols in enumerate(batch_cols):
+            bare.read_batch(np.full(8, i, dtype=np.int64), cols, 5)
+            faulty.read_batch(np.full(8, i, dtype=np.int64), cols, 5)
+        np.testing.assert_array_equal(
+            bare.counter.counts_per_step(),
+            faulty.counter.counts_per_step(),
+        )
+
+    def test_skipped_entries_charge_nothing(self):
+        injector = FaultInjector(FaultConfig(flip_rate=1.0, seed=1), 4, 8)
+        faulty = FaultyTable(Table(4, 8), injector)
+        faulty.read_batch(
+            np.zeros(4, dtype=np.int64),
+            np.array([-1, -1, -1, -1]),
+            0,
+        )
+        assert faulty.counter.total_probes() == 0
+
+
+class TestBatchScalarEquivalenceUnderFlips:
+    """Dictionary-level: batch and scalar faulted paths cost the same."""
+
+    @given(
+        n=st.sampled_from([16, 32, 64]),
+        flip_rate=st.floats(min_value=0.05, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_per_step_probe_totals_match(self, n, flip_rate, seed):
+        keys, N = _instance(n, seed)
+        xs = _queries(keys, N, 40, seed + 2)
+
+        scalar = _faulted_dictionary(n, seed, flip_rate, seed + 3)
+        rng = as_generator(seed + 4)
+        for x in xs:
+            scalar.query(int(x), rng)
+        scalar_steps = scalar.table.counter.counts_per_step().sum(axis=1)
+
+        batch = _faulted_dictionary(n, seed, flip_rate, seed + 3)
+        batch.query_batch(xs, as_generator(seed + 5))
+        batch_steps = batch.table.counter.counts_per_step().sum(axis=1)
+
+        np.testing.assert_array_equal(scalar_steps, batch_steps)
+
+        # Row-scoped flips also leave the totals equal to the fault-free
+        # run: the corrupted rows never steer the probe sequence.
+        clean = _faulted_dictionary(n, seed, 0.0, seed + 3)
+        clean.query_batch(xs, as_generator(seed + 6))
+        np.testing.assert_array_equal(
+            batch_steps, clean.table.counter.counts_per_step().sum(axis=1)
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_replica_dispatch_totals_match_scalar(self, seed):
+        """The serve-path primitive (query_batch_on) composes too."""
+        n = 32
+        keys, N = _instance(n, seed)
+        xs = _queries(keys, N, 30, seed + 2)
+        inner = LowContentionDictionary(keys, N, rng=as_generator(seed + 1))
+        config = FaultConfig(
+            flip_rate=0.5,
+            faulty_rows=(inner.params.phf_row, inner.params.data_row),
+            seed=seed + 3,
+        )
+
+        # Scalar faulted path: each query picks a random replica, but
+        # per-step totals are replica-independent (the replicas are
+        # copies), so they compare directly against a pinned dispatch.
+        rep_scalar = ReplicatedDictionary(inner, 3, faults=config)
+        rng = as_generator(seed + 4)
+        for x in xs:
+            rep_scalar.query(int(x), rng)
+        scalar_steps = (
+            rep_scalar.table.counter.counts_per_step().sum(axis=1)
+        )
+
+        rep_batch = ReplicatedDictionary(inner, 3, faults=config)
+        rep_batch.query_batch_on(xs, 1, as_generator(seed + 5))
+        batch_steps = (
+            rep_batch.table.counter.counts_per_step().sum(axis=1)
+        )
+        np.testing.assert_array_equal(scalar_steps, batch_steps)
