@@ -15,7 +15,11 @@ Public API highlights (see README.md for a tour):
   crashed replicas) for the cell-probe substrate; pairs with the
   fault-tolerant query modes of
   :class:`repro.dictionaries.ReplicatedDictionary`.
-- :mod:`repro.experiments` — the E1–E18 experiment registry (the paper
+- :mod:`repro.telemetry` — zero-overhead-when-disabled event bus,
+  metrics (Prometheus + versioned JSON snapshots), clockless trace
+  spans, and live monitors that check streaming per-cell counts against
+  the exact Binomial(Q, Φ_t(j)) contention law.
+- :mod:`repro.experiments` — the E1–E20 experiment registry (the paper
   has no tables/figures; these reify its claims — see DESIGN.md).
 """
 
@@ -36,6 +40,7 @@ from repro.errors import (
     ReproError,
     ServeError,
     TableError,
+    TelemetryError,
 )
 
 __all__ = [
@@ -54,4 +59,5 @@ __all__ = [
     "ServeError",
     "OverloadError",
     "ExperimentFailureError",
+    "TelemetryError",
 ]

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
+from repro.telemetry.events import BUS, ExecutionEvent
 from repro.utils.validation import check_positive_integer
 
 
@@ -43,7 +44,15 @@ class ProbeCounter:
         self._per_step[step][flat_cell] += 1
 
     def record_batch(self, step: int, flat_cells: np.ndarray) -> None:
-        """Record one probe per entry of ``flat_cells`` (negative = skip)."""
+        """Record one probe per non-negative entry of ``flat_cells``.
+
+        Negative entries are *skipped entirely*: they charge no probe to
+        any cell and they do not advance :attr:`executions` (only
+        :meth:`finish_execution` ever does).  This is the contract the
+        batched query algorithms rely on to express per-key steps the
+        scalar algorithm would not execute, and it is pinned by an
+        explicit test (``tests/test_cellprobe_counters.py``).
+        """
         if step < 0:
             raise ParameterError("step must be non-negative")
         flat_cells = np.asarray(flat_cells, dtype=np.int64)
@@ -59,6 +68,34 @@ class ProbeCounter:
         if count < 1:
             raise ParameterError("count must be positive")
         self.executions += count
+        if BUS.active:
+            BUS.emit(ExecutionEvent(count=count))
+
+    def merge(self, other: "ProbeCounter") -> "ProbeCounter":
+        """Fold another counter's tallies into this one (in place).
+
+        Per-worker counters (e.g. one per parallel experiment shard or
+        per replica view) can be combined into a single global counter:
+        per-step count matrices add element-wise (the shorter counter's
+        missing steps count as zero) and execution counts add.  Both
+        counters must track the same number of cells.  Returns ``self``
+        for chaining.
+        """
+        if not isinstance(other, ProbeCounter):
+            raise ParameterError(
+                f"can only merge ProbeCounter, got {type(other).__name__}"
+            )
+        if other.num_cells != self.num_cells:
+            raise ParameterError(
+                f"cannot merge counter over {other.num_cells} cells into "
+                f"one over {self.num_cells}"
+            )
+        while len(self._per_step) < len(other._per_step):
+            self._per_step.append(np.zeros(self.num_cells, dtype=np.int64))
+        for step, counts in enumerate(other._per_step):
+            self._per_step[step] += counts
+        self.executions += other.executions
+        return self
 
     # -- reading ----------------------------------------------------------------
 

@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.cellprobe.counters import ProbeCounter
 from repro.errors import TableError
+from repro.telemetry.events import BUS, ProbeEvent
 from repro.utils.validation import check_positive_integer
 
 #: Sentinel stored in vacant cells; outside any permitted universe.
@@ -86,6 +87,8 @@ class Table:
         """
         self._check(row, column)
         self.counter.record(step, row * self.s + column)
+        if BUS.active:
+            BUS.emit(ProbeEvent(step=step, probes=1))
         return int(self._cells[row, column])
 
     def read_batch(
@@ -122,6 +125,8 @@ class Table:
                 )
         flat = np.where(active, rows_arr * self.s + columns, -1)
         self.counter.record_batch(step, flat)
+        if BUS.active:
+            BUS.emit(ProbeEvent(step=step, probes=int(np.count_nonzero(active))))
         out = np.full(columns.shape, EMPTY_CELL, dtype=np.uint64)
         if bool(np.any(active)):
             out[active] = self._cells[rows_arr[active], columns[active]]

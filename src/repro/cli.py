@@ -3,24 +3,36 @@
 Commands
 --------
 
-- ``list [--json]`` — show the experiment registry (E1–E19) with
-  titles (``--json`` prints a machine-readable object).
+- ``list [--json]`` — show the experiment registry (E1–E20) with
+  titles (``--json`` prints a machine-readable object including the
+  telemetry capability descriptor).
 - ``run E5 [--full] [--seed 0] [--json out.json]`` — run one experiment
   (or ``all``) and print its regenerated table.  Resilience is opt-in:
   ``--timeout``/``--retries``/``--retry-backoff`` harden individual
   experiments, ``--checkpoint-dir`` makes multi-experiment runs
   crash-safe (kill and re-invoke to resume), and
   ``--fail-fast``/``--keep-going`` pick the multi-experiment failure
-  semantics.
+  semantics.  ``--emit-telemetry DIR`` writes one bus-collected metrics
+  snapshot per experiment without changing any result.
 - ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
   across all schemes on one instance.
-- ``serve [--n 256] [--smoke-queries 64] [--duration 0]`` — boot the
-  asyncio dictionary server (:mod:`repro.serve`) over a random
-  instance, answer a seeded self-test workload, optionally stay up.
+- ``serve [--n 256] [--smoke-queries 64] [--duration 0] [--metrics]``
+  — boot the asyncio dictionary server (:mod:`repro.serve`) over a
+  random instance, answer a seeded self-test workload, optionally stay
+  up; ``--metrics`` attaches a telemetry hub and prints the Prometheus
+  exposition on shutdown.
 - ``loadgen [--requests 2000] [--discipline open] [--router
   least-loaded]`` — deterministic virtual-time load generation against
   a fresh service; prints throughput, latency percentiles, and
   per-replica probe loads.
+- ``stats [--monitor] [--prometheus] [--json snap.json]`` — drive a
+  seeded workload through an instrumented service and print the
+  collected metrics; ``--monitor`` checks live per-cell counts against
+  the exact Φ_t law and reports any hot-cell alarms.
+- ``trace --out trace.json [--fmt chrome]`` — record the full
+  request → admission → batch → route → replica → probe span tree for
+  a seeded workload and write it as Chrome ``trace_event`` JSON
+  (loadable in ``chrome://tracing`` / Perfetto) or raw span JSON.
 - ``info [--json]`` — package, paper, and reproduction-band summary.
 
 The CLI is a thin veneer over :mod:`repro.experiments`; everything it
@@ -42,9 +54,25 @@ def _cmd_list(args) -> int:
     if args.json:
         import json
 
+        from repro.telemetry import SNAPSHOT_VERSION, TRACE_VERSION
+
         print(
             json.dumps(
-                {eid: title for eid, (title, _) in EXPERIMENTS.items()},
+                {
+                    "experiments": {
+                        eid: title
+                        for eid, (title, _) in EXPERIMENTS.items()
+                    },
+                    "telemetry": {
+                        "events": True,
+                        "tracing": True,
+                        "metrics": True,
+                        "monitoring": True,
+                        "snapshot_version": SNAPSHOT_VERSION,
+                        "trace_version": TRACE_VERSION,
+                        "trace_formats": ["chrome", "json"],
+                    },
+                },
                 indent=2,
             )
         )
@@ -79,6 +107,7 @@ def _cmd_run(args) -> int:
             retry_backoff=args.retry_backoff,
             checkpoint_dir=args.checkpoint_dir,
             keep_going=args.keep_going,
+            telemetry_dir=args.emit_telemetry,
         )
     except ExperimentFailureError as exc:
         # Keep-going runs still render everything that completed; either
@@ -88,6 +117,8 @@ def _cmd_run(args) -> int:
             print(f"error: {eid} failed: {reason}", file=sys.stderr)
         return 1
     _print_results(results, args.json)
+    if args.emit_telemetry:
+        print(f"wrote telemetry snapshots to {args.emit_telemetry}")
     return 0
 
 
@@ -194,6 +225,10 @@ def _cmd_serve(args) -> int:
     from repro.serve import AsyncDictionaryServer
 
     keys, N, service, dist = _make_service(args)
+    if args.metrics:
+        from repro.telemetry import TelemetryHub
+
+        service.attach_telemetry(TelemetryHub(metrics=True))
 
     async def session() -> int:
         async with AsyncDictionaryServer(service) as server:
@@ -201,6 +236,7 @@ def _cmd_serve(args) -> int:
                 f"serving n={args.n} keys over universe [0, {N}) — "
                 f"{args.shards} shard(s) x {args.replicas} replicas, "
                 f"router={args.router}"
+                + (", metrics on" if args.metrics else "")
             )
             if args.smoke_queries:
                 rng = np.random.default_rng(args.seed + 4)
@@ -225,6 +261,16 @@ def _cmd_serve(args) -> int:
                     await asyncio.sleep(args.duration)
                 except (KeyboardInterrupt, asyncio.CancelledError):
                     pass
+            if args.metrics:
+                snap = server.metrics_snapshot()
+                print(
+                    f"metrics: {snap['server']['completed']} completed, "
+                    f"{snap['server']['batches']} batches, "
+                    f"{snap['server']['probes']} probes"
+                )
+                text = server.metrics_text()
+                if text:
+                    print(text, end="")
         return 0
 
     return asyncio.run(session())
@@ -263,6 +309,100 @@ def _cmd_loadgen(args) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
     return 1 if report.wrong_answers else 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.io import render_table
+    from repro.serve import run_loadgen
+    from repro.telemetry import ContentionMonitor, TelemetryHub
+
+    keys, N, service, dist = _make_service(args)
+    monitor = None
+    if args.monitor:
+        from repro.contention import exact_contention
+
+        if args.shards != 1:
+            print(
+                "error: --monitor needs --shards 1 (one exact Phi_t "
+                "prediction per monitored table)",
+                file=sys.stderr,
+            )
+            return 2
+        monitor = ContentionMonitor(
+            exact_contention(service.shards[0], dist).phi,
+            sigma_threshold=args.sigma,
+        )
+    hub = TelemetryHub(
+        metrics=True, contention=monitor, check_every=args.check_every
+    )
+    service.attach_telemetry(hub)
+    report = run_loadgen(
+        service,
+        dist,
+        args.requests,
+        discipline=args.discipline,
+        rate=args.rate,
+        clients=args.clients,
+        think_time=args.think_time,
+        seed=args.seed + 4,
+        expected_keys=keys,
+    )
+    print(
+        render_table(
+            hub.metrics.rows(),
+            title=(
+                f"stats: {report.completed} requests, {args.workload} "
+                f"workload, router={args.router}, n={args.n}"
+            ),
+        )
+    )
+    if monitor is not None:
+        print(
+            f"monitor: {monitor.checks} checks of "
+            f"{monitor.cells_tested} cells, "
+            f"{len(monitor.alarms)} alarm(s)"
+        )
+        for alarm in monitor.alarms[:10]:
+            print(f"  {alarm.row()}")
+        if len(monitor.alarms) > 10:
+            print(f"  ... and {len(monitor.alarms) - 10} more")
+    if args.prometheus:
+        print(hub.metrics.to_prometheus(), end="")
+    if args.json:
+        from repro.io.results import save_snapshot
+
+        save_snapshot(hub.snapshot(), args.json)
+        print(f"wrote {args.json}")
+    return 1 if report.wrong_answers else 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.serve import run_loadgen
+    from repro.telemetry import TelemetryHub
+
+    keys, N, service, dist = _make_service(args)
+    hub = TelemetryHub(metrics=True, tracing=True)
+    service.attach_telemetry(hub)
+    run_loadgen(
+        service,
+        dist,
+        args.requests,
+        discipline=args.discipline,
+        rate=args.rate,
+        clients=args.clients,
+        think_time=args.think_time,
+        seed=args.seed + 4,
+        expected_keys=keys,
+    )
+    tracer = hub.tracer
+    path = tracer.save(args.out, fmt=args.fmt)
+    print(
+        f"recorded {len(tracer.spans)} spans "
+        f"({len(tracer.roots())} requests"
+        + (f", {tracer.dropped} dropped" if tracer.dropped else "")
+        + f") -> {path} [{args.fmt}]"
+    )
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -322,6 +462,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persist completed results here and resume from them "
         "on re-invocation (crash-safe multi-experiment runs)",
+    )
+    run_p.add_argument(
+        "--emit-telemetry",
+        default=None,
+        metavar="DIR",
+        help="write one bus-collected metrics snapshot per experiment "
+        "into DIR (results are unchanged)",
     )
     halting = run_p.add_mutually_exclusive_group()
     halting.add_argument(
@@ -393,6 +540,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="stay up this many seconds after the smoke test",
     )
+    serve_p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="attach a telemetry hub; print the Prometheus exposition "
+        "on shutdown",
+    )
     serve_p.set_defaults(func=_cmd_serve)
 
     loadgen_p = sub.add_parser(
@@ -412,6 +565,69 @@ def build_parser() -> argparse.ArgumentParser:
     loadgen_p.add_argument("--think-time", type=float, default=0.0)
     loadgen_p.add_argument("--json", help="also write the report as JSON")
     loadgen_p.set_defaults(func=_cmd_loadgen)
+
+    def add_loadgen_options(p) -> None:
+        p.add_argument("--requests", type=int, default=2000)
+        p.add_argument(
+            "--discipline", default="open", choices=("open", "closed")
+        )
+        p.add_argument(
+            "--rate", type=float, default=64.0, help="open-loop arrival rate"
+        )
+        p.add_argument(
+            "--clients", type=int, default=16, help="closed-loop population"
+        )
+        p.add_argument("--think-time", type=float, default=0.0)
+
+    stats_p = sub.add_parser(
+        "stats", help="collected metrics for a seeded workload"
+    )
+    add_service_options(stats_p)
+    add_loadgen_options(stats_p)
+    stats_p.add_argument(
+        "--monitor",
+        action="store_true",
+        help="check live per-cell counts against the exact Phi_t law "
+        "(needs --shards 1)",
+    )
+    stats_p.add_argument(
+        "--check-every",
+        type=int,
+        default=8,
+        help="monitor check cadence in completed batches",
+    )
+    stats_p.add_argument(
+        "--sigma",
+        type=float,
+        default=3.0,
+        help="monitor base threshold before the max-of-Gaussians "
+        "correction",
+    )
+    stats_p.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="also print the Prometheus text exposition",
+    )
+    stats_p.add_argument(
+        "--json", help="also write the versioned telemetry snapshot here"
+    )
+    stats_p.set_defaults(func=_cmd_stats)
+
+    trace_p = sub.add_parser(
+        "trace", help="record a span tree for a seeded workload"
+    )
+    add_service_options(trace_p)
+    add_loadgen_options(trace_p)
+    trace_p.add_argument(
+        "--out", required=True, help="trace output path"
+    )
+    trace_p.add_argument(
+        "--fmt",
+        default="chrome",
+        choices=("chrome", "json"),
+        help="chrome trace_event JSON (chrome://tracing) or raw spans",
+    )
+    trace_p.set_defaults(func=_cmd_trace)
 
     info_p = sub.add_parser("info", help="package and paper summary")
     info_p.add_argument(

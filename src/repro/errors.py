@@ -138,6 +138,19 @@ class OverloadError(ServeError):
         )
 
 
+class TelemetryError(ReproError, RuntimeError):
+    """The :mod:`repro.telemetry` layer was misused or misconfigured.
+
+    Raised for invalid monitor predictions (a Φ matrix that is not a
+    probability matrix), malformed metric names, mismatched histogram
+    geometries on merge, unknown trace export formats, and snapshot
+    payloads whose version is newer than this library understands.
+    Never raised on the observation path itself: monitors return typed
+    alarm values instead of raising, so telemetry cannot alter the
+    control flow of the system it watches.
+    """
+
+
 class ExperimentFailureError(ReproError, RuntimeError):
     """One or more experiments failed (crashed, errored, or timed out).
 

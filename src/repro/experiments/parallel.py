@@ -84,11 +84,51 @@ def normalize_ids(ids: Iterable[str] | str) -> list[str]:
     return out
 
 
-def _run_one(eid: str, fast: bool, seed: int, cache_dir) -> ExperimentResult:
+def telemetry_path(telemetry_dir, eid: str, fast: bool, seed: int) -> pathlib.Path:
+    """Where experiment ``eid``'s metrics snapshot is written."""
+    mode = "fast" if fast else "full"
+    return (
+        pathlib.Path(telemetry_dir) / f"{eid}_{mode}_s{int(seed)}.metrics.json"
+    )
+
+
+def _run_instrumented(
+    eid: str, fast: bool, seed: int, telemetry_dir
+) -> ExperimentResult:
+    """Run one experiment, bus-collecting metrics when requested.
+
+    With ``telemetry_dir`` set, the run executes under a
+    :func:`~repro.telemetry.hub.collect_bus_metrics` subscription — the
+    guarded emit sites across the library light up, the collected
+    registry is snapshotted to one JSON file per experiment, and the
+    experiment's *results* are unchanged (the bus never perturbs RNG
+    streams or probe accounting; property-tested in
+    ``tests/test_telemetry_integration.py``).
+    """
+    if telemetry_dir is None:
+        return run_experiment(eid, fast=fast, seed=seed)
+    from repro.io.results import save_snapshot
+    from repro.telemetry import collect_bus_metrics
+
+    path = telemetry_path(telemetry_dir, eid, fast, seed)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with collect_bus_metrics() as registry:
+        result = run_experiment(eid, fast=fast, seed=seed)
+    snapshot = registry.snapshot()
+    snapshot["experiment"] = {
+        "id": eid, "fast": bool(fast), "seed": int(seed),
+    }
+    save_snapshot(snapshot, path)
+    return result
+
+
+def _run_one(
+    eid: str, fast: bool, seed: int, cache_dir, telemetry_dir=None
+) -> ExperimentResult:
     """Worker entry point: set up this process's cache, run, return."""
     if cache_dir is not None:
         configure_cache(cache_dir=cache_dir)
-    return run_experiment(eid, fast=fast, seed=seed)
+    return _run_instrumented(eid, fast, seed, telemetry_dir)
 
 
 def run_experiments(
@@ -102,6 +142,7 @@ def run_experiments(
     retry_backoff: float = 0.5,
     checkpoint_dir=None,
     keep_going: bool = False,
+    telemetry_dir=None,
 ) -> list[ExperimentResult]:
     """Run experiments, optionally across ``jobs`` worker processes.
 
@@ -109,7 +150,9 @@ def run_experiments(
     no matter how many workers ran them.  ``timeout``/``retries``/
     ``checkpoint_dir``/``keep_going`` engage the resilient scheduler
     (see the module docstring); leaving them all at their defaults runs
-    the plain deterministic path unchanged.
+    the plain deterministic path unchanged.  ``telemetry_dir`` writes
+    one bus-collected metrics snapshot per experiment (results stay
+    byte-identical — collection cannot perturb the runs).
     """
     ids = normalize_ids(ids)
     jobs = int(jobs)
@@ -130,13 +173,16 @@ def run_experiments(
     if resilient:
         return _run_resilient(
             ids, fast, seed, jobs, cache_dir, timeout, retries,
-            retry_backoff, checkpoint_dir, keep_going,
+            retry_backoff, checkpoint_dir, keep_going, telemetry_dir,
         )
     if jobs == 1 or len(ids) <= 1:
-        return [run_experiment(eid, fast=fast, seed=seed) for eid in ids]
+        return [
+            _run_instrumented(eid, fast, seed, telemetry_dir) for eid in ids
+        ]
     with ProcessPoolExecutor(max_workers=min(jobs, len(ids))) as pool:
         futures = [
-            pool.submit(_run_one, eid, fast, seed, cache_dir) for eid in ids
+            pool.submit(_run_one, eid, fast, seed, cache_dir, telemetry_dir)
+            for eid in ids
         ]
         return [f.result() for f in futures]
 
@@ -223,12 +269,12 @@ def load_checkpoint(
 # -- resilient scheduler -----------------------------------------------------------
 
 
-def _subprocess_entry(eid, fast, seed, cache_dir, q) -> None:
+def _subprocess_entry(eid, fast, seed, cache_dir, q, telemetry_dir=None) -> None:
     """Dedicated-process entry: always posts exactly one message."""
     try:
         if cache_dir is not None:
             configure_cache(cache_dir=cache_dir)
-        q.put(("ok", run_experiment(eid, fast=fast, seed=seed)))
+        q.put(("ok", _run_instrumented(eid, fast, seed, telemetry_dir)))
     except BaseException as exc:  # noqa: BLE001 — must never die silently
         try:
             q.put(("error", f"{type(exc).__name__}: {exc}"))
@@ -237,14 +283,15 @@ def _subprocess_entry(eid, fast, seed, cache_dir, q) -> None:
 
 
 def _run_isolated(
-    eid: str, fast: bool, seed: int, cache_dir, timeout: float | None
+    eid: str, fast: bool, seed: int, cache_dir, timeout: float | None,
+    telemetry_dir=None,
 ) -> tuple[str, object]:
     """One attempt in its own process; the process is killed on timeout."""
     ctx = multiprocessing.get_context()
     q = ctx.Queue()
     proc = ctx.Process(
         target=_subprocess_entry,
-        args=(eid, fast, seed, cache_dir, q),
+        args=(eid, fast, seed, cache_dir, q, telemetry_dir),
         daemon=True,
     )
     proc.start()
@@ -272,14 +319,16 @@ def _run_isolated(
 
 def _resilient_task(
     eid, fast, seed, cache_dir, timeout, retries, retry_backoff,
-    checkpoint_dir,
+    checkpoint_dir, telemetry_dir=None,
 ) -> tuple[ExperimentResult | None, str]:
     """Attempt ``eid`` with retries+backoff; checkpoint on success."""
     reason = ""
     for attempt in range(retries + 1):
         if attempt:
             time.sleep(retry_backoff * 2 ** (attempt - 1))
-        status, payload = _run_isolated(eid, fast, seed, cache_dir, timeout)
+        status, payload = _run_isolated(
+            eid, fast, seed, cache_dir, timeout, telemetry_dir
+        )
         if status == "ok":
             if checkpoint_dir is not None:
                 save_checkpoint(checkpoint_dir, eid, fast, seed, payload)
@@ -290,7 +339,7 @@ def _resilient_task(
 
 def _run_resilient(
     ids, fast, seed, jobs, cache_dir, timeout, retries, retry_backoff,
-    checkpoint_dir, keep_going,
+    checkpoint_dir, keep_going, telemetry_dir=None,
 ) -> list[ExperimentResult]:
     done: dict[str, ExperimentResult] = {}
     unique = list(dict.fromkeys(ids))
@@ -306,7 +355,7 @@ def _run_resilient(
             futures = {
                 pool.submit(
                     _resilient_task, eid, fast, seed, cache_dir, timeout,
-                    retries, retry_backoff, checkpoint_dir,
+                    retries, retry_backoff, checkpoint_dir, telemetry_dir,
                 ): eid
                 for eid in pending
             }

@@ -25,6 +25,7 @@ from repro.experiments import (
     e17_tail_bounds,
     e18_fault_tolerance,
     e19_serving,
+    e20_telemetry,
 )
 from repro.io.results import ExperimentResult
 
@@ -48,6 +49,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E17": ("Tail-bound sharpness (Theorems 6-8)", e17_tail_bounds.run),
     "E18": ("Fault tolerance via replication (robustness extension)", e18_fault_tolerance.run),
     "E19": ("Live serving validates Phi_t; contention-aware routing (serving extension)", e19_serving.run),
+    "E20": ("Telemetry: zero-perturbation observation & live contention monitoring (observability extension)", e20_telemetry.run),
 }
 
 

@@ -37,6 +37,7 @@ import dataclasses
 import numpy as np
 
 from repro.cellprobe.table import CELL_BITS
+from repro.telemetry.events import BUS, FaultEvent
 from repro.utils.validation import check_probability
 
 __all__ = [
@@ -318,16 +319,24 @@ class FaultyTable:
     def read(self, row: int, column: int, step: int) -> int:
         """Charged read of one cell, corrupted on the way out."""
         value = self._inner.read(row, column, step)
-        return self._injector.corrupt(self._offset + row, column, value)
+        corrupted = self._injector.corrupt(self._offset + row, column, value)
+        if BUS.active and corrupted != value:
+            BUS.emit(FaultEvent(kind="read", count=1))
+        return corrupted
 
     def read_batch(self, rows, columns, step: int) -> np.ndarray:
         """Charged vectorized read; entries with ``column < 0`` skipped."""
         columns = np.asarray(columns, dtype=np.int64)
         rows_arr = np.broadcast_to(np.asarray(rows, dtype=np.int64), columns.shape)
         values = self._inner.read_batch(rows_arr, columns, step)
-        return self._injector.corrupt_batch(
+        corrupted = self._injector.corrupt_batch(
             rows_arr + self._offset, columns, values
         )
+        if BUS.active:
+            changed = int(np.count_nonzero(corrupted != values))
+            if changed:
+                BUS.emit(FaultEvent(kind="read_batch", count=changed))
+        return corrupted
 
     # -- free accesses (construction/analysis) --------------------------------------
 

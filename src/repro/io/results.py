@@ -1,4 +1,13 @@
-"""Experiment result records and JSON serialization."""
+"""Experiment result records and JSON serialization.
+
+Also home of the telemetry-snapshot round-trip helpers: a snapshot is a
+versioned plain-JSON payload (``repro.telemetry.metrics.SNAPSHOT_VERSION``)
+written by :func:`save_snapshot` and read back by :func:`load_snapshot`.
+Readers are **forward compatible**: unknown top-level keys from a newer
+writer are preserved verbatim, and only a version *newer than the reader
+understands* is rejected (by ``MetricsRegistry.from_snapshot``, not
+here — loading a raw payload never fails on content).
+"""
 
 from __future__ import annotations
 
@@ -44,3 +53,23 @@ def save_results(results: list[ExperimentResult], path) -> None:
     path.write_text(
         json.dumps([r.as_dict() for r in results], indent=2, default=str)
     )
+
+
+def save_snapshot(snapshot: dict, path) -> pathlib.Path:
+    """Write one telemetry snapshot (a versioned JSON payload) to ``path``."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(snapshot, indent=2, default=str) + "\n")
+    return path
+
+
+def load_snapshot(path) -> dict:
+    """Read a telemetry snapshot back as a plain dict.
+
+    No schema enforcement happens here: unknown keys survive untouched
+    so a snapshot written by a newer library version round-trips through
+    an older reader.  Feed the result to
+    ``MetricsRegistry.from_snapshot`` to materialize the metrics (which
+    ignores keys it does not know and rejects only a payload whose
+    declared version is newer than it supports).
+    """
+    return json.loads(pathlib.Path(path).read_text())

@@ -17,6 +17,7 @@ the loadgen / experiment tables.
 from __future__ import annotations
 
 from repro.errors import OverloadError, ParameterError
+from repro.telemetry.events import BUS, AdmissionEvent
 from repro.utils.validation import check_positive_integer
 
 
@@ -34,10 +35,19 @@ class AdmissionController:
         """Admit one request or shed it with :class:`OverloadError`."""
         if self.in_flight >= self.capacity:
             self.shed += 1
+            if BUS.active:
+                BUS.emit(AdmissionEvent(
+                    admitted=False, depth=self.in_flight,
+                    capacity=self.capacity,
+                ))
             raise OverloadError(self.in_flight, self.capacity)
         self.in_flight += 1
         self.admitted += 1
         self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
+        if BUS.active:
+            BUS.emit(AdmissionEvent(
+                admitted=True, depth=self.in_flight, capacity=self.capacity,
+            ))
 
     def release(self, count: int = 1) -> None:
         """Mark ``count`` admitted requests as completed."""

@@ -59,15 +59,41 @@ class AsyncDictionaryServer:
         )
 
     async def stop(self) -> None:
-        """Drain pending batches, resolve their futures, stop the flusher."""
+        """Drain in-flight batches, resolve their futures, stop the flusher.
+
+        Graceful shutdown is ordered so no awaiting caller is ever left
+        hanging: the flusher is stopped *first* (and its failure, if it
+        crashed mid-run, is captured rather than short-circuiting the
+        shutdown), then every pending batch is drained and its futures
+        resolved, then any future still unresolved — possible only if
+        the service itself lost the ticket — is failed with a
+        :class:`~repro.errors.ServeError`.  A crashed flusher's
+        exception is re-raised at the end, after the drain, so callers
+        see the failure *and* clients see their answers.
+        """
         self._closing = True
         self._kick.set()
+        flusher_error: BaseException | None = None
         if self._flusher is not None:
-            await self._flusher
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                flusher_error = exc
             self._flusher = None
         if self._loop is not None:
             self.service.drain(self._loop.time())
         self.service.on_complete = None
+        leftovers = list(self._futures.values())
+        self._futures.clear()
+        for future in leftovers:
+            if not future.done():
+                future.set_exception(
+                    ServeError("server stopped before the request was served")
+                )
+        if flusher_error is not None:
+            raise flusher_error
 
     async def __aenter__(self) -> "AsyncDictionaryServer":
         await self.start()
@@ -105,6 +131,36 @@ class AsyncDictionaryServer:
         return list(
             await asyncio.gather(*(self.query(int(x)) for x in xs))
         )
+
+    # -- observability -----------------------------------------------------------
+
+    def metrics_snapshot(self) -> dict:
+        """The ``/metrics``-style snapshot of the running server.
+
+        Merges the service's lifetime counters and admission state with
+        the attached telemetry hub's snapshot (when the service carries
+        one): the versioned JSON payload a scrape endpoint would serve.
+        """
+        service = self.service
+        hub = getattr(service, "telemetry", None)
+        if hub is not None:
+            snap = hub.snapshot()
+        else:
+            snap = {"version": 1, "kind": "repro-metrics"}
+        snap["server"] = {
+            "running": self.running,
+            "pending_futures": len(self._futures),
+            **service.stats.row(),
+            **service.admission.row(),
+        }
+        return snap
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the hub's metrics (or empty)."""
+        hub = getattr(self.service, "telemetry", None)
+        if hub is None or hub.metrics is None:
+            return ""
+        return hub.metrics.to_prometheus()
 
     # -- internals ---------------------------------------------------------------
 

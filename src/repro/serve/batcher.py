@@ -27,6 +27,7 @@ import dataclasses
 from typing import Any
 
 from repro.errors import ParameterError
+from repro.telemetry.events import BUS, BatchEvent
 from repro.utils.validation import check_positive_integer
 
 
@@ -110,6 +111,11 @@ class MicroBatcher:
         self._pending = []
         self.flushed_batches += 1
         self.flushed_requests += batch.size
+        if BUS.active:
+            BUS.emit(BatchEvent(
+                size=batch.size, reason=reason,
+                waited=batch.flushed - batch.opened,
+            ))
         return batch
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

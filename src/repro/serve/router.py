@@ -34,6 +34,7 @@ import abc
 import numpy as np
 
 from repro.errors import FaultExhaustedError, ParameterError
+from repro.telemetry.events import BUS, ReplicaHealthEvent
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
@@ -61,12 +62,16 @@ class Router(abc.ABC):
     def mark_down(self, replica: int) -> None:
         """Record a replica as crashed; future assignments skip it."""
         self._down.add(int(replica))
+        if BUS.active:
+            BUS.emit(ReplicaHealthEvent(replica=int(replica), up=False))
         if not self.live:
             raise FaultExhaustedError(self.replicas)
 
     def mark_up(self, replica: int) -> None:
         """Return a replica to the rotation."""
         self._down.discard(int(replica))
+        if BUS.active:
+            BUS.emit(ReplicaHealthEvent(replica=int(replica), up=True))
 
     # -- assignment --------------------------------------------------------------
 

@@ -40,6 +40,7 @@ import numpy as np
 
 from repro.dictionaries.replicated import ReplicatedDictionary
 from repro.errors import (
+    OverloadError,
     ParameterError,
     QueryError,
     ReplicaUnavailableError,
@@ -48,6 +49,12 @@ from repro.faults import FaultConfig
 from repro.serve.admission import AdmissionController
 from repro.serve.batcher import Batch, MicroBatcher
 from repro.serve.router import Router, make_router
+from repro.telemetry.events import (
+    BUS,
+    DispatchEvent,
+    FailoverEvent,
+    RouteEvent,
+)
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_positive_integer
 
@@ -173,6 +180,13 @@ class ShardedDictionaryService:
         #: Optional hook called with the list of tickets each dispatch
         #: completes (the asyncio server resolves futures here).
         self.on_complete: Callable[[list[Ticket]], None] | None = None
+        #: Optional :class:`~repro.telemetry.hub.TelemetryHub`; every
+        #: call site is guarded so ``None`` runs the seed code path.
+        self.telemetry = None
+
+    def attach_telemetry(self, hub) -> None:
+        """Attach a :class:`~repro.telemetry.hub.TelemetryHub` (or None)."""
+        self.telemetry = hub
 
     # -- keyspace ----------------------------------------------------------------
 
@@ -197,9 +211,21 @@ class ShardedDictionaryService:
         ``done`` if its arrival flushed a full batch.
         """
         shard = self.shard_of(x)
-        self.admission.admit()
+        hub = self.telemetry
+        try:
+            self.admission.admit()
+        except OverloadError:
+            if hub is not None:
+                hub.on_shed(
+                    float(now), self.admission.in_flight,
+                    self.admission.capacity,
+                )
+            raise
         ticket = Ticket(key=int(x), shard=shard, arrival=float(now))
         self.stats.submitted += 1
+        if hub is not None:
+            hub.on_request(ticket, float(now))
+            hub.on_inflight(self.admission.in_flight)
         batch = self.batchers[shard].add(ticket, now)
         if batch is not None:
             self._dispatch(shard, batch)
@@ -239,6 +265,10 @@ class ShardedDictionaryService:
         dictionary = self.shards[shard]
         router = self.routers[shard]
         tickets: list[Ticket] = batch.requests
+        hub = self.telemetry
+        batch_span = (
+            hub.on_batch(shard, batch, tickets) if hub is not None else None
+        )
         xs = np.asarray([t.key for t in tickets], dtype=np.int64)
         assignment = router.assign(xs.shape[0])
         order = np.arange(xs.shape[0])
@@ -246,12 +276,14 @@ class ShardedDictionaryService:
             sel = order[assignment == replica]
             self._run_group(
                 shard, dictionary, router, tickets, xs, sel,
-                int(replica), batch.flushed,
+                int(replica), batch.flushed, batch_span,
             )
         self.stats.batches += 1
         done = [t for t in tickets if t.done]
         self.admission.release(len(done))
         self.stats.completed += len(done)
+        if hub is not None:
+            hub.on_batch_done(shard, done, batch_span, service=self)
         if self.on_complete is not None and done:
             self.on_complete(done)
         return len(done)
@@ -266,8 +298,20 @@ class ShardedDictionaryService:
         sel: np.ndarray,
         replica: int,
         now: float,
+        batch_span=None,
     ) -> None:
         """Run one replica's share of a batch, failing over on crashes."""
+        hub = self.telemetry
+        if hub is not None:
+            hub.on_route(
+                shard, replica, router.name, int(sel.size), float(now),
+                batch_span,
+            )
+        if BUS.active:
+            BUS.emit(RouteEvent(
+                shard=shard, replica=replica, policy=router.name,
+                size=int(sel.size),
+            ))
         while True:
             before = dictionary.table.counter.total_probes()
             try:
@@ -281,6 +325,10 @@ class ShardedDictionaryService:
                 # FaultExhaustedError out of the service.
                 router.mark_down(replica)
                 self.stats.failovers += 1
+                if hub is not None:
+                    hub.on_failover(shard, replica, float(now), batch_span)
+                if BUS.active:
+                    BUS.emit(FailoverEvent(shard=shard, replica=replica))
                 candidates = router.assign(1)
                 replica = int(candidates[0])
                 continue
@@ -292,6 +340,13 @@ class ShardedDictionaryService:
         start = max(float(now), float(busy[replica]))
         finish = start + probes * self.probe_time
         busy[replica] = finish
+        if hub is not None:
+            hub.on_dispatch(shard, replica, probes, start, finish, batch_span)
+        if BUS.active:
+            BUS.emit(DispatchEvent(
+                shard=shard, replica=replica, probes=probes,
+                start=start, finish=finish,
+            ))
         for pos, i in enumerate(sel):
             tickets[i].answer = bool(answers[pos])
             tickets[i].completion = finish

@@ -1,0 +1,365 @@
+"""The telemetry hub: one attachable object bundling the whole layer.
+
+:class:`TelemetryHub` is what a
+:class:`~repro.serve.service.ShardedDictionaryService` (or the asyncio
+server around it) carries when observability is on.  The service calls
+the hub's ``on_*`` hooks at each lifecycle point — admission, batch
+flush, routing pick, replica dispatch, failover, completion — and the
+hub fans each hook into whichever sinks are enabled:
+
+- **metrics** (:class:`~repro.telemetry.metrics.MetricsRegistry`):
+  request/batch/probe counters, in-flight gauge, and histograms for
+  batch size, probes per dispatch, and request latency;
+- **tracing** (:class:`~repro.telemetry.tracing.Tracer`): the
+  request → admission → batch → route → replica → table-probe span
+  tree (see :mod:`repro.telemetry.tracing` for the vocabulary);
+- **monitoring** (:class:`~repro.telemetry.monitor.ContentionMonitor` /
+  :class:`~repro.telemetry.monitor.ReplicaBalanceMonitor`): every
+  ``check_every`` batches the live per-cell counts and per-replica
+  loads of the watched shard are re-checked against the exact
+  Binomial(Q, Φ_t) law; alarms accumulate in :attr:`TelemetryHub.alarms`.
+
+The hub is attached with ``service.attach_telemetry(hub)`` and every
+service-side call is guarded by ``if self.telemetry is not None`` — a
+service without a hub runs the seed code path, byte-identically.
+
+:class:`BusMetricsCollector` is the service-free counterpart: it
+subscribes to the global event :data:`~repro.telemetry.events.BUS` and
+turns low-level events (table probes, query executions, admission
+decisions, batch flushes, injected faults) into the same metrics
+vocabulary.  ``repro run --emit-telemetry DIR`` wraps each experiment
+in one and writes the snapshot per experiment.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+from repro.telemetry.events import (
+    BUS,
+    AdmissionEvent,
+    BatchEvent,
+    DispatchEvent,
+    ExecutionEvent,
+    FailoverEvent,
+    FaultEvent,
+    ProbeEvent,
+    ReplicaHealthEvent,
+    RouteEvent,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.monitor import ContentionMonitor, ReplicaBalanceMonitor
+from repro.telemetry.tracing import Span, Tracer
+
+
+class TelemetryHub:
+    """Attachable bundle of metrics, tracing, and live monitors.
+
+    Parameters
+    ----------
+    metrics:
+        Record serve metrics into a fresh registry (or pass one in).
+    tracing:
+        Record the span tree (pass a :class:`Tracer` to share one).
+    contention / balance:
+        Optional monitors, re-checked every ``check_every`` dispatched
+        batches against shard ``watch_shard``'s live counters.
+    """
+
+    def __init__(
+        self,
+        metrics: "bool | MetricsRegistry" = True,
+        tracing: "bool | Tracer" = False,
+        contention: ContentionMonitor | None = None,
+        balance: ReplicaBalanceMonitor | None = None,
+        check_every: int = 8,
+        watch_shard: int = 0,
+    ):
+        if isinstance(metrics, MetricsRegistry):
+            self.metrics: MetricsRegistry | None = metrics
+        else:
+            self.metrics = MetricsRegistry() if metrics else None
+        if isinstance(tracing, Tracer):
+            self.tracer: Tracer | None = tracing
+        else:
+            self.tracer = Tracer() if tracing else None
+        self.contention = contention
+        self.balance = balance
+        self.check_every = max(1, int(check_every))
+        self.watch_shard = int(watch_shard)
+        self.alarms: list = []
+        self._batches = 0
+        self._watched_completed = 0
+        self._request_spans: dict[int, Span] = {}
+
+    # -- service hooks -----------------------------------------------------------
+
+    def on_request(self, ticket, now: float) -> None:
+        """An admitted request entered its shard's micro-batch."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_requests", "requests admitted"
+            ).inc()
+        if self.tracer is not None:
+            span = self.tracer.start(
+                "request",
+                now,
+                track=ticket.shard,
+                key=ticket.key,
+                shard=ticket.shard,
+            )
+            self.tracer.instant("admission", now, parent=span)
+            self._request_spans[id(ticket)] = span
+
+    def on_shed(self, now: float, depth: int, capacity: int) -> None:
+        """Admission control shed a request."""
+        if self.metrics is not None:
+            self.metrics.counter("serve_shed", "requests shed").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "admission-shed", now, depth=depth, capacity=capacity
+            )
+
+    def on_inflight(self, in_flight: int) -> None:
+        """The admission controller's in-flight depth changed."""
+        if self.metrics is not None:
+            gauge = self.metrics.gauge(
+                "serve_in_flight_peak", "peak requests in flight"
+            )
+            gauge.value = max(gauge.value, float(in_flight))
+
+    def on_batch(self, shard: int, batch, tickets: list) -> Span | None:
+        """A batch flushed and is about to dispatch; returns its span."""
+        if self.metrics is not None:
+            self.metrics.counter("serve_batches", "batches dispatched").inc()
+            self.metrics.histogram(
+                "serve_batch_size", "requests per batch", resolution=1.0
+            ).record(batch.size)
+            self.metrics.histogram(
+                "serve_batch_wait", "oldest-request wait before flush"
+            ).record(max(0.0, batch.flushed - batch.opened))
+        if self.tracer is None:
+            return None
+        parent = None
+        if tickets:
+            parent = self._request_spans.get(id(tickets[0]))
+        return self.tracer.start(
+            "batch",
+            batch.opened,
+            parent=parent,
+            track=shard,
+            shard=shard,
+            size=batch.size,
+            reason=batch.reason,
+        )
+
+    def on_route(
+        self,
+        shard: int,
+        replica: int,
+        policy: str,
+        size: int,
+        now: float,
+        batch_span: Span | None,
+    ) -> None:
+        """The router assigned ``size`` requests to ``replica``."""
+        if self.metrics is not None:
+            self.metrics.counter("serve_routes", "routing picks").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "route",
+                now,
+                parent=batch_span,
+                track=shard,
+                replica=replica,
+                policy=policy,
+                size=size,
+            )
+
+    def on_dispatch(
+        self,
+        shard: int,
+        replica: int,
+        probes: int,
+        start: float,
+        finish: float,
+        batch_span: Span | None,
+    ) -> None:
+        """One replica finished its share of a batch (``probes`` charged)."""
+        if self.metrics is not None:
+            self.metrics.counter("serve_probes", "probes charged").inc(probes)
+            self.metrics.histogram(
+                "serve_dispatch_probes", "probes per replica dispatch",
+                resolution=1.0,
+            ).record(probes)
+            self.metrics.histogram(
+                "serve_service_time", "replica busy time per dispatch"
+            ).record(max(0.0, finish - start))
+        if self.tracer is not None:
+            span = self.tracer.start(
+                "replica",
+                start,
+                parent=batch_span,
+                track=shard,
+                shard=shard,
+                replica=replica,
+                probes=probes,
+            )
+            self.tracer.instant(
+                "table-probe", start, parent=span, probes=probes
+            )
+            self.tracer.finish(span, max(finish, start))
+
+    def on_failover(
+        self, shard: int, replica: int, now: float, batch_span: Span | None
+    ) -> None:
+        """A dispatch hit a crashed replica and is retrying elsewhere."""
+        if self.metrics is not None:
+            self.metrics.counter("serve_failovers", "replica failovers").inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "failover", now, parent=batch_span, replica=replica
+            )
+
+    def on_batch_done(
+        self, shard: int, done: list, batch_span: Span | None, service=None
+    ) -> None:
+        """A dispatched batch completed ``done`` tickets."""
+        if self.metrics is not None:
+            self.metrics.counter("serve_completed", "requests completed").inc(
+                len(done)
+            )
+            latency = self.metrics.histogram(
+                "serve_latency", "request latency (arrival to completion)"
+            )
+            for t in done:
+                latency.record(max(0.0, t.latency))
+        if self.tracer is not None:
+            end = None
+            for t in done:
+                span = self._request_spans.pop(id(t), None)
+                if span is not None and not span.finished:
+                    self.tracer.finish(span, max(t.completion, span.start))
+                    end = t.completion if end is None else max(end, t.completion)
+            if batch_span is not None and not batch_span.finished:
+                self.tracer.finish(
+                    batch_span,
+                    batch_span.start if end is None else max(end, batch_span.start),
+                )
+        self._batches += 1
+        if shard == self.watch_shard:
+            self._watched_completed += len(done)
+        if service is not None and self._batches % self.check_every == 0:
+            self.check(service)
+
+    # -- monitoring --------------------------------------------------------------
+
+    def check(self, service) -> list:
+        """Run the attached monitors against the watched shard, now.
+
+        Returns the new alarms (also appended to :attr:`alarms` and
+        counted in the ``telemetry_alarms`` metric).
+        """
+        new: list = []
+        shard = self.watch_shard
+        if self.contention is not None:
+            counts = service.cell_load_matrix(shard)
+            new.extend(
+                self.contention.observe(counts, self._watched_completed)
+            )
+        if self.balance is not None:
+            loads = np.asarray(service.replica_loads()[shard])
+            new.extend(self.balance.observe(loads))
+        if new:
+            self.alarms.extend(new)
+            if self.metrics is not None:
+                self.metrics.counter(
+                    "telemetry_alarms", "monitor alarms raised"
+                ).inc(len(new))
+        return new
+
+    # -- export ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Versioned snapshot: metrics plus alarms plus trace summary."""
+        snap = (
+            self.metrics.snapshot()
+            if self.metrics is not None
+            else {"version": 1, "kind": "repro-metrics"}
+        )
+        snap["alarms"] = [a.row() for a in self.alarms]
+        if self.tracer is not None:
+            snap["trace"] = {
+                "spans": len(self.tracer.spans),
+                "dropped": self.tracer.dropped,
+            }
+        return snap
+
+
+class BusMetricsCollector:
+    """Turns global :data:`~repro.telemetry.events.BUS` events into metrics.
+
+    A context manager: subscribing enables the bus (and therefore the
+    guarded emit sites across the library); leaving the block restores
+    the zero-overhead disabled path.
+    """
+
+    def __init__(self, registry: MetricsRegistry | None = None):
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    def __enter__(self) -> "BusMetricsCollector":
+        BUS.subscribe(self._on_event)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        BUS.unsubscribe(self._on_event)
+
+    def _on_event(self, event) -> None:
+        reg = self.registry
+        if isinstance(event, ProbeEvent):
+            reg.counter("probe_reads", "charged table read calls").inc()
+            reg.counter("probes", "cells probed").inc(event.probes)
+            reg.histogram(
+                "probe_batch_size", "cells probed per read call",
+                resolution=1.0,
+            ).record(event.probes)
+        elif isinstance(event, ExecutionEvent):
+            reg.counter("executions", "query executions completed").inc(
+                event.count
+            )
+        elif isinstance(event, AdmissionEvent):
+            name = "admitted" if event.admitted else "shed"
+            reg.counter(f"admission_{name}", f"requests {name}").inc()
+        elif isinstance(event, BatchEvent):
+            reg.counter("batch_flushes", "micro-batch flushes").inc()
+            reg.counter(
+                f"batch_flush_{event.reason}",
+                f"flushes by {event.reason}",
+            ).inc()
+        elif isinstance(event, RouteEvent):
+            reg.counter("route_picks", "routing decisions").inc()
+        elif isinstance(event, DispatchEvent):
+            reg.counter("dispatches", "replica dispatches").inc()
+        elif isinstance(event, FailoverEvent):
+            reg.counter("failovers", "replica failovers").inc()
+        elif isinstance(event, ReplicaHealthEvent):
+            name = "up" if event.up else "down"
+            reg.counter(
+                f"replica_marked_{name}", f"replicas marked {name}"
+            ).inc()
+        elif isinstance(event, FaultEvent):
+            reg.counter(
+                "fault_corruptions", "values corrupted by injected faults"
+            ).inc(event.count)
+
+
+@contextmanager
+def collect_bus_metrics(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable the bus and collect library-wide metrics for a block."""
+    with BusMetricsCollector(registry) as collector:
+        yield collector.registry

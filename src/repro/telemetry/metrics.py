@@ -1,0 +1,442 @@
+"""Counters, gauges, and mergeable streaming histograms with exposition.
+
+Three metric kinds, chosen to match what the probe/serve stack needs:
+
+- :class:`Counter` — monotone event totals (requests, probes, shed);
+- :class:`Gauge` — last-written level (requests in flight, live replicas);
+- :class:`LogHistogram` — a mergeable geometric-bucket sketch for
+  tail-heavy nonnegative quantities (probe load per dispatch, batch
+  sizes, service-time / latency tails).  Buckets grow by a fixed ratio
+  (default ``2**0.25`` ≈ 19% per bucket), so any quantile is recovered
+  with bounded *relative* error (≤ half a bucket, ~9%) from O(log
+  range) integers — and two sketches with the same geometry merge by
+  adding counts, which is what lets per-worker / per-shard measurements
+  combine into one view (the same reason
+  :meth:`repro.cellprobe.counters.ProbeCounter.merge` exists).
+
+A :class:`MetricsRegistry` names and owns metrics, and exports two
+ways: Prometheus text exposition (:meth:`~MetricsRegistry.to_prometheus`,
+classic cumulative-``le`` histograms) and a **versioned JSON snapshot**
+(:meth:`~MetricsRegistry.snapshot`) that round-trips through
+:func:`repro.io.results.save_snapshot` / ``load_snapshot`` and merges
+across processes via :meth:`~MetricsRegistry.from_snapshot` +
+:meth:`~MetricsRegistry.merge`.  Snapshot readers must tolerate unknown
+keys (forward compatibility — property-tested in ``tests/test_io.py``).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+import numpy as np
+
+from repro.errors import TelemetryError
+
+#: Bumped when the snapshot JSON layout changes shape.
+SNAPSHOT_VERSION = 1
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise TelemetryError(
+            f"invalid metric name {name!r} (want [a-zA-Z_:][a-zA-Z0-9_:]*)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing event total."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0) to the total."""
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name} cannot decrease")
+        self.value += int(amount)
+
+    def merge(self, other: "Counter") -> None:
+        """Fold another counter's total into this one."""
+        self.value += int(other.value)
+
+
+class Gauge:
+    """A level that can move both ways (last write wins on merge max)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = _check_name(name)
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Set the current level."""
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the level by ``amount`` (either sign)."""
+        self.value += float(amount)
+
+    def merge(self, other: "Gauge") -> None:
+        """Combine by maximum — the useful reduction for peak levels."""
+        self.value = max(self.value, float(other.value))
+
+
+class LogHistogram:
+    """Mergeable geometric-bucket histogram for nonnegative values.
+
+    Value ``v > 0`` lands in bucket ``floor(log(v / resolution) /
+    log(growth))`` (clamped below at 0: everything smaller than
+    ``resolution`` shares the first bucket); zeros get a dedicated
+    bucket.  Exact ``count``/``sum``/``min``/``max`` are kept alongside,
+    so means are exact and only quantiles are sketched.
+    """
+
+    __slots__ = (
+        "name", "help", "resolution", "growth", "_log_growth",
+        "buckets", "zeros", "count", "sum", "min", "max",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        resolution: float = 1e-6,
+        growth: float = 2.0 ** 0.25,
+    ):
+        self.name = _check_name(name)
+        self.help = help
+        if not resolution > 0.0:
+            raise TelemetryError("resolution must be > 0")
+        if not growth > 1.0:
+            raise TelemetryError("growth must be > 1")
+        self.resolution = float(resolution)
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self.buckets: dict[int, int] = {}
+        self.zeros = 0
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    # -- recording ---------------------------------------------------------------
+
+    def _index(self, value: float) -> int:
+        return max(
+            0, int(math.floor(math.log(value / self.resolution) / self._log_growth))
+        )
+
+    def record(self, value: float) -> None:
+        """Add one observation (must be >= 0)."""
+        value = float(value)
+        if value < 0.0 or math.isnan(value):
+            raise TelemetryError(
+                f"histogram {self.name} takes nonnegative values, got {value}"
+            )
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        if value == 0.0:
+            self.zeros += 1
+            return
+        idx = self._index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def record_many(self, values) -> None:
+        """Vectorized :meth:`record` for an array of observations."""
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            return
+        if bool(np.any(values < 0.0)) or bool(np.any(np.isnan(values))):
+            raise TelemetryError(
+                f"histogram {self.name} takes nonnegative values"
+            )
+        self.count += int(values.size)
+        self.sum += float(values.sum())
+        self.min = min(self.min, float(values.min()))
+        self.max = max(self.max, float(values.max()))
+        positive = values[values > 0.0]
+        self.zeros += int(values.size - positive.size)
+        if positive.size:
+            idx = np.maximum(
+                0,
+                np.floor(
+                    np.log(positive / self.resolution) / self._log_growth
+                ).astype(np.int64),
+            )
+            uniq, counts = np.unique(idx, return_counts=True)
+            for i, c in zip(uniq, counts):
+                self.buckets[int(i)] = self.buckets.get(int(i), 0) + int(c)
+
+    # -- reading -----------------------------------------------------------------
+
+    def bucket_upper(self, idx: int) -> float:
+        """Exclusive upper bound of bucket ``idx``."""
+        return self.resolution * self.growth ** (idx + 1)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile (relative error ≤ half a bucket)."""
+        if not 0.0 <= q <= 1.0:
+            raise TelemetryError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return float("nan")
+        rank = q * self.count
+        if rank <= self.zeros:
+            return 0.0
+        seen = self.zeros
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                # Geometric midpoint of the bucket, clamped to the
+                # exact observed extremes.
+                mid = self.resolution * self.growth ** (idx + 0.5)
+                return float(min(max(mid, self.min), self.max))
+        return float(self.max)
+
+    @property
+    def mean(self) -> float:
+        """Exact mean of all observations (NaN when empty)."""
+        return self.sum / self.count if self.count else float("nan")
+
+    # -- merging / serialization --------------------------------------------------
+
+    def merge(self, other: "LogHistogram") -> None:
+        """Fold another sketch with identical geometry into this one."""
+        if (self.resolution, self.growth) != (other.resolution, other.growth):
+            raise TelemetryError(
+                f"cannot merge histograms with different geometry: "
+                f"({self.resolution}, {self.growth}) vs "
+                f"({other.resolution}, {other.growth})"
+            )
+        for idx, c in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + c
+        self.zeros += other.zeros
+        self.count += other.count
+        self.sum += other.sum
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+    def as_dict(self) -> dict:
+        """Snapshot form (plain JSON types)."""
+        return {
+            "help": self.help,
+            "resolution": self.resolution,
+            "growth": self.growth,
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self.zeros,
+            "buckets": {str(k): v for k, v in sorted(self.buckets.items())},
+            "quantiles": {
+                "p50": self.quantile(0.5),
+                "p95": self.quantile(0.95),
+                "p99": self.quantile(0.99),
+            }
+            if self.count
+            else {},
+        }
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict) -> "LogHistogram":
+        """Rebuild a sketch from its snapshot form (extra keys ignored)."""
+        hist = cls(
+            name,
+            help=str(data.get("help", "")),
+            resolution=float(data.get("resolution", 1e-6)),
+            growth=float(data.get("growth", 2.0 ** 0.25)),
+        )
+        hist.count = int(data.get("count", 0))
+        hist.sum = float(data.get("sum", 0.0))
+        hist.zeros = int(data.get("zeros", 0))
+        hist.min = math.inf if data.get("min") is None else float(data["min"])
+        hist.max = -math.inf if data.get("max") is None else float(data["max"])
+        hist.buckets = {
+            int(k): int(v) for k, v in dict(data.get("buckets", {})).items()
+        }
+        return hist
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access, merge, and exposition."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LogHistogram] = {}
+
+    # -- access ------------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        """The counter called ``name``, created on first use."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name, help)
+        return self._counters[name]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        """The gauge called ``name``, created on first use."""
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name, help)
+        return self._gauges[name]
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        resolution: float = 1e-6,
+        growth: float = 2.0 ** 0.25,
+    ) -> LogHistogram:
+        """The histogram called ``name``, created on first use."""
+        if name not in self._histograms:
+            self._histograms[name] = LogHistogram(
+                name, help, resolution=resolution, growth=growth
+            )
+        return self._histograms[name]
+
+    def __len__(self) -> int:
+        return (
+            len(self._counters) + len(self._gauges) + len(self._histograms)
+        )
+
+    # -- snapshot / merge --------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Versioned JSON-ready snapshot of every metric."""
+        return {
+            "version": SNAPSHOT_VERSION,
+            "kind": "repro-metrics",
+            "counters": {
+                n: {"help": c.help, "value": c.value}
+                for n, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                n: {"help": g.help, "value": g.value}
+                for n, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                n: h.as_dict() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "MetricsRegistry":
+        """Rebuild a registry from a snapshot dict.
+
+        Unknown top-level keys and unknown per-metric keys are ignored
+        (forward compatibility: a newer writer must not break an older
+        reader); an incompatible ``version`` raises
+        :class:`~repro.errors.TelemetryError`.
+        """
+        version = data.get("version", SNAPSHOT_VERSION)
+        if int(version) > SNAPSHOT_VERSION:
+            raise TelemetryError(
+                f"snapshot version {version} is newer than supported "
+                f"({SNAPSHOT_VERSION})"
+            )
+        registry = cls()
+        for name, body in dict(data.get("counters", {})).items():
+            counter = registry.counter(name, str(body.get("help", "")))
+            counter.value = int(body.get("value", 0))
+        for name, body in dict(data.get("gauges", {})).items():
+            gauge = registry.gauge(name, str(body.get("help", "")))
+            gauge.value = float(body.get("value", 0.0))
+        for name, body in dict(data.get("histograms", {})).items():
+            registry._histograms[name] = LogHistogram.from_dict(name, body)
+        return registry
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold every metric of ``other`` into this registry by name."""
+        for name, counter in other._counters.items():
+            self.counter(name, counter.help).merge(counter)
+        for name, gauge in other._gauges.items():
+            self.gauge(name, gauge.help).merge(gauge)
+        for name, hist in other._histograms.items():
+            if name in self._histograms:
+                self._histograms[name].merge(hist)
+            else:
+                mine = self.histogram(
+                    name, hist.help,
+                    resolution=hist.resolution, growth=hist.growth,
+                )
+                mine.merge(hist)
+
+    # -- exposition --------------------------------------------------------------
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition (format 0.0.4).
+
+        Counters expose as ``<name>_total``; histograms as classic
+        cumulative-``le`` bucket series plus ``_sum``/``_count``.
+        """
+        lines: list[str] = []
+        for name, c in sorted(self._counters.items()):
+            if c.help:
+                lines.append(f"# HELP {name} {c.help}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name}_total {c.value}")
+        for name, g in sorted(self._gauges.items()):
+            if g.help:
+                lines.append(f"# HELP {name} {g.help}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name} {_fmt(g.value)}")
+        for name, h in sorted(self._histograms.items()):
+            if h.help:
+                lines.append(f"# HELP {name} {h.help}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = h.zeros
+            if h.zeros:
+                lines.append(
+                    f'{name}_bucket{{le="0"}} {cumulative}'
+                )
+            for idx in sorted(h.buckets):
+                cumulative += h.buckets[idx]
+                le = _fmt(h.bucket_upper(idx))
+                lines.append(f'{name}_bucket{{le="{le}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {h.count}')
+            lines.append(f"{name}_sum {_fmt(h.sum)}")
+            lines.append(f"{name}_count {h.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def rows(self) -> list[dict]:
+        """Flat rows (name, kind, value/summary) for table rendering."""
+        out: list[dict] = []
+        for name, c in sorted(self._counters.items()):
+            out.append({"metric": name, "kind": "counter", "value": c.value})
+        for name, g in sorted(self._gauges.items()):
+            out.append({"metric": name, "kind": "gauge", "value": g.value})
+        for name, h in sorted(self._histograms.items()):
+            out.append(
+                {
+                    "metric": name,
+                    "kind": "histogram",
+                    "value": h.count,
+                    "mean": round(h.mean, 6) if h.count else "",
+                    "p50": round(h.quantile(0.5), 6) if h.count else "",
+                    "p95": round(h.quantile(0.95), 6) if h.count else "",
+                    "p99": round(h.quantile(0.99), 6) if h.count else "",
+                    "max": h.max if h.count else "",
+                }
+            )
+        return out
+
+
+def _fmt(value: float) -> str:
+    """Compact float formatting for the text exposition."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

@@ -1,0 +1,286 @@
+"""Live contention monitoring: streaming counts vs the exact Φ_t law.
+
+The paper's Definition 1 gives, for every cell ``j`` and step ``t``,
+the exact probability ``Φ_t(j)`` that one query probes it.  Under the
+paper's uniform replica routing each of ``Q`` completed queries probes
+cell ``(t, j)`` independently with probability ``Φ_t(j)``, so the live
+count is **exactly** ``Binomial(Q, Φ_t(j))`` — the same fact E19
+validates offline.  :class:`ContentionMonitor` turns it into an online
+alarm: every check standardizes the streaming per-cell counts,
+
+    z(t, j) = (count(t, j) − Q·Φ_t(j)) / sqrt(Q·Φ_t(j)·(1 − Φ_t(j))),
+
+and flags cells whose one-sided excess clears the threshold.
+
+Because a table has thousands of cells, a naive per-cell 3σ rule would
+false-alarm constantly (P[z > 3] ≈ 1.3·10⁻³ per cell per check).  The
+monitor therefore tests against the **max-of-Gaussians corrected**
+threshold
+
+    z > σ_threshold + sqrt(2·ln m),
+
+where ``m`` is the number of cells actually tested that check (those
+with expected count ≥ ``min_expected``, where the normal approximation
+holds).  ``sqrt(2 ln m)`` is the asymptotic location of the maximum of
+``m`` standard normals, so the configured ``σ_threshold`` keeps its
+meaning — "σ's above the *expected extreme*" — and uniform traffic
+stays alarm-free (E20 measures zero false alarms over 100+ batches)
+while an injected hot key blows past the corrected bar within a few
+batches.
+
+:class:`ReplicaBalanceMonitor` applies the same discipline one level
+up: per-replica probe loads under balanced routing concentrate around
+``total / R``, so a stuck or skewed router (all traffic pinned to one
+replica) shows up as an extreme standardized share — the
+Attiya–Oshman–Schiller-style "watch the access counts" signal, applied
+to replicas instead of cells.
+
+Alarms are **typed, inert values** (frozen dataclasses), not
+exceptions: monitoring must never alter control flow of the system it
+watches.  The serving stack raises them through
+:class:`~repro.telemetry.hub.TelemetryHub`, which checks every
+``check_every`` batches and accumulates ``hub.alarms``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+import numpy as np
+
+from repro.errors import TelemetryError
+
+
+@dataclasses.dataclass(frozen=True)
+class HotCellAlarm:
+    """One cell's probe count is inconsistent with Binomial(Q, Φ_t(j))."""
+
+    step: int
+    cell: int
+    observed: int
+    expected: float
+    sigma: float
+    z: float
+    threshold: float
+    queries: int
+    check: int
+    kind: str = "hot-cell"
+
+    def row(self) -> dict:
+        """Flat dict for tables and snapshots."""
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class RouterSkewAlarm:
+    """One replica's probe share is inconsistent with balanced routing."""
+
+    replica: int
+    observed: int
+    expected: float
+    sigma: float
+    z: float
+    threshold: float
+    total: int
+    check: int
+    kind: str = "router-skew"
+
+    def row(self) -> dict:
+        """Flat dict for tables and snapshots."""
+        return dataclasses.asdict(self)
+
+
+class ContentionMonitor:
+    """Streams per-cell counts against an exact Φ_t prediction.
+
+    Parameters
+    ----------
+    phi:
+        The exact contention matrix, shape ``(steps, cells)`` — e.g.
+        ``exact_contention(dictionary, dist).phi`` for the structure
+        and query distribution actually being served.
+    sigma_threshold:
+        σ's above the expected extreme of the tested cells at which a
+        cell alarms (the "3σ threshold" of E20).
+    min_expected:
+        Cells are only tested once their expected count ``Q·Φ_t(j)``
+        reaches this value (normal-approximation validity; early in a
+        run nothing is tested, so a monitor never alarms on noise from
+        tiny samples).
+    """
+
+    def __init__(
+        self,
+        phi: np.ndarray,
+        sigma_threshold: float = 3.0,
+        min_expected: float = 10.0,
+    ):
+        phi = np.asarray(phi, dtype=np.float64)
+        if phi.ndim != 2:
+            raise TelemetryError(
+                f"phi must be a (steps, cells) matrix, got shape {phi.shape}"
+            )
+        if bool(np.any(phi < 0.0)) or bool(np.any(phi > 1.0)):
+            raise TelemetryError("phi entries must be probabilities")
+        if not float(sigma_threshold) > 0.0:
+            raise TelemetryError("sigma_threshold must be > 0")
+        if not float(min_expected) > 0.0:
+            raise TelemetryError("min_expected must be > 0")
+        self.phi = phi
+        self.sigma_threshold = float(sigma_threshold)
+        self.min_expected = float(min_expected)
+        self.checks = 0
+        self.cells_tested = 0
+        self.alarms: list[HotCellAlarm] = []
+        self.first_alarm_check: int | None = None
+
+    def effective_threshold(self, tested: int) -> float:
+        """``σ_threshold + sqrt(2 ln m)`` for ``m`` tested cells."""
+        if tested <= 1:
+            return self.sigma_threshold
+        return self.sigma_threshold + math.sqrt(2.0 * math.log(tested))
+
+    def observe(self, counts: np.ndarray, queries: int) -> list[HotCellAlarm]:
+        """Check cumulative ``counts`` after ``queries`` completed queries.
+
+        ``counts`` is the live per-step per-cell matrix (e.g.
+        ``ProbeCounter.counts_per_step()``); fewer measured steps than
+        ``phi`` has is fine (missing steps count as zero).  Returns the
+        new alarms, which are also appended to :attr:`alarms`.
+        """
+        counts = np.asarray(counts)
+        queries = int(queries)
+        if queries < 0:
+            raise TelemetryError("queries must be >= 0")
+        if counts.ndim != 2 or counts.shape[1] != self.phi.shape[1]:
+            raise TelemetryError(
+                f"counts must have shape (steps, {self.phi.shape[1]}), "
+                f"got {counts.shape}"
+            )
+        self.checks += 1
+        if queries == 0:
+            return []
+        steps = self.phi.shape[0]
+        measured = np.zeros_like(self.phi)
+        overlap = min(steps, counts.shape[0])
+        measured[:overlap] = counts[:overlap]
+        expected = queries * self.phi
+        testable = expected >= self.min_expected
+        tested = int(np.count_nonzero(testable))
+        self.cells_tested = tested
+        if tested == 0:
+            return []
+        threshold = self.effective_threshold(tested)
+        sigma = np.sqrt(expected * (1.0 - self.phi))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            z = np.where(testable, (measured - expected) / sigma, 0.0)
+        hot = np.argwhere(z > threshold)
+        new: list[HotCellAlarm] = []
+        for t, j in hot:
+            new.append(
+                HotCellAlarm(
+                    step=int(t),
+                    cell=int(j),
+                    observed=int(measured[t, j]),
+                    expected=float(expected[t, j]),
+                    sigma=float(sigma[t, j]),
+                    z=float(z[t, j]),
+                    threshold=float(threshold),
+                    queries=queries,
+                    check=self.checks,
+                )
+            )
+        if new and self.first_alarm_check is None:
+            self.first_alarm_check = self.checks
+        self.alarms.extend(new)
+        return new
+
+    def reset(self) -> None:
+        """Forget all checks and alarms (the prediction is kept)."""
+        self.checks = 0
+        self.cells_tested = 0
+        self.alarms = []
+        self.first_alarm_check = None
+
+
+class ReplicaBalanceMonitor:
+    """Flags replicas whose probe share betrays a stuck/skewed router.
+
+    The null hypothesis is balanced dispatch: each of ``total`` probes
+    lands on any of the ``R`` replicas with probability ``1/R`` (the
+    paper's uniform routing; round-robin and least-loaded concentrate
+    even tighter, so they never alarm under the same test).  The same
+    max-of-Gaussians correction as :class:`ContentionMonitor` is
+    applied over the ``R`` replicas, and ``cluster`` inflates the
+    per-probe variance for routers that assign whole batches at a time
+    (probes arrive in clusters of roughly ``cluster`` per decision).
+    """
+
+    def __init__(
+        self,
+        replicas: int,
+        sigma_threshold: float = 3.0,
+        min_total: int = 256,
+        cluster: float = 1.0,
+    ):
+        if int(replicas) < 2:
+            raise TelemetryError("balance monitoring needs >= 2 replicas")
+        if not float(sigma_threshold) > 0.0:
+            raise TelemetryError("sigma_threshold must be > 0")
+        if not float(cluster) >= 1.0:
+            raise TelemetryError("cluster must be >= 1")
+        self.replicas = int(replicas)
+        self.sigma_threshold = float(sigma_threshold)
+        self.min_total = int(min_total)
+        self.cluster = float(cluster)
+        self.checks = 0
+        self.alarms: list[RouterSkewAlarm] = []
+        self.first_alarm_check: int | None = None
+
+    def effective_threshold(self) -> float:
+        """``σ_threshold + sqrt(2 ln R)`` over the replica set."""
+        return self.sigma_threshold + math.sqrt(
+            2.0 * math.log(self.replicas)
+        )
+
+    def observe(self, loads: np.ndarray) -> list[RouterSkewAlarm]:
+        """Check cumulative per-replica probe ``loads`` (length R)."""
+        loads = np.asarray(loads, dtype=np.int64)
+        if loads.shape != (self.replicas,):
+            raise TelemetryError(
+                f"loads must have shape ({self.replicas},), got {loads.shape}"
+            )
+        self.checks += 1
+        total = int(loads.sum())
+        if total < self.min_total:
+            return []
+        p = 1.0 / self.replicas
+        expected = total * p
+        sigma = math.sqrt(total * p * (1.0 - p) * self.cluster)
+        threshold = self.effective_threshold()
+        z = (loads - expected) / sigma
+        new: list[RouterSkewAlarm] = []
+        for r in np.argwhere(z > threshold).ravel():
+            new.append(
+                RouterSkewAlarm(
+                    replica=int(r),
+                    observed=int(loads[r]),
+                    expected=float(expected),
+                    sigma=float(sigma),
+                    z=float(z[r]),
+                    threshold=float(threshold),
+                    total=total,
+                    check=self.checks,
+                )
+            )
+        if new and self.first_alarm_check is None:
+            self.first_alarm_check = self.checks
+        self.alarms.extend(new)
+        return new
+
+    def reset(self) -> None:
+        """Forget all checks and alarms."""
+        self.checks = 0
+        self.alarms = []
+        self.first_alarm_check = None

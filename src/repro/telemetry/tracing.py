@@ -1,0 +1,226 @@
+"""Trace spans: request → admission → batcher → router → replica → probe.
+
+A :class:`Span` is one timed operation with a parent pointer; a
+:class:`Tracer` allocates deterministic sequential span ids and owns
+the span list.  Like everything in the serving stack the tracer is
+**clockless**: every ``start``/``finish`` takes ``now`` explicitly, so
+the same tracer records virtual-time loadgen runs (byte-reproducible)
+and wall-clock asyncio serving without knowing which it is in.
+
+Two export formats:
+
+- :meth:`Tracer.to_json` — a versioned, self-describing payload
+  (round-tripped through :func:`repro.io.results.save_snapshot` /
+  ``load_snapshot``);
+- :meth:`Tracer.to_chrome` — the Chrome ``trace_event`` format
+  (complete ``"X"`` events, microsecond timestamps), loadable in
+  ``chrome://tracing`` / Perfetto.  Span ids and parent ids ride along
+  in ``args`` so the request → probe chain survives the export.
+
+The span vocabulary used by the instrumented service
+(:class:`~repro.telemetry.hub.TelemetryHub`):
+
+====================  ========================================================
+``request``           root; one per admitted request (arrival → completion)
+``admission``         instant child of ``request`` (the admit decision)
+``batch``             child of its oldest request's span (opened → dispatch)
+``route``             instant child of ``batch`` (the routing pick)
+``replica``           child of ``batch`` (dispatch start → finish, per group)
+``table-probe``       instant child of ``replica`` (probes charged, per step)
+====================  ========================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Any
+
+from repro.errors import TelemetryError
+
+#: Bumped when the JSON span payload changes shape.
+TRACE_VERSION = 1
+
+
+@dataclasses.dataclass
+class Span:
+    """One timed (or instant) operation in a trace tree."""
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start: float
+    end: float | None = None
+    category: str = "serve"
+    track: int = 0
+    attrs: dict = dataclasses.field(default_factory=dict)
+
+    @property
+    def finished(self) -> bool:
+        """Whether :meth:`Tracer.finish` has run for this span."""
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        """``end - start`` (0.0 for instants, NaN while open)."""
+        if self.end is None:
+            return float("nan")
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for the JSON export."""
+        return dataclasses.asdict(self)
+
+
+class Tracer:
+    """Allocates spans with deterministic ids and exports them.
+
+    ``max_spans`` bounds memory on long-running servers: past the cap,
+    new spans are counted in ``dropped`` and not retained (their ids
+    keep advancing so parent links in retained spans stay unambiguous).
+    """
+
+    def __init__(self, max_spans: int = 1 << 20):
+        if int(max_spans) < 1:
+            raise TelemetryError("max_spans must be positive")
+        self.max_spans = int(max_spans)
+        self.spans: list[Span] = []
+        self.dropped = 0
+        self._next_id = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    # -- recording ---------------------------------------------------------------
+
+    def start(
+        self,
+        name: str,
+        now: float,
+        parent: "Span | int | None" = None,
+        category: str = "serve",
+        track: int = 0,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span at time ``now``; ``parent`` is a span or span id."""
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        span = Span(
+            name=name,
+            span_id=self._next_id,
+            parent_id=parent_id,
+            start=float(now),
+            category=category,
+            track=int(track),
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        if len(self.spans) < self.max_spans:
+            self.spans.append(span)
+        else:
+            self.dropped += 1
+        return span
+
+    def finish(self, span: Span, now: float) -> Span:
+        """Close ``span`` at time ``now`` (monotonicity enforced)."""
+        if span.end is not None:
+            raise TelemetryError(f"span {span.span_id} already finished")
+        if float(now) < span.start:
+            raise TelemetryError(
+                f"span {span.span_id} cannot end at {now} before its "
+                f"start {span.start}"
+            )
+        span.end = float(now)
+        return span
+
+    def instant(
+        self,
+        name: str,
+        now: float,
+        parent: "Span | int | None" = None,
+        category: str = "serve",
+        track: int = 0,
+        **attrs: Any,
+    ) -> Span:
+        """A zero-duration span (an event that *happened at* ``now``)."""
+        span = self.start(
+            name, now, parent=parent, category=category, track=track, **attrs
+        )
+        span.end = span.start
+        return span
+
+    # -- export ------------------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Versioned payload: every finished span as a plain dict.
+
+        Open spans are exported too (``end: null``) so a crash dump is
+        still inspectable.
+        """
+        return {
+            "version": TRACE_VERSION,
+            "kind": "repro-trace",
+            "dropped": self.dropped,
+            "spans": [s.as_dict() for s in self.spans],
+        }
+
+    def to_chrome(self, time_scale: float = 1e6) -> dict:
+        """Chrome ``trace_event`` JSON (object form with ``traceEvents``).
+
+        Times are multiplied by ``time_scale`` into microseconds — the
+        default treats span times as seconds (both the wall clock and
+        the loadgen's virtual time units).  Durations render as ``"X"``
+        complete events; zero-duration spans as ``"i"`` instants.  Open
+        spans are dropped (Chrome cannot render them).
+        """
+        events = []
+        for s in self.spans:
+            if s.end is None:
+                continue
+            args = {"span_id": s.span_id, "parent_id": s.parent_id}
+            args.update(s.attrs)
+            common = {
+                "name": s.name,
+                "cat": s.category,
+                "pid": 0,
+                "tid": s.track,
+                "ts": s.start * time_scale,
+                "args": args,
+            }
+            if s.end > s.start:
+                events.append(
+                    {**common, "ph": "X", "dur": (s.end - s.start) * time_scale}
+                )
+            else:
+                events.append({**common, "ph": "i", "s": "t"})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def save(self, path, fmt: str = "chrome") -> pathlib.Path:
+        """Write the trace as ``"chrome"`` or ``"json"`` to ``path``."""
+        if fmt == "chrome":
+            payload = self.to_chrome()
+        elif fmt == "json":
+            payload = self.to_json()
+        else:
+            raise TelemetryError(
+                f"unknown trace format {fmt!r}; options: chrome, json"
+            )
+        path = pathlib.Path(path)
+        path.write_text(json.dumps(payload, indent=2, default=str) + "\n")
+        return path
+
+    # -- introspection -----------------------------------------------------------
+
+    def children_of(self, span: "Span | int") -> list[Span]:
+        """Retained spans whose parent is ``span`` (tree traversal)."""
+        pid = span.span_id if isinstance(span, Span) else int(span)
+        return [s for s in self.spans if s.parent_id == pid]
+
+    def roots(self) -> list[Span]:
+        """Retained spans with no parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Tracer(spans={len(self.spans)}, dropped={self.dropped})"
+        )

@@ -23,6 +23,63 @@ def test_record_batch_skips_negatives():
     assert c.total_counts().tolist() == [1, 0, 2, 0, 0]
 
 
+def test_record_batch_negatives_charge_nothing_anywhere():
+    # The documented contract: a negative entry is skipped *entirely* —
+    # no probe lands on any cell (not cell 0, not |entry|) and the
+    # execution counter does not move (only finish_execution does).
+    c = ProbeCounter(4)
+    c.record_batch(0, np.array([-1, -3, -2]))
+    assert c.total_probes() == 0
+    assert c.total_counts().tolist() == [0, 0, 0, 0]
+    assert c.executions == 0
+    assert c.num_steps == 1  # the step row exists, just empty
+
+
+def test_merge_adds_counts_and_executions():
+    a, b = ProbeCounter(3), ProbeCounter(3)
+    a.record(0, 1)
+    a.finish_execution()
+    b.record(0, 1)
+    b.record(2, 2)  # b has a deeper step ladder than a
+    b.finish_execution(2)
+    assert a.merge(b) is a
+    assert a.executions == 3
+    assert a.counts_per_step().tolist() == [
+        [0, 2, 0], [0, 0, 0], [0, 0, 1],
+    ]
+    # b is untouched.
+    assert b.executions == 2 and b.total_probes() == 2
+
+
+def test_merge_matches_single_counter_stream():
+    rng = np.random.default_rng(7)
+    whole = ProbeCounter(8)
+    parts = [ProbeCounter(8) for _ in range(3)]
+    for part in parts:
+        for _ in range(40):
+            step, cell = int(rng.integers(0, 4)), int(rng.integers(0, 8))
+            part.record(step, cell)
+            whole.record(step, cell)
+        part.finish_execution(5)
+        whole.finish_execution(5)
+    merged = ProbeCounter(8)
+    for part in parts:
+        merged.merge(part)
+    assert (
+        merged.counts_per_step().tobytes()
+        == whole.counts_per_step().tobytes()
+    )
+    assert merged.executions == whole.executions
+
+
+def test_merge_validation():
+    c = ProbeCounter(3)
+    with pytest.raises(ParameterError):
+        c.merge(ProbeCounter(4))
+    with pytest.raises(ParameterError):
+        c.merge([1, 2, 3])
+
+
 def test_record_batch_bounds():
     c = ProbeCounter(3)
     with pytest.raises(ParameterError):

@@ -17,8 +17,14 @@ def test_list_shows_all_experiments(capsys):
 def test_list_json(capsys):
     assert main(["list", "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
-    assert data["E1"].startswith("Contention optimality")
-    assert set(data) == {f"E{i}" for i in range(1, 20)}
+    experiments = data["experiments"]
+    assert experiments["E1"].startswith("Contention optimality")
+    assert set(experiments) == {f"E{i}" for i in range(1, 21)}
+    # The telemetry capability descriptor for machine consumers.
+    telemetry = data["telemetry"]
+    assert telemetry["metrics"] and telemetry["tracing"]
+    assert telemetry["snapshot_version"] == 1
+    assert telemetry["trace_formats"] == ["chrome", "json"]
 
 
 def test_info(capsys):
@@ -32,7 +38,7 @@ def test_info_json(capsys):
     assert main(["info", "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
     assert data["paper"]["venue"] == "SPAA 2010"
-    assert data["experiments"] == [f"E{i}" for i in range(1, 20)]
+    assert data["experiments"] == [f"E{i}" for i in range(1, 21)]
 
 
 def test_run_single_experiment(capsys):
@@ -133,6 +139,72 @@ def test_loadgen_closed_loop(capsys):
     ) == 0
     out = capsys.readouterr().out
     assert "closed" in out
+
+
+def test_serve_metrics_flag(capsys):
+    assert main(
+        ["serve", "--n", "64", "--smoke-queries", "16", "--metrics"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "metrics on" in out
+    assert "serve_requests_total" in out  # Prometheus exposition
+
+
+def test_run_emit_telemetry_writes_snapshots(tmp_path, capsys):
+    tel = tmp_path / "tel"
+    assert main(["run", "E2", "--emit-telemetry", str(tel)]) == 0
+    out = capsys.readouterr().out
+    assert "[E2]" in out and str(tel) in out
+    files = list(tel.glob("*.metrics.json"))
+    assert len(files) == 1 and files[0].name == "E2_fast_s0.metrics.json"
+    snap = json.loads(files[0].read_text())
+    assert snap["kind"] == "repro-metrics"
+    assert snap["experiment"] == {"id": "E2", "fast": True, "seed": 0}
+    assert snap["counters"]["probes"]["value"] > 0
+    assert snap["counters"]["executions"]["value"] > 0
+
+
+def test_stats_prints_metrics_table(tmp_path, capsys):
+    snap_path = tmp_path / "snap.json"
+    assert main(
+        ["stats", "--n", "64", "--requests", "200", "--prometheus",
+         "--json", str(snap_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "serve_completed" in out  # rendered metrics table
+    assert "serve_requests_total 200" in out  # exposition
+    snap = json.loads(snap_path.read_text())
+    assert snap["version"] == 1 and snap["alarms"] == []
+
+
+def test_stats_monitor_uniform_traffic_is_quiet(capsys):
+    assert main(
+        ["stats", "--n", "64", "--requests", "400", "--monitor",
+         "--check-every", "4", "--replicas", "1"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "monitor:" in out and "0 alarm(s)" in out
+
+
+def test_stats_monitor_requires_single_shard(capsys):
+    assert main(
+        ["stats", "--n", "64", "--requests", "50", "--monitor",
+         "--shards", "2"]
+    ) == 2
+    assert "--shards 1" in capsys.readouterr().err
+
+
+def test_trace_writes_chrome_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    assert main(
+        ["trace", "--n", "64", "--requests", "100", "--out",
+         str(out_path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "100 requests" in out
+    data = json.loads(out_path.read_text())
+    names = {e["name"] for e in data["traceEvents"]}
+    assert {"request", "batch", "route", "replica"} <= names
 
 
 def test_parser_requires_command():

@@ -375,3 +375,65 @@ class TestAsyncServer:
             return await asyncio.wait_for(task, timeout=5.0)
 
         assert asyncio.run(scenario()) is True
+
+    def test_stop_drains_even_when_flusher_crashed(self, instance):
+        # Regression: stop() used to await the flusher and propagate its
+        # exception *before* draining, leaving every pending future
+        # hanging forever.  Now the crash is captured, the drain still
+        # runs (clients get answers), and the error re-raises at the end.
+        keys, N = instance
+        boom = RuntimeError("flusher crashed")
+
+        async def scenario():
+            svc = small_service(keys, N, max_batch=1000, max_delay=0.005)
+            server = AsyncDictionaryServer(svc)
+            await server.start()
+            task = asyncio.create_task(server.query(int(keys[0])))
+            await asyncio.sleep(0)  # let the query submit its ticket
+
+            def exploding(now):
+                raise boom
+
+            svc.advance = exploding  # deadline flush now crashes
+            for _ in range(500):
+                await asyncio.sleep(0.005)
+                if server._flusher.done():
+                    break
+            with pytest.raises(RuntimeError, match="flusher crashed"):
+                await server.stop()
+            return await asyncio.wait_for(task, timeout=5.0)
+
+        assert asyncio.run(scenario()) is True
+
+    def test_metrics_snapshot_without_hub(self, instance):
+        keys, N = instance
+
+        async def scenario():
+            svc = small_service(keys, N, max_batch=4, max_delay=0.01)
+            async with AsyncDictionaryServer(svc) as server:
+                await server.query_many(keys[:8])
+                return server.metrics_snapshot(), server.metrics_text()
+
+        snap, text = asyncio.run(scenario())
+        assert snap["kind"] == "repro-metrics"
+        assert snap["server"]["completed"] == 8
+        assert snap["server"]["running"] is True
+        assert snap["server"]["pending_futures"] == 0
+        assert text == ""  # no hub: no exposition
+
+    def test_metrics_snapshot_with_hub(self, instance):
+        from repro.telemetry import TelemetryHub
+
+        keys, N = instance
+
+        async def scenario():
+            svc = small_service(keys, N, max_batch=4, max_delay=0.01)
+            svc.attach_telemetry(TelemetryHub(metrics=True))
+            async with AsyncDictionaryServer(svc) as server:
+                await server.query_many(keys[:8])
+                return server.metrics_snapshot(), server.metrics_text()
+
+        snap, text = asyncio.run(scenario())
+        assert snap["counters"]["serve_completed"]["value"] == 8
+        assert snap["server"]["completed"] == 8
+        assert "serve_requests_total 8" in text

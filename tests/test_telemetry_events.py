@@ -1,0 +1,109 @@
+"""Event bus semantics: zero overhead off, ordered fan-out on."""
+
+import pytest
+
+from repro.telemetry import (
+    BUS,
+    EVENT_TYPES,
+    AdmissionEvent,
+    EventBus,
+    ProbeEvent,
+    get_bus,
+)
+
+
+def test_global_bus_starts_disabled():
+    assert get_bus() is BUS
+    assert BUS.active is False
+    assert BUS.subscribers == 0
+
+
+def test_subscribe_toggles_active():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    assert bus.active is True
+    bus.emit(ProbeEvent(step=0, probes=2))
+    bus.unsubscribe(seen.append)
+    assert bus.active is False
+    assert seen == [ProbeEvent(step=0, probes=2)]
+
+
+def test_emit_preserves_subscription_order():
+    bus = EventBus()
+    order = []
+    bus.subscribe(lambda e: order.append("first"))
+    bus.subscribe(lambda e: order.append("second"))
+    bus.emit(ProbeEvent(step=0, probes=1))
+    assert order == ["first", "second"]
+
+
+def test_emit_on_disabled_bus_is_harmless():
+    bus = EventBus()
+    bus.emit(ProbeEvent(step=0, probes=1))  # no subscribers: no-op
+
+
+def test_subscribed_context_restores_state():
+    bus = EventBus()
+    seen = []
+    with bus.subscribed(seen.append):
+        assert bus.active
+        bus.emit(ProbeEvent(step=1, probes=3))
+    assert not bus.active
+    assert seen[0].probes == 3
+
+
+def test_capture_filters_by_type():
+    bus = EventBus()
+    with bus.capture(AdmissionEvent) as events:
+        bus.emit(ProbeEvent(step=0, probes=1))
+        bus.emit(AdmissionEvent(admitted=True, depth=1, capacity=8))
+    assert len(events) == 1
+    assert events[0].admitted is True
+    assert not bus.active
+
+
+def test_capture_unfiltered_takes_everything():
+    bus = EventBus()
+    with bus.capture() as events:
+        bus.emit(ProbeEvent(step=0, probes=1))
+        bus.emit(AdmissionEvent(admitted=False, depth=8, capacity=8))
+    assert len(events) == 2
+
+
+def test_events_are_frozen():
+    event = ProbeEvent(step=0, probes=1)
+    with pytest.raises(Exception):
+        event.probes = 2
+
+
+def test_event_types_registry_is_complete():
+    # Every event class the library emits is introspectable.
+    assert ProbeEvent in EVENT_TYPES
+    assert AdmissionEvent in EVENT_TYPES
+    assert len(EVENT_TYPES) == 9
+    assert all(isinstance(t, type) for t in EVENT_TYPES)
+
+
+def test_table_reads_emit_probe_events():
+    import numpy as np
+
+    from repro.cellprobe import Table
+
+    table = Table(rows=2, s=8)
+    with BUS.capture(ProbeEvent) as events:
+        table.read(0, 3, step=0)
+        table.read_batch(1, np.array([0, -1, 5]), step=1)
+    assert [e.probes for e in events] == [1, 2]
+    assert [e.step for e in events] == [0, 1]
+    assert not BUS.active
+
+
+def test_finish_execution_emits():
+    from repro.cellprobe import ProbeCounter
+    from repro.telemetry import ExecutionEvent
+
+    counter = ProbeCounter(4)
+    with BUS.capture(ExecutionEvent) as events:
+        counter.finish_execution(3)
+    assert events == [ExecutionEvent(count=3)]

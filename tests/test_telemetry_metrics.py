@@ -1,0 +1,193 @@
+"""Metrics: counters/gauges/histogram sketch, snapshot, merge, exposition."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TelemetryError
+from repro.io.results import load_snapshot, save_snapshot
+from repro.telemetry import (
+    SNAPSHOT_VERSION,
+    Counter,
+    Gauge,
+    LogHistogram,
+    MetricsRegistry,
+)
+
+
+class TestCounterGauge:
+    def test_counter_monotone(self):
+        c = Counter("reqs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(TelemetryError):
+            c.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        g = Gauge("depth")
+        g.set(3.0)
+        g.inc(-1.0)
+        assert g.value == 2.0
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(TelemetryError):
+            Counter("bad name")
+        with pytest.raises(TelemetryError):
+            Gauge("9starts_with_digit")
+
+
+class TestLogHistogram:
+    def test_exact_moments_sketched_quantiles(self):
+        h = LogHistogram("lat")
+        for v in [0.0, 1.0, 2.0, 4.0, 8.0]:
+            h.record(v)
+        assert h.count == 5
+        assert h.sum == 15.0
+        assert h.mean == 3.0
+        assert h.min == 0.0 and h.max == 8.0
+        assert h.zeros == 1
+        # Geometric buckets: any quantile within ~9% relative error.
+        assert h.quantile(0.0) == 0.0
+        assert h.quantile(1.0) <= 8.0
+        assert h.quantile(0.5) == pytest.approx(2.0, rel=0.10)
+
+    def test_record_many_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(1.0, size=500)
+        a, b = LogHistogram("a"), LogHistogram("b")
+        a.record_many(values)
+        for v in values:
+            b.record(v)
+        assert a.buckets == b.buckets
+        assert a.count == b.count and a.sum == pytest.approx(b.sum)
+
+    def test_rejects_bad_values(self):
+        h = LogHistogram("h")
+        with pytest.raises(TelemetryError):
+            h.record(-1.0)
+        with pytest.raises(TelemetryError):
+            h.record(float("nan"))
+        with pytest.raises(TelemetryError):
+            h.record_many([1.0, -2.0])
+
+    def test_merge_requires_same_geometry(self):
+        a = LogHistogram("a")
+        b = LogHistogram("b", growth=2.0)
+        with pytest.raises(TelemetryError):
+            a.merge(b)
+
+    @given(
+        left=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), max_size=50
+        ),
+        right=st.lists(
+            st.floats(min_value=0.0, max_value=1e6), max_size=50
+        ),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_merge_equals_combined_stream(self, left, right):
+        separate = LogHistogram("a")
+        separate.record_many(left)
+        other = LogHistogram("b")
+        other.record_many(right)
+        separate.merge(other)
+        combined = LogHistogram("c")
+        combined.record_many(left + right)
+        assert separate.buckets == combined.buckets
+        assert separate.count == combined.count
+        assert separate.zeros == combined.zeros
+        assert separate.sum == pytest.approx(combined.sum)
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("serve_requests", "requests").inc(10)
+    reg.gauge("in_flight", "depth").set(3.0)
+    h = reg.histogram("latency", "seconds")
+    h.record_many([0.0, 0.1, 0.2, 0.4])
+    return reg
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_snapshot_round_trip(self):
+        reg = populated_registry()
+        snap = reg.snapshot()
+        assert snap["version"] == SNAPSHOT_VERSION
+        assert snap["kind"] == "repro-metrics"
+        back = MetricsRegistry.from_snapshot(json.loads(json.dumps(snap)))
+        assert back.snapshot() == snap
+
+    def test_snapshot_round_trip_through_files(self, tmp_path):
+        reg = populated_registry()
+        path = save_snapshot(reg.snapshot(), tmp_path / "snap.json")
+        loaded = load_snapshot(path)
+        assert MetricsRegistry.from_snapshot(loaded).snapshot() == (
+            reg.snapshot()
+        )
+
+    def test_from_snapshot_tolerates_unknown_keys(self):
+        # Forward compatibility: a newer writer may add keys anywhere.
+        snap = populated_registry().snapshot()
+        snap["future_section"] = {"x": 1}
+        snap["counters"]["serve_requests"]["future_field"] = "y"
+        snap["histograms"]["latency"]["future_field"] = [1, 2]
+        back = MetricsRegistry.from_snapshot(snap)
+        assert back.counter("serve_requests").value == 10
+        assert back.histogram("latency").count == 4
+
+    def test_from_snapshot_rejects_newer_version(self):
+        snap = populated_registry().snapshot()
+        snap["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(TelemetryError):
+            MetricsRegistry.from_snapshot(snap)
+
+    def test_merge_folds_every_kind(self):
+        a, b = populated_registry(), populated_registry()
+        a.merge(b)
+        assert a.counter("serve_requests").value == 20
+        assert a.gauge("in_flight").value == 3.0  # max, not sum
+        assert a.histogram("latency").count == 8
+        # Merging into an empty registry copies everything.
+        c = MetricsRegistry()
+        c.merge(b)
+        assert c.snapshot() == b.snapshot()
+
+    def test_prometheus_exposition(self):
+        text = populated_registry().to_prometheus()
+        assert "# TYPE serve_requests counter" in text
+        assert "serve_requests_total 10" in text
+        assert "in_flight 3" in text
+        assert '# TYPE latency histogram' in text
+        assert 'latency_bucket{le="0"} 1' in text
+        assert 'latency_bucket{le="+Inf"} 4' in text
+        assert "latency_count 4" in text
+        assert text.endswith("\n")
+
+    def test_rows_for_table_rendering(self):
+        rows = populated_registry().rows()
+        kinds = {r["metric"]: r["kind"] for r in rows}
+        assert kinds == {
+            "serve_requests": "counter",
+            "in_flight": "gauge",
+            "latency": "histogram",
+        }
+        hist_row = next(r for r in rows if r["kind"] == "histogram")
+        assert hist_row["value"] == 4 and hist_row["max"] == 0.4
+
+
+def test_empty_histogram_snapshot_round_trips():
+    reg = MetricsRegistry()
+    reg.histogram("empty")
+    back = MetricsRegistry.from_snapshot(reg.snapshot())
+    h = back.histogram("empty")
+    assert h.count == 0 and h.min == math.inf
+    assert math.isnan(h.quantile(0.5))

@@ -1,0 +1,138 @@
+"""Monitors: the Binomial(Q, Phi) law, corrected thresholds, typed alarms."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import (
+    ContentionMonitor,
+    HotCellAlarm,
+    ReplicaBalanceMonitor,
+    RouterSkewAlarm,
+)
+
+
+def uniform_phi(steps=2, cells=50, p=0.01):
+    return np.full((steps, cells), p)
+
+
+class TestContentionMonitor:
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            ContentionMonitor(np.zeros(4))  # not a matrix
+        with pytest.raises(TelemetryError):
+            ContentionMonitor(np.full((2, 2), 1.5))  # not probabilities
+        with pytest.raises(TelemetryError):
+            ContentionMonitor(uniform_phi(), sigma_threshold=0.0)
+        mon = ContentionMonitor(uniform_phi())
+        with pytest.raises(TelemetryError):
+            mon.observe(np.zeros((2, 3)), 10)  # wrong cell count
+        with pytest.raises(TelemetryError):
+            mon.observe(np.zeros((2, 50)), -1)
+
+    def test_effective_threshold_grows_with_cells(self):
+        mon = ContentionMonitor(uniform_phi(), sigma_threshold=3.0)
+        assert mon.effective_threshold(1) == 3.0
+        assert mon.effective_threshold(100) == pytest.approx(
+            3.0 + math.sqrt(2 * math.log(100))
+        )
+
+    def test_gate_suppresses_small_samples(self):
+        # Expected counts below min_expected: nothing is tested, so even
+        # a wildly skewed count cannot alarm on noise from tiny samples.
+        mon = ContentionMonitor(uniform_phi(p=0.01), min_expected=10.0)
+        counts = np.zeros((2, 50))
+        counts[0, 0] = 500
+        assert mon.observe(counts, queries=100) == []  # E = 1 < 10
+        assert mon.cells_tested == 0
+
+    def test_exact_counts_never_alarm(self):
+        mon = ContentionMonitor(uniform_phi(p=0.05))
+        q = 1000
+        counts = np.full((2, 50), q * 0.05)
+        assert mon.observe(counts, q) == []
+        assert mon.cells_tested == 100
+        assert mon.first_alarm_check is None
+
+    def test_hot_cell_alarms_with_typed_value(self):
+        mon = ContentionMonitor(uniform_phi(p=0.05), sigma_threshold=3.0)
+        q = 1000
+        counts = np.full((2, 50), q * 0.05)
+        counts[1, 7] = q * 0.05 + 200  # ~29 sigma excess
+        new = mon.observe(counts, q)
+        assert len(new) == 1
+        alarm = new[0]
+        assert isinstance(alarm, HotCellAlarm)
+        assert (alarm.step, alarm.cell) == (1, 7)
+        assert alarm.kind == "hot-cell"
+        assert alarm.z > alarm.threshold
+        assert alarm.check == 1 and mon.first_alarm_check == 1
+        assert alarm.row()["observed"] == int(counts[1, 7])
+
+    def test_one_sided_deficits_do_not_alarm(self):
+        mon = ContentionMonitor(uniform_phi(p=0.05))
+        counts = np.full((2, 50), 50.0)
+        counts[0, 0] = 0.0  # huge deficit, not an excess
+        assert mon.observe(counts, 1000) == []
+
+    def test_fewer_measured_steps_than_phi_is_fine(self):
+        mon = ContentionMonitor(uniform_phi(steps=3, p=0.05))
+        counts = np.full((1, 50), 50.0)
+        # Missing steps count as zero (deficit: silent, one-sided test).
+        assert mon.observe(counts, 1000) == []
+
+    def test_reset(self):
+        mon = ContentionMonitor(uniform_phi(p=0.05))
+        counts = np.full((2, 50), 50.0)
+        counts[0, 0] = 500.0
+        mon.observe(counts, 1000)
+        assert mon.alarms and mon.checks == 1
+        mon.reset()
+        assert mon.alarms == [] and mon.checks == 0
+        assert mon.first_alarm_check is None
+
+
+class TestReplicaBalanceMonitor:
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            ReplicaBalanceMonitor(1)
+        with pytest.raises(TelemetryError):
+            ReplicaBalanceMonitor(3, cluster=0.5)
+        mon = ReplicaBalanceMonitor(3)
+        with pytest.raises(TelemetryError):
+            mon.observe(np.array([1, 2]))
+
+    def test_min_total_gates_checks(self):
+        mon = ReplicaBalanceMonitor(2, min_total=100)
+        assert mon.observe(np.array([50, 0])) == []  # below the gate
+        assert mon.checks == 1
+
+    def test_balanced_loads_stay_quiet(self):
+        mon = ReplicaBalanceMonitor(4, min_total=100)
+        assert mon.observe(np.array([250, 251, 249, 250])) == []
+
+    def test_stuck_router_alarms(self):
+        mon = ReplicaBalanceMonitor(3, min_total=100)
+        new = mon.observe(np.array([900, 50, 50]))
+        assert len(new) == 1
+        alarm = new[0]
+        assert isinstance(alarm, RouterSkewAlarm)
+        assert alarm.replica == 0 and alarm.kind == "router-skew"
+        assert alarm.total == 1000
+        assert mon.first_alarm_check == 1
+
+    def test_cluster_correction_widens_tolerance(self):
+        # Whole-batch routing moves loads in clusters; the same skew that
+        # alarms a per-probe model must survive the cluster correction.
+        loads = np.array([420, 290, 290])
+        assert ReplicaBalanceMonitor(3, min_total=100).observe(loads)
+        quiet = ReplicaBalanceMonitor(3, min_total=100, cluster=64.0)
+        assert quiet.observe(loads) == []
+
+    def test_effective_threshold_uses_replica_count(self):
+        mon = ReplicaBalanceMonitor(4, sigma_threshold=3.0)
+        assert mon.effective_threshold() == pytest.approx(
+            3.0 + math.sqrt(2 * math.log(4))
+        )

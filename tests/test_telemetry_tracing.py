@@ -1,0 +1,107 @@
+"""Tracer semantics: deterministic ids, tree structure, both exports."""
+
+import json
+
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry import TRACE_VERSION, Tracer
+
+
+def make_tree(tracer):
+    root = tracer.start("request", 0.0, key=7)
+    child = tracer.start("batch", 0.5, parent=root, size=4)
+    tracer.instant("route", 0.5, parent=child, replica=2)
+    tracer.finish(child, 1.0)
+    tracer.finish(root, 1.5)
+    return root, child
+
+
+def test_ids_are_sequential_and_deterministic():
+    t1, t2 = Tracer(), Tracer()
+    for t in (t1, t2):
+        make_tree(t)
+    assert [s.span_id for s in t1.spans] == [1, 2, 3]
+    assert [s.as_dict() for s in t1.spans] == [s.as_dict() for s in t2.spans]
+
+
+def test_tree_structure():
+    tracer = Tracer()
+    root, child = make_tree(tracer)
+    assert tracer.roots() == [root]
+    assert tracer.children_of(root) == [child]
+    assert len(tracer.children_of(child)) == 1
+    assert root.duration == pytest.approx(1.5)
+    assert root.finished
+
+
+def test_instant_has_zero_duration():
+    tracer = Tracer()
+    span = tracer.instant("route", 2.0)
+    assert span.start == span.end == 2.0
+    assert span.duration == 0.0
+
+
+def test_finish_validation():
+    tracer = Tracer()
+    span = tracer.start("request", 1.0)
+    with pytest.raises(TelemetryError):
+        tracer.finish(span, 0.5)  # before start
+    tracer.finish(span, 1.0)
+    with pytest.raises(TelemetryError):
+        tracer.finish(span, 2.0)  # already finished
+
+
+def test_max_spans_caps_memory_but_ids_advance():
+    tracer = Tracer(max_spans=2)
+    kept = [tracer.instant("a", 0.0), tracer.instant("b", 0.0)]
+    dropped = tracer.instant("c", 0.0)
+    assert len(tracer) == 2
+    assert tracer.dropped == 1
+    assert dropped.span_id == 3  # id allocation is unaffected
+    assert [s.span_id for s in kept] == [1, 2]
+    with pytest.raises(TelemetryError):
+        Tracer(max_spans=0)
+
+
+def test_json_export_is_versioned():
+    tracer = Tracer()
+    make_tree(tracer)
+    open_span = tracer.start("late", 9.0)
+    payload = tracer.to_json()
+    assert payload["version"] == TRACE_VERSION
+    assert payload["kind"] == "repro-trace"
+    assert len(payload["spans"]) == 4
+    # Open spans survive the JSON export (crash dumps stay inspectable).
+    assert payload["spans"][-1]["end"] is None
+    assert payload["spans"][-1]["span_id"] == open_span.span_id
+    json.dumps(payload)  # plain JSON types only
+
+
+def test_chrome_export_shape():
+    tracer = Tracer()
+    make_tree(tracer)
+    tracer.start("open", 5.0)  # open spans are dropped by chrome export
+    payload = tracer.to_chrome()
+    events = payload["traceEvents"]
+    assert len(events) == 3
+    phases = {e["name"]: e["ph"] for e in events}
+    assert phases == {"request": "X", "batch": "X", "route": "i"}
+    req = next(e for e in events if e["name"] == "request")
+    assert req["ts"] == 0.0 and req["dur"] == pytest.approx(1.5e6)
+    assert req["args"]["span_id"] == 1 and req["args"]["key"] == 7
+    route = next(e for e in events if e["name"] == "route")
+    assert route["args"]["parent_id"] == 2
+
+
+def test_save_round_trips_both_formats(tmp_path):
+    tracer = Tracer()
+    make_tree(tracer)
+    chrome = json.loads(tracer.save(tmp_path / "t.chrome.json").read_text())
+    assert "traceEvents" in chrome
+    raw = json.loads(
+        tracer.save(tmp_path / "t.json", fmt="json").read_text()
+    )
+    assert raw["version"] == TRACE_VERSION
+    with pytest.raises(TelemetryError):
+        tracer.save(tmp_path / "t.bin", fmt="protobuf")
