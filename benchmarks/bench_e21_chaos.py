@@ -1,0 +1,183 @@
+"""Bench E21 — chaos steady-state and the healing-layer overhead gate.
+
+Two entry points:
+
+- ``python benchmarks/bench_e21_chaos.py [--gate]`` — standalone:
+  runs the seeded chaos experiment end to end and times a clean
+  (fault-free) serve run in three configurations:
+
+  * **plain** — unarmed service, no healing machinery constructed;
+  * **armed-inert** — ``FaultConfig(armed=True)`` with every rate
+    zero, healing never enabled (the dormant-hooks state every chaos
+    run starts from);
+  * **healing** — health manager enabled, verified dispatch and the
+    background healing tick live on the serve path.
+
+  Writes the machine-readable ``BENCH_PR5.json`` at the repo root.
+  ``--gate`` exits nonzero if the chaos run produced a wrong answer or
+  a quarantine violation, if armed-but-inert accounting is not
+  byte-identical to the plain run, or if the armed-inert serve path
+  costs more than ``GATE_RATIO`` over plain (dormant hooks are one
+  wrapper indirection per batch, bounded well below the healing
+  path's verified-dispatch cost; the CI chaos job runs this).
+
+- under pytest-benchmark — regenerates the E21 table and asserts its
+  headline invariants (zero wrong answers, zero quarantine
+  violations, both damaged replicas healed byte-exact, stuck replica
+  incorrigibly quarantined, all envelope windows in bounds).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.experiments.common import make_instance, uniform_distribution
+from repro.faults import FaultConfig
+from repro.serve import build_service, run_loadgen
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Dormant fault hooks (the inert ``FaultyTable`` wrapper) may cost at
+#: most this factor over a service built without them — one Python
+#: indirection per batch at this scale, far under the ~2.4x the live
+#: healing path pays for verified dispatch.
+GATE_RATIO = 1.30
+
+REPEATS = 5
+REQUESTS = 1200
+RATE = 256.0
+
+
+def _run_once(faults=None, heal=False, n=96, seed=0):
+    keys, N = make_instance(n, seed=seed)
+    service = build_service(
+        keys, N, num_shards=1, replicas=3, router="random",
+        max_batch=32, max_delay=0.25, capacity=1024,
+        faults=faults, seed=seed + 1,
+    )
+    if heal:
+        service.enable_healing(seed=seed + 2)
+    dist = uniform_distribution(keys, N)
+    t0 = time.perf_counter()
+    report = run_loadgen(
+        service, dist, num_requests=REQUESTS, rate=RATE, seed=seed + 3,
+        expected_keys=keys,
+    )
+    elapsed = time.perf_counter() - t0
+    digests = tuple(d.table.counter.digest() for d in service.shards)
+    return elapsed, report, digests
+
+
+def measure(seed: int = 0) -> dict:
+    # Interleave the three configurations within each repeat so clock
+    # drift and cache state hit all of them equally; min-of-repeats
+    # per configuration is then drift-robust.
+    configs = {
+        "plain": {},
+        "inert": {"faults": FaultConfig(armed=True)},
+        "heal": {"faults": FaultConfig(armed=True), "heal": True},
+    }
+    best: dict = {}
+    reports: dict = {}
+    digests: dict = {}
+    for name, kwargs in configs.items():  # untimed warm-up pass
+        _run_once(seed=seed, **kwargs)
+    for _ in range(REPEATS):
+        for name, kwargs in configs.items():
+            elapsed, reports[name], digests[name] = _run_once(
+                seed=seed, **kwargs
+            )
+            best[name] = min(best.get(name, elapsed), elapsed)
+    t_plain, t_inert, t_heal = best["plain"], best["inert"], best["heal"]
+    rep_plain, rep_inert, rep_heal = (
+        reports["plain"], reports["inert"], reports["heal"],
+    )
+    dig_plain, dig_inert = digests["plain"], digests["inert"]
+
+    result = run_experiment("E21", fast=True, seed=seed)
+    run_row = result.rows[0]
+    heal_row = result.rows[1]
+
+    return {
+        "benchmark": "e21_chaos",
+        "requests_per_timing": REQUESTS,
+        "repeats": REPEATS,
+        "plain_s": t_plain,
+        "armed_inert_s": t_inert,
+        "healing_s": t_heal,
+        "armed_inert_over_plain": t_inert / t_plain,
+        "healing_over_plain": t_heal / t_plain,
+        "inert_byte_identical": bool(dig_inert == dig_plain),
+        "clean_wrong_answers": int(
+            rep_plain.wrong_answers
+            + rep_inert.wrong_answers
+            + rep_heal.wrong_answers
+        ),
+        "chaos_wrong_answers": int(run_row["wrong_answers"]),
+        "chaos_violations": int(run_row["violations"]),
+        "chaos_recoveries": int(heal_row["recoveries"]),
+        "chaos_pass": bool("Overall: PASS" in result.finding),
+        "gate_ratio": GATE_RATIO,
+        "gate_passed": bool(
+            dig_inert == dig_plain
+            and t_inert / t_plain <= GATE_RATIO
+            and run_row["wrong_answers"] == 0
+            and run_row["violations"] == 0
+            and "Overall: PASS" in result.finding
+        ),
+    }
+
+
+def main(argv) -> int:
+    gate = "--gate" in argv
+    row = measure()
+    out = REPO_ROOT / "BENCH_PR5.json"
+    out.write_text(json.dumps(row, indent=2) + "\n")
+    print(json.dumps(row, indent=2))
+    print(f"wrote {out}")
+    if gate and not row["gate_passed"]:
+        print(
+            f"GATE FAILED: inert_byte_identical="
+            f"{row['inert_byte_identical']}, armed-inert overhead "
+            f"{(row['armed_inert_over_plain'] - 1) * 100:.2f}% "
+            f"(budget {(GATE_RATIO - 1) * 100:.0f}%), chaos "
+            f"wrong={row['chaos_wrong_answers']} "
+            f"violations={row['chaos_violations']} "
+            f"pass={row['chaos_pass']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_e21_chaos(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E21",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    run_row, heal_row = result.rows[0], result.rows[1]
+    windows = result.rows[2:]
+    assert run_row["wrong_answers"] == 0
+    assert run_row["violations"] == 0
+    assert heal_row["stuck_replica_quarantined"] is True
+    assert heal_row["healed_replicas"] == "1,3"
+    assert heal_row["repaired_byte_exact"] is True
+    assert heal_row["recoveries"] >= 2
+    assert heal_row["cells_repaired"] > 0 and heal_row["rows_rebuilt"] > 0
+    assert len(windows) == 3
+    assert all(w["ok"] and w["quiet"] for w in windows)
+    assert "Overall: PASS" in result.finding
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -10,6 +10,8 @@ the per-step contention matrix ``Phi_t(j)`` and
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ParameterError
@@ -140,6 +142,19 @@ class ProbeCounter:
     def total_probes(self) -> int:
         """Total probes recorded across all steps and cells."""
         return int(sum(int(a.sum()) for a in self._per_step))
+
+    def digest(self) -> str:
+        """SHA-256 over the exact accounting state (steps, counts, E).
+
+        Two counters digest equally iff their per-step count matrices
+        and execution counts are byte-identical — the comparison the
+        E20/E21 "observation changes nothing" gates are stated in.
+        """
+        h = hashlib.sha256()
+        h.update(f"{self.num_cells}:{self.executions}:".encode())
+        for counts in self._per_step:
+            h.update(counts.tobytes())
+        return h.hexdigest()
 
     def reset(self) -> None:
         """Clear all counts and the execution counter."""

@@ -77,6 +77,16 @@ class Table:
         self._check(row, column)
         return int(self._cells[row, column])
 
+    def peek_row(self, row: int) -> np.ndarray:
+        """Copy an entire row without charging probes (scrub/rebuild I/O).
+
+        The healing layer charges its own repair counter explicitly per
+        cell, so the raw read must stay off the query-path counter.
+        """
+        if not 0 <= row < self.rows:
+            raise TableError(f"row {row} out of range [0, {self.rows})")
+        return self._cells[row].copy()
+
     # -- query-time access (charged) -----------------------------------------
 
     def read(self, row: int, column: int, step: int) -> int:

@@ -3,7 +3,7 @@
 Commands
 --------
 
-- ``list [--json]`` — show the experiment registry (E1–E20) with
+- ``list [--json]`` — show the experiment registry (E1–E21) with
   titles (``--json`` prints a machine-readable object including the
   telemetry capability descriptor).
 - ``run E5 [--full] [--seed 0] [--json out.json]`` — run one experiment
@@ -16,11 +16,17 @@ Commands
   snapshot per experiment without changing any result.
 - ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
   across all schemes on one instance.
-- ``serve [--n 256] [--smoke-queries 64] [--duration 0] [--metrics]``
-  — boot the asyncio dictionary server (:mod:`repro.serve`) over a
-  random instance, answer a seeded self-test workload, optionally stay
-  up; ``--metrics`` attaches a telemetry hub and prints the Prometheus
-  exposition on shutdown.
+- ``serve [--n 256] [--smoke-queries 64] [--duration 0] [--metrics]
+  [--heal]`` — boot the asyncio dictionary server (:mod:`repro.serve`)
+  over a random instance, answer a seeded self-test workload,
+  optionally stay up; ``--metrics`` attaches a telemetry hub and
+  prints the Prometheus exposition on shutdown; ``--heal`` arms fault
+  injection and enables the self-healing layer.
+- ``chaos [--requests 4000] [--crashes 1] [--corruptions 1]`` — run a
+  seeded randomized fault schedule (crashes, bit flips, stuck cells,
+  contention spikes) against a healing-enabled service and report
+  recoveries, repairs, and wrong answers (exit 1 on any wrong answer
+  or quarantine violation).
 - ``loadgen [--requests 2000] [--discipline open] [--router
   least-loaded]`` — deterministic virtual-time load generation against
   a fresh service; prints throughput, latency percentiles, and
@@ -181,14 +187,23 @@ def _cmd_info(args) -> int:
     return 0
 
 
-def _make_service(args):
-    """Shared ``serve``/``loadgen`` setup: instance + service + dist."""
+def _make_service(args, armed: bool = False):
+    """Shared ``serve``/``loadgen`` setup: instance + service + dist.
+
+    ``armed`` builds the shards over armed fault injectors so chaos
+    events (crash/corrupt/stick) and the healing hooks are available.
+    """
     import numpy as np
 
     from repro.distributions import ZipfDistribution
     from repro.experiments.common import make_instance, uniform_distribution
     from repro.serve import build_service
 
+    faults = None
+    if armed:
+        from repro.faults import FaultConfig
+
+        faults = FaultConfig(armed=True)
     keys, N = make_instance(args.n, args.seed)
     service = build_service(
         keys,
@@ -201,6 +216,7 @@ def _make_service(args):
         max_delay=args.max_delay,
         capacity=args.capacity,
         probe_time=args.probe_time,
+        faults=faults,
         seed=args.seed + 1,
     )
     if args.workload == "zipf":
@@ -224,11 +240,12 @@ def _cmd_serve(args) -> int:
 
     from repro.serve import AsyncDictionaryServer
 
-    keys, N, service, dist = _make_service(args)
+    keys, N, service, dist = _make_service(args, armed=args.heal)
     if args.metrics:
         from repro.telemetry import TelemetryHub
 
         service.attach_telemetry(TelemetryHub(metrics=True))
+    manager = service.enable_healing(seed=args.seed + 5) if args.heal else None
 
     async def session() -> int:
         async with AsyncDictionaryServer(service) as server:
@@ -237,6 +254,7 @@ def _cmd_serve(args) -> int:
                 f"{args.shards} shard(s) x {args.replicas} replicas, "
                 f"router={args.router}"
                 + (", metrics on" if args.metrics else "")
+                + (", healing on" if manager is not None else "")
             )
             if args.smoke_queries:
                 rng = np.random.default_rng(args.seed + 4)
@@ -271,6 +289,14 @@ def _cmd_serve(args) -> int:
                 text = server.metrics_text()
                 if text:
                     print(text, end="")
+            if manager is not None:
+                row = manager.row()
+                print(
+                    f"healing: {row['recoveries']} recoveries, "
+                    f"{row['quarantines']} quarantines, "
+                    f"{row['cells_repaired']} cells repaired, "
+                    f"{row['violations']} violations"
+                )
         return 0
 
     return asyncio.run(session())
@@ -374,6 +400,71 @@ def _cmd_stats(args) -> int:
         save_snapshot(hub.snapshot(), args.json)
         print(f"wrote {args.json}")
     return 1 if report.wrong_answers else 0
+
+
+def _cmd_chaos(args) -> int:
+    from repro.serve import ChaosSchedule, run_chaos
+    from repro.serve.chaos import require_armed
+
+    keys, N, service, dist = _make_service(args, armed=True)
+    require_armed(service)
+    manager = service.enable_healing(seed=args.seed + 5)
+    horizon = args.requests / args.rate
+    d = service.shards[0]
+    schedule = ChaosSchedule.generate(
+        args.seed + 6,
+        horizon,
+        args.replicas,
+        d.inner_rows * d.table.s,
+        crashes=args.crashes,
+        corruptions=args.corruptions,
+        stuck=args.stuck,
+        spikes=args.spikes,
+    )
+    report = run_chaos(
+        service,
+        dist,
+        schedule,
+        args.requests,
+        args.rate,
+        seed=args.seed + 4,
+        expected_keys=keys,
+    )
+    heal = manager.row()
+    mttr = manager.mttr_values()
+    print(
+        f"chaos: {report.completed}/{report.requested} completed, "
+        f"{report.shed} shed ({report.degraded_shed} degraded), "
+        f"{report.wrong_answers} wrong answers"
+    )
+    print(
+        f"faults: {report.events_applied} events injected "
+        f"({args.crashes} crash, {args.corruptions} corrupt, "
+        f"{args.stuck} stuck, {args.spikes} spike)"
+    )
+    print(
+        f"healing: {heal['recoveries']} recoveries "
+        f"(max MTTR {max(mttr):.2f})" if mttr
+        else "healing: 0 recoveries",
+    )
+    print(
+        f"repairs: {heal['cells_repaired']} cells repaired, "
+        f"{heal['stuck_cells']} stuck, {heal['rows_rebuilt']} rows "
+        f"rebuilt, {heal['canary_queries']} canary queries, "
+        f"{heal['violations']} quarantine violations"
+    )
+    states = " ".join(
+        f"{k}={v}" for k, v in sorted(report.final_states.items())
+    )
+    print(f"states: {states}")
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(report.row(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 1 if report.wrong_answers or heal["violations"] else 0
 
 
 def _cmd_trace(args) -> int:
@@ -546,6 +637,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="attach a telemetry hub; print the Prometheus exposition "
         "on shutdown",
     )
+    serve_p.add_argument(
+        "--heal",
+        action="store_true",
+        help="arm fault injection and enable the self-healing layer "
+        "(health state machines, scrubbing, rebuild)",
+    )
     serve_p.set_defaults(func=_cmd_serve)
 
     loadgen_p = sub.add_parser(
@@ -612,6 +709,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", help="also write the versioned telemetry snapshot here"
     )
     stats_p.set_defaults(func=_cmd_stats)
+
+    chaos_p = sub.add_parser(
+        "chaos",
+        help="run a seeded chaos schedule against a self-healing service",
+    )
+    add_service_options(chaos_p)
+    chaos_p.add_argument("--requests", type=int, default=4000)
+    chaos_p.add_argument(
+        "--rate", type=float, default=64.0, help="open-loop arrival rate"
+    )
+    chaos_p.add_argument("--crashes", type=int, default=1)
+    chaos_p.add_argument("--corruptions", type=int, default=1)
+    chaos_p.add_argument("--stuck", type=int, default=0)
+    chaos_p.add_argument("--spikes", type=int, default=1)
+    chaos_p.add_argument("--json", help="also write the report as JSON")
+    # Five replicas keep a strict read majority with two damaged.
+    chaos_p.set_defaults(func=_cmd_chaos, replicas=5, router="random")
 
     trace_p = sub.add_parser(
         "trace", help="record a span tree for a seeded workload"

@@ -31,6 +31,7 @@ from repro.dictionaries.base import StaticDictionary
 from repro.errors import (
     CorruptQueryError,
     FaultExhaustedError,
+    HealError,
     ParameterError,
     ReplicaUnavailableError,
     ReproError,
@@ -152,6 +153,81 @@ class ReplicatedDictionary(StaticDictionary):
             self.faults = None
             self._injector = None
             self._read_table = self.table
+
+    # -- geometry ----------------------------------------------------------------
+
+    @property
+    def inner_rows(self) -> int:
+        """Rows per replica (the inner structure's table height)."""
+        return self._inner_rows
+
+    def replica_row(self, replica: int, inner_row: int) -> int:
+        """The outer table row holding ``inner_row`` of ``replica``."""
+        return int(replica) * self._inner_rows + int(inner_row)
+
+    # -- dynamic faults (chaos schedules / healing) ------------------------------
+
+    def _require_injector(self) -> FaultInjector:
+        if self._injector is None:
+            raise HealError(
+                f"{self.name} carries no fault layer; build it with an "
+                "armed FaultConfig to crash/corrupt replicas dynamically"
+            )
+        return self._injector
+
+    def crash_replica(self, replica: int) -> None:
+        """Crash ``replica`` now, losing its memory (chaos event).
+
+        The replica's rows are wiped to :data:`~repro.cellprobe.table.EMPTY_CELL`
+        (a crash loses state — rebuild must reconstruct it from the
+        survivors) and queries routed to it raise
+        :class:`~repro.errors.ReplicaUnavailableError` until a rebuild
+        revives it.
+        """
+        from repro.cellprobe.table import EMPTY_CELL
+
+        injector = self._require_injector()
+        r = int(replica)
+        if not 0 <= r < self.replicas:
+            raise ParameterError(
+                f"replica {r} out of range [0, {self.replicas})"
+            )
+        injector.crash(r)
+        lo = r * self._inner_rows
+        self.table._cells[lo:lo + self._inner_rows, :] = EMPTY_CELL
+
+    def revive_replica(self, replica: int) -> None:
+        """Mark a rebuilt ``replica`` available again."""
+        self._require_injector().revive(int(replica))
+
+    def corrupt_cell(self, replica: int, inner_flat: int, mask: int) -> None:
+        """XOR ``mask`` into one physical cell of ``replica`` (bit flip).
+
+        Chaos-level silent corruption: the damage is persistent and
+        physical (visible to ``peek``/scrub), but it is *not* a
+        construction write — ``table.writes`` stays untouched, exactly
+        as a radiation upset would leave it.
+        """
+        self._require_injector()
+        row, col = divmod(int(inner_flat), self.table.s)
+        if not (0 <= int(replica) < self.replicas
+                and 0 <= row < self._inner_rows):
+            raise ParameterError(
+                f"cell {inner_flat} of replica {replica} out of range"
+            )
+        outer = self.replica_row(replica, row)
+        self.table._cells[outer, col] ^= np.uint64(mask)
+
+    def stick_cells(
+        self, replica: int, inner_flats: np.ndarray, values: np.ndarray
+    ) -> None:
+        """Make cells of ``replica`` stuck-at ``values`` (chaos event)."""
+        injector = self._require_injector()
+        inner_flats = np.asarray(inner_flats, dtype=np.int64)
+        outer_flats = (
+            int(replica) * self._inner_rows * self.table.s + inner_flats
+        )
+        injector.stick(outer_flats, np.asarray(values, dtype=np.uint64))
 
     # -- queries -----------------------------------------------------------------
 

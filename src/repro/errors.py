@@ -138,6 +138,49 @@ class OverloadError(ServeError):
         )
 
 
+class DegradedModeError(ServeError):
+    """A low-priority request was shed because the service is degraded.
+
+    Distinct from :class:`OverloadError`: the service is *not* at full
+    capacity, but healthy capacity has dropped (replicas quarantined or
+    rebuilding) and admission control sheds low-priority traffic first
+    to protect the requests that matter.  Carries the observed queue
+    ``depth``, the reduced ``effective_capacity``, and the healthy
+    capacity ``fraction`` in (0, 1].
+    """
+
+    def __init__(self, depth: int, effective_capacity: int, fraction: float):
+        self.depth = int(depth)
+        self.effective_capacity = int(effective_capacity)
+        self.fraction = float(fraction)
+        super().__init__(
+            f"service degraded to {self.fraction:.0%} healthy capacity: "
+            f"low-priority request shed at depth {self.depth} "
+            f"(effective capacity {self.effective_capacity})"
+        )
+
+
+class HealError(ServeError):
+    """The self-healing layer was misused or cannot make progress.
+
+    Raised, e.g., when healing is enabled on a service whose dictionaries
+    carry no fault-injection layer to crash/revive replicas through, or
+    when a scrub/rebuild is asked to vote with fewer than the strict
+    majority of trusted replicas it needs.
+    """
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint or cache location is unusable (not a directory, not
+    writable, or otherwise broken in a way that cannot degrade to a
+    recompute).
+
+    Individual corrupt/truncated checkpoint *files* still degrade to a
+    warning and a recompute; this error is for the directory itself so
+    the CLI can exit with a one-line message instead of a traceback.
+    """
+
+
 class TelemetryError(ReproError, RuntimeError):
     """The :mod:`repro.telemetry` layer was misused or misconfigured.
 

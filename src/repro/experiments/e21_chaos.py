@@ -1,0 +1,349 @@
+"""E21 — chaos steady-state: the serve stack heals itself correctly.
+
+A healing-enabled service (5 replicas, random routing, verified
+dispatch) is driven through a seeded chaos schedule — silent bit flips
+on one replica, stuck-at cells on another, a full crash of a third,
+and a hot-key contention spike — under open-loop load.  The claims:
+
+1. **Zero wrong answers.**  Verified dispatch (a witness replica
+   re-answers every routed group, disagreements settled by
+   cross-replica majority vote) and the canary re-admission gate mean
+   no completed request ever carries a wrong answer, through every
+   fault.
+2. **No quarantine leaks.**  Once a replica's health machine leaves
+   the serving states, no routed dispatch reaches it (the circuit
+   breaker and the machine agree); only probe-budgeted canary queries
+   — charged to the repair counter, never the query counter — touch
+   it before re-admission.
+3. **Every corruption is repaired.**  After healing quiesces, every
+   replica re-admitted to rotation holds *exactly* the originally
+   built table bytes (bit flips scrubbed, the crashed replica rebuilt
+   from surviving majorities); the stuck-at replica is diagnosed
+   incorrigible and permanently quarantined.
+4. **Contention stays enveloped.**  Per-cell query-path probe counts
+   inside windows where the live set is constant match the
+   Binomial(Q, Φ_t) law at the *surviving* replica count: marginal
+   ``2/|live|`` per live replica (the factor 2 is verified dispatch),
+   **exactly zero** on quarantined replicas' cells — the paper's
+   Θ(1/R) replication price, degrading gracefully to Θ(1/R′) and
+   restored by healing.
+5. **Bounded recovery.**  Both healable faults (the corrupted and the
+   crashed replica) complete quarantine → repair → canary → healthy
+   within the run, with recorded MTTR.
+
+Everything — fault times, damaged cells, workload, healing RNG — is a
+deterministic function of ``seed``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.contention import exact_contention
+from repro.distributions import MixtureDistribution, PointMass
+from repro.experiments.common import make_instance, uniform_distribution
+from repro.faults import FaultConfig
+from repro.io.results import ExperimentResult
+from repro.serve import (
+    ChaosEvent,
+    ChaosSchedule,
+    HealthConfig,
+    build_service,
+    run_chaos,
+)
+from repro.serve.chaos import require_armed
+from repro.telemetry import TelemetryHub
+from repro.utils.rng import as_generator
+
+CLAIM = (
+    "Under a seeded chaos schedule of crashes, bit flips, stuck-at "
+    "cells, and contention spikes, the self-healing serve stack serves "
+    "zero wrong answers, routes zero queries to quarantined replicas, "
+    "repairs every corruption (rebuilding the crashed replica from "
+    "surviving majorities), and keeps per-cell probe loads inside the "
+    "exact Binomial(Q, Phi_t) envelope at the surviving replica count, "
+    "with bounded recovery time."
+)
+
+#: One-sided z allowance above the max-of-Gaussians correction.
+SIGMA = 4.0
+
+
+def _window_check(d, phi_total, snap_a, snap_b, label):
+    """Check one window's per-cell counts against the live-set envelope.
+
+    ``phi_total`` is the exact per-cell total contention of the
+    replicated structure under uniform-over-R routing (the 1/R marginal
+    folded in).  Inside the window the router is uniform over the
+    ``live`` set L with verified dispatch, so a live replica's cell is
+    probed per query with probability ``phi * R * 2/|L|`` and a
+    quarantined replica's cell with probability exactly 0.
+    """
+    live_a = set(snap_a["live"][0])
+    live_b = set(snap_b["live"][0])
+    queries = snap_b["completed"] - snap_a["completed"]
+    counts = snap_b["cell_counts"] - snap_a["cell_counts"]
+    row = {
+        "part": label,
+        "queries": int(queries),
+        "live": ",".join(str(r) for r in sorted(live_a)),
+        "live_stable": live_a == live_b,
+    }
+    if live_a != live_b or queries <= 0:
+        row.update(tested=0, max_z=float("nan"), threshold=float("nan"),
+                   dead_probes=-1, ok=False)
+        return row
+    block = d.inner_rows * d.table.s
+    p = np.zeros_like(phi_total)
+    factor = d.replicas * 2.0 / len(live_a)
+    for r in sorted(live_a):
+        p[r * block:(r + 1) * block] = (
+            phi_total[r * block:(r + 1) * block] * factor
+        )
+    dead = np.ones(p.size, dtype=bool)
+    for r in sorted(live_a):
+        dead[r * block:(r + 1) * block] = False
+    dead_probes = int(counts[dead].sum())
+    expected = queries * p
+    testable = expected >= 10.0
+    tested = int(np.count_nonzero(testable))
+    if tested == 0:
+        row.update(tested=0, max_z=0.0, threshold=float("nan"),
+                   dead_probes=dead_probes, ok=dead_probes == 0)
+        return row
+    threshold = SIGMA + math.sqrt(2.0 * math.log(tested))
+    sd = np.sqrt(expected * np.clip(1.0 - p, 0.1, 1.0))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(testable, (counts - expected) / sd, 0.0)
+    max_z = float(z.max())
+    row.update(
+        tested=tested,
+        max_z=round(max_z, 2),
+        threshold=round(threshold, 2),
+        dead_probes=dead_probes,
+        ok=bool(max_z <= threshold and dead_probes == 0),
+    )
+    return row
+
+
+def _window_quiet(manager, start, end):
+    """No health transition fell strictly inside the window."""
+    for machine in manager.machines.values():
+        for time, _, _, _ in machine.transitions:
+            if start < time < end:
+                return False
+    return True
+
+
+def _hot_cells(service, dist, count, rng):
+    """Inner flat cells with the highest exact contention (detectable)."""
+    d = service.shards[0]
+    phi_total = exact_contention(d, dist).phi.sum(axis=0)
+    block = d.inner_rows * d.table.s
+    inner = phi_total[:block]  # replica blocks are identical by symmetry
+    order = np.argsort(inner)[::-1]
+    top = order[: max(count * 4, count)]
+    picks = rng.permutation(top)[:count]
+    return np.sort(picks.astype(np.int64)), phi_total
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """Run the experiment; ``fast`` shrinks ladders, ``seed`` fixes RNG."""
+    n = 96 if fast else 160
+    replicas = 5
+    requests = 4000 if fast else 9000
+    rate = 64.0
+    horizon = requests / rate
+    keys, N = make_instance(n, seed)
+    # Skewed workload: four hot member keys carry 5% of the mass each
+    # on top of a uniform base.  The skew concentrates contention so
+    # hot cells clear the envelope's expected>=10 testability bar at
+    # this scale, and makes corruption query-visible fast.
+    base = uniform_distribution(keys, N, 0.5)
+    hot_keys = [int(k) for k in keys[:4]]
+    dist = MixtureDistribution(
+        [PointMass(N, k) for k in hot_keys] + [base],
+        [0.05] * 4 + [0.8],
+    )
+    rng = as_generator(seed + 3)
+
+    service = build_service(
+        keys, N, num_shards=1, replicas=replicas, router="random",
+        max_batch=32, max_delay=0.25, capacity=1024,
+        faults=FaultConfig(armed=True), seed=seed + 1,
+    )
+    require_armed(service)
+    service.attach_telemetry(TelemetryHub(metrics=True))
+    # One background-scrub row per tick: slow enough that query-visible
+    # corruption is detected and quarantined before the scrubber can
+    # silently repair it (the quarantine -> scrub -> canary path is the
+    # one under test); rebuild in small chunks gives a measurable MTTR.
+    manager = service.enable_healing(
+        config=HealthConfig(scrub_rows_per_chunk=1, rebuild_rows_per_chunk=4),
+        seed=seed + 2,
+    )
+    d = service.shards[0]
+    reference = np.array(d.inner.table._cells, copy=True)
+
+    # Bit flips hit *every* cell of replica 1's block, so the first
+    # verified dispatch touching the replica detects the corruption;
+    # stuck-at damage lands on high-contention cells.
+    block = d.inner_rows * d.table.s
+    flip_cells = np.arange(block, dtype=np.int64)
+    flip_masks = rng.integers(1, 1 << 63, size=flip_cells.size, dtype=np.uint64)
+    _, phi_total = _hot_cells(service, dist, 4, rng)
+    stick_cells = _hot_cells(service, dist, 2, rng)[0]
+    stick_values = rng.integers(0, 1 << 63, size=stick_cells.size, dtype=np.uint64)
+    T = horizon
+    schedule = ChaosSchedule(
+        events=[
+            ChaosEvent(
+                time=0.22 * T, kind="corrupt", replica=1,
+                cells=tuple(int(c) for c in flip_cells),
+                masks=tuple(int(m) for m in flip_masks),
+            ),
+            ChaosEvent(
+                time=0.28 * T, kind="stick", replica=2,
+                cells=tuple(int(c) for c in stick_cells),
+                values=tuple(int(v) for v in stick_values),
+            ),
+            ChaosEvent(time=0.50 * T, kind="crash", replica=3),
+            ChaosEvent(time=0.58 * T, kind="spike-start"),
+            ChaosEvent(time=0.66 * T, kind="spike-end"),
+        ],
+        horizon=T,
+    )
+    spike_dist = MixtureDistribution(
+        [PointMass(N, int(keys[0])), dist], [0.5, 0.5]
+    )
+    marks = (
+        0.02 * T, 0.20 * T,  # window A: all replicas healthy
+        0.74 * T, 0.86 * T,  # window B: reduced live set, post-heal
+        0.87 * T, 0.98 * T,  # window C: steady state at reduced R
+    )
+    report = run_chaos(
+        service, dist, schedule, requests, rate, seed=seed + 4,
+        expected_keys=keys, spike_dist=spike_dist,
+        high_priority_fraction=0.25, marks=marks,
+    )
+
+    rows: list[dict] = []
+    rows.append({
+        "part": "run",
+        "requested": report.requested,
+        "completed": report.completed,
+        "shed": report.shed,
+        "degraded_shed": report.degraded_shed,
+        "wrong_answers": report.wrong_answers,
+        "events": report.events_applied,
+        "heal_ticks": report.heal_ticks,
+        "violations": manager.violations,
+    })
+
+    # -- healing outcome ---------------------------------------------------------
+    states = report.final_states
+    stuck_quarantined = (
+        states.get("0/2") == "quarantined"
+        and manager.machines[(0, 2)].incorrigible
+    )
+    healed = [r for r in (1, 3) if states.get(f"0/{r}") == "healthy"]
+    repaired_ok = all(
+        np.array_equal(
+            d.table._cells[r * d.inner_rows:(r + 1) * d.inner_rows],
+            reference,
+        )
+        for r in range(replicas)
+        if states.get(f"0/{r}") == "healthy"
+    )
+    mttr = report.mttr
+    rows.append({
+        "part": "healing",
+        "states": " ".join(f"{k}={v}" for k, v in sorted(states.items())),
+        "stuck_replica_quarantined": stuck_quarantined,
+        "healed_replicas": ",".join(str(r) for r in healed),
+        "repaired_byte_exact": repaired_ok,
+        "corrupt_replica_quarantined": any(
+            target == "quarantined"
+            for _, _, target, _ in manager.machines[(0, 1)].transitions
+        ),
+        "recoveries": len(mttr),
+        "mttr_max": round(max(mttr), 2) if mttr else 0.0,
+        "cells_repaired": manager.stats.cells_repaired,
+        "stuck_cells": manager.stats.stuck_cells,
+        "rows_rebuilt": manager.stats.rows_rebuilt,
+        "canary_queries": manager.stats.canary_queries,
+        "repair_probes": manager.stats.repair_probes,
+    })
+
+    # -- envelope windows --------------------------------------------------------
+    snaps = report.snapshots
+    windows = [
+        ("A:healthy-R5", snaps[0], snaps[1]),
+        ("B:reduced-R", snaps[2], snaps[3]),
+        ("C:steady-state", snaps[4], snaps[5]),
+    ]
+    window_rows = []
+    for label, a, b in windows:
+        row = _window_check(d, phi_total, a, b, label)
+        row["quiet"] = _window_quiet(manager, a["time"], b["time"])
+        window_rows.append(row)
+        rows.append(row)
+
+    envelope_ok = all(r["ok"] and r["quiet"] for r in window_rows)
+    reduced = window_rows[1]["live"].count(",") + 1 if window_rows[1]["live"] else 0
+    mttr_ok = len(mttr) >= 2 and max(mttr) <= report.duration
+    # The corrupted replica must have travelled the full quarantine ->
+    # repair -> canary arc (not been silently patched by the scrubber).
+    corrupt_arc = any(
+        target == "quarantined"
+        for _, _, target, _ in manager.machines[(0, 1)].transitions
+    )
+    passed = (
+        report.wrong_answers == 0
+        and manager.violations == 0
+        and stuck_quarantined
+        and sorted(healed) == [1, 3]
+        and corrupt_arc
+        and repaired_ok
+        and envelope_ok
+        and mttr_ok
+    )
+    return ExperimentResult(
+        experiment_id="E21",
+        title="Chaos steady-state: self-healing under crashes, "
+        "corruption, stuck cells, and contention spikes",
+        claim=CLAIM,
+        rows=rows,
+        finding=(
+            f"{report.completed} of {report.requested} requests "
+            f"completed with {report.wrong_answers} wrong answers and "
+            f"{manager.violations} dispatches to quarantined replicas. "
+            f"The bit-flipped replica and the crashed replica both "
+            f"healed (quarantine -> repair -> canary -> healthy, "
+            f"{len(mttr)} recoveries, max MTTR "
+            f"{round(max(mttr), 2) if mttr else 0.0} time units); "
+            f"re-admitted replicas hold byte-exact rebuilt tables "
+            f"({'yes' if repaired_ok else 'NO'}). The stuck-at replica "
+            f"was diagnosed incorrigible and stays quarantined "
+            f"({'yes' if stuck_quarantined else 'NO'}). Per-cell loads "
+            f"stayed inside the Binomial(Q, Phi_t) envelope in all "
+            f"three constant-live-set windows (healthy R=5, then "
+            f"R'={reduced}), with zero probes on quarantined blocks. "
+            f"Overall: {'PASS' if passed else 'FAIL'}."
+        ),
+        notes=(
+            "Verified dispatch doubles the per-replica marginal to "
+            "2/|live| (primary + witness), which the envelope accounts "
+            "for; canary, scrub, and rebuild probes are charged to the "
+            "per-shard repair counter and never appear in the "
+            "query-path counts the envelope is stated over. Bit flips "
+            "cover the victim's whole block so detection is "
+            "query-visible on the first verified dispatch touching it; "
+            "stuck-at damage lands on high-contention cells and is "
+            "diagnosed by scrub-repair re-divergence. The background "
+            "scrubber bounds detection for cold damage at one full "
+            "pass either way."
+        ),
+    )

@@ -56,7 +56,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.errors import ExperimentFailureError, ParameterError
+from repro.errors import CheckpointError, ExperimentFailureError, ParameterError
 from repro.experiments.cache import configure_cache
 from repro.experiments.registry import EXPERIMENTS, run_experiment
 from repro.io.results import ExperimentResult
@@ -64,6 +64,30 @@ from repro.io.results import ExperimentResult
 #: Bumped when the checkpoint JSON layout changes; older files are
 #: treated as missing (recomputed), never misread.
 CHECKPOINT_VERSION = 1
+
+
+def _ensure_directory(kind: str, value) -> pathlib.Path:
+    """Validate a user-supplied directory path up front.
+
+    Raises :class:`~repro.errors.CheckpointError` (a typed
+    :class:`~repro.errors.ReproError`) when the path is an existing
+    file, has a file where a parent directory should be, or cannot be
+    created — so the CLI reports one line and exits 2 instead of
+    leaking an ``OSError`` traceback from deep inside a worker.
+    """
+    path = pathlib.Path(value)
+    try:
+        path.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise CheckpointError(
+            f"{kind} {str(path)!r} is not a usable directory "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
+    if not path.is_dir():
+        raise CheckpointError(
+            f"{kind} {str(path)!r} is not a usable directory"
+        )
+    return path
 
 
 def normalize_ids(ids: Iterable[str] | str) -> list[str]:
@@ -162,7 +186,10 @@ def run_experiments(
         raise ParameterError("retries must be >= 0")
     if timeout is not None and timeout <= 0:
         raise ParameterError("timeout must be positive")
+    if checkpoint_dir is not None:
+        _ensure_directory("checkpoint directory", checkpoint_dir)
     if cache_dir is not None:
+        _ensure_directory("cache directory", cache_dir)
         configure_cache(cache_dir=cache_dir)
     resilient = (
         timeout is not None
@@ -216,7 +243,6 @@ def save_checkpoint(
 ) -> None:
     """Atomically persist a completed result for later resume."""
     path = checkpoint_path(checkpoint_dir, eid, fast, seed)
-    path.parent.mkdir(parents=True, exist_ok=True)
     blob = json.dumps(
         {
             "version": CHECKPOINT_VERSION,
@@ -228,8 +254,15 @@ def save_checkpoint(
         indent=2,
     )
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
-    tmp.write_text(blob)
-    os.replace(tmp, path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(blob)
+        os.replace(tmp, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {path} "
+            f"({type(exc).__name__}: {exc})"
+        ) from exc
 
 
 def load_checkpoint(
@@ -407,6 +440,7 @@ def grid_map(
     if jobs < 1:
         raise ParameterError("jobs must be >= 1")
     if cache_dir is not None:
+        _ensure_directory("cache directory", cache_dir)
         configure_cache(cache_dir=cache_dir)
     if jobs == 1 or len(points) <= 1:
         return [fn(p, s) for p, s in zip(points, seeds)]

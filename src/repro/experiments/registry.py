@@ -26,6 +26,7 @@ from repro.experiments import (
     e18_fault_tolerance,
     e19_serving,
     e20_telemetry,
+    e21_chaos,
 )
 from repro.io.results import ExperimentResult
 
@@ -50,6 +51,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E18": ("Fault tolerance via replication (robustness extension)", e18_fault_tolerance.run),
     "E19": ("Live serving validates Phi_t; contention-aware routing (serving extension)", e19_serving.run),
     "E20": ("Telemetry: zero-perturbation observation & live contention monitoring (observability extension)", e20_telemetry.run),
+    "E21": ("Chaos steady-state: self-healing under crashes, corruption, and spikes (robustness extension)", e21_chaos.run),
 }
 
 

@@ -83,6 +83,11 @@ class FaultConfig:
     seed:
         Seeds both the up-front fault placement and the transient-flip
         stream; identical configs inject identical faults.
+    armed:
+        Materialize the fault layer even when every rate is zero and no
+        replica is crashed up front.  This is how chaos schedules work:
+        the run *starts* healthy but the injector must exist so crashes
+        and stuck cells can be injected dynamically mid-run.
     """
 
     stuck_rate: float = 0.0
@@ -92,6 +97,7 @@ class FaultConfig:
     faulty_replicas: tuple[int, ...] | None = None
     faulty_rows: tuple[int, ...] | None = None
     seed: int = 0
+    armed: bool = False
 
     def __post_init__(self):
         check_probability("stuck_rate", self.stuck_rate)
@@ -114,12 +120,13 @@ class FaultConfig:
 
     @property
     def enabled(self) -> bool:
-        """Whether this config injects anything at all."""
+        """Whether this config materializes a fault layer at all."""
         return bool(
             self.stuck_rate > 0.0
             or self.flip_rate > 0.0
             or self.crash_rate > 0.0
             or self.crashed_replicas
+            or self.armed
         )
 
 
@@ -252,6 +259,42 @@ class FaultInjector:
             and int(self._stuck_cells[i]) == int(flat_cell)
         )
 
+    # -- dynamic fault injection (chaos schedules) --------------------------------
+
+    def crash(self, replica: int) -> None:
+        """Crash ``replica`` now (chaos event); idempotent."""
+        r = int(replica)
+        if not 0 <= r < self.replicas:
+            raise ValueError(f"replica {r} out of range [0, {self.replicas})")
+        self.crashed = frozenset(self.crashed | {r})
+
+    def revive(self, replica: int) -> None:
+        """Bring ``replica`` back (after a rebuild); idempotent."""
+        self.crashed = frozenset(self.crashed - {int(replica)})
+
+    def stick(self, flat_cells: np.ndarray, values: np.ndarray) -> None:
+        """Make ``flat_cells`` stuck-at ``values`` from now on (chaos event).
+
+        New cells merge into the sorted stuck set; a cell already stuck
+        keeps its original value (first damage wins).
+        """
+        flat_cells = np.asarray(flat_cells, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint64)
+        if flat_cells.shape != values.shape:
+            raise ValueError("flat_cells and values must have the same shape")
+        if flat_cells.size == 0:
+            return
+        if flat_cells.min() < 0 or flat_cells.max() >= self.rows * self.s:
+            raise ValueError("stuck cell index out of range")
+        cells = np.concatenate([self._stuck_cells, flat_cells])
+        vals = np.concatenate([self._stuck_values, values])
+        order = np.argsort(cells, kind="stable")
+        cells, vals = cells[order], vals[order]
+        keep = np.ones(cells.size, dtype=bool)
+        keep[1:] = cells[1:] != cells[:-1]
+        self._stuck_cells = cells[keep]
+        self._stuck_values = vals[keep]
+
     # -- corruption --------------------------------------------------------------
 
     def corrupt(self, row: int, column: int, value: int) -> int:
@@ -360,6 +403,25 @@ class FaultyTable:
             i = int(np.searchsorted(self._injector._stuck_cells, flat))
             return int(self._injector._stuck_values[i])
         return value
+
+    def peek_row(self, row: int) -> np.ndarray:
+        """Uncharged whole-row read showing stuck-at damage (no flips).
+
+        This is what the scrubber and rebuilder vote over: persistent
+        damage is visible, transient read noise is not re-rolled, and no
+        probe lands on the query-path counter.
+        """
+        values = np.array(self._inner.peek_row(row), dtype=np.uint64, copy=True)
+        inj = self._injector
+        if inj._stuck_cells.size:
+            flats = (self._offset + row) * self.s + np.arange(
+                self.s, dtype=np.int64
+            )
+            idx = np.searchsorted(inj._stuck_cells, flats)
+            idx_c = np.minimum(idx, inj._stuck_cells.size - 1)
+            stuck = inj._stuck_cells[idx_c] == flats
+            values[stuck] = inj._stuck_values[idx_c[stuck]]
+        return values
 
     def flat_index(self, row: int, column: int) -> int:
         """Flat cell index, delegated to the wrapped table."""

@@ -17,24 +17,46 @@ running replica fleet actually experiences):
   on injected replica crashes;
 - :mod:`~repro.serve.client` — deterministic virtual-time load
   generation (open/closed loop) with latency and load reporting;
-- :mod:`~repro.serve.asyncio_server` — the wall-clock asyncio shell.
+- :mod:`~repro.serve.asyncio_server` — the wall-clock asyncio shell;
+- :mod:`~repro.serve.health` — the self-healing layer: per-replica
+  health state machines, circuit-breaker canaries, scrub/rebuild
+  orchestration, and priority-aware graceful degradation;
+- :mod:`~repro.serve.chaos` — seeded randomized fault schedules and
+  the chaos driver validating steady-state healing (experiment E21).
 
 Experiment E19 validates the stack end-to-end: measured per-cell load
 under live random routing matches exact Φ_t within sampling error, and
-least-loaded routing beats round-robin on Zipf workloads.
+least-loaded routing beats round-robin on Zipf workloads.  E21 runs
+the chaos schedule against the healing stack: zero wrong answers,
+bounded MTTR, and per-cell loads inside the Binomial envelope at the
+surviving replica count.
 """
 
 from repro.serve.admission import AdmissionController
 from repro.serve.asyncio_server import AsyncDictionaryServer, serve_forever
 from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.chaos import (
+    ChaosEvent,
+    ChaosReport,
+    ChaosSchedule,
+    run_chaos,
+)
 from repro.serve.client import (
     LoadReport,
     run_closed_loop,
     run_loadgen,
     run_open_loop,
 )
+from repro.serve.health import (
+    HEALTH_STATES,
+    HealthConfig,
+    HealthManager,
+    ReplicaHealth,
+)
 from repro.serve.router import (
+    BREAKER_STATES,
     ROUTERS,
+    CircuitBreaker,
     LeastLoadedRouter,
     RandomRouter,
     RoundRobinRouter,
@@ -51,12 +73,21 @@ from repro.serve.service import (
 __all__ = [
     "AdmissionController",
     "AsyncDictionaryServer",
+    "BREAKER_STATES",
     "Batch",
+    "ChaosEvent",
+    "ChaosReport",
+    "ChaosSchedule",
+    "CircuitBreaker",
+    "HEALTH_STATES",
+    "HealthConfig",
+    "HealthManager",
     "LeastLoadedRouter",
     "LoadReport",
     "MicroBatcher",
     "ROUTERS",
     "RandomRouter",
+    "ReplicaHealth",
     "RoundRobinRouter",
     "Router",
     "ServiceStats",
@@ -64,6 +95,7 @@ __all__ = [
     "Ticket",
     "build_service",
     "make_router",
+    "run_chaos",
     "run_closed_loop",
     "run_loadgen",
     "run_open_loop",

@@ -12,11 +12,24 @@ Shedding raises the typed :class:`~repro.errors.OverloadError` carrying
 the observed depth and the configured capacity, so clients can
 implement informed backoff; the controller keeps lifetime counters for
 the loadgen / experiment tables.
+
+**Graceful degradation** (driven by the self-healing layer): when
+healthy capacity drops — replicas quarantined, crashed, or rebuilding —
+the health manager calls :meth:`AdmissionController.set_degraded` with
+the surviving capacity fraction.  Low-priority requests are then shed
+at the *effective* capacity (``capacity * fraction``) with the typed
+:class:`~repro.errors.DegradedModeError`, while high-priority requests
+keep the full queue — the service protects the traffic that matters
+instead of degrading uniformly.  With ``fraction == 1.0`` (the default,
+and whenever every replica is healthy) the degraded path is never
+entered and admission behaves byte-identically to the seed controller.
 """
 
 from __future__ import annotations
 
-from repro.errors import OverloadError, ParameterError
+import math
+
+from repro.errors import DegradedModeError, OverloadError, ParameterError
 from repro.telemetry.events import BUS, AdmissionEvent
 from repro.utils.validation import check_positive_integer
 
@@ -30,9 +43,38 @@ class AdmissionController:
         self.admitted = 0
         self.shed = 0
         self.peak_in_flight = 0
+        self.degraded_fraction = 1.0
+        self.degraded_shed = 0
 
-    def admit(self) -> None:
-        """Admit one request or shed it with :class:`OverloadError`."""
+    def set_degraded(self, fraction: float) -> None:
+        """Set the healthy-capacity fraction in ``(0, 1]``.
+
+        ``1.0`` restores full admission; anything lower sheds
+        low-priority requests beyond :attr:`effective_capacity`.
+        """
+        fraction = float(fraction)
+        if not 0.0 < fraction <= 1.0:
+            raise ParameterError(
+                f"degraded fraction must be in (0, 1], got {fraction}"
+            )
+        self.degraded_fraction = fraction
+
+    @property
+    def effective_capacity(self) -> int:
+        """The low-priority admission bound under degradation."""
+        return max(1, int(math.floor(self.capacity * self.degraded_fraction)))
+
+    def admit(self, priority: int = 0) -> None:
+        """Admit one request or shed it with a typed error.
+
+        At full queue every request sheds with
+        :class:`~repro.errors.OverloadError`.  Under degradation
+        (fraction < 1), requests with ``priority <= 0`` additionally
+        shed at :attr:`effective_capacity` with
+        :class:`~repro.errors.DegradedModeError` — a distinct type, so
+        clients can tell "the service is full" from "the service is
+        wounded and triaging".
+        """
         if self.in_flight >= self.capacity:
             self.shed += 1
             if BUS.active:
@@ -41,6 +83,22 @@ class AdmissionController:
                     capacity=self.capacity,
                 ))
             raise OverloadError(self.in_flight, self.capacity)
+        if (
+            self.degraded_fraction < 1.0
+            and int(priority) <= 0
+            and self.in_flight >= self.effective_capacity
+        ):
+            self.shed += 1
+            self.degraded_shed += 1
+            if BUS.active:
+                BUS.emit(AdmissionEvent(
+                    admitted=False, depth=self.in_flight,
+                    capacity=self.effective_capacity,
+                ))
+            raise DegradedModeError(
+                self.in_flight, self.effective_capacity,
+                self.degraded_fraction,
+            )
         self.in_flight += 1
         self.admitted += 1
         self.peak_in_flight = max(self.peak_in_flight, self.in_flight)
@@ -70,6 +128,7 @@ class AdmissionController:
         return {
             "admitted": self.admitted,
             "shed": self.shed,
+            "degraded_shed": self.degraded_shed,
             "peak_in_flight": self.peak_in_flight,
         }
 

@@ -24,7 +24,11 @@ Routers also own replica *health*: the service marks a replica down
 when dispatch raises
 :class:`~repro.errors.ReplicaUnavailableError`, and every policy
 reweights onto the surviving replicas (the PR 2 fault-layer
-composition).
+composition).  Each replica's availability is a per-replica
+:class:`CircuitBreaker` — ``mark_down`` opens it, ``mark_up`` closes
+it, and the healing layer half-opens it with a probe budget so canary
+queries (and *only* canary queries, charged to the repair counter) can
+reach a quarantined replica before it rejoins the rotation.
 """
 
 from __future__ import annotations
@@ -41,6 +45,59 @@ from repro.utils.validation import check_positive_integer
 #: Router names accepted by :func:`make_router` / the CLI.
 ROUTERS = ("least-loaded", "round-robin", "random")
 
+#: Circuit breaker states (classic vocabulary).
+BREAKER_STATES = ("closed", "open", "half-open")
+
+
+class CircuitBreaker:
+    """Per-replica availability gate with a canary probe budget.
+
+    ``closed`` — traffic flows.  ``open`` — no traffic (quarantined or
+    crashed).  ``half-open`` — no *routed* traffic, but the healing
+    layer may spend up to ``canary_budget`` probes of canary queries
+    against the replica before deciding to close (healthy again) or
+    re-open (still broken).  Routers treat anything not ``closed`` as
+    down; the half-open budget is what bounds how many probes a
+    recovering replica can ever see outside normal rotation.
+    """
+
+    __slots__ = ("replica", "state", "canary_budget", "opens")
+
+    def __init__(self, replica: int):
+        self.replica = int(replica)
+        self.state = "closed"
+        self.canary_budget = 0
+        self.opens = 0
+
+    def open(self) -> None:
+        """Stop all traffic to the replica."""
+        if self.state != "open":
+            self.opens += 1
+        self.state = "open"
+        self.canary_budget = 0
+
+    def half_open(self, budget: int) -> None:
+        """Admit canary probes only, up to ``budget`` of them."""
+        if budget < 1:
+            raise ParameterError("canary budget must be >= 1")
+        self.state = "half-open"
+        self.canary_budget = int(budget)
+
+    def close(self) -> None:
+        """Restore normal traffic."""
+        self.state = "closed"
+        self.canary_budget = 0
+
+    def spend(self, probes: int) -> int:
+        """Charge ``probes`` canaries against the half-open budget."""
+        self.canary_budget = max(0, self.canary_budget - int(probes))
+        return self.canary_budget
+
+    @property
+    def allows_traffic(self) -> bool:
+        """Whether routed (non-canary) traffic may reach the replica."""
+        return self.state == "closed"
+
 
 class Router(abc.ABC):
     """Assigns each request of a batch to a live replica."""
@@ -50,28 +107,41 @@ class Router(abc.ABC):
 
     def __init__(self, replicas: int):
         self.replicas = check_positive_integer("replicas", replicas)
-        self._down: set[int] = set()
+        self.breakers = [CircuitBreaker(r) for r in range(self.replicas)]
 
     # -- health ------------------------------------------------------------------
 
     @property
     def live(self) -> list[int]:
         """Replica indices currently believed healthy (sorted)."""
-        return [r for r in range(self.replicas) if r not in self._down]
+        return [
+            r for r in range(self.replicas)
+            if self.breakers[r].allows_traffic
+        ]
 
     def mark_down(self, replica: int) -> None:
-        """Record a replica as crashed; future assignments skip it."""
-        self._down.add(int(replica))
+        """Open the replica's breaker; future assignments skip it."""
+        self.breakers[int(replica)].open()
         if BUS.active:
             BUS.emit(ReplicaHealthEvent(replica=int(replica), up=False))
         if not self.live:
             raise FaultExhaustedError(self.replicas)
 
     def mark_up(self, replica: int) -> None:
-        """Return a replica to the rotation."""
-        self._down.discard(int(replica))
+        """Close the replica's breaker, returning it to the rotation."""
+        self.breakers[int(replica)].close()
         if BUS.active:
             BUS.emit(ReplicaHealthEvent(replica=int(replica), up=True))
+
+    def half_open(self, replica: int, budget: int) -> CircuitBreaker:
+        """Half-open the replica's breaker for ``budget`` canary probes."""
+        breaker = self.breakers[int(replica)]
+        breaker.half_open(budget)
+        return breaker
+
+    def breaker_state(self, replica: int) -> str:
+        """The replica's breaker state (see :data:`BREAKER_STATES`)."""
+        return self.breakers[int(replica)].state
 
     # -- assignment --------------------------------------------------------------
 

@@ -38,8 +38,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.dictionaries.replicated import ReplicatedDictionary
+from repro.dictionaries.replicated import (
+    _REPLICA_FAILURES,
+    ReplicatedDictionary,
+)
 from repro.errors import (
+    DegradedModeError,
     OverloadError,
     ParameterError,
     QueryError,
@@ -69,6 +73,9 @@ class Ticket:
     completion: float | None = None
     answer: bool | None = None
     replica: int | None = None
+    #: Degradation class: requests with ``priority <= 0`` are shed first
+    #: when the healing layer reports reduced healthy capacity.
+    priority: int = 0
 
     @property
     def done(self) -> bool:
@@ -183,10 +190,30 @@ class ShardedDictionaryService:
         #: Optional :class:`~repro.telemetry.hub.TelemetryHub`; every
         #: call site is guarded so ``None`` runs the seed code path.
         self.telemetry = None
+        #: Optional :class:`~repro.serve.health.HealthManager`; every
+        #: call site is guarded so ``None`` runs the seed code path.
+        self.health = None
 
     def attach_telemetry(self, hub) -> None:
         """Attach a :class:`~repro.telemetry.hub.TelemetryHub` (or None)."""
         self.telemetry = hub
+
+    def enable_healing(self, config=None, seed=0):
+        """Attach and return a :class:`~repro.serve.health.HealthManager`.
+
+        Turns on the self-healing layer: per-replica health state
+        machines, circuit-breaker canaries, background cell scrubbing,
+        replica rebuild, verified dispatch, and priority-aware graceful
+        degradation.  Never calling this leaves every healing call site
+        behind ``self.health is None`` — the seed code path,
+        byte-identical probe accounting included.
+        """
+        # Imported here: repro.serve.health imports the dictionary layer,
+        # and keeping service importable without it preserves layering.
+        from repro.serve.health import HealthManager
+
+        self.health = HealthManager(self, config=config, seed=seed)
+        return self.health
 
     # -- keyspace ----------------------------------------------------------------
 
@@ -203,25 +230,31 @@ class ShardedDictionaryService:
 
     # -- request path ------------------------------------------------------------
 
-    def submit(self, x: int, now: float) -> Ticket:
+    def submit(self, x: int, now: float, priority: int = 0) -> Ticket:
         """Admit one request at virtual time ``now``.
 
         Raises :class:`~repro.errors.OverloadError` when admission
-        control sheds the request.  The returned ticket may already be
-        ``done`` if its arrival flushed a full batch.
+        control sheds the request, or
+        :class:`~repro.errors.DegradedModeError` when the service is
+        degraded and the request's ``priority`` is non-positive.  The
+        returned ticket may already be ``done`` if its arrival flushed
+        a full batch.
         """
         shard = self.shard_of(x)
         hub = self.telemetry
         try:
-            self.admission.admit()
-        except OverloadError:
+            self.admission.admit(priority=priority)
+        except (OverloadError, DegradedModeError):
             if hub is not None:
                 hub.on_shed(
                     float(now), self.admission.in_flight,
                     self.admission.capacity,
                 )
             raise
-        ticket = Ticket(key=int(x), shard=shard, arrival=float(now))
+        ticket = Ticket(
+            key=int(x), shard=shard, arrival=float(now),
+            priority=int(priority),
+        )
         self.stats.submitted += 1
         if hub is not None:
             hub.on_request(ticket, float(now))
@@ -284,6 +317,8 @@ class ShardedDictionaryService:
         self.stats.completed += len(done)
         if hub is not None:
             hub.on_batch_done(shard, done, batch_span, service=self)
+        if self.health is not None:
+            self.health.tick(float(batch.flushed))
         if self.on_complete is not None and done:
             self.on_complete(done)
         return len(done)
@@ -329,6 +364,26 @@ class ShardedDictionaryService:
                     hub.on_failover(shard, replica, float(now), batch_span)
                 if BUS.active:
                     BUS.emit(FailoverEvent(shard=shard, replica=replica))
+                if self.health is not None:
+                    self.health.on_crash(shard, replica, float(now))
+                candidates = router.assign(1)
+                replica = int(candidates[0])
+                continue
+            except _REPLICA_FAILURES:
+                # Detectable corruption drove the query algorithm into
+                # an impossible state.  With healing on, quarantine the
+                # replica and retry elsewhere (the probes it already
+                # charged stay charged — honest accounting); without
+                # it, this stays the seed's hard error.
+                if self.health is None:
+                    raise
+                router.mark_down(replica)
+                self.stats.failovers += 1
+                if hub is not None:
+                    hub.on_failover(shard, replica, float(now), batch_span)
+                if BUS.active:
+                    BUS.emit(FailoverEvent(shard=shard, replica=replica))
+                self.health.on_corruption(shard, replica, float(now))
                 candidates = router.assign(1)
                 replica = int(candidates[0])
                 continue
@@ -347,10 +402,142 @@ class ShardedDictionaryService:
                 shard=shard, replica=replica, probes=probes,
                 start=start, finish=finish,
             ))
+        if self.health is not None:
+            self.health.note_dispatch(shard, replica, float(now))
+            answers = self._verify_group(
+                shard, dictionary, router, xs, sel, replica, answers,
+                now, batch_span,
+            )
         for pos, i in enumerate(sel):
             tickets[i].answer = bool(answers[pos])
             tickets[i].completion = finish
             tickets[i].replica = replica
+
+    def _query_group_on(
+        self, shard, dictionary, router, keys, replica, now, batch_span,
+    ) -> np.ndarray:
+        """One charged verification dispatch of ``keys`` to ``replica``."""
+        hub = self.telemetry
+        before = dictionary.table.counter.total_probes()
+        answers = dictionary.query_batch_on(keys, replica, self._rng)
+        probes = dictionary.table.counter.total_probes() - before
+        router.record(replica, probes)
+        self.stats.probes += probes
+        busy = self._busy_until[shard]
+        start = max(float(now), float(busy[replica]))
+        finish = start + probes * self.probe_time
+        busy[replica] = finish
+        if hub is not None:
+            hub.on_dispatch(shard, replica, probes, start, finish, batch_span)
+        if BUS.active:
+            BUS.emit(DispatchEvent(
+                shard=shard, replica=replica, probes=probes,
+                start=start, finish=finish,
+            ))
+        return answers
+
+    def _quarantine(
+        self, shard, router, replica, now, batch_span, crashed: bool,
+    ) -> None:
+        """Mark a replica down and tell the health manager why."""
+        hub = self.telemetry
+        if router.breaker_state(replica) == "closed":
+            router.mark_down(replica)
+        self.stats.failovers += 1
+        if hub is not None:
+            hub.on_failover(shard, replica, float(now), batch_span)
+        if BUS.active:
+            BUS.emit(FailoverEvent(shard=shard, replica=replica))
+        if crashed:
+            self.health.on_crash(shard, replica, float(now))
+        else:
+            self.health.on_corruption(shard, replica, float(now))
+
+    def _verify_group(
+        self,
+        shard: int,
+        dictionary: ReplicatedDictionary,
+        router: Router,
+        xs: np.ndarray,
+        sel: np.ndarray,
+        primary: int,
+        answers: np.ndarray,
+        now: float,
+        batch_span=None,
+    ) -> np.ndarray:
+        """Verified dispatch: a witness replica re-answers the group.
+
+        With healing enabled every routed group is independently
+        re-executed on a second uniformly random live replica (the
+        witness) — marginal per-replica load 2/|live| instead of
+        1/|live|, still within the Binomial envelope at the adjusted
+        rate.  Agreement (the overwhelmingly common case) returns the
+        primary's answers unchanged.  A disagreeing key triggers a
+        cross-replica majority vote; replicas voting against the
+        majority are quarantined, and the majority answers are what the
+        tickets see — a silently-corrupt replica never propagates a
+        wrong answer.
+        """
+        health = self.health
+        witness = health.pick_witness(shard, primary)
+        if witness is None:
+            return answers
+        keys = xs[sel]
+        try:
+            echoed = self._query_group_on(
+                shard, dictionary, router, keys, witness, now, batch_span,
+            )
+        except ReplicaUnavailableError:
+            self._quarantine(
+                shard, router, witness, now, batch_span, crashed=True,
+            )
+            return answers
+        except _REPLICA_FAILURES:
+            self._quarantine(
+                shard, router, witness, now, batch_span, crashed=False,
+            )
+            return answers
+        mismatch = np.nonzero(answers != echoed)[0]
+        if mismatch.size == 0:
+            return answers
+        # Two replicas disagree: poll every other live replica on the
+        # contested keys and let the majority decide.
+        contested = keys[mismatch]
+        votes: dict[int, np.ndarray] = {
+            primary: answers[mismatch], witness: echoed[mismatch],
+        }
+        for r in list(router.live):
+            if r in votes:
+                continue
+            try:
+                votes[r] = self._query_group_on(
+                    shard, dictionary, router, contested, r, now, batch_span,
+                )
+            except ReplicaUnavailableError:
+                self._quarantine(
+                    shard, router, r, now, batch_span, crashed=True,
+                )
+            except _REPLICA_FAILURES:
+                self._quarantine(
+                    shard, router, r, now, batch_span, crashed=False,
+                )
+        stack = np.stack([votes[r] for r in sorted(votes)])
+        if stack.shape[0] >= 3:
+            majority = stack.sum(axis=0) * 2 > stack.shape[0]
+        else:
+            # Two voters cannot attribute blame by vote; the build's
+            # key set is ground truth the service already holds (and
+            # consulting it probes no cells), so it breaks the tie —
+            # the same oracle the canary gate checks against.
+            majority = np.isin(contested, dictionary.keys)
+        for r in sorted(votes):
+            if bool(np.any(votes[r] != majority)):
+                self._quarantine(
+                    shard, router, r, now, batch_span, crashed=False,
+                )
+        corrected = np.array(answers, copy=True)
+        corrected[mismatch] = majority
+        return corrected
 
     # -- introspection -----------------------------------------------------------
 

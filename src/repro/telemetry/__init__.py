@@ -38,6 +38,8 @@ from repro.telemetry.events import (
     ExecutionEvent,
     FailoverEvent,
     FaultEvent,
+    HealEvent,
+    HealthTransitionEvent,
     ProbeEvent,
     ReplicaHealthEvent,
     RouteEvent,
@@ -77,6 +79,8 @@ __all__ = [
     "FailoverEvent",
     "FaultEvent",
     "Gauge",
+    "HealEvent",
+    "HealthTransitionEvent",
     "HotCellAlarm",
     "LogHistogram",
     "MetricsRegistry",

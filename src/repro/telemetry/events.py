@@ -113,6 +113,32 @@ class FaultEvent:
     count: int
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class HealthTransitionEvent:
+    """A replica health state machine moved ``source`` → ``target``."""
+
+    shard: int
+    replica: int
+    source: str
+    target: str
+    reason: str
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class HealEvent:
+    """One healing action: scrub repair, stuck diagnosis, rebuild, canary.
+
+    ``kind`` is one of ``"repair"``, ``"stuck"``, ``"rebuild-start"``,
+    ``"rebuild-done"``, ``"canary-pass"``, ``"canary-fail"``; ``count``
+    is the number of cells/rows/queries the action covered.
+    """
+
+    kind: str
+    shard: int
+    replica: int
+    count: int = 1
+
+
 #: Every event type the library emits (introspection / capture filters).
 EVENT_TYPES = (
     ProbeEvent,
@@ -124,6 +150,8 @@ EVENT_TYPES = (
     FailoverEvent,
     ReplicaHealthEvent,
     FaultEvent,
+    HealthTransitionEvent,
+    HealEvent,
 )
 
 

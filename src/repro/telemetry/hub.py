@@ -46,6 +46,8 @@ from repro.telemetry.events import (
     ExecutionEvent,
     FailoverEvent,
     FaultEvent,
+    HealEvent,
+    HealthTransitionEvent,
     ProbeEvent,
     ReplicaHealthEvent,
     RouteEvent,
@@ -224,6 +226,48 @@ class TelemetryHub:
                 "failover", now, parent=batch_span, replica=replica
             )
 
+    def on_health(
+        self,
+        shard: int,
+        replica: int,
+        source: str,
+        target: str,
+        reason: str,
+        now: float,
+    ) -> None:
+        """A replica's health state machine transitioned."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                "serve_health_transitions", "health state transitions"
+            ).inc()
+            self.metrics.counter(
+                f"serve_health_to_{target}", f"transitions into {target}"
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "health",
+                now,
+                track=shard,
+                replica=replica,
+                source=source,
+                target=target,
+                reason=reason,
+            )
+
+    def on_heal(
+        self, kind: str, shard: int, replica: int, count: int, now: float
+    ) -> None:
+        """The healing layer acted (repair/stuck/rebuild/canary)."""
+        if self.metrics is not None:
+            self.metrics.counter(
+                f"heal_{kind.replace('-', '_')}", f"healing {kind} actions"
+            ).inc(count)
+        if self.tracer is not None:
+            self.tracer.instant(
+                "heal", now, track=shard, kind=kind, replica=replica,
+                count=count,
+            )
+
     def on_batch_done(
         self, shard: int, done: list, batch_span: Span | None, service=None
     ) -> None:
@@ -353,6 +397,19 @@ class BusMetricsCollector:
         elif isinstance(event, FaultEvent):
             reg.counter(
                 "fault_corruptions", "values corrupted by injected faults"
+            ).inc(event.count)
+        elif isinstance(event, HealthTransitionEvent):
+            reg.counter(
+                "health_transitions", "health state transitions"
+            ).inc()
+            reg.counter(
+                f"health_to_{event.target}",
+                f"transitions into {event.target}",
+            ).inc()
+        elif isinstance(event, HealEvent):
+            reg.counter(
+                f"heal_{event.kind.replace('-', '_')}",
+                f"healing {event.kind} actions",
             ).inc(event.count)
 
 

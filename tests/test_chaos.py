@@ -1,0 +1,191 @@
+"""Chaos schedules, the chaos driver, and fault-schedule determinism.
+
+The determinism satellite: fault schedules — injector placements,
+generated chaos events, and the probe accounting they produce — are a
+pure function of their seed, independent of read order,
+``ProbeCounter.merge`` order, and parallel-runner worker count
+(``grid_map`` ``jobs=1`` vs ``jobs=2`` byte-identical).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cellprobe.counters import ProbeCounter
+from repro.cellprobe.table import Table
+from repro.errors import HealError, ParameterError
+from repro.experiments.common import make_instance, uniform_distribution
+from repro.experiments.parallel import grid_map
+from repro.faults import FaultConfig, FaultInjector, FaultyTable
+from repro.heal import charged_to
+from repro.serve import (
+    ChaosEvent,
+    ChaosSchedule,
+    build_service,
+    run_chaos,
+)
+from repro.serve.chaos import require_armed
+
+
+class TestChaosEvent:
+    def test_kind_validated(self):
+        with pytest.raises(ParameterError):
+            ChaosEvent(time=1.0, kind="meteor")
+
+    def test_valid_kinds(self):
+        for kind in ("crash", "corrupt", "stick", "spike-start", "spike-end"):
+            ChaosEvent(time=1.0, kind=kind, replica=0)
+
+
+class TestChaosSchedule:
+    def test_events_sorted_by_time(self):
+        sched = ChaosSchedule(
+            events=[
+                ChaosEvent(time=5.0, kind="crash", replica=1),
+                ChaosEvent(time=2.0, kind="spike-start"),
+            ],
+            horizon=10.0,
+        )
+        assert [e.time for e in sched.events] == [2.0, 5.0]
+
+    def test_horizon_validated(self):
+        with pytest.raises(ParameterError):
+            ChaosSchedule(events=[], horizon=0.0)
+
+    def test_generate_deterministic(self):
+        a = ChaosSchedule.generate(7, 50.0, 5, 1024, stuck=0)
+        b = ChaosSchedule.generate(7, 50.0, 5, 1024, stuck=0)
+        assert a.events == b.events and a.horizon == b.horizon
+        c = ChaosSchedule.generate(8, 50.0, 5, 1024, stuck=0)
+        assert a.events != c.events
+
+    def test_generate_damages_distinct_replicas(self):
+        sched = ChaosSchedule.generate(3, 50.0, 7, 1024)
+        victims = [e.replica for e in sched.damage_events]
+        assert len(victims) == len(set(victims)) == 3
+
+    def test_generate_guards_strict_majority(self):
+        # 3 damaged of 5 leaves no strict majority of untouched voters.
+        with pytest.raises(ParameterError):
+            ChaosSchedule.generate(3, 50.0, 5, 1024)
+
+    def test_generate_times_inside_horizon(self):
+        sched = ChaosSchedule.generate(11, 80.0, 7, 2048)
+        for event in sched.damage_events:
+            assert 0.15 * 80.0 <= event.time <= 0.75 * 80.0
+
+
+class TestRunChaos:
+    def _run(self, seed=21):
+        keys, N = make_instance(64, seed=5)
+        service = build_service(
+            keys, N, num_shards=1, replicas=5, router="random",
+            faults=FaultConfig(armed=True), seed=6,
+        )
+        manager = service.enable_healing(seed=7)
+        d = service.shards[0]
+        schedule = ChaosSchedule.generate(
+            9, 800 / 64.0, 5, d.inner_rows * d.table.s, stuck=0,
+        )
+        report = run_chaos(
+            service, uniform_distribution(keys, N), schedule, 800, 64.0,
+            seed=seed, expected_keys=keys, marks=(2.0, 6.0),
+        )
+        return report, manager
+
+    def test_deterministic(self):
+        a, _ = self._run()
+        b, _ = self._run()
+        assert a.row() == b.row()
+        assert a.final_states == b.final_states
+        assert len(a.snapshots) == len(b.snapshots)
+        for sa, sb in zip(a.snapshots, b.snapshots):
+            assert np.array_equal(sa["cell_counts"], sb["cell_counts"])
+
+    def test_zero_wrong_answers_and_heals(self):
+        report, manager = self._run()
+        assert report.wrong_answers == 0
+        assert report.completed == report.requested - report.shed
+        assert manager.violations == 0
+        assert set(report.final_states.values()) == {"healthy"}
+
+    def test_requires_armed_faults(self):
+        keys, N = make_instance(64, seed=5)
+        service = build_service(keys, N, num_shards=1, replicas=3, seed=6)
+        with pytest.raises(HealError):
+            require_armed(service)
+
+
+def _seeded_faulty_table(seed, rows=6, s=16):
+    cfg = FaultConfig(stuck_rate=0.2, flip_rate=0.1, seed=seed)
+    injector = FaultInjector(cfg, rows, s)
+    table = Table(rows, s)
+    for r in range(rows):
+        table.write_row(r, np.arange(s, dtype=np.uint64) + r * 100)
+    return FaultyTable(table, injector), table, injector
+
+
+def _fault_fingerprint(point, point_seed):
+    """Module-level (picklable) grid point: one seeded faulty run.
+
+    Returns everything a worker could get wrong if fault schedules
+    depended on process or scheduling state: injector placements, the
+    generated chaos events, and the probe-accounting digest.
+    """
+    rows, s = point
+    seed = int(point_seed) % (2**31)
+    faulty, table, injector = _seeded_faulty_table(seed, rows, s)
+    for r in range(rows):
+        faulty.read_batch(r, np.arange(s), step=0)
+    schedule = ChaosSchedule.generate(seed, 50.0, 5, rows * s, stuck=0)
+    return (
+        tuple(int(c) for c in injector._stuck_cells),
+        tuple(int(v) for v in injector._stuck_values),
+        tuple(
+            (e.time, e.kind, e.replica, e.cells, e.masks, e.values)
+            for e in schedule.events
+        ),
+        table.counter.digest(),
+    )
+
+
+class TestFaultScheduleDeterminism:
+    def test_same_seed_same_schedule(self):
+        a = _fault_fingerprint((6, 16), 42)
+        b = _fault_fingerprint((6, 16), 42)
+        assert a == b
+
+    def test_merge_order_independent(self):
+        # Split one faulty read stream across two counters; merging
+        # A<-B and B<-A must agree with each other and with the
+        # unsplit run — fault charging commutes under merge.
+        faulty, table, _ = _seeded_faulty_table(3)
+        part_a = ProbeCounter(table.num_cells)
+        part_b = ProbeCounter(table.num_cells)
+        with charged_to(table, part_a):
+            for r in range(0, 3):
+                faulty.read_batch(r, np.arange(table.s), step=0)
+        with charged_to(table, part_b):
+            for r in range(3, 6):
+                faulty.read_batch(r, np.arange(table.s), step=0)
+        ab = ProbeCounter(table.num_cells)
+        ab.merge(part_a)
+        ab.merge(part_b)
+        ba = ProbeCounter(table.num_cells)
+        ba.merge(part_b)
+        ba.merge(part_a)
+        assert ab.digest() == ba.digest()
+        whole_faulty, whole_table, _ = _seeded_faulty_table(3)
+        for r in range(6):
+            whole_faulty.read_batch(r, np.arange(whole_table.s), step=0)
+        assert ab.digest() == whole_table.counter.digest()
+
+    def test_grid_map_jobs_invariant(self):
+        # satellite: same seed => same fault schedules regardless of
+        # --jobs. Worker processes must reproduce placements, chaos
+        # events, and accounting byte-identically.
+        points = [(6, 16), (8, 8), (4, 32)]
+        serial = grid_map(_fault_fingerprint, points, seed=17, jobs=1)
+        parallel = grid_map(_fault_fingerprint, points, seed=17, jobs=2)
+        assert serial == parallel

@@ -1,0 +1,395 @@
+"""Tests for the self-healing layer (repro.serve.health + repro.heal).
+
+Covers the health state machines, circuit breakers, scrub/rebuild/
+canary healing arcs, alarm intake, graceful degradation, verified
+dispatch, the healing-disabled byte-identity gate, and the
+``AsyncDictionaryServer.stop()`` vs in-flight quarantine race.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import DegradedModeError, HealError, ParameterError
+from repro.experiments.common import make_instance, uniform_distribution
+from repro.faults import FaultConfig
+from repro.serve import (
+    AsyncDictionaryServer,
+    CircuitBreaker,
+    HealthConfig,
+    HealthManager,
+    ReplicaHealth,
+    build_service,
+    run_loadgen,
+)
+from repro.serve.chaos import require_armed
+from repro.telemetry import HotCellAlarm, RouterSkewAlarm, TelemetryHub
+
+
+@pytest.fixture(scope="module")
+def instance():
+    keys, N = make_instance(64, seed=7)
+    return keys, N
+
+
+def healing_service(keys, N, *, replicas=5, enable=True, seed=3, **kwargs):
+    defaults = dict(
+        num_shards=1, replicas=replicas, router="random",
+        faults=FaultConfig(armed=True), seed=seed,
+    )
+    defaults.update(kwargs)
+    service = build_service(keys, N, **defaults)
+    manager = service.enable_healing(seed=seed + 1) if enable else None
+    return service, manager
+
+
+def heal_until(manager, predicate, start=1.0, ticks=200):
+    """Tick the manager until ``predicate()`` holds; fail if it never does."""
+    now = start
+    for _ in range(ticks):
+        if predicate():
+            return now
+        now += 1.0
+        manager.tick(now)
+    raise AssertionError(f"healing did not converge in {ticks} ticks")
+
+
+class TestReplicaHealth:
+    def test_initial_state(self):
+        m = ReplicaHealth(0, 2)
+        assert m.state == "healthy" and m.serving
+        assert m.down_since is None and not m.crashed
+
+    def test_transition_records_history_and_down_since(self):
+        m = ReplicaHealth(0, 0)
+        m.to("degraded", "alarm", 1.0)
+        assert m.down_since == 1.0 and m.serving
+        m.to("quarantined", "errors", 2.0)
+        assert m.down_since == 1.0  # anchored at leaving healthy
+        assert not m.serving
+        m.to("rebuilding", "rebuild-start", 3.0)
+        m.to("healthy", "canary-pass", 4.0)
+        assert m.down_since is None and not m.crashed
+        assert [t[1:3] for t in m.transitions] == [
+            ("healthy", "degraded"), ("degraded", "quarantined"),
+            ("quarantined", "rebuilding"), ("rebuilding", "healthy"),
+        ]
+
+    def test_unknown_state_rejected(self):
+        with pytest.raises(HealError):
+            ReplicaHealth(0, 0).to("zombie", "?", 0.0)
+
+
+class TestCircuitBreaker:
+    def test_lifecycle(self):
+        b = CircuitBreaker(1)
+        assert b.state == "closed" and b.allows_traffic
+        b.open()
+        assert b.state == "open" and not b.allows_traffic and b.opens == 1
+        b.half_open(100)
+        assert b.state == "half-open" and not b.allows_traffic
+        b.spend(60)
+        assert b.canary_budget == 40
+        b.close()
+        assert b.state == "closed" and b.allows_traffic
+
+    def test_router_skips_open_breaker(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        router = service.routers[0]
+        router.breakers[2].open()
+        assert 2 not in router.live
+        assert 2 not in set(np.asarray(router.assign(200)).tolist())
+        router.mark_up(2)
+        assert 2 in router.live
+
+
+class TestSignals:
+    def test_crash_quarantines_and_opens_breaker(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        manager.on_crash(0, 1, 5.0)
+        machine = manager.machines[(0, 1)]
+        assert machine.state == "quarantined" and machine.crashed
+        assert not service.routers[0].breakers[1].allows_traffic
+
+    def test_corruption_quarantines(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        manager.on_corruption(0, 2, 5.0)
+        assert manager.state_of(0, 2) == "quarantined"
+        assert not manager.machines[(0, 2)].crashed
+
+    def test_alarm_only_degrades_then_errors_quarantine(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        manager.on_alarm_signal(0, 3, 1.0)
+        assert manager.state_of(0, 3) == "degraded"
+        # Alarms are soft: more of them do not escalate.
+        manager.on_alarm_signal(0, 3, 2.0)
+        assert manager.state_of(0, 3) == "degraded"
+        for i in range(manager.config.quarantine_after):
+            manager.on_error(0, 3, 3.0 + i)
+        assert manager.state_of(0, 3) == "quarantined"
+
+    def test_degraded_recovers_on_clean_streak(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        manager.on_alarm_signal(0, 0, 1.0)
+        for i in range(manager.config.recover_after):
+            manager.note_dispatch(0, 0, 2.0 + i)
+        assert manager.state_of(0, 0) == "healthy"
+
+    def test_dispatch_to_quarantined_counts_violation(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        manager.on_corruption(0, 1, 1.0)
+        manager.note_dispatch(0, 1, 2.0)
+        assert manager.violations == 1
+
+    def test_pick_witness_avoids_primary(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        for _ in range(50):
+            w = manager.pick_witness(0, 2)
+            assert w is not None and w != 2
+        for r in range(1, 5):
+            service.routers[0].mark_down(r)
+        assert manager.pick_witness(0, 0) is None
+
+
+class TestAlarmIntake:
+    def test_monitor_alarms_degrade_the_implicated_replica(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        hub = TelemetryHub(metrics=True)
+        service.attach_telemetry(hub)
+        d = service.shards[0]
+        block = d.inner_rows * d.table.s
+        hub.alarms.append(RouterSkewAlarm(
+            replica=1, observed=90, expected=40.0, sigma=6.0, z=8.0,
+            threshold=5.0, total=200, check=1,
+        ))
+        hub.alarms.append(HotCellAlarm(
+            step=0, cell=3 * block + 7, observed=50, expected=10.0,
+            sigma=3.0, z=13.0, threshold=5.0, queries=200, check=1,
+        ))
+        manager.tick(1.0)
+        assert manager.state_of(0, 1) == "degraded"
+        assert manager.state_of(0, 3) == "degraded"
+        # The cursor advanced: old alarms are not re-consumed.
+        manager.machines[(0, 1)].to("healthy", "test", 2.0)
+        manager.tick(3.0)
+        assert manager.state_of(0, 1) == "healthy"
+
+
+class TestHealingArcs:
+    def test_scrub_repairs_corruption_and_readmits(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        require_armed(service)
+        d = service.shards[0]
+        reference = np.array(d.inner.table._cells, copy=True)
+        block = d.inner_rows * d.table.s
+        rng = np.random.default_rng(5)
+        cells = rng.choice(block, size=6, replace=False)
+        for c in cells:
+            d.corrupt_cell(1, int(c), 0x5A5A5A5A)
+        manager.on_corruption(0, 1, 1.0)
+        query_counter_before = d.table.counter.total_probes()
+        heal_until(manager, lambda: manager.state_of(0, 1) == "healthy")
+        assert np.array_equal(
+            d.table._cells[d.inner_rows:2 * d.inner_rows], reference
+        )
+        assert service.routers[0].breakers[1].allows_traffic
+        assert manager.stats.cells_repaired >= 6
+        assert len(manager.mttr) == 1 and manager.mttr_values()[0] > 0
+        # All healing work charged to the repair counter, none to the
+        # query-path counter.
+        assert d.table.counter.total_probes() == query_counter_before
+        assert manager.repair_counters[0].total_probes() > 0
+
+    def test_rebuild_reconstructs_crashed_replica(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        d = service.shards[0]
+        reference = np.array(d.inner.table._cells, copy=True)
+        d.crash_replica(3)
+        manager.on_crash(0, 3, 1.0)
+        assert not np.array_equal(
+            d.table._cells[3 * d.inner_rows:4 * d.inner_rows], reference
+        )
+        heal_until(manager, lambda: manager.state_of(0, 3) == "healthy")
+        assert np.array_equal(
+            d.table._cells[3 * d.inner_rows:4 * d.inner_rows], reference
+        )
+        assert manager.stats.rebuilds == 1
+        assert manager.stats.rows_rebuilt == d.inner_rows
+        # The revived replica answers queries again.
+        rng = np.random.default_rng(0)
+        xs = np.asarray(keys[:4], dtype=np.int64)
+        assert list(d.query_batch_on(xs, 3, rng)) == [True] * 4
+
+    def test_stuck_cells_diagnosed_incorrigible(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N)
+        d = service.shards[0]
+        block = d.inner_rows * d.table.s
+        inner_flats = np.asarray([3, block - 2], dtype=np.int64)
+        rows, cols = np.divmod(inner_flats, d.table.s)
+        values = np.asarray(
+            [
+                int(d.table._cells[2 * d.inner_rows + r, c]) ^ 0xDEAD
+                for r, c in zip(rows, cols)
+            ],
+            dtype=np.uint64,
+        )
+        d.stick_cells(2, inner_flats, values)
+        machine = manager.machines[(0, 2)]
+        heal_until(
+            manager,
+            lambda: machine.incorrigible
+            and machine.state == "quarantined",
+        )
+        assert manager.stats.stuck_cells >= 1
+        assert 2 not in service.routers[0].live
+        # Further healing never resurrects it.
+        for i in range(30):
+            manager.tick(500.0 + i)
+        assert machine.state == "quarantined" and machine.incorrigible
+
+    def test_degradation_sheds_low_priority_only(self, instance):
+        keys, N = instance
+        service, manager = healing_service(keys, N, capacity=10)
+        manager.on_corruption(0, 1, 1.0)
+        manager.on_crash(0, 2, 1.0)
+        manager._update_degradation()
+        admission = service.admission
+        assert admission.degraded_fraction == pytest.approx(3 / 5)
+        assert admission.effective_capacity == 6
+        admission.in_flight = 6
+        with pytest.raises(DegradedModeError) as exc_info:
+            admission.admit(priority=0)
+        assert exc_info.value.fraction == pytest.approx(3 / 5)
+        admission.admit(priority=1)  # high priority keeps the full queue
+        assert admission.degraded_shed == 1
+
+    def test_healing_without_injector_rejected(self, instance):
+        keys, N = instance
+        service = build_service(
+            keys, N, num_shards=1, replicas=3, seed=3
+        )
+        service.enable_healing()
+        with pytest.raises(HealError):
+            require_armed(service)
+
+
+class TestVerifiedDispatch:
+    def test_corrupt_replica_never_serves_wrong_answers(self, instance):
+        # Whole-block corruption on one replica: the witness echo must
+        # catch it, the vote must quarantine it, scrubbing must repair
+        # it, and the client must never see a wrong answer.
+        keys, N = instance
+        service, manager = healing_service(keys, N, max_delay=0.25)
+        d = service.shards[0]
+        reference = np.array(d.inner.table._cells, copy=True)
+        block = d.inner_rows * d.table.s
+        rng = np.random.default_rng(11)
+        for c in range(block):
+            d.corrupt_cell(1, c, int(rng.integers(1, 1 << 63)))
+        report = run_loadgen(
+            service, uniform_distribution(keys, N), 600,
+            rate=64.0, seed=13, expected_keys=keys,
+        )
+        assert report.wrong_answers == 0
+        assert manager.violations == 0
+        history = [t[2] for t in manager.machines[(0, 1)].transitions]
+        assert "quarantined" in history
+        assert manager.state_of(0, 1) == "healthy"
+        assert np.array_equal(
+            d.table._cells[d.inner_rows:2 * d.inner_rows], reference
+        )
+
+
+class TestDisabledByteIdentity:
+    def _digest(self, keys, N, *, armed, requests=300):
+        faults = FaultConfig(armed=True) if armed else None
+        service = build_service(
+            keys, N, num_shards=2, replicas=3, seed=5, faults=faults,
+        )
+        run_loadgen(
+            service, uniform_distribution(keys, N), requests,
+            rate=64.0, seed=9, expected_keys=keys,
+        )
+        return tuple(s.table.counter.digest() for s in service.shards)
+
+    def test_armed_but_unhealed_is_byte_identical(self, instance):
+        # The healing-disabled gate: with enable_healing never called,
+        # probe accounting is byte-identical whether or not the fault
+        # layer is armed — the new serve-path branches are all guarded
+        # by `service.health is not None`.
+        keys, N = instance
+        assert self._digest(keys, N, armed=False) == self._digest(
+            keys, N, armed=True
+        )
+
+    def test_disabled_runs_are_deterministic(self, instance):
+        keys, N = instance
+        a = self._digest(keys, N, armed=False)
+        assert a == self._digest(keys, N, armed=False)
+
+    def test_enabling_healing_changes_accounting_on_purpose(self, instance):
+        # Sanity check that the byte-identity test has teeth: verified
+        # dispatch (witness echo) visibly changes the probe stream.
+        keys, N = instance
+        service, _ = healing_service(keys, N, replicas=3, seed=5)
+        run_loadgen(
+            service, uniform_distribution(keys, N), 300,
+            rate=64.0, seed=9, expected_keys=keys,
+        )
+        enabled = tuple(s.table.counter.digest() for s in service.shards)
+        assert enabled != self._digest(keys, N, armed=True)
+
+
+class TestStopVsHealingRace:
+    def test_stop_drains_through_inflight_quarantine(self, instance):
+        # satellite: stop() racing an in-flight quarantine + rebuild.
+        # A replica crashes while queries are pending; stop() must still
+        # drain every ticket — no query lost, none double-answered, all
+        # answers correct.
+        keys, N = instance
+
+        async def scenario():
+            service, manager = healing_service(
+                keys, N, max_batch=1000, max_delay=60.0
+            )
+            d = service.shards[0]
+            server = AsyncDictionaryServer(service)
+            await server.start()
+            xs = [int(k) for k in keys[:12]] + [1, 2]
+            tasks = [
+                asyncio.create_task(server.query(x)) for x in xs
+            ]
+            await asyncio.sleep(0.01)  # tickets submitted, none flushed
+            d.crash_replica(2)  # crash lands under the pending batch
+            await server.stop()
+            answers = await asyncio.wait_for(
+                asyncio.gather(*tasks), timeout=5.0
+            )
+            return service, manager, xs, answers
+
+        service, manager, xs, answers = asyncio.run(scenario())
+        member = set(keys.tolist())
+        assert answers == [x in member for x in xs]
+        # Exactly one answer per query: completed matches submissions.
+        assert service.stats.completed == len(xs)
+        assert service.admission.in_flight == 0
+        assert manager.violations == 0
+        # The crash was noticed and quarantined mid-drain.
+        assert manager.machines[(0, 2)].state in (
+            "quarantined", "rebuilding", "healthy"
+        )
+        assert manager.stats.quarantines >= 1
