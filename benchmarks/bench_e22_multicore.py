@@ -1,0 +1,173 @@
+"""Bench E22 — multicore fabric: scaling, Binomial envelope, equivalence.
+
+Two entry points:
+
+- ``python benchmarks/bench_e22_multicore.py [--gate]`` — standalone:
+  measures closed-loop bulk throughput of the :mod:`repro.parallel`
+  fabric at 1, 2, and 4 worker processes (min of interleaved repeats,
+  boot excluded), then runs the seeded E22 experiment for the Binomial
+  envelope and the engine-equivalence digests.  Writes the
+  machine-readable ``BENCH_PR6.json`` at the repo root.
+
+  ``--gate`` exits nonzero if equivalence or the Binomial envelope
+  fails, and — **only on hosts with >= 2 CPUs** — if 2 workers do not
+  reach ``GATE_SCALING``x the 1-worker throughput.  A single-core host
+  cannot exhibit real scaling (two processes time-slice one core), so
+  there the scaling check is recorded as skipped rather than failed;
+  the correctness gates always run.
+
+- under pytest-benchmark — regenerates the E22 table and asserts its
+  headline invariants (Binomial z within threshold, answers and
+  digests engine-identical).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.experiments import run_experiment
+from repro.experiments.common import make_instance
+from repro.parallel import build_parallel_service
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Minimum 2-worker speedup over 1 worker on a multi-core host.
+GATE_SCALING = 1.5
+
+#: Hottest-cell z-score bound for the Binomial(Q, Phi_t) envelope.
+GATE_SIGMA = 3.0
+
+REPEATS = 3
+QUERIES = 20000
+WORKER_LADDER = (1, 2, 4)
+
+
+def _query_stream(keys, N, count, seed):
+    rng = np.random.default_rng(seed)
+    members = rng.choice(keys, size=count // 2, replace=True)
+    others = rng.integers(0, N, size=count - count // 2)
+    qs = np.concatenate([members, others])
+    rng.shuffle(qs)
+    return qs.astype(np.int64)
+
+
+def _serve_once(svc, qs) -> float:
+    t0 = time.perf_counter()
+    svc.query_batch(qs)
+    return time.perf_counter() - t0
+
+
+def measure(seed: int = 0) -> dict:
+    n = 192
+    cpus = os.cpu_count() or 1
+    keys, N = make_instance(n, seed=seed)
+    qs = _query_stream(keys, N, QUERIES, seed + 1)
+
+    # Boot each fabric once, warm it, then interleave timed repeats
+    # across worker counts so clock drift hits every ladder rung
+    # equally; min-of-repeats per rung is drift-robust.
+    services = {
+        procs: build_parallel_service(
+            keys, N, procs=procs, num_shards=1, replicas=4,
+            router="round-robin", max_batch=64, seed=seed + 2,
+        )
+        for procs in WORKER_LADDER
+    }
+    best: dict[int, float] = {}
+    try:
+        for svc in services.values():  # untimed warm-up pass
+            svc.query_batch(qs[:1024])
+        for _ in range(REPEATS):
+            for procs, svc in services.items():
+                elapsed = _serve_once(svc, qs)
+                best[procs] = min(best.get(procs, elapsed), elapsed)
+    finally:
+        for svc in services.values():
+            svc.close()
+    qps = {procs: QUERIES / t for procs, t in best.items()}
+    scaling_2w = qps[2] / qps[1]
+
+    result = run_experiment("E22", fast=True, seed=seed)
+    equiv = result.rows[-1]
+    z_rows = [r for r in result.rows if r["part"] == "B:binomial"]
+    worst_z = max((r["z"] for r in z_rows), default=0.0)
+
+    scaling_gated = cpus >= 2
+    scaling_ok = (not scaling_gated) or scaling_2w >= GATE_SCALING
+    return {
+        "benchmark": "e22_multicore",
+        "cpus": cpus,
+        "queries_per_timing": QUERIES,
+        "repeats": REPEATS,
+        "qps_1w": int(qps[1]),
+        "qps_2w": int(qps[2]),
+        "qps_4w": int(qps[4]),
+        "scaling_2w": round(scaling_2w, 3),
+        "scaling_4w": round(qps[4] / qps[1], 3),
+        "gate_scaling": GATE_SCALING,
+        "scaling_gated": scaling_gated,
+        "scaling_skip_reason": (
+            None if scaling_gated
+            else f"host has {cpus} CPU(s); real scaling needs >= 2"
+        ),
+        "binomial_worst_z": worst_z,
+        "binomial_sigma_bound": GATE_SIGMA,
+        "answers_equal": bool(equiv["answers_equal"]),
+        "digests_equal": bool(equiv["digests_equal"]),
+        "gate_passed": bool(
+            scaling_ok
+            and worst_z <= GATE_SIGMA
+            and equiv["answers_equal"]
+            and equiv["digests_equal"]
+        ),
+    }
+
+
+def main(argv) -> int:
+    gate = "--gate" in argv
+    row = measure()
+    out = REPO_ROOT / "BENCH_PR6.json"
+    out.write_text(json.dumps(row, indent=2) + "\n")
+    print(json.dumps(row, indent=2))
+    print(f"wrote {out}")
+    if gate and not row["gate_passed"]:
+        print(
+            f"GATE FAILED: scaling_2w={row['scaling_2w']} "
+            f"(need {GATE_SCALING} on {row['cpus']} cpus, "
+            f"gated={row['scaling_gated']}), "
+            f"binomial_worst_z={row['binomial_worst_z']} "
+            f"(bound {GATE_SIGMA}), "
+            f"answers_equal={row['answers_equal']}, "
+            f"digests_equal={row['digests_equal']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_e22_multicore(benchmark, bench_fast, record_result):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E22",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    z_rows = [r for r in result.rows if r["part"] == "B:binomial"]
+    assert z_rows and max(r["z"] for r in z_rows) <= GATE_SIGMA
+    equiv = result.rows[-1]
+    assert equiv["answers_equal"] is True
+    assert equiv["digests_equal"] is True
+    scaling_rows = [r for r in result.rows if r["part"] == "A:scaling"]
+    assert scaling_rows and all(r["qps"] > 0 for r in scaling_rows)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

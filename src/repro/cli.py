@@ -17,11 +17,14 @@ Commands
 - ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
   across all schemes on one instance.
 - ``serve [--n 256] [--smoke-queries 64] [--duration 0] [--metrics]
-  [--heal]`` — boot the asyncio dictionary server (:mod:`repro.serve`)
-  over a random instance, answer a seeded self-test workload,
-  optionally stay up; ``--metrics`` attaches a telemetry hub and
-  prints the Prometheus exposition on shutdown; ``--heal`` arms fault
-  injection and enables the self-healing layer.
+  [--heal] [--procs N]`` — boot the asyncio dictionary server
+  (:mod:`repro.serve`) over a random instance, answer a seeded
+  self-test workload, optionally stay up; ``--metrics`` attaches a
+  telemetry hub and prints the Prometheus exposition on shutdown;
+  ``--heal`` arms fault injection and enables the self-healing layer;
+  ``--procs N`` serves through N real worker processes over shared
+  memory (:mod:`repro.parallel`; clamped to available CPUs, and the
+  metrics exposition then carries per-worker queue depths).
 - ``chaos [--requests 4000] [--crashes 1] [--corruptions 1]`` — run a
   seeded randomized fault schedule (crashes, bit flips, stuck cells,
   contention spikes) against a healing-enabled service and report
@@ -233,6 +236,95 @@ def _make_service(args, armed: bool = False):
     return keys, N, service, dist
 
 
+def _cmd_serve_procs(args) -> int:
+    """The ``serve --procs N`` path: real worker processes, shared memory.
+
+    Clamps ``--procs`` to the host's CPU count (one-line stderr
+    warning), boots the :mod:`repro.parallel` fabric, answers the
+    seeded smoke workload through it, and (with ``--metrics``) prints
+    the Prometheus exposition including per-worker queue depths.
+    """
+    import os
+    import time
+
+    import numpy as np
+
+    from repro.errors import ParameterError
+    from repro.experiments.common import make_instance
+    from repro.parallel import build_parallel_service
+
+    if args.heal:
+        raise ParameterError(
+            "--heal runs in-process only; the fabric (--procs) recovers "
+            "crashed workers by failover and respawn instead"
+        )
+    procs = int(args.procs)
+    cpus = os.cpu_count() or 1
+    if procs > cpus:
+        print(
+            f"warning: --procs {procs} exceeds the {cpus} available "
+            f"CPU(s); clamping to {cpus}",
+            file=sys.stderr,
+        )
+        procs = cpus
+    keys, N = make_instance(args.n, args.seed)
+    service = build_parallel_service(
+        keys,
+        N,
+        procs=procs,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        scheme=args.scheme,
+        router=args.router,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        capacity=args.capacity,
+        seed=args.seed + 1,
+    )
+    try:
+        print(
+            f"serving n={args.n} keys over universe [0, {N}) — "
+            f"{args.shards} shard(s) x {args.replicas} replicas, "
+            f"router={args.router}, {procs} worker process(es)"
+            + (", metrics on" if args.metrics else "")
+        )
+        exit_code = 0
+        if args.smoke_queries:
+            rng = np.random.default_rng(args.seed + 4)
+            xs = np.concatenate([
+                rng.choice(keys, size=args.smoke_queries // 2, replace=True),
+                rng.integers(
+                    0, N,
+                    size=args.smoke_queries - args.smoke_queries // 2,
+                ),
+            ]).astype(np.int64)
+            answers = service.query_batch(xs)
+            wrong = int(np.sum(answers != np.isin(xs, keys)))
+            print(
+                f"smoke: {xs.size} queries answered, {wrong} wrong, "
+                f"{service.fabric_stats.groups} groups, "
+                f"{service.stats.probes} probes, "
+                f"queue depths {service.queue_depths()}"
+            )
+            if wrong:
+                exit_code = 1
+        if args.duration > 0:
+            print(f"serving for {args.duration}s (ctrl-c to stop)")
+            try:
+                time.sleep(args.duration)
+            except KeyboardInterrupt:
+                pass
+        if args.metrics:
+            from repro.telemetry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            service.export_metrics(registry)
+            print(registry.to_prometheus(), end="")
+    finally:
+        service.close()
+    return exit_code
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -240,6 +332,8 @@ def _cmd_serve(args) -> int:
 
     from repro.serve import AsyncDictionaryServer
 
+    if args.procs:
+        return _cmd_serve_procs(args)
     keys, N, service, dist = _make_service(args, armed=args.heal)
     if args.metrics:
         from repro.telemetry import TelemetryHub
@@ -642,6 +736,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="arm fault injection and enable the self-healing layer "
         "(health state machines, scrubbing, rebuild)",
+    )
+    serve_p.add_argument(
+        "--procs",
+        type=int,
+        default=0,
+        help="serve through N real worker processes over shared memory "
+        "(0 = in-process asyncio server; clamped to available CPUs)",
     )
     serve_p.set_defaults(func=_cmd_serve)
 

@@ -138,6 +138,40 @@ class OverloadError(ServeError):
         )
 
 
+class FabricError(ServeError):
+    """The multi-process serving fabric (:mod:`repro.parallel`) failed.
+
+    Raised when a worker process cannot be booted, dies with no healthy
+    survivor to fail over to, or a dispatch round makes no progress
+    within its deadline.  Worker *crashes with survivors* are not
+    errors — the dispatcher fails the affected groups over and keeps
+    serving (counted in its stats) — so this type only surfaces when
+    the fabric as a whole cannot make progress.
+    """
+
+
+class SegmentFormatError(FabricError):
+    """A shared-memory segment failed layout/version verification.
+
+    Raised when a worker (or the owner, re-attaching) finds a segment
+    whose magic word, layout version, kind, geometry, or checksum does
+    not match what the fabric protocol expects — serving from a
+    misinterpreted segment would silently corrupt answers, so the
+    attach refuses instead.
+    """
+
+
+class RingFullError(OverloadError):
+    """An SPSC ring buffer has no room for the frame being enqueued.
+
+    The ring-level backpressure signal of :mod:`repro.parallel.ring`:
+    producers get a typed error instead of blocking (no deadlock by
+    construction), and the dispatcher reacts by draining responses
+    before retrying.  Subclasses :class:`OverloadError` — a full ring
+    *is* an overload — carrying the ring's used/capacity word counts.
+    """
+
+
 class DegradedModeError(ServeError):
     """A low-priority request was shed because the service is degraded.
 

@@ -27,6 +27,7 @@ from repro.experiments import (
     e19_serving,
     e20_telemetry,
     e21_chaos,
+    e22_multicore,
 )
 from repro.io.results import ExperimentResult
 
@@ -52,6 +53,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E19": ("Live serving validates Phi_t; contention-aware routing (serving extension)", e19_serving.run),
     "E20": ("Telemetry: zero-perturbation observation & live contention monitoring (observability extension)", e20_telemetry.run),
     "E21": ("Chaos steady-state: self-healing under crashes, corruption, and spikes (robustness extension)", e21_chaos.run),
+    "E22": ("Multicore fabric: hardware Binomial loads and byte-identical accounting (real-parallelism extension)", e22_multicore.run),
 }
 
 

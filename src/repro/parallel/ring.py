@@ -1,0 +1,231 @@
+"""Cache-line-padded SPSC ring buffers over shared memory.
+
+The fabric's hot path: one request ring and one response ring per
+worker, each a single-producer/single-consumer circular buffer of
+``uint64`` slots in a shared segment — queries travel as raw key words
+and answers as packed bitmaps, so **nothing is pickled per request**.
+The design follows the classic lock-free SPSC recipe (SNIPPETS.md
+Snippet 3): a power-of-two capacity so wrap-around is one bitwise AND,
+monotone head/tail cursors each written by exactly one side and kept
+on their own 64-byte cache line (no false sharing between producer and
+consumer), and batched consume — one cursor publication drains every
+complete frame available.
+
+**Frame protocol.**  A frame is ``[seq, desc, payload...]`` where
+``seq`` is the ring's monotone frame number and ``desc`` packs
+``(kind << 48) | payload_words``.  The producer writes descriptor and
+payload first and publishes ``seq`` *last*; the consumer reads ``seq``
+*first* and treats a mismatch as "not yet visible" — the
+sequence-number handshake that makes publication explicit rather than
+inferred from the tail cursor alone.  Cursors only ever advance, so
+``tail - head`` is always the exact number of live words (the queue
+depth the metrics export).
+
+**Backpressure.**  ``enqueue`` on a full ring raises the typed
+:class:`~repro.errors.RingFullError` (an
+:class:`~repro.errors.OverloadError`) instead of spinning — deadlock
+is impossible by construction; callers decide whether to drain, shed,
+or wait.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.errors import ParameterError, RingFullError, SegmentFormatError
+from repro.parallel.shm import (
+    KIND_RING,
+    LINE_WORDS,
+    attach_segment,
+    create_segment,
+    verify_header,
+    write_header,
+)
+
+#: Frame kinds (high 16 bits of the descriptor word).
+FRAME_QUERY = 1
+FRAME_RESPONSE = 2
+FRAME_STOP = 3
+
+#: Control flags (flags line, word 0/1).
+_FLAG_STOP = 0
+_FLAG_READY = 1
+
+_WORD = np.dtype(np.uint64).itemsize
+
+#: Words of ring overhead per frame (sequence + descriptor).
+FRAME_OVERHEAD = 2
+
+
+def ring_segment_size(capacity_words: int) -> int:
+    """Bytes for a ring segment: header + 3 padded lines + data."""
+    return (4 * LINE_WORDS + capacity_words) * _WORD
+
+
+class RingBuffer:
+    """One SPSC ring over a shared segment; see module docs for layout.
+
+    Exactly one process may call the producer methods (``enqueue``,
+    ``set_stop``) and exactly one the consumer methods
+    (``consume_batch``) — the single-writer-per-cursor discipline is
+    what makes the ring lock-free.  Both sides may read ``depth_words``
+    and the flags.
+    """
+
+    def __init__(self, seg, create: bool = False, capacity_words: int = 0):
+        if create:
+            if capacity_words < 64 or capacity_words & (capacity_words - 1):
+                raise ParameterError(
+                    "ring capacity must be a power of two >= 64 words, "
+                    f"got {capacity_words}"
+                )
+            write_header(seg.buf, KIND_RING, capacity_words)
+        else:
+            capacity_words, _, _ = verify_header(seg.buf, KIND_RING, seg.name)
+        self.seg = seg
+        self.capacity = int(capacity_words)
+        self._mask = self.capacity - 1
+        base = LINE_WORDS * _WORD
+        # One cache line each: producer cursor, consumer cursor, flags.
+        self._tail = np.ndarray(LINE_WORDS, dtype=np.uint64, buffer=seg.buf,
+                                offset=base)
+        self._head = np.ndarray(LINE_WORDS, dtype=np.uint64, buffer=seg.buf,
+                                offset=base + LINE_WORDS * _WORD)
+        self._flags = np.ndarray(LINE_WORDS, dtype=np.uint64, buffer=seg.buf,
+                                 offset=base + 2 * LINE_WORDS * _WORD)
+        self._data = np.ndarray(self.capacity, dtype=np.uint64,
+                                buffer=seg.buf,
+                                offset=base + 3 * LINE_WORDS * _WORD)
+        # Local (unshared) frame sequence numbers for the handshake.
+        self._produced = 0
+        self._consumed = 0
+
+    @classmethod
+    def create(cls, name: str, capacity_words: int = 1 << 16) -> "RingBuffer":
+        """Create an owned ring segment (dispatcher side)."""
+        seg = create_segment(name, ring_segment_size(capacity_words))
+        return cls(seg, create=True, capacity_words=capacity_words)
+
+    @classmethod
+    def attach(cls, name: str) -> "RingBuffer":
+        """Attach an existing ring by name (worker side; never unlinks)."""
+        return cls(attach_segment(name))
+
+    # -- flags (either side) ---------------------------------------------------
+
+    def set_stop(self) -> None:
+        """Raise the stop flag (checked by the worker's idle loop)."""
+        self._flags[_FLAG_STOP] = 1
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the stop flag is raised."""
+        return bool(self._flags[_FLAG_STOP])
+
+    def set_ready(self) -> None:
+        """Signal that the attaching side has verified and is serving."""
+        self._flags[_FLAG_READY] = 1
+
+    @property
+    def ready(self) -> bool:
+        """Whether the attaching side has signalled readiness."""
+        return bool(self._flags[_FLAG_READY])
+
+    # -- introspection (either side) -------------------------------------------
+
+    @property
+    def depth_words(self) -> int:
+        """Live words in the ring right now (the queue-depth metric)."""
+        return int(self._tail[0]) - int(self._head[0])
+
+    # -- producer --------------------------------------------------------------
+
+    def enqueue(self, kind: int, payload: np.ndarray) -> None:
+        """Append one frame, or raise :class:`RingFullError` if it won't fit.
+
+        The payload is copied into the ring (wrap-around handled as two
+        slices); the sequence word is stored last, publishing the frame
+        to the consumer.
+        """
+        payload = np.ascontiguousarray(payload, dtype=np.uint64)
+        need = FRAME_OVERHEAD + payload.size
+        if need > self.capacity:
+            raise ParameterError(
+                f"frame of {need} words exceeds ring capacity "
+                f"{self.capacity}"
+            )
+        tail = int(self._tail[0])
+        used = tail - int(self._head[0])
+        if self.capacity - used < need:
+            raise RingFullError(used, self.capacity)
+        data, mask = self._data, self._mask
+        data[(tail + 1) & mask] = (kind << 48) | payload.size
+        start = (tail + FRAME_OVERHEAD) & mask
+        first = min(payload.size, self.capacity - start)
+        data[start:start + first] = payload[:first]
+        if first < payload.size:
+            data[:payload.size - first] = payload[first:]
+        # Publish: sequence word last, then the cursor.
+        data[tail & mask] = self._produced
+        self._produced += 1
+        self._tail[0] = tail + need
+
+    # -- consumer --------------------------------------------------------------
+
+    def consume_batch(
+        self, max_frames: int = 64
+    ) -> list[tuple[int, np.ndarray]]:
+        """Drain up to ``max_frames`` complete frames, in FIFO order.
+
+        Returns ``(kind, payload_copy)`` pairs.  The head cursor is
+        published once, after all copies — batched consume, one
+        cursor write per drain.  A frame whose sequence word does not
+        match the expected number is treated as not yet fully
+        published and ends the batch.
+        """
+        out: list[tuple[int, np.ndarray]] = []
+        head = int(self._head[0])
+        tail = int(self._tail[0])
+        data, mask = self._data, self._mask
+        while len(out) < max_frames and tail - head >= FRAME_OVERHEAD:
+            if int(data[head & mask]) != self._consumed:
+                break  # published cursor ahead of visible payload
+            desc = int(data[(head + 1) & mask])
+            kind, length = desc >> 48, desc & 0xFFFFFFFFFFFF
+            if kind not in (FRAME_QUERY, FRAME_RESPONSE, FRAME_STOP) or (
+                FRAME_OVERHEAD + length > self.capacity
+            ):
+                raise SegmentFormatError(
+                    f"{self.seg.name}: corrupt frame descriptor {desc:#x}"
+                )
+            if tail - head < FRAME_OVERHEAD + length:
+                break  # frame not yet fully in the ring
+            start = (head + FRAME_OVERHEAD) & mask
+            payload = np.empty(length, dtype=np.uint64)
+            first = min(length, self.capacity - start)
+            payload[:first] = data[start:start + first]
+            if first < length:
+                payload[first:] = data[:length - first]
+            out.append((kind, payload))
+            self._consumed += 1
+            head += FRAME_OVERHEAD + length
+        self._head[0] = head
+        return out
+
+    def wait_ready(self, timeout: float, poll: float = 0.002) -> bool:
+        """Block until :meth:`set_ready` was called or ``timeout`` elapses."""
+        deadline = time.monotonic() + timeout
+        while not self.ready:
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(poll)
+        return True
+
+    def close(self) -> None:
+        """Drop this side's mapping (does not unlink; owner protocol)."""
+        try:
+            self.seg.close()
+        except (OSError, BufferError):  # pragma: no cover - teardown race
+            pass

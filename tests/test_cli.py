@@ -1,6 +1,7 @@
 """CLI smoke tests (python -m repro ...)."""
 
 import json
+import os
 
 import pytest
 
@@ -19,7 +20,7 @@ def test_list_json(capsys):
     data = json.loads(capsys.readouterr().out)
     experiments = data["experiments"]
     assert experiments["E1"].startswith("Contention optimality")
-    assert set(experiments) == {f"E{i}" for i in range(1, 22)}
+    assert set(experiments) == {f"E{i}" for i in range(1, 23)}
     # The telemetry capability descriptor for machine consumers.
     telemetry = data["telemetry"]
     assert telemetry["metrics"] and telemetry["tracing"]
@@ -38,7 +39,7 @@ def test_info_json(capsys):
     assert main(["info", "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
     assert data["paper"]["venue"] == "SPAA 2010"
-    assert data["experiments"] == [f"E{i}" for i in range(1, 22)]
+    assert data["experiments"] == [f"E{i}" for i in range(1, 23)]
 
 
 def test_run_single_experiment(capsys):
@@ -255,6 +256,37 @@ def test_trace_writes_chrome_json(tmp_path, capsys):
     data = json.loads(out_path.read_text())
     names = {e["name"] for e in data["traceEvents"]}
     assert {"request", "batch", "route", "replica"} <= names
+
+
+def test_serve_procs_clamps_to_cpus_with_warning(capsys):
+    # --procs beyond the host's CPU count clamps with a one-line
+    # stderr warning and still serves correctly through the fabric.
+    cpus = os.cpu_count() or 1
+    assert main(
+        ["serve", "--n", "64", "--smoke-queries", "16",
+         "--procs", str(cpus + 1)]
+    ) == 0
+    captured = capsys.readouterr()
+    assert f"clamping to {cpus}" in captured.err
+    assert len(captured.err.strip().splitlines()) == 1
+    assert f"{cpus} worker process(es)" in captured.out
+    assert "0 wrong" in captured.out
+
+
+def test_serve_procs_metrics_exposes_queue_depths(capsys):
+    assert main(
+        ["serve", "--n", "64", "--smoke-queries", "16",
+         "--procs", "1", "--metrics"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "repro_parallel_queue_depth_w0" in out
+    assert "repro_parallel_workers 1" in out
+
+
+def test_serve_procs_rejects_heal(capsys):
+    assert main(["serve", "--procs", "1", "--heal"]) == 2
+    err = capsys.readouterr().err
+    assert "in-process only" in err
 
 
 def test_serve_heal_flag(capsys):

@@ -1,0 +1,208 @@
+"""The multicore fabric: equivalence, crash failover, lifecycle, metrics."""
+
+from __future__ import annotations
+
+import itertools
+import os
+import signal
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.parallel import (
+    FRAME_QUERY,
+    build_parallel_service,
+)
+from repro.telemetry import MetricsRegistry
+
+
+def _shm_names() -> set[str]:
+    return {f for f in os.listdir("/dev/shm") if f.startswith("repro")}
+
+
+@pytest.fixture(scope="module")
+def instance():
+    rng = np.random.default_rng(11)
+    N = 1 << 13
+    keys = np.sort(rng.choice(N, size=192, replace=False)).astype(np.int64)
+    qs = np.concatenate(
+        [rng.choice(keys, size=300), rng.integers(0, N, size=300)]
+    ).astype(np.int64)
+    return keys, N, qs
+
+
+def _build(keys, N, procs, **kw):
+    kw.setdefault("num_shards", 2)
+    kw.setdefault("replicas", 3)
+    kw.setdefault("router", "least-loaded")
+    kw.setdefault("max_batch", 16)
+    kw.setdefault("seed", 77)
+    return build_parallel_service(keys, N, procs=procs, **kw)
+
+
+# -- deterministic equivalence (the satellite-1 gate) --------------------------
+
+
+def test_procs_2_and_4_byte_identical_to_in_process(instance):
+    """Same seed + workload: identical answers, identical merged digests."""
+    keys, N, qs = instance
+    answers: dict[int, np.ndarray] = {}
+    digests: dict[int, list[str]] = {}
+    for procs in (0, 2, 4):
+        svc = _build(keys, N, procs)
+        try:
+            # Both serving surfaces: tickets first, then bulk.
+            for i, q in enumerate(qs[:200]):
+                svc.submit(int(q), now=float(i))
+            svc.drain(now=200.0)
+            answers[procs] = svc.query_batch(qs)
+            digests[procs] = [
+                svc.merged_counter(s).digest() for s in range(2)
+            ]
+        finally:
+            svc.close()
+    assert np.array_equal(answers[0], answers[2])
+    assert np.array_equal(answers[0], answers[4])
+    assert digests[0] == digests[2] == digests[4]
+    assert np.array_equal(answers[0], np.isin(qs, keys))  # ground truth
+
+
+def test_equivalence_across_routers(instance):
+    keys, N, qs = instance
+    for router in ("random", "round-robin"):
+        got = {}
+        for procs in (0, 2):
+            svc = _build(keys, N, procs, router=router)
+            try:
+                a = svc.query_batch(qs)
+                got[procs] = (a, svc.merged_counter(0).digest())
+            finally:
+                svc.close()
+        assert np.array_equal(got[0][0], got[2][0]), router
+        assert got[0][1] == got[2][1], router
+
+
+# -- crash failover (the satellite-2 regression) -------------------------------
+
+
+def test_worker_killed_mid_batch_fails_over_and_cleans_up(instance):
+    """SIGKILL one worker with groups on its ring: survivors finish them."""
+    keys, N, qs = instance
+    before = _shm_names()
+    svc = _build(keys, N, procs=2, router="round-robin")
+    try:
+        # Hand-deal one batch's groups onto BOTH workers' rings, then
+        # kill worker 0 while its share is still outstanding — the
+        # deterministic version of "crash mid-batch".
+        shard_of = (
+            np.searchsorted(svc._boundaries, qs, side="right") - 1
+        )
+        groups = []
+        for shard in range(svc.num_shards):
+            sel = np.nonzero(shard_of == shard)[0][:64]
+            for replica, lo in enumerate(range(0, sel.size, 16)):
+                pick = sel[lo:lo + 16]
+                groups.append(svc._make_group(
+                    shard, replica % 3, qs[pick], pick,
+                ))
+        pending = {}
+        for g, h in zip(groups, itertools.cycle(svc.pool.workers)):
+            h.req.enqueue(FRAME_QUERY, g.payload())
+            g.worker_id = h.worker_id
+            pending[g.gid] = g
+        victim = svc.pool.workers[0]
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        victim.proc.wait()
+        results = svc._collect(pending)
+        # Every group answered correctly despite the crash.
+        assert len(results) == len(groups)
+        for g in groups:
+            got, probes = results[g.gid]
+            assert np.array_equal(got, np.isin(g.keys, keys))
+            assert probes > 0
+        # The dispatcher noticed and kept serving on the survivor.
+        assert not victim.alive
+        assert svc.query_batch(qs[:50]).shape == (50,)
+        assert [h.worker_id for h in svc.pool.live_workers()] == [1]
+    finally:
+        svc.close()
+    assert _shm_names() == before, "crash session leaked /dev/shm segments"
+
+
+def test_respawn_rebuilds_dead_slot_and_keeps_accounting(instance):
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=2)
+    try:
+        svc.query_batch(qs[:100])
+        charged = svc.merged_counter(0).total_probes()
+        assert charged > 0
+        victim = svc.pool.workers[0]
+        os.kill(victim.proc.pid, signal.SIGKILL)
+        victim.proc.wait()
+        svc.respawn_worker(0)
+        assert len(svc.pool.live_workers()) == 2
+        assert svc.fabric_stats.respawns == 1
+        answers = svc.query_batch(qs)
+        assert np.array_equal(answers, np.isin(qs, keys))
+        # Probes charged before the crash survive the respawn.
+        assert svc.merged_counter(0).total_probes() > charged
+    finally:
+        svc.close()
+
+
+# -- lifecycle + misc ----------------------------------------------------------
+
+
+def test_close_is_idempotent_and_unlinks_everything(instance):
+    keys, N, qs = instance
+    before = _shm_names()
+    svc = _build(keys, N, procs=2)
+    assert len(_shm_names() - before) > 0
+    svc.close()
+    svc.close()
+    assert _shm_names() == before
+
+
+def test_context_manager_closes(instance):
+    keys, N, qs = instance
+    before = _shm_names()
+    with _build(keys, N, procs=1) as svc:
+        assert svc.query_batch(qs[:20]).shape == (20,)
+    assert _shm_names() == before
+
+
+def test_queue_depths_and_metrics_export(instance):
+    keys, N, qs = instance
+    with _build(keys, N, procs=2) as svc:
+        svc.query_batch(qs[:100])
+        depths = svc.queue_depths()
+        assert len(depths) == 2 and all(d >= 0 for d in depths)
+        registry = MetricsRegistry()
+        svc.export_metrics(registry)
+        text = registry.to_prometheus()
+        assert "repro_parallel_queue_depth_w0" in text
+        assert "repro_parallel_queue_depth_w1" in text
+        assert "repro_parallel_worker_up_w1 1" in text
+        assert "repro_parallel_workers 2" in text
+
+
+def test_inline_engine_has_no_pool_and_no_depths(instance):
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=0)
+    assert svc.pool is None
+    assert svc.queue_depths() == []
+    svc.close()  # no-op
+
+
+def test_healing_is_rejected_on_the_fabric(instance):
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=0)
+    with pytest.raises(ParameterError):
+        svc.enable_healing()
+
+
+def test_negative_procs_rejected(instance):
+    keys, N, qs = instance
+    with pytest.raises(ParameterError):
+        _build(keys, N, procs=-1)

@@ -1,0 +1,198 @@
+"""SPSC ring buffers: wrap-around, backpressure, ordering, two processes."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    OverloadError,
+    ParameterError,
+    RingFullError,
+    SegmentFormatError,
+)
+from repro.parallel import (
+    FRAME_QUERY,
+    FRAME_RESPONSE,
+    FRAME_STOP,
+    RingBuffer,
+    destroy_segment,
+    segment_name,
+)
+
+
+@pytest.fixture
+def ring():
+    r = RingBuffer.create(segment_name("repro-test", "ring"), 64)
+    yield r
+    r.close()
+    destroy_segment(r.seg)
+
+
+def _payload(seed: int, size: int) -> np.ndarray:
+    return np.random.default_rng(seed).integers(
+        0, 2**63, size=size, dtype=np.uint64
+    )
+
+
+def test_roundtrip_single_frame(ring):
+    sent = _payload(0, 7)
+    ring.enqueue(FRAME_QUERY, sent)
+    frames = ring.consume_batch()
+    assert len(frames) == 1
+    kind, got = frames[0]
+    assert kind == FRAME_QUERY
+    assert np.array_equal(got, sent)
+    assert ring.depth_words == 0
+
+
+def test_wraparound_preserves_payloads(ring):
+    # 64-word ring, 13-word frames: the data region wraps constantly.
+    for i in range(300):
+        sent = _payload(i, 11)
+        ring.enqueue(FRAME_QUERY, sent)
+        kind, got = ring.consume_batch()[0]
+        assert np.array_equal(got, sent), f"corrupt payload at frame {i}"
+
+
+def test_wraparound_with_varying_sizes(ring):
+    sizes = [1, 17, 3, 29, 0, 8]
+    expected = []
+    consumed = []
+    for i in range(120):
+        size = sizes[i % len(sizes)]
+        sent = _payload(1000 + i, size)
+        try:
+            ring.enqueue(FRAME_RESPONSE, sent)
+            expected.append(sent)
+        except RingFullError:
+            for kind, got in ring.consume_batch(max_frames=1000):
+                consumed.append(got)
+            ring.enqueue(FRAME_RESPONSE, sent)
+            expected.append(sent)
+    for kind, got in ring.consume_batch(max_frames=1000):
+        consumed.append(got)
+    assert len(consumed) == len(expected)
+    for got, sent in zip(consumed, expected):
+        assert np.array_equal(got, sent)
+
+
+def test_full_ring_raises_typed_overload(ring):
+    # 64 words / (2 overhead + 6 payload) = 8 frames fill it exactly.
+    with pytest.raises(RingFullError) as exc:
+        for _ in range(100):
+            ring.enqueue(FRAME_QUERY, np.zeros(6, dtype=np.uint64))
+    assert isinstance(exc.value, OverloadError)
+    assert exc.value.capacity == 64
+    # Draining unblocks the producer — backpressure, not deadlock.
+    ring.consume_batch(max_frames=1)
+    ring.enqueue(FRAME_QUERY, np.zeros(6, dtype=np.uint64))
+
+
+def test_oversized_frame_is_parameter_error(ring):
+    with pytest.raises(ParameterError):
+        ring.enqueue(FRAME_QUERY, np.zeros(63, dtype=np.uint64))
+
+
+def test_batched_dequeue_is_fifo_and_bounded(ring):
+    for i in range(8):
+        ring.enqueue(FRAME_QUERY, np.array([i], dtype=np.uint64))
+    first = ring.consume_batch(max_frames=3)
+    rest = ring.consume_batch(max_frames=100)
+    order = [int(p[0]) for _, p in first + rest]
+    assert len(first) == 3 and len(rest) == 5
+    assert order == list(range(8))
+
+
+def test_corrupt_descriptor_raises_segment_format_error(ring):
+    ring.enqueue(FRAME_QUERY, np.array([1, 2], dtype=np.uint64))
+    ring._data[1] = (0xFFFF << 48) | 2  # clobber the frame's descriptor
+    with pytest.raises(SegmentFormatError):
+        ring.consume_batch()
+
+
+def test_stop_and_ready_flags(ring):
+    assert not ring.ready and not ring.stopped
+    ring.set_ready()
+    ring.set_stop()
+    assert ring.ready and ring.stopped
+    assert ring.wait_ready(timeout=0.01)
+
+
+_ECHO_CHILD = """
+import sys
+import numpy as np
+sys.path.insert(0, {src!r})
+from repro.parallel import FRAME_QUERY, FRAME_RESPONSE, FRAME_STOP, RingBuffer
+
+req = RingBuffer.attach({req!r})
+resp = RingBuffer.attach({resp!r})
+req.set_ready()
+running = True
+while running:
+    for kind, payload in req.consume_batch(64):
+        if kind == FRAME_STOP:
+            running = False
+            break
+        while True:
+            try:
+                resp.enqueue(FRAME_RESPONSE, payload[::-1].copy())
+                break
+            except Exception:
+                pass
+req.close()
+resp.close()
+"""
+
+
+def test_two_process_stress_under_wall_clock_bound():
+    """Pump thousands of frames through a real second process, bounded."""
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    req = RingBuffer.create(segment_name("repro-test", "sreq"), 1 << 12)
+    resp = RingBuffer.create(segment_name("repro-test", "srsp"), 1 << 12)
+    child = subprocess.Popen(
+        [
+            sys.executable,
+            "-c",
+            _ECHO_CHILD.format(
+                src=src, req=req.seg.name, resp=resp.seg.name
+            ),
+        ]
+    )
+    try:
+        assert req.wait_ready(timeout=30.0), "echo child never came up"
+        total = 4000
+        start = time.monotonic()
+        deadline = start + 60.0  # hard wall-clock bound
+        sent = received = 0
+        rng = np.random.default_rng(5)
+        payloads = {}
+        while received < total:
+            assert time.monotonic() < deadline, (
+                f"stress stalled: {received}/{total} echoed"
+            )
+            while sent < total:
+                p = rng.integers(0, 2**63, size=9, dtype=np.uint64)
+                try:
+                    req.enqueue(FRAME_QUERY, p)
+                except RingFullError:
+                    break
+                payloads[sent] = p
+                sent += 1
+            for kind, got in resp.consume_batch(256):
+                assert np.array_equal(got, payloads[received][::-1])
+                received += 1
+        req.enqueue(FRAME_STOP, np.zeros(0, dtype=np.uint64))
+        assert child.wait(timeout=30.0) == 0
+    finally:
+        if child.poll() is None:
+            child.kill()
+            child.wait()
+        for ring in (req, resp):
+            ring.close()
+            destroy_segment(ring.seg)
