@@ -1,0 +1,149 @@
+"""Bench E23 — adversarial search: evolution, verification, fixtures.
+
+Two entry points:
+
+- ``python benchmarks/bench_e23_adversary.py [--gate]`` — standalone:
+  runs the seeded (μ+λ) genome search on three independent seeds,
+  re-evaluates each best genome (byte-identical replay digest, zero
+  wrong answers, zero quarantine violations under healing), and
+  replays every committed fixture under ``tests/fixtures/genomes/``.
+  Writes the machine-readable ``BENCH_PR7.json`` at the repo root.
+
+  ``--gate`` exits nonzero unless, on every seed, the evolved best
+  strictly out-scores the hand-tuned
+  :meth:`~repro.serve.chaos.ChaosSchedule.generate` baseline AND its
+  verification replay is byte-identical with zero correctness
+  violations AND every committed fixture passes its regression
+  replay.
+
+- under pytest-benchmark — times one search run and asserts the same
+  headline invariants (beat baseline, verified replay, clean
+  fixtures).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.adversary import (
+    EvalConfig,
+    evaluate,
+    fixture_paths,
+    replay_fixture,
+    search,
+)
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURE_DIR = REPO_ROOT / "tests" / "fixtures" / "genomes"
+
+#: Independent search seeds — the E23 acceptance criterion.
+SEEDS = (0, 1, 2)
+
+GENERATIONS = 3
+POPULATION = 5
+
+
+def _search_once(config: EvalConfig, seed: int) -> dict:
+    """One seeded search + verification replay, as a flat gate row."""
+    t0 = time.perf_counter()
+    result = search(
+        config, seed=seed, generations=GENERATIONS,
+        population=POPULATION, elites=2,
+    )
+    search_seconds = time.perf_counter() - t0
+    replay = evaluate(result.best_genome, config, seed)
+    wrong = int(replay.metrics.get("wrong_answers", -1))
+    violations = int(replay.metrics.get("violations", -1))
+    return {
+        "seed": seed,
+        "best_fitness": round(result.best.fitness, 6),
+        "baseline_fitness": round(result.baseline.fitness, 6),
+        "beat_baseline": result.beat_baseline,
+        "evaluations": result.evaluations,
+        "search_seconds": round(search_seconds, 3),
+        "digest_match": replay.digest == result.best.digest,
+        "wrong_answers": wrong,
+        "violations": violations,
+        "verified": (
+            replay.digest == result.best.digest
+            and wrong == 0
+            and violations == 0
+        ),
+    }
+
+
+def measure(seed: int = 0) -> dict:
+    config = EvalConfig()
+    rows = [_search_once(config, int(seed) + s) for s in SEEDS]
+    fixture_rows = [
+        {
+            "fixture": v["fixture"],
+            "fitness": round(v["fitness"], 6),
+            "digest_match": v["digest_match"],
+            "no_wrong_answers": v["no_wrong_answers"],
+            "no_violations": v["no_violations"],
+            "passed": v["passed"],
+        }
+        for v in (replay_fixture(p) for p in fixture_paths(FIXTURE_DIR))
+    ]
+    all_beat = all(r["beat_baseline"] for r in rows)
+    all_verified = all(r["verified"] for r in rows)
+    fixtures_ok = all(r["passed"] for r in fixture_rows)
+    return {
+        "benchmark": "e23_adversary",
+        "generations": GENERATIONS,
+        "population": POPULATION,
+        "seeds": list(SEEDS),
+        "searches": rows,
+        "fixtures": fixture_rows,
+        "fixtures_replayed": len(fixture_rows),
+        "all_beat_baseline": all_beat,
+        "all_verified": all_verified,
+        "fixtures_ok": fixtures_ok,
+        "gate_passed": bool(all_beat and all_verified and fixtures_ok),
+    }
+
+
+def main(argv) -> int:
+    gate = "--gate" in argv
+    row = measure()
+    out = REPO_ROOT / "BENCH_PR7.json"
+    out.write_text(json.dumps(row, indent=2) + "\n")
+    print(json.dumps(row, indent=2))
+    print(f"wrote {out}")
+    if gate and not row["gate_passed"]:
+        print(
+            f"GATE FAILED: all_beat_baseline={row['all_beat_baseline']}, "
+            f"all_verified={row['all_verified']}, "
+            f"fixtures_ok={row['fixtures_ok']} "
+            f"({row['fixtures_replayed']} fixture(s))",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_e23_adversary(benchmark, bench_fast, record_result):
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E23",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    b_rows = [r for r in result.rows if r["part"] == "B"]
+    assert b_rows and all(r["verified"] for r in b_rows)
+    a_rows = [r for r in result.rows if r["part"] == "A"]
+    assert a_rows and all(r["beat_baseline"] for r in a_rows)
+    d_rows = [r for r in result.rows if r["part"] == "D"]
+    assert d_rows and all(r["passed"] for r in d_rows)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,75 @@
+"""Evolutionary adversarial workload search — the repo's red team.
+
+The chaos harness (E21) replays *fixed* seeded schedules; this
+package closes ROADMAP item 5 by making the adversary adaptive.  A
+:class:`~repro.adversary.genome.Genome` encodes a full attack —
+workload shape, arrival rate, and a fault program including the
+fabric-level ``kill-worker`` / ``corrupt-segment`` events — and the
+loop in :func:`~repro.adversary.search.search` evolves populations of
+them with seeded :func:`~repro.adversary.operators.mutate` /
+:func:`~repro.adversary.operators.crossover` against the deterministic
+:func:`~repro.adversary.evaluate.evaluate` harness, whose fitness
+rewards wrong answers, quarantine violations, shed traffic,
+tail-latency blowup, and Binomial(Q, Φ_t) envelope exceedance.
+
+Finds are shrunk by :func:`~repro.adversary.minimize.minimize` and
+frozen by :mod:`repro.adversary.fixtures` into JSON that replays
+byte-identically — each committed fixture is a permanent CI
+regression gate (zero wrong answers, zero quarantine violations).
+Experiment E23 and the ``repro adversary`` CLI drive the whole stack.
+"""
+
+from repro.adversary.evaluate import (
+    EvalConfig,
+    Evaluation,
+    evaluate,
+    fitness_from_metrics,
+)
+from repro.adversary.fixtures import (
+    FIXTURE_FORMAT,
+    fixture_dict,
+    fixture_paths,
+    load_fixture,
+    replay_fixture,
+    save_fixture,
+)
+from repro.adversary.genome import (
+    GENE_KINDS,
+    FaultGene,
+    Genome,
+    build_schedule,
+    random_gene,
+    random_genome,
+)
+from repro.adversary.minimize import minimize
+from repro.adversary.operators import crossover, mutate
+from repro.adversary.search import (
+    SearchResult,
+    baseline_genome,
+    search,
+)
+
+__all__ = [
+    "EvalConfig",
+    "Evaluation",
+    "evaluate",
+    "fitness_from_metrics",
+    "FIXTURE_FORMAT",
+    "fixture_dict",
+    "fixture_paths",
+    "load_fixture",
+    "replay_fixture",
+    "save_fixture",
+    "GENE_KINDS",
+    "FaultGene",
+    "Genome",
+    "build_schedule",
+    "random_gene",
+    "random_genome",
+    "minimize",
+    "crossover",
+    "mutate",
+    "SearchResult",
+    "baseline_genome",
+    "search",
+]

@@ -1,0 +1,367 @@
+"""The deterministic genome-evaluation harness.
+
+:func:`evaluate` replays one :class:`~repro.adversary.genome.Genome`
+against up to two targets and scores the damage:
+
+1. **The in-process healing service** — the PR-5 stack with armed
+   faults and healing enabled, driven by
+   :func:`~repro.serve.chaos.run_chaos` under the genome's workload,
+   rate, and compiled fault schedule.  Rewards: wrong answers,
+   quarantine violations, shed/degraded traffic, tail-latency blowup,
+   heal time, and exceedance of the exact Binomial(Q, Φ_t) envelope
+   (the E21 max-of-Gaussians test, doubled for verified dispatch).
+2. **The multicore fabric** (``config.procs >= 1``) — a
+   :class:`~repro.parallel.fabric.ParallelDictionaryService` serving
+   the genome's query mix while the genome's fabric-level events
+   (``kill-worker``, ``corrupt-segment``) land at deterministic chunk
+   boundaries.  Rewards: wrong answers exposed, a stalled fabric, and
+   a broken table CRC.  Fabric events apply only *between* batches, so
+   no in-flight group ever sees a partial fault and the stage stays a
+   pure function of ``(genome, config, seed)``.
+
+Everything timing-dependent (wall clock, failover counts) is excluded
+from both the metrics and the digest, so
+:meth:`Evaluation.digest` — a SHA-256 over the canonical metrics plus
+both probe-counter digests (the E22 machinery) — is byte-identical on
+every replay of the same ``(genome, config, seed)`` triple.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import math
+
+import numpy as np
+
+from repro.adversary.genome import Genome, build_schedule
+from repro.contention import exact_contention
+from repro.errors import FabricError
+from repro.faults import FaultConfig
+from repro.serve.chaos import FABRIC_KINDS, require_armed, run_chaos
+from repro.serve.service import build_service
+from repro.utils.rng import as_generator
+from repro.utils.validation import check_positive_integer
+from repro.workloads.spec import distribution_from_spec
+
+#: One-sided z allowance above the max-of-Gaussians correction (the
+#: envelope becomes a *reward* above this, not a failure below it).
+ENVELOPE_SIGMA = 3.0
+
+#: Fabric-stage batch boundaries at which fabric events may land.
+FABRIC_CHUNKS = 8
+
+#: Cap on the per-process Φ cache (keyed by workload; evictions FIFO).
+_PHI_CACHE_LIMIT = 64
+
+_PHI_CACHE: dict[tuple, np.ndarray] = {}
+
+
+@dataclasses.dataclass(frozen=True)
+class EvalConfig:
+    """The fixed (non-evolving) half of an evaluation: target sizing.
+
+    ``procs == 0`` skips the fabric stage entirely — the search loop
+    runs that way for speed and lets E23's red-team part apply fabric
+    genes explicitly; fixtures record whichever config found them.
+    """
+
+    n: int = 48
+    replicas: int = 5
+    requests: int = 600
+    procs: int = 0
+    fabric_queries: int = 192
+    fabric_replicas: int = 3
+
+    def __post_init__(self):
+        check_positive_integer("n", self.n)
+        check_positive_integer("replicas", self.replicas)
+        check_positive_integer("requests", self.requests)
+        check_positive_integer("fabric_queries", self.fabric_queries)
+        check_positive_integer("fabric_replicas", self.fabric_replicas)
+        if int(self.procs) < 0:
+            raise ValueError(f"procs must be >= 0, got {self.procs}")
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "EvalConfig":
+        """Rebuild a config from :meth:`to_dict` output."""
+        return cls(**{
+            f.name: d[f.name]
+            for f in dataclasses.fields(cls)
+            if f.name in d
+        })
+
+
+@dataclasses.dataclass(frozen=True)
+class Evaluation:
+    """One genome's scored replay: fitness, raw metrics, replay digest."""
+
+    fitness: float
+    metrics: dict
+    digest: str
+
+    def row(self) -> dict:
+        """Flat dict for experiment tables: fitness + key metrics."""
+        keep = (
+            "wrong_answers", "violations", "shed", "degraded_shed",
+            "latency_p99", "envelope_exceed", "quarantined",
+            "fabric_wrong", "fabric_stalled", "fabric_crc_ok",
+        )
+        row = {"fitness": round(self.fitness, 4), "digest": self.digest[:12]}
+        row.update({k: self.metrics[k] for k in keep if k in self.metrics})
+        return row
+
+
+def _phi_total(service, dist, cache_key) -> np.ndarray:
+    """Exact per-cell total contention, memoized per workload shape."""
+    if cache_key in _PHI_CACHE:
+        return _PHI_CACHE[cache_key]
+    phi = exact_contention(service.shards[0], dist).phi.sum(axis=0)
+    while len(_PHI_CACHE) >= _PHI_CACHE_LIMIT:
+        _PHI_CACHE.pop(next(iter(_PHI_CACHE)))
+    _PHI_CACHE[cache_key] = phi
+    return phi
+
+
+def _envelope_exceedance(report, phi_total) -> dict:
+    """The E21 envelope test as a graded signal instead of a pass/fail.
+
+    Uses the final snapshot's cumulative per-cell counts against
+    ``completed * phi * 2`` (verified dispatch probes primary +
+    witness).  Returns the max z, the max-of-Gaussians threshold, and
+    ``exceed = max(0, max_z - threshold)`` — the fitness reward.
+    """
+    snap = report.snapshots[-1]
+    completed = int(snap["completed"])
+    counts = np.asarray(snap["cell_counts"], dtype=np.float64)
+    p = np.clip(phi_total * 2.0, 0.0, 1.0)
+    expected = completed * p
+    testable = expected >= 10.0
+    tested = int(np.count_nonzero(testable))
+    if completed <= 0 or tested == 0:
+        return {
+            "envelope_tested": 0,
+            "envelope_max_z": 0.0,
+            "envelope_threshold": 0.0,
+            "envelope_exceed": 0.0,
+        }
+    threshold = ENVELOPE_SIGMA + math.sqrt(2.0 * math.log(tested))
+    sd = np.sqrt(expected * np.clip(1.0 - p, 0.1, 1.0))
+    with np.errstate(divide="ignore", invalid="ignore"):
+        z = np.where(testable, (counts - expected) / sd, 0.0)
+    max_z = float(z.max())
+    return {
+        "envelope_tested": tested,
+        "envelope_max_z": round(max_z, 6),
+        "envelope_threshold": round(threshold, 6),
+        "envelope_exceed": round(max(0.0, max_z - threshold), 6),
+    }
+
+
+def _healing_stage(genome: Genome, config: EvalConfig, seed) -> dict:
+    """Replay the genome against the armed, healing in-process service."""
+    # Imported lazily: repro.experiments.e23_adversary imports this
+    # package, so a module-level import would be circular.
+    from repro.experiments.common import make_instance
+
+    keys, N = make_instance(config.n, seed)
+    dist = distribution_from_spec(genome.workload_spec(), keys, N)
+    spike_dist = (
+        distribution_from_spec(
+            {
+                "family": "hotspot",
+                "skew": 1.0,
+                "positive_fraction": genome.positive_fraction,
+                "hot_keys": list(genome.hot_keys),
+            },
+            keys,
+            N,
+        )
+        if genome.hot_keys
+        else None
+    )
+    horizon = config.requests / genome.rate
+    service = build_service(
+        keys, N, num_shards=1, replicas=config.replicas, router="random",
+        max_batch=32, max_delay=0.25, capacity=1024,
+        faults=FaultConfig(armed=True), seed=seed + 1,
+    )
+    require_armed(service)
+    service.enable_healing(seed=seed + 2)
+    d = service.shards[0]
+    inner_cells = d.inner_rows * d.table.s
+    phi_total = _phi_total(
+        service, dist,
+        (config.n, config.replicas, int(seed),
+         json.dumps(genome.workload_spec(), sort_keys=True)),
+    )
+    schedule = build_schedule(genome, horizon, config.replicas, inner_cells)
+    report = run_chaos(
+        service, dist, schedule, config.requests, genome.rate,
+        seed=seed, expected_keys=keys, spike_dist=spike_dist,
+        high_priority_fraction=genome.high_priority_fraction,
+    )
+    quarantined = sum(
+        1 for state in report.final_states.values() if state != "healthy"
+    )
+    metrics = {
+        "requested": report.requested,
+        "completed": report.completed,
+        "shed": report.shed,
+        "degraded_shed": report.degraded_shed,
+        "wrong_answers": report.wrong_answers,
+        "violations": int(report.heal.get("violations", 0)),
+        "quarantined": quarantined,
+        "replicas": config.replicas,
+        "events_applied": report.events_applied,
+        "events_skipped": report.events_skipped,
+        "heal_ticks": report.heal_ticks,
+        "mttr_max": float(max(report.mttr) if report.mttr else 0.0),
+        "latency_p50": report.latency_p50,
+        "latency_p95": report.latency_p95,
+        "latency_p99": report.latency_p99,
+        "horizon": float(horizon),
+        "duration": report.duration,
+        "heal_counter_digest": d.table.counter.digest(),
+    }
+    metrics.update(_envelope_exceedance(report, phi_total))
+    return metrics
+
+
+def _fabric_stage(genome: Genome, config: EvalConfig, seed) -> dict:
+    """Replay the genome's fabric genes against a real worker pool.
+
+    Queries are served in :data:`FABRIC_CHUNKS` contiguous batches;
+    each fabric event lands *before* the batch its horizon fraction
+    maps to, so faults never race an in-flight group.  A fabric that
+    raises :class:`~repro.errors.FabricError` is recorded as stalled
+    (a find, not a harness crash).
+    """
+    from repro.experiments.common import make_instance
+    from repro.parallel.fabric import build_parallel_service
+
+    keys, N = make_instance(config.n, seed)
+    dist = distribution_from_spec(genome.workload_spec(), keys, N)
+    horizon = config.requests / genome.rate
+    fabric_events = []
+    schedule = build_schedule(
+        genome, horizon, config.fabric_replicas, max(config.n, 1)
+    )
+    for event in schedule.events:
+        if event.kind in FABRIC_KINDS:
+            chunk = min(
+                int(float(event.time) / horizon * FABRIC_CHUNKS),
+                FABRIC_CHUNKS - 1,
+            )
+            fabric_events.append((chunk, event))
+    queries = dist.sample(as_generator(seed + 5), config.fabric_queries)
+    truth = np.isin(queries, keys)
+    edges = np.linspace(0, queries.size, FABRIC_CHUNKS + 1).astype(int)
+    svc = build_parallel_service(
+        keys, N, procs=config.procs, replicas=config.fabric_replicas,
+        router="random", seed=seed + 1,
+    )
+    wrong = 0
+    stalled = False
+    try:
+        for chunk in range(FABRIC_CHUNKS):
+            for when, event in fabric_events:
+                if when == chunk:
+                    svc.apply_fabric_event(event)
+            lo, hi = edges[chunk], edges[chunk + 1]
+            if lo == hi:
+                continue
+            try:
+                answers = svc.query_batch(queries[lo:hi])
+            except FabricError:
+                stalled = True
+                break
+            wrong += int(np.sum(answers != truth[lo:hi]))
+        return {
+            "fabric_ran": True,
+            "fabric_queries": int(queries.size),
+            "fabric_wrong": wrong,
+            "fabric_stalled": stalled,
+            "fabric_crc_ok": bool(
+                all(
+                    svc.pool.table_crc_ok(s)
+                    for s in range(svc.num_shards)
+                )
+            ),
+            "fabric_kills": svc.fabric_stats.kills,
+            "fabric_corruptions": svc.fabric_stats.segment_corruptions,
+            "fabric_counter_digest": svc.merged_counter(0).digest(),
+        }
+    finally:
+        svc.close()
+
+
+def fitness_from_metrics(metrics: dict) -> float:
+    """Score a metrics dict: bigger = a more damaging genome.
+
+    Correctness breaks dominate (wrong answers and quarantine
+    violations at 1000 apiece, a stalled fabric at 400, exposed fabric
+    wrong answers at 300 per unit fraction); availability and latency
+    damage (shed, degraded, p99, MTTR, quarantine) and envelope
+    exceedance fill in the gradient the search climbs when the stack
+    is — as it should be — correct.
+    """
+    requested = max(int(metrics.get("requested", 1)), 1)
+    horizon = max(float(metrics.get("horizon", 1.0)), 1e-9)
+    fitness = 0.0
+    fitness += 1000.0 * metrics.get("wrong_answers", 0)
+    fitness += 1000.0 * metrics.get("violations", 0)
+    fitness += 100.0 * metrics.get("shed", 0) / requested
+    fitness += 40.0 * metrics.get("degraded_shed", 0) / requested
+    fitness += 50.0 * min(metrics.get("latency_p99", 0.0) / horizon, 1.0)
+    fitness += 10.0 * metrics.get("envelope_exceed", 0.0)
+    replicas = max(int(metrics.get("replicas", 1)), 1)
+    fitness += 60.0 * metrics.get("quarantined", 0) / replicas
+    fitness += 20.0 * min(metrics.get("mttr_max", 0.0) / horizon, 1.0)
+    if metrics.get("fabric_ran"):
+        fitness += 400.0 * bool(metrics.get("fabric_stalled"))
+        fitness += 300.0 * metrics.get("fabric_wrong", 0) / max(
+            int(metrics.get("fabric_queries", 1)), 1
+        )
+        fitness += 5.0 * (not metrics.get("fabric_crc_ok", True))
+        fitness += 2.0 * metrics.get("fabric_kills", 0)
+    return float(fitness)
+
+
+def evaluate(genome: Genome, config: EvalConfig, seed) -> Evaluation:
+    """Deterministically score one genome; pure in ``(genome, config, seed)``.
+
+    Runs the healing stage always and the fabric stage when
+    ``config.procs >= 1``, folds both metric sets into one dict, scores
+    it with :func:`fitness_from_metrics`, and stamps the replay digest:
+    SHA-256 over the canonical JSON of ``(genome digest, config, seed,
+    metrics)`` — metrics that already embed both probe-counter digests,
+    so byte-identical replay means identical *accounting*, not just
+    identical headline numbers.
+    """
+    metrics = _healing_stage(genome, config, int(seed))
+    if config.procs >= 1:
+        metrics.update(_fabric_stage(genome, config, int(seed)))
+    else:
+        metrics["fabric_ran"] = False
+    fitness = fitness_from_metrics(metrics)
+    payload = json.dumps(
+        {
+            "genome": genome.digest(),
+            "config": config.to_dict(),
+            "seed": int(seed),
+            "metrics": metrics,
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return Evaluation(
+        fitness=fitness,
+        metrics=metrics,
+        digest=hashlib.sha256(payload.encode()).hexdigest(),
+    )

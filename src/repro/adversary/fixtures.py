@@ -1,0 +1,110 @@
+"""Genome fixtures: found attacks frozen as byte-replayable JSON.
+
+Every genome the search finds worth keeping is serialized with its
+evaluation config, seed, fitness, and replay digest.  A fixture
+replays by re-running :func:`~repro.adversary.evaluate.evaluate` on
+the stored ``(genome, config, seed)`` and comparing the fresh digest
+to the stored one — the same byte-identity discipline as the E22
+multicore gate — then applying the CI regression rules: **zero wrong
+answers and zero quarantine violations** under the healing service,
+no matter how hostile the genome.  Committed fixtures live under
+``tests/fixtures/genomes/`` and are replayed by the ``adversary`` CI
+job, so every past find is a permanent red-team regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.adversary.evaluate import EvalConfig, Evaluation, evaluate
+from repro.adversary.genome import Genome
+from repro.errors import ParameterError
+
+#: Fixture schema version (bump on layout change).
+FIXTURE_FORMAT = 1
+
+
+def fixture_dict(
+    genome: Genome, config: EvalConfig, seed, evaluation: Evaluation
+) -> dict:
+    """The JSON-safe fixture payload for one evaluated genome."""
+    return {
+        "format": FIXTURE_FORMAT,
+        "seed": int(seed),
+        "config": config.to_dict(),
+        "genome": genome.to_dict(),
+        "genome_digest": genome.digest(),
+        "fitness": evaluation.fitness,
+        "replay_digest": evaluation.digest,
+        "metrics": evaluation.metrics,
+    }
+
+
+def save_fixture(
+    path, genome: Genome, config: EvalConfig, seed, evaluation: Evaluation
+) -> None:
+    """Write one genome fixture as pretty, stable-ordered JSON."""
+    payload = fixture_dict(genome, config, seed, evaluation)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_fixture(path) -> dict:
+    """Load a fixture, rebuilding the genome and config objects.
+
+    Returns ``{genome, config, seed, fitness, replay_digest,
+    metrics}``; raises :class:`~repro.errors.ParameterError` on an
+    unknown format version so schema drift fails loudly.
+    """
+    with open(path) as fh:
+        payload = json.load(fh)
+    if payload.get("format") != FIXTURE_FORMAT:
+        raise ParameterError(
+            f"{path}: fixture format {payload.get('format')!r} != "
+            f"{FIXTURE_FORMAT}"
+        )
+    return {
+        "genome": Genome.from_dict(payload["genome"]),
+        "config": EvalConfig.from_dict(payload["config"]),
+        "seed": int(payload["seed"]),
+        "fitness": float(payload["fitness"]),
+        "replay_digest": payload["replay_digest"],
+        "metrics": payload["metrics"],
+    }
+
+
+def replay_fixture(path) -> dict:
+    """Re-evaluate a fixture and report the regression-gate verdict.
+
+    Returns a flat dict with the fresh fitness/metrics plus three gate
+    booleans: ``digest_match`` (byte-identical replay),
+    ``no_wrong_answers``, and ``no_violations`` (both over the healing
+    replay).  ``passed`` is their conjunction — the CI gate.
+    """
+    fx = load_fixture(path)
+    fresh = evaluate(fx["genome"], fx["config"], fx["seed"])
+    digest_match = fresh.digest == fx["replay_digest"]
+    no_wrong = int(fresh.metrics.get("wrong_answers", 0)) == 0
+    no_violations = int(fresh.metrics.get("violations", 0)) == 0
+    return {
+        "fixture": os.path.basename(str(path)),
+        "fitness": fresh.fitness,
+        "stored_fitness": fx["fitness"],
+        "digest_match": digest_match,
+        "no_wrong_answers": no_wrong,
+        "no_violations": no_violations,
+        "passed": digest_match and no_wrong and no_violations,
+    }
+
+
+def fixture_paths(directory) -> list:
+    """All ``*.json`` fixture paths under ``directory``, sorted."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )

@@ -1,0 +1,383 @@
+"""Attack genomes: a full adversarial scenario as plain, frozen data.
+
+A :class:`Genome` encodes everything one attack run needs — workload
+shape (distribution family, skew, key mix), arrival rate, priority
+mix, and a fault program of :class:`FaultGene` entries that compiles
+to a :class:`~repro.serve.chaos.ChaosSchedule` (crashes, corruptions,
+stuck cells, spikes, plus the fabric-level ``kill-worker`` /
+``corrupt-segment`` kinds from PR 7).  Genomes are immutable and
+JSON-round-trippable (:meth:`Genome.to_dict` /
+:meth:`Genome.from_dict`), and :meth:`Genome.digest` hashes the
+canonical JSON — the memoization and fixture-identity key of the
+whole search.
+
+Fault genes place events at *fractions* of the run horizon rather
+than absolute times, so the same genome stays legal when the rate
+gene (and hence the horizon) mutates.  :func:`build_schedule` is the
+compiler: it clamps victims modulo the replica count and **enforces
+the honest-majority premise** — damage genes may touch at most
+``(replicas - 1) // 2`` distinct replicas (extras are dropped), the
+same legality rule :meth:`ChaosSchedule.generate` imposes — so an
+evolved genome can never "win" by trivially falsifying the majority
+assumption the healing guarantee is conditioned on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.serve.chaos import ChaosEvent, ChaosSchedule
+from repro.utils.rng import as_generator
+from repro.workloads.spec import SPEC_FAMILIES
+
+#: Fault-gene kinds: the five in-process chaos kinds (spike genes
+#: expand to a start/end pair) plus the two fabric-level kinds.
+GENE_KINDS = (
+    "crash", "corrupt", "stick", "spike", "kill-worker", "corrupt-segment",
+)
+
+#: Hard caps keeping genomes (and their JSON fixtures) small.
+MAX_EVENTS = 12
+MAX_HOT_KEYS = 8
+MAX_CELLS_PER_GENE = 6
+
+#: Scalar gene bounds: arrival rate (requests per virtual second).
+RATE_BOUNDS = (4.0, 512.0)
+
+#: Scalar gene bounds: Zipf exponent / hot-set mass.
+SKEW_BOUNDS = (0.0, 4.0)
+
+_MASK_MOD = 1 << 63
+
+
+def _fraction(name: str, value) -> float:
+    """Validate a [0, 1] gene, returning it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def _int_tuple(values) -> tuple:
+    """Canonicalize a gene's index/mask/value payload to ints."""
+    return tuple(int(v) for v in values)
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultGene:
+    """One heritable fault: a kind, a horizon fraction, and its payload.
+
+    ``frac`` is the event time as a fraction of the run horizon;
+    ``span`` is the spike duration fraction (``spike`` genes only).
+    ``replica``/``worker`` name the victim (wrapped modulo the target's
+    actual replica/worker count at compile time), and ``cells`` /
+    ``masks`` / ``values`` carry the corruption payload for ``corrupt``,
+    ``stick``, and ``corrupt-segment`` kinds.
+    """
+
+    frac: float
+    kind: str
+    replica: int = 0
+    worker: int = 0
+    span: float = 0.1
+    cells: tuple = ()
+    masks: tuple = ()
+    values: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in GENE_KINDS:
+            raise ParameterError(
+                f"unknown fault gene kind {self.kind!r}; options: "
+                f"{GENE_KINDS}"
+            )
+        object.__setattr__(self, "frac", _fraction("frac", self.frac))
+        object.__setattr__(self, "span", _fraction("span", self.span))
+        object.__setattr__(self, "replica", int(self.replica))
+        object.__setattr__(self, "worker", int(self.worker))
+        for field in ("cells", "masks", "values"):
+            object.__setattr__(
+                self, field, _int_tuple(getattr(self, field))
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "frac": self.frac,
+            "kind": self.kind,
+            "replica": self.replica,
+            "worker": self.worker,
+            "span": self.span,
+            "cells": list(self.cells),
+            "masks": list(self.masks),
+            "values": list(self.values),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultGene":
+        """Rebuild a gene from :meth:`to_dict` output."""
+        return cls(
+            frac=d["frac"],
+            kind=d["kind"],
+            replica=d.get("replica", 0),
+            worker=d.get("worker", 0),
+            span=d.get("span", 0.1),
+            cells=tuple(d.get("cells", ())),
+            masks=tuple(d.get("masks", ())),
+            values=tuple(d.get("values", ())),
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class Genome:
+    """A complete adversarial scenario: workload shape + fault program."""
+
+    #: Workload family (:data:`~repro.workloads.spec.SPEC_FAMILIES`).
+    family: str = "uniform"
+    #: Zipf exponent (``zipf``) or hot-set mass (``hotspot``).
+    skew: float = 1.0
+    #: Query mass on stored keys.
+    positive_fraction: float = 0.5
+    #: Explicit hot queries (hotspot target and spike-attack key mix).
+    hot_keys: tuple = ()
+    #: Open-loop Poisson arrival rate (requests per virtual second).
+    rate: float = 64.0
+    #: Probability a request is high-priority (survives degraded mode).
+    high_priority_fraction: float = 0.25
+    #: The fault program, compiled by :func:`build_schedule`.
+    events: tuple = ()
+
+    def __post_init__(self):
+        if self.family not in SPEC_FAMILIES:
+            raise ParameterError(
+                f"unknown workload family {self.family!r}; options: "
+                f"{SPEC_FAMILIES}"
+            )
+        skew = float(self.skew)
+        if not SKEW_BOUNDS[0] <= skew <= SKEW_BOUNDS[1]:
+            raise ParameterError(
+                f"skew must be in {SKEW_BOUNDS}, got {skew}"
+            )
+        object.__setattr__(self, "skew", skew)
+        object.__setattr__(
+            self,
+            "positive_fraction",
+            _fraction("positive_fraction", self.positive_fraction),
+        )
+        object.__setattr__(
+            self,
+            "high_priority_fraction",
+            _fraction("high_priority_fraction", self.high_priority_fraction),
+        )
+        rate = float(self.rate)
+        if not RATE_BOUNDS[0] <= rate <= RATE_BOUNDS[1]:
+            raise ParameterError(
+                f"rate must be in {RATE_BOUNDS}, got {rate}"
+            )
+        object.__setattr__(self, "rate", rate)
+        hot = _int_tuple(self.hot_keys)
+        if len(hot) > MAX_HOT_KEYS:
+            raise ParameterError(
+                f"at most {MAX_HOT_KEYS} hot keys, got {len(hot)}"
+            )
+        object.__setattr__(self, "hot_keys", hot)
+        events = tuple(
+            e if isinstance(e, FaultGene) else FaultGene.from_dict(e)
+            for e in self.events
+        )
+        if len(events) > MAX_EVENTS:
+            raise ParameterError(
+                f"at most {MAX_EVENTS} fault genes, got {len(events)}"
+            )
+        object.__setattr__(self, "events", events)
+
+    # -- identity ---------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
+        return {
+            "family": self.family,
+            "skew": self.skew,
+            "positive_fraction": self.positive_fraction,
+            "hot_keys": list(self.hot_keys),
+            "rate": self.rate,
+            "high_priority_fraction": self.high_priority_fraction,
+            "events": [e.to_dict() for e in self.events],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Genome":
+        """Rebuild a genome from :meth:`to_dict` output."""
+        return cls(
+            family=d.get("family", "uniform"),
+            skew=d.get("skew", 1.0),
+            positive_fraction=d.get("positive_fraction", 0.5),
+            hot_keys=tuple(d.get("hot_keys", ())),
+            rate=d.get("rate", 64.0),
+            high_priority_fraction=d.get("high_priority_fraction", 0.25),
+            events=tuple(
+                FaultGene.from_dict(e) for e in d.get("events", ())
+            ),
+        )
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form — the genome's identity."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def workload_spec(self) -> dict:
+        """The genome's workload genes as a
+        :func:`~repro.workloads.spec.distribution_from_spec` spec."""
+        return {
+            "family": self.family,
+            "skew": self.skew,
+            "positive_fraction": self.positive_fraction,
+            "hot_keys": list(self.hot_keys),
+        }
+
+
+def build_schedule(
+    genome: Genome, horizon: float, replicas: int, inner_cells: int
+) -> ChaosSchedule:
+    """Compile a genome's fault program into a legal ChaosSchedule.
+
+    Event times are ``frac * horizon`` (so every event lands inside
+    the validated ``[0, horizon]`` window); victim replicas and cell
+    indices wrap modulo their actual ranges; corruption masks are
+    forced nonzero.  Damage genes (crash / corrupt / stick) may touch
+    at most ``(replicas - 1) // 2`` distinct replicas — genes that
+    would break the strict honest majority are dropped, mirroring
+    :meth:`ChaosSchedule.generate`'s legality rule, so evolution
+    cannot score by invalidating the healing guarantee's premise.
+    """
+    horizon = float(horizon)
+    if not horizon > 0.0:
+        raise ParameterError("horizon must be > 0")
+    replicas = int(replicas)
+    inner_cells = int(inner_cells)
+    max_victims = max(0, (replicas - 1) // 2)
+    victims: set[int] = set()
+    events: list[ChaosEvent] = []
+    for gene in genome.events:
+        time = min(gene.frac, 1.0) * horizon
+        if gene.kind == "spike":
+            end = min(gene.frac + max(gene.span, 0.02), 1.0) * horizon
+            events.append(ChaosEvent(time=time, kind="spike-start"))
+            events.append(ChaosEvent(time=end, kind="spike-end"))
+            continue
+        if gene.kind == "kill-worker":
+            events.append(ChaosEvent(
+                time=time, kind="kill-worker", worker=gene.worker,
+            ))
+            continue
+        if gene.kind == "corrupt-segment":
+            cells, masks = _cells_and_masks(gene, None)
+            if cells:
+                events.append(ChaosEvent(
+                    time=time, kind="corrupt-segment", shard=0,
+                    cells=cells, masks=masks,
+                ))
+            continue
+        victim = int(gene.replica) % replicas
+        if victim not in victims and len(victims) >= max_victims:
+            continue
+        victims.add(victim)
+        if gene.kind == "crash":
+            events.append(ChaosEvent(
+                time=time, kind="crash", shard=0, replica=victim,
+            ))
+        elif gene.kind == "corrupt":
+            cells, masks = _cells_and_masks(gene, inner_cells)
+            if cells:
+                events.append(ChaosEvent(
+                    time=time, kind="corrupt", shard=0, replica=victim,
+                    cells=cells, masks=masks,
+                ))
+        else:  # stick
+            cells, values = _cells_and_values(gene, inner_cells)
+            if cells:
+                events.append(ChaosEvent(
+                    time=time, kind="stick", shard=0, replica=victim,
+                    cells=cells, values=values,
+                ))
+    return ChaosSchedule(events=events, horizon=horizon)
+
+
+def _cells_and_masks(gene: FaultGene, modulus: int | None) -> tuple:
+    """A gene's deduped cell targets with aligned nonzero XOR masks."""
+    pairs: dict[int, int] = {}
+    for i, cell in enumerate(gene.cells[:MAX_CELLS_PER_GENE]):
+        cell = int(cell) if modulus is None else int(cell) % modulus
+        mask = int(gene.masks[i]) % _MASK_MOD if i < len(gene.masks) else 1
+        pairs.setdefault(cell, mask or 1)
+    cells = tuple(sorted(pairs))
+    return cells, tuple(pairs[c] for c in cells)
+
+
+def _cells_and_values(gene: FaultGene, modulus: int) -> tuple:
+    """A gene's deduped cell targets with aligned stuck-at values."""
+    pairs: dict[int, int] = {}
+    for i, cell in enumerate(gene.cells[:MAX_CELLS_PER_GENE]):
+        cell = int(cell) % modulus
+        value = int(gene.values[i]) % _MASK_MOD if i < len(gene.values) else 0
+        pairs.setdefault(cell, value)
+    cells = tuple(sorted(pairs))
+    return cells, tuple(pairs[c] for c in cells)
+
+
+def random_genome(
+    seed, universe_size: int, inner_cells: int, replicas: int = 5
+) -> Genome:
+    """Draw a random (but always legal) genome; pure in ``seed``."""
+    rng = as_generator(seed)
+    family = str(rng.choice(SPEC_FAMILIES))
+    hot = tuple(
+        int(k) for k in rng.integers(
+            0, universe_size, size=int(rng.integers(0, MAX_HOT_KEYS + 1))
+        )
+    )
+    genes = tuple(
+        random_gene(int(rng.integers(0, 2**31)), inner_cells, replicas)
+        for _ in range(int(rng.integers(1, 6)))
+    )
+    return Genome(
+        family=family,
+        skew=float(rng.uniform(*SKEW_BOUNDS)) if family != "hotspot"
+        else float(rng.uniform(0.0, 1.0)),
+        positive_fraction=float(rng.uniform(0.0, 1.0)),
+        hot_keys=hot,
+        rate=float(np.exp(rng.uniform(
+            np.log(RATE_BOUNDS[0]), np.log(RATE_BOUNDS[1])
+        ))),
+        high_priority_fraction=float(rng.uniform(0.0, 1.0)),
+        events=genes,
+    )
+
+
+def random_gene(seed, inner_cells: int, replicas: int = 5) -> FaultGene:
+    """Draw one random fault gene; pure in ``seed``."""
+    rng = as_generator(seed)
+    kind = str(rng.choice(GENE_KINDS))
+    count = int(rng.integers(1, MAX_CELLS_PER_GENE + 1))
+    return FaultGene(
+        frac=float(rng.uniform(0.05, 1.0)),
+        kind=kind,
+        replica=int(rng.integers(0, max(replicas, 1))),
+        worker=int(rng.integers(0, 8)),
+        span=float(rng.uniform(0.02, 0.3)),
+        cells=tuple(int(c) for c in rng.integers(
+            0, max(inner_cells, 1), size=count
+        )),
+        masks=tuple(int(m) for m in rng.integers(
+            1, _MASK_MOD, size=count, dtype=np.uint64
+        )),
+        values=tuple(int(v) for v in rng.integers(
+            0, _MASK_MOD, size=count, dtype=np.uint64
+        )),
+    )

@@ -1,0 +1,82 @@
+"""Greedy genome minimization: shrink a find to its essential core.
+
+A genome that scores well often carries passenger genes — fault
+events that never land, hot keys that add nothing, a non-default
+workload family the damage doesn't need.  :func:`minimize` is a
+seeded delta-debugging pass: it repeatedly tries dropping one fault
+gene or applying one workload simplification, keeping any candidate
+that retains at least ``keep_fraction`` of the original fitness, and
+stops at a local fixed point.  Deterministic (every candidate is
+evaluated with the same seed) and monotone in size, so the CLI's
+``repro adversary minimize`` always terminates with a genome no
+larger than its input.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.adversary.evaluate import EvalConfig, Evaluation, evaluate
+from repro.adversary.genome import Genome
+from repro.errors import ParameterError
+
+
+def _simplifications(genome: Genome) -> list:
+    """Candidate one-step workload simplifications, most drastic first."""
+    out = []
+    if genome.hot_keys:
+        out.append(dataclasses.replace(genome, hot_keys=()))
+    if genome.family != "uniform":
+        out.append(dataclasses.replace(genome, family="uniform", skew=1.0))
+    if genome.positive_fraction != 0.5:
+        out.append(dataclasses.replace(genome, positive_fraction=0.5))
+    if genome.high_priority_fraction != 0.25:
+        out.append(
+            dataclasses.replace(genome, high_priority_fraction=0.25)
+        )
+    return out
+
+
+def minimize(
+    genome: Genome,
+    config: EvalConfig,
+    seed,
+    keep_fraction: float = 0.8,
+) -> tuple[Genome, Evaluation]:
+    """Shrink ``genome`` while keeping ``keep_fraction`` of its fitness.
+
+    Greedy passes alternate dropping single fault genes with workload
+    simplifications until neither helps; returns the minimized genome
+    and its evaluation.  A zero-fitness genome is returned unchanged
+    (there is nothing to preserve, so nothing licenses a shrink).
+    """
+    keep_fraction = float(keep_fraction)
+    if not 0.0 < keep_fraction <= 1.0:
+        raise ParameterError(
+            f"keep_fraction must be in (0, 1], got {keep_fraction}"
+        )
+    current = genome
+    current_eval = evaluate(current, config, int(seed))
+    if current_eval.fitness <= 0.0:
+        return current, current_eval
+    target = keep_fraction * current_eval.fitness
+    changed = True
+    while changed:
+        changed = False
+        for i in range(len(current.events)):
+            events = current.events[:i] + current.events[i + 1:]
+            candidate = dataclasses.replace(current, events=events)
+            cand_eval = evaluate(candidate, config, int(seed))
+            if cand_eval.fitness >= target:
+                current, current_eval = candidate, cand_eval
+                changed = True
+                break
+        if changed:
+            continue
+        for candidate in _simplifications(current):
+            cand_eval = evaluate(candidate, config, int(seed))
+            if cand_eval.fitness >= target:
+                current, current_eval = candidate, cand_eval
+                changed = True
+                break
+    return current, current_eval

@@ -1,0 +1,185 @@
+"""Seeded variation operators: mutation and crossover over genomes.
+
+Both operators are **pure functions of (parents, seed)** — they build
+one private generator from the seed, never touch global RNG state, and
+always return a validated :class:`~repro.adversary.genome.Genome` —
+which is what makes every search run, fixture, and CI replay exactly
+reproducible (the property tests in ``test_adversary_genome.py`` pin
+this down).
+
+:func:`mutate` applies one or two point mutations drawn from a fixed
+menu: jitter a scalar gene (skew, rate, mixes), switch the workload
+family, edit the hot-key set, or add / drop / perturb one fault gene.
+:func:`crossover` is uniform over scalar genes plus an event-list
+splice (a prefix of one parent's fault program with a suffix of the
+other's, capped at ``MAX_EVENTS``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.adversary.genome import (
+    GENE_KINDS,
+    MAX_EVENTS,
+    MAX_HOT_KEYS,
+    RATE_BOUNDS,
+    SKEW_BOUNDS,
+    Genome,
+    random_gene,
+)
+from repro.utils.rng import as_generator
+from repro.workloads.spec import SPEC_FAMILIES
+
+_MASK_MOD = 1 << 63
+
+
+def _clip(value: float, bounds: tuple) -> float:
+    """Clamp a scalar gene into its legal bounds."""
+    return float(min(max(value, bounds[0]), bounds[1]))
+
+
+def _mutate_scalars(genome: Genome, rng: np.random.Generator) -> dict:
+    """One random scalar-gene jitter, as a ``dataclasses.replace`` patch."""
+    which = int(rng.integers(0, 4))
+    if which == 0:
+        return {"skew": _clip(
+            genome.skew * float(np.exp(rng.normal(0.0, 0.4))), SKEW_BOUNDS
+        )}
+    if which == 1:
+        return {"positive_fraction": _clip(
+            genome.positive_fraction + float(rng.normal(0.0, 0.15)),
+            (0.0, 1.0),
+        )}
+    if which == 2:
+        return {"rate": _clip(
+            genome.rate * float(np.exp(rng.normal(0.0, 0.5))), RATE_BOUNDS
+        )}
+    return {"high_priority_fraction": _clip(
+        genome.high_priority_fraction + float(rng.normal(0.0, 0.15)),
+        (0.0, 1.0),
+    )}
+
+
+def _mutate_hot_keys(
+    genome: Genome, rng: np.random.Generator, universe_size: int
+) -> dict:
+    """Add, drop, or re-roll one hot key."""
+    hot = list(genome.hot_keys)
+    move = int(rng.integers(0, 3))
+    if move == 0 and len(hot) < MAX_HOT_KEYS:
+        hot.append(int(rng.integers(0, universe_size)))
+    elif move == 1 and hot:
+        hot.pop(int(rng.integers(0, len(hot))))
+    elif hot:
+        hot[int(rng.integers(0, len(hot)))] = int(
+            rng.integers(0, universe_size)
+        )
+    else:
+        hot.append(int(rng.integers(0, universe_size)))
+    return {"hot_keys": tuple(hot)}
+
+
+def _perturb_gene(gene, rng: np.random.Generator, inner_cells: int):
+    """Jitter one fault gene's time, victim, or payload."""
+    move = int(rng.integers(0, 3))
+    if move == 0:
+        return dataclasses.replace(
+            gene, frac=_clip(gene.frac + float(rng.normal(0.0, 0.1)),
+                             (0.0, 1.0)),
+        )
+    if move == 1:
+        return dataclasses.replace(
+            gene,
+            replica=int(rng.integers(0, 8)),
+            worker=int(rng.integers(0, 8)),
+        )
+    count = max(len(gene.cells), 1)
+    return dataclasses.replace(
+        gene,
+        cells=tuple(int(c) for c in rng.integers(
+            0, max(inner_cells, 1), size=count
+        )),
+        masks=tuple(int(m) for m in rng.integers(
+            1, _MASK_MOD, size=count, dtype=np.uint64
+        )),
+    )
+
+
+def mutate(
+    genome: Genome, seed, universe_size: int, inner_cells: int
+) -> Genome:
+    """Return a mutated copy of ``genome``; pure in ``(genome, seed)``.
+
+    Applies one or two point mutations from the menu (scalar jitter,
+    family switch, hot-key edit, fault-gene add/drop/perturb).  The
+    result is always a valid genome — bounds are clamped, caps are
+    respected — so a mutation can never produce an unevaluable child.
+    """
+    rng = as_generator(seed)
+    out = genome
+    for _ in range(int(rng.integers(1, 3))):
+        move = int(rng.integers(0, 6))
+        if move == 0:
+            out = dataclasses.replace(out, **_mutate_scalars(out, rng))
+        elif move == 1:
+            family = str(rng.choice(SPEC_FAMILIES))
+            skew = (
+                _clip(out.skew, (0.0, 1.0))
+                if family == "hotspot"
+                else out.skew
+            )
+            out = dataclasses.replace(out, family=family, skew=skew)
+        elif move == 2:
+            out = dataclasses.replace(
+                out, **_mutate_hot_keys(out, rng, universe_size)
+            )
+        elif move == 3 and len(out.events) < MAX_EVENTS:
+            gene = random_gene(
+                int(rng.integers(0, 2**31)), inner_cells
+            )
+            out = dataclasses.replace(out, events=out.events + (gene,))
+        elif move == 4 and out.events:
+            keep = list(out.events)
+            keep.pop(int(rng.integers(0, len(keep))))
+            out = dataclasses.replace(out, events=tuple(keep))
+        elif out.events:
+            genes = list(out.events)
+            i = int(rng.integers(0, len(genes)))
+            genes[i] = _perturb_gene(genes[i], rng, inner_cells)
+            out = dataclasses.replace(out, events=tuple(genes))
+        else:
+            out = dataclasses.replace(out, **_mutate_scalars(out, rng))
+    return out
+
+
+def crossover(a: Genome, b: Genome, seed) -> Genome:
+    """Recombine two parents into one child; pure in ``(a, b, seed)``.
+
+    Scalar and workload genes are chosen uniformly from either parent;
+    the fault program is a splice — a prefix of one parent's events
+    followed by a suffix of the other's, truncated to ``MAX_EVENTS``.
+    ``hotspot`` children clamp skew into [0, 1] (hot-set mass).
+    """
+    rng = as_generator(seed)
+    pick = lambda x, y: x if rng.random() < 0.5 else y  # noqa: E731
+    family = pick(a.family, b.family)
+    skew = pick(a.skew, b.skew)
+    if family == "hotspot":
+        skew = _clip(skew, (0.0, 1.0))
+    cut_a = int(rng.integers(0, len(a.events) + 1))
+    cut_b = int(rng.integers(0, len(b.events) + 1))
+    events = (a.events[:cut_a] + b.events[cut_b:])[:MAX_EVENTS]
+    return Genome(
+        family=family,
+        skew=skew,
+        positive_fraction=pick(a.positive_fraction, b.positive_fraction),
+        hot_keys=pick(a.hot_keys, b.hot_keys),
+        rate=pick(a.rate, b.rate),
+        high_priority_fraction=pick(
+            a.high_priority_fraction, b.high_priority_fraction
+        ),
+        events=events,
+    )

@@ -3,7 +3,7 @@
 Commands
 --------
 
-- ``list [--json]`` — show the experiment registry (E1–E21) with
+- ``list [--json]`` — show the experiment registry (E1–E23) with
   titles (``--json`` prints a machine-readable object including the
   telemetry capability descriptor).
 - ``run E5 [--full] [--seed 0] [--json out.json]`` — run one experiment
@@ -30,6 +30,13 @@ Commands
   contention spikes) against a healing-enabled service and report
   recoveries, repairs, and wrong answers (exit 1 on any wrong answer
   or quarantine violation).
+- ``adversary search|replay|minimize`` — the evolutionary red team
+  (:mod:`repro.adversary`): ``search`` evolves attack genomes against
+  the self-healing stack and can save the best find as a JSON fixture,
+  ``replay`` re-evaluates fixtures and exits 1 unless every one
+  reproduces its digest byte-identically with zero wrong answers and
+  zero quarantine violations, and ``minimize`` greedily shrinks a
+  fixture's genome while keeping most of its fitness.
 - ``loadgen [--requests 2000] [--discipline open] [--router
   least-loaded]`` — deterministic virtual-time load generation against
   a fresh service; prints throughput, latency percentiles, and
@@ -497,13 +504,20 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_chaos(args) -> int:
+    from repro.errors import ParameterError
     from repro.serve import ChaosSchedule, run_chaos
     from repro.serve.chaos import require_armed
+    from repro.utils.validation import check_positive_integer
 
+    # Validate before the horizon division so a bad --rate/--requests
+    # becomes a runner-style exit 2, not a raw ZeroDivisionError.
+    requests = check_positive_integer("requests", args.requests)
+    if not args.rate > 0:
+        raise ParameterError(f"rate must be positive, got {args.rate}")
     keys, N, service, dist = _make_service(args, armed=True)
     require_armed(service)
     manager = service.enable_healing(seed=args.seed + 5)
-    horizon = args.requests / args.rate
+    horizon = requests / args.rate
     d = service.shards[0]
     schedule = ChaosSchedule.generate(
         args.seed + 6,
@@ -519,7 +533,7 @@ def _cmd_chaos(args) -> int:
         service,
         dist,
         schedule,
-        args.requests,
+        requests,
         args.rate,
         seed=args.seed + 4,
         expected_keys=keys,
@@ -559,6 +573,121 @@ def _cmd_chaos(args) -> int:
             fh.write("\n")
         print(f"wrote {args.json}")
     return 1 if report.wrong_answers or heal["violations"] else 0
+
+
+def _adversary_config(args):
+    """Build the :class:`~repro.adversary.EvalConfig` from CLI flags."""
+    from repro.adversary import EvalConfig
+
+    return EvalConfig(
+        n=args.n,
+        replicas=args.replicas,
+        requests=args.requests,
+        procs=args.procs,
+    )
+
+
+def _cmd_adversary_search(args) -> int:
+    from repro.adversary import minimize, save_fixture, search
+
+    config = _adversary_config(args)
+    result = search(
+        config,
+        args.seed,
+        generations=args.generations,
+        population=args.population,
+        elites=args.elites,
+    )
+    for entry in result.history:
+        print(
+            f"gen {entry['generation']}: best {entry['best_fitness']:.4f} "
+            f"mean {entry['mean_fitness']:.4f} "
+            f"({entry['evaluated']} evaluated)"
+        )
+    verdict = "BEAT" if result.beat_baseline else "did NOT beat"
+    print(
+        f"best fitness {result.best.fitness:.4f} {verdict} baseline "
+        f"{result.baseline.fitness:.4f} "
+        f"({result.evaluations} distinct genomes evaluated)"
+    )
+    metrics = result.best.metrics
+    print(
+        f"best genome: {len(result.best_genome.events)} events, "
+        f"family={result.best_genome.family}, "
+        f"rate={result.best_genome.rate:.1f}; "
+        f"wrong={metrics.get('wrong_answers')}, "
+        f"violations={metrics.get('violations')}, "
+        f"shed={metrics.get('shed')}, "
+        f"quarantined={metrics.get('quarantined')}"
+    )
+    if args.out:
+        genome, evaluation = result.best_genome, result.best
+        if args.minimize:
+            genome, evaluation = minimize(genome, config, args.seed)
+            print(
+                f"minimized to {len(genome.events)} events at fitness "
+                f"{evaluation.fitness:.4f}"
+            )
+        save_fixture(args.out, genome, config, args.seed, evaluation)
+        print(f"wrote {args.out}")
+    return 0 if result.beat_baseline else 1
+
+
+def _adversary_fixture_args(args) -> list:
+    """Resolve the ``fixtures``/``--dir`` operands into a path list."""
+    from repro.adversary import fixture_paths
+    from repro.errors import ParameterError
+
+    paths = list(args.fixtures)
+    if args.dir:
+        paths.extend(fixture_paths(args.dir))
+    if not paths:
+        raise ParameterError(
+            "no fixtures: pass paths and/or --dir with *.json files"
+        )
+    return paths
+
+
+def _cmd_adversary_replay(args) -> int:
+    from repro.adversary import replay_fixture
+
+    failed = 0
+    for path in _adversary_fixture_args(args):
+        verdict = replay_fixture(path)
+        status = "ok" if verdict["passed"] else "FAIL"
+        print(
+            f"{status}: {verdict['fixture']} "
+            f"fitness {verdict['fitness']:.4f} "
+            f"(stored {verdict['stored_fitness']:.4f}) "
+            f"digest_match={verdict['digest_match']} "
+            f"wrong_ok={verdict['no_wrong_answers']} "
+            f"violations_ok={verdict['no_violations']}"
+        )
+        failed += 0 if verdict["passed"] else 1
+    if failed:
+        print(f"error: {failed} fixture(s) failed replay", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_adversary_minimize(args) -> int:
+    from repro.adversary import evaluate, load_fixture, minimize, save_fixture
+
+    fx = load_fixture(args.fixture)
+    original = evaluate(fx["genome"], fx["config"], fx["seed"])
+    genome, evaluation = minimize(
+        fx["genome"], fx["config"], fx["seed"],
+        keep_fraction=args.keep_fraction,
+    )
+    print(
+        f"{len(fx['genome'].events)} events @ fitness "
+        f"{original.fitness:.4f} -> {len(genome.events)} events @ "
+        f"{evaluation.fitness:.4f}"
+    )
+    out = args.out or args.fixture
+    save_fixture(out, genome, fx["config"], fx["seed"], evaluation)
+    print(f"wrote {out}")
+    return 0
 
 
 def _cmd_trace(args) -> int:
@@ -827,6 +956,80 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--json", help="also write the report as JSON")
     # Five replicas keep a strict read majority with two damaged.
     chaos_p.set_defaults(func=_cmd_chaos, replicas=5, router="random")
+
+    adversary_p = sub.add_parser(
+        "adversary",
+        help="evolutionary red team: search, replay, and shrink attacks",
+    )
+    adversary_sub = adversary_p.add_subparsers(
+        dest="adversary_command", required=True
+    )
+
+    def add_adversary_eval_options(p) -> None:
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--n", type=int, default=48, help="keys in the target instance"
+        )
+        p.add_argument(
+            "--replicas", type=int, default=5,
+            help="healing-service replicas (5 keeps a strict majority "
+            "with two damaged)",
+        )
+        p.add_argument(
+            "--requests", type=int, default=600,
+            help="requests per genome evaluation",
+        )
+        p.add_argument(
+            "--procs", type=int, default=0,
+            help="also replay each genome against N real worker "
+            "processes (0 = healing service only)",
+        )
+
+    adv_search_p = adversary_sub.add_parser(
+        "search", help="evolve attack genomes against the healing stack"
+    )
+    add_adversary_eval_options(adv_search_p)
+    adv_search_p.add_argument("--generations", type=int, default=4)
+    adv_search_p.add_argument("--population", type=int, default=6)
+    adv_search_p.add_argument("--elites", type=int, default=2)
+    adv_search_p.add_argument(
+        "--out", help="save the best genome as a JSON fixture"
+    )
+    adv_search_p.add_argument(
+        "--minimize",
+        action="store_true",
+        help="greedily shrink the best genome before saving",
+    )
+    adv_search_p.set_defaults(func=_cmd_adversary_search)
+
+    adv_replay_p = adversary_sub.add_parser(
+        "replay",
+        help="re-evaluate fixtures; exit 1 unless every digest matches "
+        "with zero wrong answers and zero violations",
+    )
+    adv_replay_p.add_argument(
+        "fixtures", nargs="*", help="fixture JSON paths"
+    )
+    adv_replay_p.add_argument(
+        "--dir", help="also replay every *.json under this directory"
+    )
+    adv_replay_p.set_defaults(func=_cmd_adversary_replay)
+
+    adv_min_p = adversary_sub.add_parser(
+        "minimize", help="greedily shrink a fixture's genome"
+    )
+    adv_min_p.add_argument("fixture", help="fixture JSON path")
+    adv_min_p.add_argument(
+        "--out", help="write the shrunk fixture here (default: in place)"
+    )
+    adv_min_p.add_argument(
+        "--keep-fraction",
+        type=float,
+        default=0.8,
+        help="accept simplifications keeping at least this fraction "
+        "of the original fitness",
+    )
+    adv_min_p.set_defaults(func=_cmd_adversary_minimize)
 
     trace_p = sub.add_parser(
         "trace", help="record a span tree for a seeded workload"

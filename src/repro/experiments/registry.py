@@ -28,6 +28,7 @@ from repro.experiments import (
     e20_telemetry,
     e21_chaos,
     e22_multicore,
+    e23_adversary,
 )
 from repro.io.results import ExperimentResult
 
@@ -54,6 +55,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E20": ("Telemetry: zero-perturbation observation & live contention monitoring (observability extension)", e20_telemetry.run),
     "E21": ("Chaos steady-state: self-healing under crashes, corruption, and spikes (robustness extension)", e21_chaos.run),
     "E22": ("Multicore fabric: hardware Binomial loads and byte-identical accounting (real-parallelism extension)", e22_multicore.run),
+    "E23": ("Adversarial search: evolution vs the self-healing stack (robustness extension)", e23_adversary.run),
 }
 
 

@@ -43,6 +43,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -56,11 +57,14 @@ from repro.parallel.ring import (
     RingBuffer,
 )
 from repro.parallel.shm import (
+    KIND_TABLE,
+    LINE_WORDS,
     create_counter_segment,
     destroy_segment,
     pack_table,
     read_counter,
     segment_name,
+    verify_header,
 )
 from repro.parallel.worker import unpack_answers
 from repro.serve.service import ShardedDictionaryService, build_service
@@ -85,6 +89,8 @@ class FabricStats:
     failovers: int = 0
     respawns: int = 0
     ring_full_retries: int = 0
+    kills: int = 0
+    segment_corruptions: int = 0
 
     def row(self) -> dict:
         """Flat dict for experiment tables."""
@@ -284,6 +290,83 @@ class WorkerPool:
                 os.unlink(path)
             except OSError:
                 pass
+
+    # -- fault injection (the chaos/adversary surface) --------------------------
+
+    def kill_worker(self, worker_id: int) -> bool:
+        """SIGKILL one live worker slot; the red-team crash primitive.
+
+        Refuses (returns ``False``) when the target is already dead or
+        is the *last* live worker — a fabric with no workers cannot
+        fail over, so the adversary is never allowed to orphan it.
+        The slot stays rebuildable via :meth:`respawn`, and every probe
+        the victim already charged stays in its counter segment.
+        """
+        worker_id = int(worker_id)
+        if not 0 <= worker_id < self.procs:
+            raise ParameterError(
+                f"worker_id must be in [0, {self.procs}), got {worker_id}"
+            )
+        h = self.workers[worker_id]
+        if h.poll_dead():
+            return False
+        if len(self.live_workers()) <= 1:
+            return False
+        h.proc.kill()
+        h.proc.wait()
+        h.poll_dead()
+        return True
+
+    def corrupt_table_segment(self, shard: int, cells, masks) -> bool:
+        """XOR masks into a shared table's packed payload words.
+
+        Flips bits directly in the shared pages every worker serves
+        from — the header (and its payload CRC) is left untouched, so
+        already-attached workers keep serving the corrupted cells while
+        any *fresh* attach fails payload verification.  Word indices
+        wrap modulo the payload size; returns ``False`` when there is
+        nothing to apply.
+        """
+        if not 0 <= int(shard) < len(self._shards):
+            raise ParameterError(
+                f"shard must be in [0, {len(self._shards)}), got {shard}"
+            )
+        cells = [int(c) for c in cells]
+        masks = [int(m) & 0xFFFFFFFFFFFFFFFF for m in masks]
+        if not cells or not masks:
+            return False
+        seg = self.table_segs[int(shard)]
+        table = self._shards[int(shard)].table
+        nwords = table.rows * table.s
+        word_size = np.dtype(np.uint64).itemsize
+        words = np.ndarray(
+            nwords, dtype=np.uint64, buffer=seg.buf,
+            offset=LINE_WORDS * word_size,
+        )
+        applied = False
+        for cell, mask in zip(cells, masks):
+            if mask == 0:
+                continue
+            words[cell % nwords] ^= np.uint64(mask)
+            applied = True
+        return applied
+
+    def table_crc_ok(self, shard: int) -> bool:
+        """Recompute one table segment's payload CRC against its header.
+
+        ``True`` while the shared pages still match the checksum stamped
+        at :func:`~repro.parallel.shm.pack_table` time — i.e. no
+        :meth:`corrupt_table_segment` damage (or any other writer) has
+        touched the payload.
+        """
+        seg = self.table_segs[int(shard)]
+        rows, s, payload_crc = verify_header(seg.buf, KIND_TABLE, seg.name)
+        word_size = np.dtype(np.uint64).itemsize
+        view = np.ndarray(
+            (rows, s), dtype=np.uint64, buffer=seg.buf,
+            offset=LINE_WORDS * word_size,
+        )
+        return (zlib.crc32(view.tobytes()) & 0xFFFFFFFF) == payload_crc
 
     # -- introspection ----------------------------------------------------------
 
@@ -666,6 +749,35 @@ class ParallelDictionaryService(ShardedDictionaryService):
         handle = self.pool.respawn(worker_id)
         self.fabric_stats.respawns += 1
         return handle
+
+    def apply_fabric_event(self, event) -> bool:
+        """Apply one fabric-level chaos event; ``True`` if it landed.
+
+        The hook :func:`~repro.serve.chaos._apply_event` dispatches
+        ``FABRIC_KINDS`` through.  ``kill-worker`` SIGKILLs the slot
+        ``event.worker`` (wrapped modulo ``procs``); ``corrupt-segment``
+        XORs ``event.masks`` into ``event.cells`` (flat packed words) of
+        ``event.shard``'s shared table.  Returns ``False`` — the event
+        is *skipped*, not an error — on the inline engine (no pool), on
+        a spared last-live-worker kill, or on an empty corruption.
+        """
+        if self.pool is None:
+            return False
+        if event.kind == "kill-worker":
+            victim = int(event.worker) % self.procs if self.procs else 0
+            if self.pool.kill_worker(victim):
+                self.fabric_stats.kills += 1
+                return True
+            return False
+        if event.kind == "corrupt-segment":
+            shard = int(event.shard) % self.num_shards
+            if self.pool.corrupt_table_segment(
+                shard, event.cells, event.masks
+            ):
+                self.fabric_stats.segment_corruptions += 1
+                return True
+            return False
+        return False
 
     def export_metrics(self, registry) -> None:
         """Publish fabric gauges/counters into a MetricsRegistry.

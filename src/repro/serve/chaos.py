@@ -39,8 +39,16 @@ from repro.serve.service import ShardedDictionaryService, Ticket
 from repro.utils.rng import as_generator
 from repro.utils.validation import check_positive_integer
 
-#: Chaos event vocabulary.
+#: Chaos event vocabulary (in-process replica faults + load spikes).
 CHAOS_KINDS = ("crash", "corrupt", "stick", "spike-start", "spike-end")
+
+#: Fabric-level event vocabulary (:mod:`repro.parallel` only): SIGKILL
+#: of one worker process and silent corruption of a shared table
+#: segment.  Applied through
+#: :meth:`~repro.parallel.fabric.ParallelDictionaryService.
+#: apply_fabric_event`; drivers replaying against an in-process service
+#: count them as skipped instead of failing.
+FABRIC_KINDS = ("kill-worker", "corrupt-segment")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -51,17 +59,21 @@ class ChaosEvent:
     kind: str
     shard: int = 0
     replica: int = -1
-    #: Inner flat cell indices (``corrupt`` / ``stick`` events).
+    #: Inner flat cell indices (``corrupt`` / ``stick``), or flat packed
+    #: table words (``corrupt-segment``).
     cells: tuple = ()
-    #: XOR masks, one per cell (``corrupt`` events).
+    #: XOR masks, one per cell (``corrupt`` / ``corrupt-segment``).
     masks: tuple = ()
     #: Stuck-at values, one per cell (``stick`` events).
     values: tuple = ()
+    #: Victim worker slot (``kill-worker`` events).
+    worker: int = -1
 
     def __post_init__(self):
-        if self.kind not in CHAOS_KINDS:
+        if self.kind not in CHAOS_KINDS + FABRIC_KINDS:
             raise ParameterError(
-                f"unknown chaos kind {self.kind!r}; options: {CHAOS_KINDS}"
+                f"unknown chaos kind {self.kind!r}; options: "
+                f"{CHAOS_KINDS + FABRIC_KINDS}"
             )
 
 
@@ -75,6 +87,14 @@ class ChaosSchedule:
     def __post_init__(self):
         if not float(self.horizon) > 0.0:
             raise ParameterError("horizon must be > 0")
+        for event in self.events:
+            if not 0.0 <= float(event.time) <= float(self.horizon):
+                raise ParameterError(
+                    f"chaos event {event.kind!r} at t={event.time} lies "
+                    f"outside [0, horizon={self.horizon}]; boundary "
+                    f"events (t == horizon) are applied before "
+                    f"quiescence, later ones would silently never fire"
+                )
         self.events = sorted(self.events, key=lambda e: (e.time, e.kind))
 
     @property
@@ -196,6 +216,13 @@ class ChaosReport:
     mttr: list
     #: Final health state per (shard, replica), e.g. ``"0/2": "healthy"``.
     final_states: dict
+    #: Fabric-level events the replay target could not express (e.g. a
+    #: ``kill-worker`` event replayed against an in-process service).
+    events_skipped: int = 0
+    #: Completed-request latency percentiles in virtual time.
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
 
     def row(self) -> dict:
         """Flat dict for experiment tables (snapshots elided)."""
@@ -207,7 +234,11 @@ class ChaosReport:
             "wrong_answers": self.wrong_answers,
             "duration": self.duration,
             "events_applied": self.events_applied,
+            "events_skipped": self.events_skipped,
             "heal_ticks": self.heal_ticks,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
             "mttr_max": max(self.mttr) if self.mttr else 0.0,
             "recoveries": len(self.mttr),
         }
@@ -217,10 +248,22 @@ class ChaosReport:
 
 def _apply_event(
     service: ShardedDictionaryService, event: ChaosEvent
-) -> bool:
-    """Inject one fault; returns whether it toggles the spike flag."""
+) -> str:
+    """Inject one fault; returns ``"spike"``/``"applied"``/``"skipped"``.
+
+    Fabric-level kinds (:data:`FABRIC_KINDS`) route through the
+    service's ``apply_fabric_event`` hook when it has one (the
+    :class:`~repro.parallel.fabric.ParallelDictionaryService` engine);
+    an in-process service replaying the same schedule reports them as
+    skipped instead of failing, so one genome replays everywhere.
+    """
     if event.kind in ("spike-start", "spike-end"):
-        return True
+        return "spike"
+    if event.kind in FABRIC_KINDS:
+        apply_fabric = getattr(service, "apply_fabric_event", None)
+        if apply_fabric is None:
+            return "skipped"
+        return "applied" if apply_fabric(event) else "skipped"
     d = service.shards[event.shard]
     if event.kind == "crash":
         d.crash_replica(event.replica)
@@ -233,7 +276,7 @@ def _apply_event(
             np.asarray(event.cells, dtype=np.int64),
             np.asarray(event.values, dtype=np.uint64),
         )
-    return False
+    return "applied"
 
 
 def _snapshot(service: ShardedDictionaryService, now: float) -> dict:
@@ -320,16 +363,27 @@ def run_chaos(
     pending_marks = sorted(float(m) for m in marks)
     snapshots: list[dict] = []
     events_applied = 0
+    events_skipped = 0
     spiking = False
+
+    def fire(event: ChaosEvent) -> None:
+        """Apply one due event and fold it into the run's tallies."""
+        nonlocal spiking, events_applied, events_skipped
+        status = _apply_event(service, event)
+        if status == "spike":
+            spiking = event.kind == "spike-start"
+        if status == "skipped":
+            events_skipped += 1
+        else:
+            events_applied += 1
+
     try:
         for t, x, sx, prio in zip(arrivals, keys, spike_keys, priorities):
             t = float(t)
             while pending_events and pending_events[0].time <= t:
                 event = pending_events.pop(0)
                 _flush_due(service, event.time)
-                if _apply_event(service, event):
-                    spiking = event.kind == "spike-start"
-                events_applied += 1
+                fire(event)
             while pending_marks and pending_marks[0] <= t:
                 mark = pending_marks.pop(0)
                 _flush_due(service, mark)
@@ -341,11 +395,12 @@ def run_chaos(
             except (OverloadError, DegradedModeError):
                 shed += 1
         end = float(arrivals[-1])
+        # Events past the last arrival — horizon-boundary events
+        # (time == horizon) included — still fire before the drain and
+        # the healing loop below; they are never silently dropped.
         for event in pending_events:
             _flush_due(service, event.time)
-            if _apply_event(service, event):
-                spiking = event.kind == "spike-start"
-            events_applied += 1
+            fire(event)
             end = max(end, float(event.time))
         while service.next_deadline() is not None:
             end = service.next_deadline()
@@ -380,6 +435,12 @@ def run_chaos(
         answers = np.asarray([t.answer for t in done], dtype=bool)
         truth = np.isin(got, expected)
         wrong = int(np.sum(answers != truth))
+    p50 = p95 = p99 = 0.0
+    if done:
+        latencies = np.asarray([t.latency for t in done], dtype=np.float64)
+        p50, p95, p99 = (
+            float(v) for v in np.percentile(latencies, [50.0, 95.0, 99.0])
+        )
     return ChaosReport(
         requested=num_requests,
         completed=len(done),
@@ -400,6 +461,10 @@ def run_chaos(
                 for (s, r), m in sorted(health.machines.items())
             }
         ),
+        events_skipped=events_skipped,
+        latency_p50=p50,
+        latency_p95=p95,
+        latency_p99=p99,
     )
 
 

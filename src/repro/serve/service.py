@@ -337,6 +337,15 @@ class ShardedDictionaryService:
     ) -> None:
         """Run one replica's share of a batch, failing over on crashes."""
         hub = self.telemetry
+        if replica not in router.live:
+            # The batch's assignment is computed once at flush time, so
+            # a replica taken down *mid-batch* — e.g. quarantined after
+            # a witness caught an earlier group's corruption — can still
+            # hold later groups of the same batch.  Re-route instead of
+            # dispatching into the quarantine (found by the PR 7
+            # adversarial search; partial corruption evades the
+            # detectable-failure retry path below).
+            replica = int(router.assign(1)[0])
         if hub is not None:
             hub.on_route(
                 shard, replica, router.name, int(sel.size), float(now),

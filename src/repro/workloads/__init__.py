@@ -26,6 +26,7 @@ deliberately rejects them.
 """
 
 from repro.workloads.phased import PhasedWorkload
+from repro.workloads.spec import SPEC_FAMILIES, distribution_from_spec
 from repro.workloads.temporal import WorkingSetWorkload
 from repro.workloads.trace import TraceWorkload, synthesize_trace
 
@@ -34,4 +35,6 @@ __all__ = [
     "PhasedWorkload",
     "TraceWorkload",
     "synthesize_trace",
+    "SPEC_FAMILIES",
+    "distribution_from_spec",
 ]

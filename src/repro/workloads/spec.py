@@ -1,0 +1,102 @@
+"""Declarative workload specs: a JSON-safe dict -> a QueryDistribution.
+
+The adversarial search (:mod:`repro.adversary`) evolves workload
+*shape* as part of its genome, so the shape must be expressible as
+plain data that serializes to JSON and rebuilds the exact same
+distribution on replay.  :func:`distribution_from_spec` is that bridge:
+a spec dict names one of three families and its parameters, and the
+builder returns a fully-validated
+:class:`~repro.distributions.base.QueryDistribution`:
+
+- ``uniform`` — the paper's Theorem 3 workload,
+  :class:`~repro.distributions.UniformPositiveNegative` with
+  ``positive_fraction`` of the mass on stored keys;
+- ``zipf`` — a :class:`~repro.distributions.ZipfDistribution` with
+  exponent ``skew`` over the stored keys, mixed with a uniform
+  negative-query background at ``1 - positive_fraction`` mass;
+- ``hotspot`` — ``skew`` of the mass uniformly on an explicit
+  ``hot_keys`` set (the flash-crowd attack surface), the rest on the
+  ``uniform`` family's background.
+
+Every family is a pure function of the spec — no RNG is consumed at
+build time — so identical specs always produce identical pmfs, which
+is what makes genome replay byte-deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distributions import (
+    MixtureDistribution,
+    UniformOverSet,
+    UniformPositiveNegative,
+    ZipfDistribution,
+)
+from repro.distributions.base import QueryDistribution
+from repro.errors import ParameterError
+
+#: Workload families a spec may name.
+SPEC_FAMILIES = ("uniform", "zipf", "hotspot")
+
+
+def _check_fraction(name: str, value) -> float:
+    """Validate a [0, 1] fraction, returning it as float."""
+    value = float(value)
+    if not 0.0 <= value <= 1.0:
+        raise ParameterError(f"{name} must be in [0, 1], got {value}")
+    return value
+
+
+def distribution_from_spec(
+    spec: dict, keys: np.ndarray, universe_size: int
+) -> QueryDistribution:
+    """Build the query distribution a workload spec describes.
+
+    ``spec`` is a JSON-safe dict with keys ``family`` (one of
+    :data:`SPEC_FAMILIES`), ``skew`` (Zipf exponent, or hot-set mass
+    for ``hotspot``), ``positive_fraction`` (mass on stored keys), and
+    ``hot_keys`` (explicit hot set, ``hotspot`` only).  ``keys`` is the
+    stored key set and ``universe_size`` the query universe [N].
+    Raises :class:`~repro.errors.ParameterError` on an unknown family
+    or out-of-range parameter.
+    """
+    if not isinstance(spec, dict):
+        raise ParameterError(f"workload spec must be a dict, got {type(spec)}")
+    family = spec.get("family", "uniform")
+    if family not in SPEC_FAMILIES:
+        raise ParameterError(
+            f"unknown workload family {family!r}; expected one of "
+            f"{SPEC_FAMILIES}"
+        )
+    keys = np.asarray(keys, dtype=np.int64)
+    positive = _check_fraction(
+        "positive_fraction", spec.get("positive_fraction", 0.5)
+    )
+    skew = float(spec.get("skew", 1.0))
+    if skew < 0.0:
+        raise ParameterError(f"skew must be non-negative, got {skew}")
+
+    background = UniformPositiveNegative(universe_size, keys, positive)
+    if family == "uniform":
+        return background
+
+    if family == "zipf":
+        head = ZipfDistribution(universe_size, keys, exponent=skew)
+        negatives = UniformPositiveNegative(universe_size, keys, 0.0)
+        return MixtureDistribution(
+            [head, negatives], [positive, 1.0 - positive]
+        )
+
+    # hotspot: `skew` is the hot-set mass, clamped to a fraction so a
+    # Zipf-range exponent still reads as "everything on the hot set".
+    hot_mass = min(skew, 1.0)
+    hot_keys = np.asarray(
+        [int(k) % universe_size for k in spec.get("hot_keys", ())],
+        dtype=np.int64,
+    )
+    hot_keys = np.unique(hot_keys)
+    if hot_keys.size == 0 or hot_mass == 0.0:
+        return background
+    hot = UniformOverSet(universe_size, hot_keys)
+    return MixtureDistribution([hot, background], [hot_mass, 1.0 - hot_mass])

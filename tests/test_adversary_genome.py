@@ -1,0 +1,164 @@
+"""Genome encoding, operators, and evaluation: purity and round-trips.
+
+The determinism satellite for :mod:`repro.adversary`: mutation,
+crossover, and evaluation are pure functions of ``(genome, seed)``,
+genomes survive a JSON round-trip with an identical digest, and the
+round-tripped genome replays to a byte-identical evaluation digest.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adversary import (
+    GENE_KINDS,
+    EvalConfig,
+    FaultGene,
+    Genome,
+    build_schedule,
+    crossover,
+    evaluate,
+    mutate,
+    random_genome,
+)
+from repro.adversary.genome import MAX_EVENTS
+from repro.errors import ParameterError
+from repro.serve.chaos import FABRIC_KINDS
+
+UNIVERSE = 48 * 48
+INNER_CELLS = 4096
+
+
+class TestFaultGene:
+    def test_kind_validated(self):
+        with pytest.raises(ParameterError):
+            FaultGene(frac=0.5, kind="meteor")
+
+    def test_all_kinds_constructible(self):
+        for kind in GENE_KINDS:
+            FaultGene(frac=0.5, kind=kind)
+
+    def test_frac_bounds(self):
+        with pytest.raises(ParameterError):
+            FaultGene(frac=1.5, kind="crash")
+        with pytest.raises(ParameterError):
+            FaultGene(frac=-0.1, kind="crash")
+
+    def test_round_trip(self):
+        gene = FaultGene(
+            frac=0.25, kind="corrupt", replica=2,
+            cells=(3, 5), masks=(7, 9),
+        )
+        assert FaultGene.from_dict(gene.to_dict()) == gene
+
+
+class TestGenome:
+    def test_family_validated(self):
+        with pytest.raises(ParameterError):
+            Genome(family="pareto")
+
+    def test_rate_bounds(self):
+        with pytest.raises(ParameterError):
+            Genome(rate=0.0)
+
+    def test_digest_stable_and_sensitive(self):
+        g = random_genome(3, UNIVERSE, INNER_CELLS)
+        assert g.digest() == random_genome(3, UNIVERSE, INNER_CELLS).digest()
+        assert g.digest() != random_genome(4, UNIVERSE, INNER_CELLS).digest()
+
+    def test_json_round_trip_identical_digest(self):
+        for seed in range(5):
+            g = random_genome(seed, UNIVERSE, INNER_CELLS)
+            payload = json.dumps(g.to_dict(), sort_keys=True)
+            back = Genome.from_dict(json.loads(payload))
+            assert back == g
+            assert back.digest() == g.digest()
+
+
+class TestBuildSchedule:
+    def test_damage_respects_honest_majority(self):
+        # More damage genes than the (replicas-1)//2 budget: extras drop.
+        events = tuple(
+            FaultGene(frac=0.1 * (i + 1), kind="crash", replica=i)
+            for i in range(5)
+        )
+        schedule = build_schedule(
+            Genome(events=events), 10.0, 5, INNER_CELLS
+        )
+        damaged = {e.replica for e in schedule.events if e.kind == "crash"}
+        assert len(damaged) <= (5 - 1) // 2
+
+    def test_spike_gene_becomes_start_end_pair(self):
+        schedule = build_schedule(
+            Genome(events=(FaultGene(frac=0.2, kind="spike", span=0.3),)),
+            10.0, 5, INNER_CELLS,
+        )
+        kinds = [e.kind for e in schedule.events]
+        assert kinds == ["spike-start", "spike-end"]
+        start, end = schedule.events
+        assert 0.0 <= start.time < end.time <= schedule.horizon
+
+    def test_fabric_kinds_compile(self):
+        schedule = build_schedule(
+            Genome(events=(
+                FaultGene(frac=0.5, kind="kill-worker", worker=1),
+                FaultGene(
+                    frac=0.7, kind="corrupt-segment",
+                    cells=(1, 2), masks=(3, 4),
+                ),
+            )),
+            10.0, 3, INNER_CELLS,
+        )
+        assert [e.kind for e in schedule.events] == list(FABRIC_KINDS)
+
+
+class TestOperatorPurity:
+    def test_mutate_pure_in_genome_and_seed(self):
+        g = random_genome(7, UNIVERSE, INNER_CELLS)
+        a = mutate(g, 11, UNIVERSE, INNER_CELLS)
+        b = mutate(g, 11, UNIVERSE, INNER_CELLS)
+        assert a == b and a.digest() == b.digest()
+        c = mutate(g, 12, UNIVERSE, INNER_CELLS)
+        # Different seeds *can* collide, but not across a small sweep.
+        d = [mutate(g, s, UNIVERSE, INNER_CELLS).digest() for s in range(8)]
+        assert c == mutate(g, 12, UNIVERSE, INNER_CELLS)
+        assert len(set(d)) > 1
+
+    def test_crossover_pure_in_parents_and_seed(self):
+        a = random_genome(1, UNIVERSE, INNER_CELLS)
+        b = random_genome(2, UNIVERSE, INNER_CELLS)
+        x = crossover(a, b, 5)
+        y = crossover(a, b, 5)
+        assert x == y and x.digest() == y.digest()
+
+    def test_mutate_always_legal(self):
+        g = random_genome(0, UNIVERSE, INNER_CELLS)
+        for s in range(24):
+            g = mutate(g, s, UNIVERSE, INNER_CELLS)
+            assert len(g.events) <= MAX_EVENTS
+        # Legal genomes always compile to a legal schedule.
+        build_schedule(g, 10.0, 5, INNER_CELLS)
+
+
+class TestEvaluationPurity:
+    def test_same_genome_same_seed_same_digest(self):
+        config = EvalConfig()
+        g = random_genome(9, UNIVERSE, INNER_CELLS)
+        a = evaluate(g, config, 4)
+        b = evaluate(g, config, 4)
+        assert a.digest == b.digest
+        assert a.fitness == b.fitness
+        assert a.metrics == b.metrics
+
+    def test_round_tripped_genome_same_replay_digest(self):
+        config = EvalConfig()
+        g = random_genome(13, UNIVERSE, INNER_CELLS)
+        back = Genome.from_dict(json.loads(json.dumps(g.to_dict())))
+        assert evaluate(back, config, 2).digest == evaluate(g, config, 2).digest
+
+    def test_seed_shifts_digest(self):
+        config = EvalConfig()
+        g = random_genome(9, UNIVERSE, INNER_CELLS)
+        assert evaluate(g, config, 4).digest != evaluate(g, config, 5).digest

@@ -1,0 +1,94 @@
+"""The selection loop and the shrinker: determinism and the E23 gate.
+
+Small-budget searches (the unit-test scale) must still be pure
+functions of ``(config, seed)``, beat the hand-tuned baseline, and
+hold the correctness line: zero wrong answers, zero quarantine
+violations on the best genome's verification replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    EvalConfig,
+    baseline_genome,
+    evaluate,
+    minimize,
+    search,
+)
+from repro.errors import ParameterError
+
+CONFIG = EvalConfig()
+
+
+@pytest.fixture(scope="module")
+def result():
+    return search(CONFIG, seed=0, generations=2, population=4, elites=1)
+
+
+class TestBaselineGenome:
+    def test_deterministic(self):
+        a = baseline_genome(CONFIG, 3)
+        b = baseline_genome(CONFIG, 3)
+        assert a == b and a.digest() == b.digest()
+
+    def test_encodes_hand_tuned_schedule(self):
+        base = baseline_genome(CONFIG, 0)
+        kinds = {g.kind for g in base.events}
+        assert "crash" in kinds and "spike" in kinds
+        evaluation = evaluate(base, CONFIG, 0)
+        # The baseline must not itself break correctness.
+        assert evaluation.metrics["wrong_answers"] == 0
+        assert evaluation.metrics["violations"] == 0
+
+
+class TestSearch:
+    def test_pure_in_config_and_seed(self, result):
+        again = search(CONFIG, seed=0, generations=2, population=4, elites=1)
+        assert again.best_genome.digest() == result.best_genome.digest()
+        assert again.best.digest == result.best.digest
+        assert again.history == result.history
+
+    def test_beats_baseline(self, result):
+        assert result.beat_baseline
+        assert result.best.fitness > result.baseline.fitness
+
+    def test_best_genome_keeps_correctness(self, result):
+        assert result.best.metrics["wrong_answers"] == 0
+        assert result.best.metrics["violations"] == 0
+
+    def test_history_shape(self, result):
+        assert [h["generation"] for h in result.history] == [0, 1]
+        assert all(
+            h["best_fitness"] >= h["mean_fitness"] - 1e-9
+            for h in result.history
+        )
+        # Elitism: the best never gets worse across generations.
+        bests = [h["best_fitness"] for h in result.history]
+        assert bests == sorted(bests)
+
+    def test_memoization_counts_distinct_genomes(self, result):
+        assert 0 < result.evaluations <= 2 * 4
+
+    def test_parameter_validation(self):
+        with pytest.raises(ParameterError):
+            search(CONFIG, 0, generations=0)
+        with pytest.raises(ParameterError):
+            search(CONFIG, 0, population=4, elites=4)
+
+
+class TestMinimize:
+    def test_keeps_most_fitness_and_is_deterministic(self, result):
+        a_genome, a_eval = minimize(result.best_genome, CONFIG, 0)
+        b_genome, b_eval = minimize(result.best_genome, CONFIG, 0)
+        assert a_genome == b_genome and a_eval.digest == b_eval.digest
+        assert len(a_genome.events) <= len(result.best_genome.events)
+        assert a_eval.fitness >= 0.8 * result.best.fitness
+
+    def test_zero_fitness_genome_unchanged(self):
+        from repro.adversary import Genome
+
+        quiet = Genome()
+        genome, evaluation = minimize(quiet, CONFIG, 0)
+        assert genome == quiet

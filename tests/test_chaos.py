@@ -189,3 +189,74 @@ class TestFaultScheduleDeterminism:
         serial = grid_map(_fault_fingerprint, points, seed=17, jobs=1)
         parallel = grid_map(_fault_fingerprint, points, seed=17, jobs=2)
         assert serial == parallel
+
+
+class TestHorizonBoundary:
+    """Satellite: events at exactly ``t == horizon`` are not dropped."""
+
+    def _service(self):
+        keys, N = make_instance(64, seed=5)
+        service = build_service(
+            keys, N, num_shards=1, replicas=5, router="random",
+            faults=FaultConfig(armed=True), seed=6,
+        )
+        service.enable_healing(seed=7)
+        return keys, N, service
+
+    def test_event_at_horizon_applied_before_quiescence(self):
+        keys, N, service = self._service()
+        horizon = 400 / 64.0
+        schedule = ChaosSchedule(
+            events=[ChaosEvent(time=horizon, kind="crash", replica=1)],
+            horizon=horizon,
+        )
+        report = run_chaos(
+            service, uniform_distribution(keys, N), schedule, 400, 64.0,
+            seed=3, expected_keys=keys,
+        )
+        assert report.events_applied == 1
+        assert report.events_skipped == 0
+        # Quiescence still heals the boundary crash.
+        assert report.final_states["0/1"] == "healthy"
+
+    def test_event_beyond_horizon_rejected(self):
+        with pytest.raises(ParameterError):
+            ChaosSchedule(
+                events=[ChaosEvent(time=10.5, kind="crash", replica=0)],
+                horizon=10.0,
+            )
+        with pytest.raises(ParameterError):
+            ChaosSchedule(
+                events=[ChaosEvent(time=-0.5, kind="crash", replica=0)],
+                horizon=10.0,
+            )
+
+    def test_fabric_kind_skipped_on_in_process_service(self):
+        # kill-worker / corrupt-segment need the parallel fabric; the
+        # in-process service counts them as skipped, never crashes.
+        keys, N, service = self._service()
+        horizon = 400 / 64.0
+        schedule = ChaosSchedule(
+            events=[
+                ChaosEvent(time=horizon / 2, kind="kill-worker", worker=0),
+            ],
+            horizon=horizon,
+        )
+        report = run_chaos(
+            service, uniform_distribution(keys, N), schedule, 400, 64.0,
+            seed=3, expected_keys=keys,
+        )
+        assert report.events_applied == 0
+        assert report.events_skipped == 1
+        assert report.wrong_answers == 0
+
+    def test_latency_percentiles_populated(self):
+        keys, N, service = self._service()
+        horizon = 400 / 64.0
+        schedule = ChaosSchedule(events=[], horizon=horizon)
+        report = run_chaos(
+            service, uniform_distribution(keys, N), schedule, 400, 64.0,
+            seed=3, expected_keys=keys,
+        )
+        assert report.latency_p50 > 0.0
+        assert report.latency_p50 <= report.latency_p95 <= report.latency_p99

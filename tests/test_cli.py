@@ -20,7 +20,7 @@ def test_list_json(capsys):
     data = json.loads(capsys.readouterr().out)
     experiments = data["experiments"]
     assert experiments["E1"].startswith("Contention optimality")
-    assert set(experiments) == {f"E{i}" for i in range(1, 23)}
+    assert set(experiments) == {f"E{i}" for i in range(1, 24)}
     # The telemetry capability descriptor for machine consumers.
     telemetry = data["telemetry"]
     assert telemetry["metrics"] and telemetry["tracing"]
@@ -39,7 +39,7 @@ def test_info_json(capsys):
     assert main(["info", "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
     assert data["paper"]["venue"] == "SPAA 2010"
-    assert data["experiments"] == [f"E{i}" for i in range(1, 23)]
+    assert data["experiments"] == [f"E{i}" for i in range(1, 24)]
 
 
 def test_run_single_experiment(capsys):
@@ -311,3 +311,79 @@ def test_chaos_smoke(capsys):
 def test_parser_requires_command():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_chaos_zero_rate_exits_two(capsys):
+    # Satellite: bad --rate is a runner-style error, not a traceback.
+    assert main(["chaos", "--rate", "0"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "rate" in err
+
+
+def test_chaos_nonpositive_requests_exits_two(capsys):
+    assert main(["chaos", "--requests", "0"]) == 2
+    err = capsys.readouterr().err
+    assert err.startswith("error:") and "requests" in err
+
+
+def test_adversary_search_writes_fixture(tmp_path, capsys):
+    out = tmp_path / "found.json"
+    code = main([
+        "adversary", "search", "--generations", "2", "--population", "3",
+        "--elites", "1", "--out", str(out),
+    ])
+    captured = capsys.readouterr().out
+    assert code in (0, 1)  # 1 only if this tiny budget missed baseline
+    assert "gen 0:" in captured and "baseline" in captured
+    assert out.exists()
+    payload = json.loads(out.read_text())
+    assert payload["format"] == 1
+    assert payload["replay_digest"]
+
+
+def test_adversary_replay_fixture_dir(capsys):
+    # The committed red-team finds replay clean through the CLI gate.
+    assert main([
+        "adversary", "replay", "--dir", "tests/fixtures/genomes",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "ok:" in out and "FAIL" not in out
+
+
+def test_adversary_replay_no_fixtures_exits_two(capsys):
+    assert main(["adversary", "replay"]) == 2
+    assert "no fixtures" in capsys.readouterr().err
+
+
+def test_adversary_replay_tampered_fixture_exits_one(tmp_path, capsys):
+    src = sorted(
+        p for p in os.listdir("tests/fixtures/genomes")
+        if p.endswith(".json")
+    )[0]
+    payload = json.loads(
+        open(os.path.join("tests/fixtures/genomes", src)).read()
+    )
+    payload["replay_digest"] = "0" * 64
+    bad = tmp_path / "tampered.json"
+    bad.write_text(json.dumps(payload))
+    assert main(["adversary", "replay", str(bad)]) == 1
+    captured = capsys.readouterr()
+    assert "FAIL" in captured.out
+    assert "failed replay" in captured.err
+
+
+def test_adversary_minimize_round_trip(tmp_path, capsys):
+    src = sorted(
+        p for p in os.listdir("tests/fixtures/genomes")
+        if p.endswith(".json")
+    )[0]
+    out = tmp_path / "small.json"
+    assert main([
+        "adversary", "minimize",
+        os.path.join("tests/fixtures/genomes", src),
+        "--out", str(out),
+    ]) == 0
+    assert "events @ fitness" in capsys.readouterr().out
+    assert out.exists()
+    # The shrunk fixture still passes the replay gate.
+    assert main(["adversary", "replay", str(out)]) == 0

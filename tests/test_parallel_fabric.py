@@ -206,3 +206,82 @@ def test_negative_procs_rejected(instance):
     keys, N, qs = instance
     with pytest.raises(ParameterError):
         _build(keys, N, procs=-1)
+
+
+# -- fault-injection hooks (the adversary's fabric genes) ----------------------
+
+
+def test_kill_worker_hook_spares_last_live(instance):
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=2)
+    try:
+        assert svc.pool.kill_worker(0) is True
+        assert [h.worker_id for h in svc.pool.live_workers()] == [1]
+        # Already dead: a no-op, not an error.
+        assert svc.pool.kill_worker(0) is False
+        # Never orphan the fabric by killing the last live worker.
+        assert svc.pool.kill_worker(1) is False
+        assert svc.query_batch(qs[:64]).shape == (64,)
+        with pytest.raises(ParameterError):
+            svc.pool.kill_worker(5)
+    finally:
+        svc.close()
+
+
+def test_corrupt_table_segment_breaks_and_restores_crc(instance):
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=2)
+    try:
+        cells, masks = (0, 7, 123), (0xDEAD, 0xBEEF, 0x1)
+        assert svc.pool.table_crc_ok(0) is True
+        assert svc.pool.corrupt_table_segment(0, cells, masks) is True
+        assert svc.pool.table_crc_ok(0) is False
+        # XOR is an involution: re-applying the masks restores bytes.
+        assert svc.pool.corrupt_table_segment(0, cells, masks) is True
+        assert svc.pool.table_crc_ok(0) is True
+        # All-zero masks are a no-op.
+        assert svc.pool.corrupt_table_segment(0, (1, 2), (0, 0)) is False
+    finally:
+        svc.close()
+
+
+def test_apply_fabric_event_dispatch(instance):
+    from repro.serve import ChaosEvent
+
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=2)
+    try:
+        kill = ChaosEvent(time=1.0, kind="kill-worker", worker=0)
+        assert svc.apply_fabric_event(kill) is True
+        assert svc.fabric_stats.kills == 1
+        # Sole survivor is spared; the attempt is not counted.
+        assert svc.apply_fabric_event(
+            ChaosEvent(time=2.0, kind="kill-worker", worker=1)
+        ) is False
+        assert svc.fabric_stats.kills == 1
+        corrupt = ChaosEvent(
+            time=3.0, kind="corrupt-segment", shard=0,
+            cells=(3, 4), masks=(0x10, 0x20),
+        )
+        assert svc.apply_fabric_event(corrupt) is True
+        assert svc.fabric_stats.segment_corruptions == 1
+        assert svc.pool.table_crc_ok(0) is False
+        # Other chaos kinds are not the fabric's business.
+        assert svc.apply_fabric_event(
+            ChaosEvent(time=4.0, kind="crash", replica=0)
+        ) is False
+    finally:
+        svc.close()
+
+
+def test_apply_fabric_event_inline_engine_noop(instance):
+    from repro.serve import ChaosEvent
+
+    keys, N, qs = instance
+    svc = _build(keys, N, procs=0)
+    try:
+        assert svc.apply_fabric_event(
+            ChaosEvent(time=1.0, kind="kill-worker", worker=0)
+        ) is False
+    finally:
+        svc.close()
