@@ -1,0 +1,182 @@
+"""Bench E24 — dynamic serving: updates, epochs, chaos, accounting.
+
+Two entry points:
+
+- ``python benchmarks/bench_e24_dynamic.py [--gate]`` — standalone:
+  runs experiment E24 on three independent seeds and collects each
+  seed's gate row (zero wrong answers under interleaved updates +
+  crash/corruption chaos, linearizable epoch-pinned reads,
+  rebuild-probe isolation with byte-identical query-counter digests,
+  amortized cost curves vs the Ω(lg n) reference).  Also re-checks the
+  accounting byte-identity directly (verify-on vs verify-off replay of
+  one seeded stream).  Writes the machine-readable ``BENCH_PR8.json``
+  at the repo root.
+
+  ``--gate`` exits nonzero unless every seed's E24 gate passed and the
+  direct digest check is byte-identical.
+
+- under pytest-benchmark — times one E24 run and asserts the same
+  headline invariants.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Independent seeds — the E24 acceptance criterion.
+SEEDS = (0, 1, 2)
+
+
+def _e24_once(seed: int, fast: bool) -> dict:
+    """One seeded E24 run, reduced to a flat gate row."""
+    from repro.experiments import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment("E24", fast=fast, seed=seed)
+    seconds = time.perf_counter() - t0
+    by_part: dict[str, list[dict]] = {}
+    for row in result.rows:
+        by_part.setdefault(str(row.get("part")), []).append(row)
+    gate = bool(by_part["gate"][0]["all checks passed"])
+    chaos = by_part["B:chaos"][0]
+    pins = by_part["C:pins"][0]
+    acct = by_part["D:accounting"][0]
+    cost_rows = by_part.get("A:cost", [])
+    return {
+        "seed": seed,
+        "seconds": round(seconds, 3),
+        "gate": gate,
+        "wrong_answers": int(chaos["wrong"]),
+        "reads": int(chaos["reads"]),
+        "updates": int(chaos["updates"]),
+        "pinned_read_exact": bool(pins["pinned read exact"]),
+        "retained_while_pinned": int(pins["retained while pinned"]),
+        "digest_identical": bool(acct["query digest identical"]),
+        "rebuild_probes_isolated": (
+            int(acct["rebuild probes (verify on)"]) > 0
+            and int(acct["rebuild probes (verify off)"]) == 0
+        ),
+        "amortized_vs_lg_n": [
+            {
+                "live_n": int(r["live n"]),
+                "amortized": float(r["amortized cells/update"]),
+                "lg2_n": float(r["lg2(n) reference"]),
+                "ratio": float(r["ratio"]),
+            }
+            for r in cost_rows
+        ],
+    }
+
+
+def _digest_identity_check(seed: int = 0) -> dict:
+    """Direct verify-on vs verify-off replay of one seeded stream."""
+    from repro.dynamic import DynamicLowContentionDictionary
+    from repro.utils.rng import as_generator
+
+    digests = []
+    probes = []
+    for verify in (True, False):
+        rng = as_generator(seed + 31)
+        d = DynamicLowContentionDictionary(
+            1 << 14, rng=as_generator(seed + 32), verify_rebuilds=verify
+        )
+        for _ in range(200):
+            k = int(rng.integers(0, 512))
+            if rng.random() < 0.75:
+                d.insert(k)
+            else:
+                d.delete(k)
+        xs = rng.integers(0, 1 << 14, size=400)
+        d.query_batch(xs, as_generator(seed + 33))
+        digests.append(d.query_counter_digest())
+        probes.append(d.rebuild_probes)
+    return {
+        "digest_verify_on": digests[0],
+        "digest_verify_off": digests[1],
+        "identical": digests[0] == digests[1],
+        "rebuild_probes_verify_on": probes[0],
+        "rebuild_probes_verify_off": probes[1],
+    }
+
+
+def measure(seed: int = 0, fast: bool = False) -> dict:
+    rows = [_e24_once(int(seed) + s, fast) for s in SEEDS]
+    identity = _digest_identity_check(int(seed))
+    all_gates = all(r["gate"] for r in rows)
+    no_wrong = all(r["wrong_answers"] == 0 for r in rows)
+    all_pinned = all(r["pinned_read_exact"] for r in rows)
+    all_isolated = all(r["rebuild_probes_isolated"] for r in rows)
+    identity_ok = bool(
+        identity["identical"]
+        and identity["rebuild_probes_verify_on"] > 0
+        and identity["rebuild_probes_verify_off"] == 0
+    )
+    return {
+        "benchmark": "e24_dynamic",
+        "seeds": list(SEEDS),
+        "runs": rows,
+        "digest_identity": identity,
+        "all_gates": all_gates,
+        "no_wrong_answers": no_wrong,
+        "all_pinned_exact": all_pinned,
+        "all_rebuild_isolated": all_isolated,
+        "gate_passed": bool(
+            all_gates and no_wrong and all_pinned and all_isolated
+            and identity_ok
+        ),
+    }
+
+
+def main(argv) -> int:
+    gate = "--gate" in argv
+    fast = "--fast" in argv
+    row = measure(fast=fast)
+    out = REPO_ROOT / "BENCH_PR8.json"
+    out.write_text(json.dumps(row, indent=2) + "\n")
+    print(json.dumps(row, indent=2))
+    print(f"wrote {out}")
+    if gate and not row["gate_passed"]:
+        print(
+            f"GATE FAILED: all_gates={row['all_gates']}, "
+            f"no_wrong_answers={row['no_wrong_answers']}, "
+            f"all_pinned_exact={row['all_pinned_exact']}, "
+            f"all_rebuild_isolated={row['all_rebuild_isolated']}, "
+            f"digest_identity={row['digest_identity']['identical']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_e24_dynamic(benchmark, bench_fast, record_result):
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E24",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    gate = [r for r in result.rows if r.get("part") == "gate"]
+    assert gate and bool(gate[0]["all checks passed"])
+    chaos = [r for r in result.rows if r.get("part") == "B:chaos"]
+    assert chaos and int(chaos[0]["wrong"]) == 0
+    acct = [r for r in result.rows if r.get("part") == "D:accounting"]
+    assert acct and bool(acct[0]["query digest identical"])
+    assert int(acct[0]["rebuild probes (verify on)"]) > 0
+    assert np.all([
+        int(acct[0]["rebuild probes (verify off)"]) == 0
+    ])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -19,7 +19,7 @@ Public API highlights (see README.md for a tour):
   metrics (Prometheus + versioned JSON snapshots), clockless trace
   spans, and live monitors that check streaming per-cell counts against
   the exact Binomial(Q, Φ_t(j)) contention law.
-- :mod:`repro.experiments` — the E1–E20 experiment registry (the paper
+- :mod:`repro.experiments` — the E1–E24 experiment registry (the paper
   has no tables/figures; these reify its claims — see DESIGN.md).
 """
 

@@ -3,8 +3,11 @@
 The chaos harness (E21) replays *fixed* seeded schedules; this
 package closes ROADMAP item 5 by making the adversary adaptive.  A
 :class:`~repro.adversary.genome.Genome` encodes a full attack —
-workload shape, arrival rate, and a fault program including the
-fabric-level ``kill-worker`` / ``corrupt-segment`` events — and the
+workload shape, arrival rate, an update-stream program
+(``update_fraction`` / ``delete_fraction`` / ``update_hot_keys``,
+exercised against the mutable dynamic service when nonzero), and a
+fault program including the fabric-level ``kill-worker`` /
+``corrupt-segment`` events — and the
 loop in :func:`~repro.adversary.search.search` evolves populations of
 them with seeded :func:`~repro.adversary.operators.mutate` /
 :func:`~repro.adversary.operators.crossover` against the deterministic

@@ -19,6 +19,16 @@ against up to two targets and scores the damage:
    no in-flight group ever sees a partial fault and the stage stays a
    pure function of ``(genome, config, seed)``.
 
+3. **The dynamic serve stack** (``genome.update_fraction > 0``) — a
+   mutable :class:`~repro.serve.dynamic_service.DynamicShardedService`
+   driven by the genome's interleaved update/read stream
+   (insert/delete mix from ``delete_fraction``, hot-key churn from
+   ``update_hot_keys``).  Rewards: wrong answers (live or
+   epoch-pinned), update-backlog shedding, and rebuild pressure.  A
+   read-only genome (``update_fraction == 0``) skips this stage *and*
+   contributes no ``dyn_*`` metric keys, so every pre-PR-8 fixture's
+   evaluation digest is unchanged.
+
 Everything timing-dependent (wall clock, failover counts) is excluded
 from both the metrics and the digest, so
 :meth:`Evaluation.digest` — a SHA-256 over the canonical metrics plus
@@ -111,6 +121,8 @@ class Evaluation:
             "wrong_answers", "violations", "shed", "degraded_shed",
             "latency_p99", "envelope_exceed", "quarantined",
             "fabric_wrong", "fabric_stalled", "fabric_crc_ok",
+            "dyn_wrong", "dyn_pinned_wrong", "dyn_backlog_shed",
+            "dyn_rebuilds",
         )
         row = {"fitness": round(self.fitness, 4), "digest": self.digest[:12]}
         row.update({k: self.metrics[k] for k in keep if k in self.metrics})
@@ -301,6 +313,101 @@ def _fabric_stage(genome: Genome, config: EvalConfig, seed) -> dict:
         svc.close()
 
 
+#: Dynamic-stage sizing: universe and interleaved request count.
+DYNAMIC_UNIVERSE = 1 << 12
+DYNAMIC_REQUESTS = 200
+
+
+def _dynamic_stage(genome: Genome, config: EvalConfig, seed) -> dict:
+    """Replay the genome's update stream against the mutable service.
+
+    An interleaved open stream: each tick submits an update with
+    probability ``update_fraction`` (delete share ``delete_fraction``,
+    half the keys drawn from ``update_hot_keys`` when present — the
+    churn that forces repeated small-level rebuilds), then a read
+    biased onto the same keys, then advances virtual time.  Same-tick
+    completions are checked against the reference set
+    (read-your-writes), and a final epoch-pinned multi-key read is
+    checked against the full reference.  Pure in
+    ``(genome, config, seed)``; the shard's query-counter digest is
+    folded into the metrics so replays compare *accounting*, not just
+    headline counts.
+    """
+    from repro.errors import OverloadError, UpdateBacklogError
+    from repro.serve.dynamic_service import build_dynamic_service
+
+    svc = build_dynamic_service(
+        DYNAMIC_UNIVERSE,
+        num_shards=1,
+        replicas=min(config.replicas, 3),
+        seed=seed + 13,
+        max_batch=8,
+        max_delay=2.0,
+        update_batch=4,
+        update_delay=2.0,
+        update_capacity=32,
+        capacity=128,
+    )
+    rng = as_generator(seed + 17)
+    hot = np.asarray(genome.update_hot_keys, dtype=np.int64) % DYNAMIC_UNIVERSE
+    ref: set[int] = set()
+    wrong = checked = shed_updates = shed_reads = 0
+
+    def draw_key() -> int:
+        if hot.size and rng.random() < 0.5:
+            return int(hot[int(rng.integers(0, hot.size))])
+        return int(rng.integers(0, DYNAMIC_UNIVERSE))
+
+    for i in range(DYNAMIC_REQUESTS):
+        now = float(i)
+        if rng.random() < genome.update_fraction:
+            k = draw_key()
+            ins = rng.random() >= genome.delete_fraction
+            try:
+                svc.submit_update(k, ins, now)
+                (ref.add if ins else ref.discard)(k)
+            except UpdateBacklogError:
+                shed_updates += 1
+        ticket = None
+        try:
+            ticket = svc.submit(draw_key(), now)
+        except OverloadError:
+            shed_reads += 1
+        svc.advance(now)
+        if ticket is not None and ticket.done:
+            checked += 1
+            wrong += int(ticket.answer != (ticket.key in ref))
+    svc.drain(float(DYNAMIC_REQUESTS))
+    sample = rng.integers(0, DYNAMIC_UNIVERSE, size=128)
+    answers, _ = svc.read_pinned(sample, float(DYNAMIC_REQUESTS) + 1.0)
+    truth = np.isin(
+        sample,
+        np.fromiter(ref, dtype=np.int64, count=len(ref))
+        if ref else np.empty(0, dtype=np.int64),
+    )
+    pinned_wrong = int(np.sum(answers != truth))
+    row = svc.stats_row()
+    shard = svc.shards[0]
+    rebuilds = sum(
+        len(shard._replicas[r].account.rebuilds)
+        for r in shard.live_replicas()
+    )
+    return {
+        "dyn_ran": True,
+        "dyn_requests": DYNAMIC_REQUESTS,
+        "dyn_checked": checked,
+        "dyn_wrong": wrong,
+        "dyn_pinned_wrong": pinned_wrong,
+        "dyn_updates_applied": int(row["updates_applied"]),
+        "dyn_update_groups": int(row["update_groups"]),
+        "dyn_backlog_shed": shed_updates + int(row["shed_updates"]),
+        "dyn_read_shed": shed_reads,
+        "dyn_epoch": int(shard.epoch),
+        "dyn_rebuilds": rebuilds,
+        "dyn_counter_digest": shard.query_counter_digest(),
+    }
+
+
 def fitness_from_metrics(metrics: dict) -> float:
     """Score a metrics dict: bigger = a more damaging genome.
 
@@ -330,6 +437,13 @@ def fitness_from_metrics(metrics: dict) -> float:
         )
         fitness += 5.0 * (not metrics.get("fabric_crc_ok", True))
         fitness += 2.0 * metrics.get("fabric_kills", 0)
+    if metrics.get("dyn_ran"):
+        fitness += 1000.0 * metrics.get("dyn_wrong", 0)
+        fitness += 1000.0 * metrics.get("dyn_pinned_wrong", 0)
+        fitness += 80.0 * metrics.get("dyn_backlog_shed", 0) / max(
+            int(metrics.get("dyn_requests", 1)), 1
+        )
+        fitness += 10.0 * min(metrics.get("dyn_rebuilds", 0) / 100.0, 1.0)
     return float(fitness)
 
 
@@ -349,6 +463,11 @@ def evaluate(genome: Genome, config: EvalConfig, seed) -> Evaluation:
         metrics.update(_fabric_stage(genome, config, int(seed)))
     else:
         metrics["fabric_ran"] = False
+    # Read-only genomes contribute no dyn_* keys at all — the metrics
+    # dict (and hence the replay digest) of every pre-update-gene
+    # fixture is byte-identical to what it was before this stage existed.
+    if genome.update_fraction > 0.0:
+        metrics.update(_dynamic_stage(genome, config, int(seed)))
     fitness = fitness_from_metrics(metrics)
     payload = json.dumps(
         {

@@ -86,7 +86,11 @@ def replay_fixture(path) -> dict:
     fx = load_fixture(path)
     fresh = evaluate(fx["genome"], fx["config"], fx["seed"])
     digest_match = fresh.digest == fx["replay_digest"]
-    no_wrong = int(fresh.metrics.get("wrong_answers", 0)) == 0
+    no_wrong = (
+        int(fresh.metrics.get("wrong_answers", 0)) == 0
+        and int(fresh.metrics.get("dyn_wrong", 0)) == 0
+        and int(fresh.metrics.get("dyn_pinned_wrong", 0)) == 0
+    )
     no_violations = int(fresh.metrics.get("violations", 0)) == 0
     return {
         "fixture": os.path.basename(str(path)),

@@ -150,6 +150,16 @@ class Genome:
     high_priority_fraction: float = 0.25
     #: The fault program, compiled by :func:`build_schedule`.
     events: tuple = ()
+    #: Update-stream genes (PR 8): fraction of requests that mutate the
+    #: dynamic target.  ``0.0`` (the default) means a read-only genome —
+    #: the dynamic stage is skipped, and :meth:`to_dict` omits all three
+    #: update genes so pre-PR-8 genome digests are unchanged.
+    update_fraction: float = 0.0
+    #: Delete share of the update stream (rest are inserts).
+    delete_fraction: float = 0.3
+    #: Hot keys the update stream churns (insert/delete repeatedly),
+    #: forcing level rebuilds on contended keys.
+    update_hot_keys: tuple = ()
 
     def __post_init__(self):
         if self.family not in SPEC_FAMILIES:
@@ -194,12 +204,35 @@ class Genome:
                 f"at most {MAX_EVENTS} fault genes, got {len(events)}"
             )
         object.__setattr__(self, "events", events)
+        object.__setattr__(
+            self,
+            "update_fraction",
+            _fraction("update_fraction", self.update_fraction),
+        )
+        object.__setattr__(
+            self,
+            "delete_fraction",
+            _fraction("delete_fraction", self.delete_fraction),
+        )
+        update_hot = _int_tuple(self.update_hot_keys)
+        if len(update_hot) > MAX_HOT_KEYS:
+            raise ParameterError(
+                f"at most {MAX_HOT_KEYS} update hot keys, got "
+                f"{len(update_hot)}"
+            )
+        object.__setattr__(self, "update_hot_keys", update_hot)
 
     # -- identity ---------------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
-        return {
+        """JSON-safe dict form (inverse of :meth:`from_dict`).
+
+        The update genes are emitted only when ``update_fraction > 0``:
+        a read-only genome serializes exactly as it did before the
+        update genes existed, so every pre-existing fixture digest is
+        preserved.
+        """
+        d = {
             "family": self.family,
             "skew": self.skew,
             "positive_fraction": self.positive_fraction,
@@ -208,6 +241,11 @@ class Genome:
             "high_priority_fraction": self.high_priority_fraction,
             "events": [e.to_dict() for e in self.events],
         }
+        if self.update_fraction > 0.0:
+            d["update_fraction"] = self.update_fraction
+            d["delete_fraction"] = self.delete_fraction
+            d["update_hot_keys"] = list(self.update_hot_keys)
+        return d
 
     @classmethod
     def from_dict(cls, d: dict) -> "Genome":
@@ -222,6 +260,9 @@ class Genome:
             events=tuple(
                 FaultGene.from_dict(e) for e in d.get("events", ())
             ),
+            update_fraction=d.get("update_fraction", 0.0),
+            delete_fraction=d.get("delete_fraction", 0.3),
+            update_hot_keys=tuple(d.get("update_hot_keys", ())),
         )
 
     def digest(self) -> str:

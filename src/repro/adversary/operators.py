@@ -9,10 +9,13 @@ this down).
 
 :func:`mutate` applies one or two point mutations drawn from a fixed
 menu: jitter a scalar gene (skew, rate, mixes), switch the workload
-family, edit the hot-key set, or add / drop / perturb one fault gene.
-:func:`crossover` is uniform over scalar genes plus an event-list
-splice (a prefix of one parent's fault program with a suffix of the
-other's, capped at ``MAX_EVENTS``).
+family, edit the hot-key set, add / drop / perturb one fault gene, or
+jitter the update-stream genes (switch the dynamic stage on, re-mix
+insert/delete, churn update hot keys).  :func:`crossover` is uniform
+over scalar genes plus an event-list splice (a prefix of one parent's
+fault program with a suffix of the other's, capped at ``MAX_EVENTS``);
+update genes are inherited as one linked block so a child never mixes
+one parent's update fraction with the other's hot-key churn targets.
 """
 
 from __future__ import annotations
@@ -82,6 +85,43 @@ def _mutate_hot_keys(
     return {"hot_keys": tuple(hot)}
 
 
+def _mutate_updates(
+    genome: Genome, rng: np.random.Generator, universe_size: int
+) -> dict:
+    """Jitter the update-stream genes (PR 8).
+
+    On a read-only genome the first move switches the update stream on
+    (``update_fraction`` drawn uniform); afterwards the menu jitters
+    the mix fractions or churns the hot-key set.  Setting
+    ``update_fraction`` back to exactly 0 turns the dynamic stage off
+    again (and drops the genes from the canonical JSON).
+    """
+    if genome.update_fraction <= 0.0:
+        return {"update_fraction": float(rng.uniform(0.05, 0.6))}
+    move = int(rng.integers(0, 3))
+    if move == 0:
+        frac = genome.update_fraction + float(rng.normal(0.0, 0.15))
+        return {"update_fraction": _clip(frac, (0.0, 1.0))}
+    if move == 1:
+        return {"delete_fraction": _clip(
+            genome.delete_fraction + float(rng.normal(0.0, 0.15)),
+            (0.0, 1.0),
+        )}
+    hot = list(genome.update_hot_keys)
+    edit = int(rng.integers(0, 3))
+    if edit == 0 and len(hot) < MAX_HOT_KEYS:
+        hot.append(int(rng.integers(0, universe_size)))
+    elif edit == 1 and hot:
+        hot.pop(int(rng.integers(0, len(hot))))
+    elif hot:
+        hot[int(rng.integers(0, len(hot)))] = int(
+            rng.integers(0, universe_size)
+        )
+    else:
+        hot.append(int(rng.integers(0, universe_size)))
+    return {"update_hot_keys": tuple(hot)}
+
+
 def _perturb_gene(gene, rng: np.random.Generator, inner_cells: int):
     """Jitter one fault gene's time, victim, or payload."""
     move = int(rng.integers(0, 3))
@@ -121,8 +161,12 @@ def mutate(
     rng = as_generator(seed)
     out = genome
     for _ in range(int(rng.integers(1, 3))):
-        move = int(rng.integers(0, 6))
-        if move == 0:
+        move = int(rng.integers(0, 7))
+        if move == 6:
+            out = dataclasses.replace(
+                out, **_mutate_updates(out, rng, universe_size)
+            )
+        elif move == 0:
             out = dataclasses.replace(out, **_mutate_scalars(out, rng))
         elif move == 1:
             family = str(rng.choice(SPEC_FAMILIES))
@@ -172,6 +216,7 @@ def crossover(a: Genome, b: Genome, seed) -> Genome:
     cut_a = int(rng.integers(0, len(a.events) + 1))
     cut_b = int(rng.integers(0, len(b.events) + 1))
     events = (a.events[:cut_a] + b.events[cut_b:])[:MAX_EVENTS]
+    update_parent = pick(a, b)
     return Genome(
         family=family,
         skew=skew,
@@ -182,4 +227,7 @@ def crossover(a: Genome, b: Genome, seed) -> Genome:
             a.high_priority_fraction, b.high_priority_fraction
         ),
         events=events,
+        update_fraction=update_parent.update_fraction,
+        delete_fraction=update_parent.delete_fraction,
+        update_hot_keys=update_parent.update_hot_keys,
     )

@@ -17,14 +17,18 @@ Commands
 - ``survey [--n 512] [--seed 0]`` — the §1.3 contention comparison
   across all schemes on one instance.
 - ``serve [--n 256] [--smoke-queries 64] [--duration 0] [--metrics]
-  [--heal] [--procs N]`` — boot the asyncio dictionary server
-  (:mod:`repro.serve`) over a random instance, answer a seeded
+  [--heal] [--procs N] [--dynamic]`` — boot the asyncio dictionary
+  server (:mod:`repro.serve`) over a random instance, answer a seeded
   self-test workload, optionally stay up; ``--metrics`` attaches a
   telemetry hub and prints the Prometheus exposition on shutdown;
   ``--heal`` arms fault injection and enables the self-healing layer;
   ``--procs N`` serves through N real worker processes over shared
   memory (:mod:`repro.parallel`; clamped to available CPUs, and the
-  metrics exposition then carries per-worker queue depths).
+  metrics exposition then carries per-worker queue depths);
+  ``--dynamic`` boots the *mutable* sharded service instead
+  (:mod:`repro.serve.dynamic_service`): the smoke workload interleaves
+  inserts with reads, checks read-your-writes, and finishes with an
+  epoch-pinned multi-key read verified against ground truth.
 - ``chaos [--requests 4000] [--crashes 1] [--corruptions 1]`` — run a
   seeded randomized fault schedule (crashes, bit flips, stuck cells,
   contention spikes) against a healing-enabled service and report
@@ -332,6 +336,113 @@ def _cmd_serve_procs(args) -> int:
     return exit_code
 
 
+def _cmd_serve_dynamic(args) -> int:
+    """The ``serve --dynamic`` path: the mutable sharded service.
+
+    Starts empty, streams the instance's keys in as micro-batched
+    inserts interleaved with majority-voted reads, checks
+    read-your-writes along the way, and finishes with an epoch-pinned
+    multi-key read verified against the tracked reference set.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.errors import (
+        OverloadError,
+        ParameterError,
+        UpdateBacklogError,
+    )
+    from repro.experiments.common import make_instance
+    from repro.serve import build_dynamic_service
+
+    if args.procs:
+        raise ParameterError(
+            "--dynamic serves in-process; --procs applies to the static "
+            "fabric only"
+        )
+    if args.heal:
+        raise ParameterError(
+            "--dynamic replicas recover by lockstep log replay; --heal "
+            "applies to the static service only"
+        )
+    keys, N = make_instance(args.n, args.seed)
+    service = build_dynamic_service(
+        N,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        capacity=args.capacity,
+        seed=args.seed + 1,
+    )
+    print(
+        f"serving (dynamic) universe [0, {N}) — "
+        f"{args.shards} shard(s) x {args.replicas} lockstep replicas"
+        + (", metrics on" if args.metrics else "")
+    )
+    exit_code = 0
+    if args.smoke_queries:
+        rng = np.random.default_rng(args.seed + 4)
+        now = 0.0
+        ref: set[int] = set()
+        ryw_wrong = 0
+        ryw_checked = 0
+        for i in range(args.smoke_queries):
+            now += 1.0
+            k = int(keys[i % keys.size])
+            try:
+                service.submit_update(k, True, now)
+                ref.add(k)
+            except UpdateBacklogError:
+                pass
+            try:
+                ticket = service.submit(int(rng.integers(0, N)), now)
+            except OverloadError:
+                ticket = None
+            service.advance(now)
+            if ticket is not None and ticket.done:
+                ryw_checked += 1
+                if ticket.answer != (ticket.key in ref):
+                    ryw_wrong += 1
+        service.drain(now + 1.0)
+        sample = rng.integers(0, N, size=max(args.smoke_queries, 1))
+        answers, epochs = service.read_pinned(sample, now + 2.0)
+        truth = np.isin(
+            sample,
+            np.fromiter(ref, dtype=np.int64, count=len(ref))
+            if ref else np.empty(0, dtype=np.int64),
+        )
+        wrong = int(np.sum(answers != truth)) + ryw_wrong
+        row = service.stats_row()
+        print(
+            f"smoke: {row['completed']} reads "
+            f"({ryw_checked} read-your-writes checks), "
+            f"{row['updates_applied']} updates in "
+            f"{row['update_groups']} groups, "
+            f"epochs {service.epochs_by_shard()}, "
+            f"pinned read of {sample.size} keys @ epochs {epochs}, "
+            f"{wrong} wrong"
+        )
+        if wrong:
+            exit_code = 1
+    if args.duration > 0:
+        print(f"serving for {args.duration}s (ctrl-c to stop)")
+        try:
+            time.sleep(args.duration)
+        except KeyboardInterrupt:
+            pass
+    if args.metrics:
+        row = service.stats_row()
+        print(
+            f"metrics: {row['completed']} completed, "
+            f"{row['batches']} batches, {row['probes']} probes, "
+            f"{row['shed_reads']} reads shed, "
+            f"{row['shed_updates']} updates shed"
+        )
+    return exit_code
+
+
 def _cmd_serve(args) -> int:
     import asyncio
 
@@ -339,6 +450,8 @@ def _cmd_serve(args) -> int:
 
     from repro.serve import AsyncDictionaryServer
 
+    if args.dynamic:
+        return _cmd_serve_dynamic(args)
     if args.procs:
         return _cmd_serve_procs(args)
     keys, N, service, dist = _make_service(args, armed=args.heal)
@@ -872,6 +985,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="serve through N real worker processes over shared memory "
         "(0 = in-process asyncio server; clamped to available CPUs)",
+    )
+    serve_p.add_argument(
+        "--dynamic",
+        action="store_true",
+        help="boot the mutable sharded service (lockstep replicated "
+        "dynamic dictionaries with a micro-batched write path, "
+        "read-your-writes, and epoch-pinned reads)",
     )
     serve_p.set_defaults(func=_cmd_serve)
 

@@ -16,16 +16,36 @@ direction:
   static model charges only reads, but updates *write*; we count the
   cells written per rebuild and report per-cell write contention over
   an operation sequence (the quantity the paper proposes studying).
+- :mod:`~repro.dynamic.epoch` — epoch-based reclamation: every applied
+  update group advances an epoch; :class:`EpochPin` captures a
+  (epoch, snapshot) cut, makes arbitrary multi-key reads linearizable
+  at that cut, and holds retired levels alive until released (with no
+  pins open, retirement reclaims eagerly).
+- :mod:`~repro.dynamic.replicated` — state-machine replication:
+  :class:`ReplicatedDynamicDictionary` runs R replicas in
+  deterministic lockstep on spawned rng streams (same key set,
+  independent cells), serves majority-vote reads, and rebuilds a
+  crashed replica by full-log replay into byte-identical state; all
+  rebuild/verification probes are charged to separate rebuild
+  counters via :func:`repro.heal.charged_to`.
 
 Key measured trade-off (experiment E14): query contention is dominated
 by the *smallest* non-empty level (O(1/B) for buffer capacity B), while
 amortized update cost grows with the number of levels — the classic
-static-to-dynamic tension, now visible in contention units.
+static-to-dynamic tension, now visible in contention units. E24 serves
+this stack live (``serve --dynamic``) and gates zero wrong answers
+under churn + chaos, exact pinned reads, and rebuild-accounting
+digest byte-identity.
 """
 
 from repro.dynamic.accounting import RebuildRecord, UpdateCostAccount
 from repro.dynamic.dictionary import DynamicLowContentionDictionary
+from repro.dynamic.epoch import EpochManager, EpochPin
 from repro.dynamic.levels import Level, LevelStructure
+from repro.dynamic.replicated import (
+    DynamicFaultStats,
+    ReplicatedDynamicDictionary,
+)
 
 __all__ = [
     "DynamicLowContentionDictionary",
@@ -33,4 +53,8 @@ __all__ = [
     "Level",
     "UpdateCostAccount",
     "RebuildRecord",
+    "EpochManager",
+    "EpochPin",
+    "ReplicatedDynamicDictionary",
+    "DynamicFaultStats",
 ]

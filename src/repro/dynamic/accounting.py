@@ -24,12 +24,18 @@ from collections import defaultdict
 
 @dataclasses.dataclass(frozen=True)
 class RebuildRecord:
-    """One level rebuild: which level, how many entries and cell writes."""
+    """One level rebuild: which level, how many entries and cell writes.
+
+    ``probes`` counts verification reads charged to the level's
+    *rebuild* counter (never the query counter) — 0 when rebuild
+    verification is off.
+    """
 
     operation_index: int
     level: int
     entries: int
     cells_written: int
+    probes: int = 0
 
 
 @dataclasses.dataclass
@@ -57,7 +63,7 @@ class UpdateCostAccount:
         self.queries += 1
 
     def record_rebuild(
-        self, level: int, entries: int, cells_written: int
+        self, level: int, entries: int, cells_written: int, probes: int = 0
     ) -> None:
         """Record one level rebuild (writes every cell of the level once)."""
         self.rebuilds.append(
@@ -66,6 +72,7 @@ class UpdateCostAccount:
                 level=level,
                 entries=entries,
                 cells_written=cells_written,
+                probes=int(probes),
             )
         )
         self._full_writes[level] += 1
@@ -79,6 +86,11 @@ class UpdateCostAccount:
     @property
     def total_cells_written(self) -> int:
         return sum(r.cells_written for r in self.rebuilds)
+
+    @property
+    def rebuild_probes(self) -> int:
+        """Total verification probes charged to rebuild counters."""
+        return sum(r.probes for r in self.rebuilds)
 
     def amortized_write_cost(self) -> float:
         """Cells written per update — the classic amortized rebuild cost."""
@@ -109,4 +121,5 @@ class UpdateCostAccount:
             "rebuilds": len(self.rebuilds),
             "amortized_cells_written": round(self.amortized_write_cost(), 2),
             "max_write_contention": round(self.max_write_contention(), 4),
+            "rebuild_probes": self.rebuild_probes,
         }

@@ -1,0 +1,174 @@
+"""Epoch-based versioning for the dynamic dictionary.
+
+Every applied update (or micro-batched update group) advances a global
+**epoch**.  Readers that need a consistent multi-key view *pin* the
+current epoch, capturing a snapshot of the level structures as they
+stood; level structures unlinked by later merges/flattens are
+**retired** rather than dropped, and reclaimed only once no pin from
+an epoch that could still reference them remains — epoch-based memory
+reclamation in the style of Arbel-Raviv & Brown (DEBRA), adapted to
+whole immutable level structures instead of individual nodes.
+
+The invariant: a structure retired while the manager was at epoch ``e``
+was part of the state some reader pinned at epoch ``p <= e`` may still
+walk, so it is reclaimable iff ``min_pinned > e`` (or nothing is
+pinned).  Because levels are immutable once installed, a pinned reader
+needs no locks: the captured :class:`~repro.dynamic.levels.Level`
+objects answer queries forever, and reclamation is just dropping the
+last reference.
+
+Pins are context managers::
+
+    with replicated.pin() as pin:
+        answers = replicated.query_pinned(pin, keys, rng)
+
+Everything here is clockless and allocation-only — "reclaim" means
+releasing Python references; what it buys is a *measured* bound on the
+extra space a long-lived reader forces the structure to retain
+(:meth:`EpochManager.stats`, gated in E24).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.errors import ServeError
+from repro.telemetry.events import BUS, EpochEvent
+
+
+@dataclasses.dataclass
+class _Retired:
+    """One retired structure: the epoch it was current through, its payload."""
+
+    epoch: int
+    payload: object
+    words: int
+
+
+class EpochPin:
+    """A reader's claim on one epoch's state (context manager).
+
+    ``snapshot`` is whatever the pinning structure captured (for the
+    replicated dictionary: per-replica level lists plus the live key
+    set at pin time); ``epoch`` is the pinned epoch number.
+    """
+
+    __slots__ = ("epoch", "snapshot", "_manager", "released")
+
+    def __init__(self, epoch: int, snapshot, manager: "EpochManager"):
+        self.epoch = int(epoch)
+        self.snapshot = snapshot
+        self._manager = manager
+        self.released = False
+
+    def release(self) -> None:
+        """Drop the claim (idempotent); may trigger reclamation."""
+        if not self.released:
+            self.released = True
+            self._manager._release(self)
+
+    def __enter__(self) -> "EpochPin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class EpochManager:
+    """Epoch counter + pin refcounts + deferred reclamation of retirees."""
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self._pins: dict[int, int] = {}
+        self._retired: list[_Retired] = []
+        self.retired_total = 0
+        self.reclaimed_total = 0
+        self.peak_retained = 0
+
+    # -- pinning -----------------------------------------------------------------
+
+    @property
+    def min_pinned(self) -> int | None:
+        """The oldest pinned epoch, or None when nothing is pinned."""
+        return min(self._pins) if self._pins else None
+
+    @property
+    def pinned(self) -> int:
+        """Number of live pins."""
+        return sum(self._pins.values())
+
+    def pin(self, snapshot=None) -> EpochPin:
+        """Pin the current epoch; the caller supplies its snapshot."""
+        self._pins[self.epoch] = self._pins.get(self.epoch, 0) + 1
+        return EpochPin(self.epoch, snapshot, self)
+
+    def _release(self, pin: EpochPin) -> None:
+        count = self._pins.get(pin.epoch, 0)
+        if count <= 0:
+            raise ServeError(f"release of unpinned epoch {pin.epoch}")
+        if count == 1:
+            del self._pins[pin.epoch]
+        else:
+            self._pins[pin.epoch] = count - 1
+        self._reclaim()
+
+    # -- retirement --------------------------------------------------------------
+
+    def retire(self, payload, words: int = 0) -> None:
+        """Hold ``payload`` until no pin at or before the current epoch."""
+        self._retired.append(_Retired(self.epoch, payload, int(words)))
+        self.retired_total += 1
+        self.peak_retained = max(self.peak_retained, len(self._retired))
+        if not self._pins:
+            self._reclaim()
+
+    def _reclaim(self) -> int:
+        floor = self.min_pinned
+        if floor is None:
+            freed = len(self._retired)
+            self._retired.clear()
+        else:
+            keep = [r for r in self._retired if r.epoch >= floor]
+            freed = len(self._retired) - len(keep)
+            self._retired = keep
+        self.reclaimed_total += freed
+        return freed
+
+    # -- advancing ---------------------------------------------------------------
+
+    def advance(self) -> int:
+        """Move to the next epoch (one applied update group); reclaim."""
+        self.epoch += 1
+        freed = self._reclaim()
+        if BUS.active:
+            BUS.emit(EpochEvent(
+                epoch=self.epoch,
+                retired=len(self._retired),
+                reclaimed=freed,
+                pinned=self.pinned,
+            ))
+        return self.epoch
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def retained(self) -> int:
+        """Retired structures currently held back by pins."""
+        return len(self._retired)
+
+    @property
+    def retained_words(self) -> int:
+        """Table words currently held back by pins."""
+        return sum(r.words for r in self._retired)
+
+    def stats(self) -> dict:
+        """Flat dict for experiment tables and telemetry snapshots."""
+        return {
+            "epoch": self.epoch,
+            "pinned": self.pinned,
+            "retired_total": self.retired_total,
+            "reclaimed_total": self.reclaimed_total,
+            "retained": self.retained,
+            "retained_words": self.retained_words,
+            "peak_retained": self.peak_retained,
+        }

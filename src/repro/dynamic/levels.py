@@ -27,10 +27,13 @@ import dataclasses
 
 import numpy as np
 
+from repro.cellprobe.counters import ProbeCounter
 from repro.cellprobe.table import Table
 from repro.core import LowContentionDictionary
 from repro.dictionaries.base import StaticDictionary
-from repro.errors import ParameterError
+from repro.errors import ParameterError, VerificationError
+from repro.heal import charged_to
+from repro.telemetry.events import BUS, RebuildEvent
 from repro.utils.rng import as_generator
 
 
@@ -97,11 +100,19 @@ class SingletonDictionary(StaticDictionary):
 
 @dataclasses.dataclass
 class Level:
-    """One level: its entries (key -> is_insert) and static structure."""
+    """One level: its entries (key -> is_insert) and static structure.
+
+    ``rebuild_counter`` (set only when rebuild verification is on) holds
+    the probes the post-build canary sweep charged — the same
+    :class:`~repro.cellprobe.counters.ProbeCounter` substrate as the
+    query counter, but a *separate* instance, so the query counter's
+    Binomial(Q, Φ_t) envelope statements stay clean.
+    """
 
     index: int
     entries: dict  # key -> bool (True = insert)
     structure: StaticDictionary
+    rebuild_counter: ProbeCounter | None = None
 
     @property
     def size(self) -> int:
@@ -127,6 +138,9 @@ class LevelStructure:
         account=None,
         max_trials: int = 500,
         min_level_width: int = 0,
+        verify_rebuilds: bool = False,
+        verify_seed: int = 0,
+        on_retire=None,
     ):
         self.universe_size = int(universe_size)
         self.encoded_universe = 2 * self.universe_size
@@ -140,6 +154,20 @@ class LevelStructure:
         # Theta(total live size) restores O(1/n) query contention at an
         # O(n log n) space cost — the dynamization trade-off E14 measures.
         self.min_level_width = int(min_level_width)
+        # Canary-read every entry after each rebuild, charged to a
+        # per-level rebuild counter (never the query counter).  The
+        # sweep draws from its own seeded rng, so the construction rng
+        # stream — and hence the built tables and the query counters —
+        # are byte-identical whether verification is on or off.
+        self.verify_rebuilds = bool(verify_rebuilds)
+        self.verify_seed = int(verify_seed)
+        self._installs = 0
+        # Called with each Level just before it is unlinked (merge carry
+        # or flatten) — the epoch manager's retirement hook.
+        self.on_retire = on_retire
+        # Telemetry labels, settable by the serving wrapper.
+        self.shard = 0
+        self.replica = 0
 
     # -- state queries (no probes; used for ground truth & merging) -----------------
 
@@ -199,15 +227,57 @@ class LevelStructure:
         while len(self.levels) <= index:
             self.levels.append(None)
         structure = self._build_structure(entries)
+        probes = 0
+        rebuild_counter = None
+        if self.verify_rebuilds:
+            rebuild_counter = ProbeCounter(structure.table.num_cells)
+            probes = self._verify_structure(structure, entries, rebuild_counter)
+        self._installs += 1
         self.levels[index] = Level(
-            index=index, entries=entries, structure=structure
+            index=index,
+            entries=entries,
+            structure=structure,
+            rebuild_counter=rebuild_counter,
         )
         if self.account is not None:
             self.account.record_rebuild(
                 level=index,
                 entries=len(entries),
                 cells_written=structure.table.num_cells,
+                probes=probes,
             )
+        if BUS.active:
+            BUS.emit(RebuildEvent(
+                shard=self.shard,
+                replica=self.replica,
+                level=index,
+                entries=len(entries),
+                cells=structure.table.num_cells,
+                probes=probes,
+            ))
+
+    def _verify_structure(
+        self, structure: StaticDictionary, entries: dict, counter: ProbeCounter
+    ) -> int:
+        """Canary-read every encoded entry through the real query path.
+
+        All probes are rerouted to ``counter`` via
+        :func:`repro.heal.charged_to`; the rng is seeded from
+        ``(verify_seed, install_sequence)`` so the sweep is deterministic
+        and independent of the construction stream.
+        """
+        verify_rng = np.random.default_rng((self.verify_seed, self._installs))
+        with charged_to(structure.table, counter):
+            for k, ins in entries.items():
+                encoded = encode_insert(k) if ins else encode_delete(k)
+                if not structure.query(encoded, verify_rng):
+                    raise VerificationError(encoded, False, True)
+        return counter.total_probes()
+
+    def _retire(self, level: Level | None) -> None:
+        """Hand a level being unlinked to the retirement hook, if any."""
+        if level is not None and self.on_retire is not None:
+            self.on_retire(level)
 
     # -- the update path ---------------------------------------------------------------
 
@@ -224,6 +294,7 @@ class LevelStructure:
         for i in range(j):
             for k, ins in self.levels[i].entries.items():
                 merged.setdefault(k, ins)
+            self._retire(self.levels[i])
             self.levels[i] = None
         # Drop deletes when nothing older remains.
         nothing_older = all(
@@ -240,6 +311,7 @@ class LevelStructure:
         total = self.total_entries
         if total >= 8 and total > 2 * max(len(live), 1):
             for i in range(len(self.levels)):
+                self._retire(self.levels[i])
                 self.levels[i] = None
             if live:
                 # Land the flattened set at the level matching its size,

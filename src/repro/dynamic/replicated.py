@@ -1,0 +1,429 @@
+"""Replicated dynamic dictionary: lockstep updates, voted reads, epochs.
+
+The static :class:`~repro.dictionaries.replicated.ReplicatedDictionary`
+copies one built table R times; a *dynamic* structure cannot, because
+each replica owns a living level hierarchy that rebuilds as it goes.
+Replication here is **state-machine replication**: R independent
+:class:`~repro.dynamic.dictionary.DynamicLowContentionDictionary`
+replicas (each with its own spawned rng stream, so their hash choices
+differ — corruption of one replica's tables is uncorrelated with the
+others') apply the same update log in deterministic lockstep.  A
+crashed replica stops applying updates and loses its levels; rebuild
+replays the full log against the replica's re-derived rng stream,
+reconstructing *byte-identical* state to a replica that never crashed.
+
+Reads are majority votes in the style of the static ``"majority"``
+mode: every live replica executes the honest query against its own
+tables (all probes charged to its own per-level counters), detected
+failures abstain, ties resolve to ``False``, and an all-abstain round
+raises :class:`~repro.errors.FaultExhaustedError`.  Because replicas
+disagree only when damaged, a strict majority of healthy replicas
+guarantees correct answers under silent cell corruption.
+
+Every applied update (or micro-batched group via :meth:`apply_batch`)
+advances an :class:`~repro.dynamic.epoch.EpochManager` epoch.  Levels
+unlinked by merges/flattens are retired into the manager and reclaimed
+only once no pinned reader remains; :meth:`pin` captures a consistent
+snapshot (per-replica level lists + the live key set) against which
+:meth:`query_pinned` serves linearizable multi-key reads.
+
+Rebuild verification probes (``verify_rebuilds=True``) are charged via
+:func:`repro.heal.charged_to` to per-level rebuild counters, so each
+replica's *query*-counter digest stays byte-identical to an
+unverified replay of the same stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.dynamic.dictionary import DynamicLowContentionDictionary
+from repro.dynamic.epoch import EpochManager, EpochPin
+from repro.errors import (
+    FaultExhaustedError,
+    HealError,
+    ParameterError,
+    ReplicaUnavailableError,
+    ReproError,
+)
+from repro.utils.rng import as_generator, spawn_generators
+
+#: Exceptions treated as a *detected* per-replica failure (abstention)
+#: by the voted read paths — same taxonomy as the static replicated
+#: dictionary: corrupted words can drive the honest algorithm to an
+#: out-of-range probe or an impossible decode, and a crash is explicit.
+_REPLICA_FAILURES = (ReproError, OverflowError, IndexError, ValueError)
+
+
+@dataclasses.dataclass
+class DynamicFaultStats:
+    """Counters for the fault paths of the replicated dynamic dictionary."""
+
+    crash_hits: int = 0
+    abstentions: int = 0
+    crashes: int = 0
+    rebuilds: int = 0
+    corruptions: int = 0
+
+
+def _query_batch_levels(levels, xs: np.ndarray, rng) -> np.ndarray:
+    """Walk a (possibly snapshotted) level list newest-first, vectorized.
+
+    The same short-circuit discipline as
+    :meth:`DynamicLowContentionDictionary.query_batch`, but against an
+    explicit level sequence — which is what lets an epoch-pinned read
+    run against retired structures.
+    """
+    flat = np.asarray(xs, dtype=np.int64).ravel()
+    answers = np.zeros(flat.shape, dtype=bool)
+    undecided = np.ones(flat.shape, dtype=bool)
+    for level in levels:
+        if level is None:
+            continue
+        idx = np.nonzero(undecided)[0]
+        if idx.size == 0:
+            break
+        ins_hit = level.structure.query_batch(2 * flat[idx] + 1, rng)
+        answers[idx[ins_hit]] = True
+        undecided[idx[ins_hit]] = False
+        miss_idx = idx[~ins_hit]
+        if miss_idx.size:
+            del_hit = level.structure.query_batch(2 * flat[miss_idx], rng)
+            undecided[miss_idx[del_hit]] = False
+    return answers
+
+
+class ReplicatedDynamicDictionary:
+    """R lockstep dynamic replicas with voted reads and epoch versioning."""
+
+    name = "replicated-dynamic"
+
+    def __init__(
+        self,
+        universe_size: int,
+        replicas: int,
+        seed: int = 0,
+        max_trials: int = 500,
+        min_level_width: int = 0,
+        verify_rebuilds: bool = False,
+        armed: bool = False,
+    ):
+        if replicas < 1:
+            raise ParameterError("replicas must be >= 1")
+        self.universe_size = int(universe_size)
+        self.replicas = int(replicas)
+        self.seed = int(seed)
+        self.max_trials = int(max_trials)
+        self.min_level_width = int(min_level_width)
+        self.verify_rebuilds = bool(verify_rebuilds)
+        # Fault hooks are chaos-only: they must be armed explicitly,
+        # mirroring FaultConfig.armed on the static stack.
+        self.armed = bool(armed)
+        self.epochs = EpochManager()
+        self.fault_stats = DynamicFaultStats()
+        self._crashed: set[int] = set()
+        self._log: list[tuple[int, bool]] = []
+        self._replicas = [
+            self._fresh_replica(r) for r in range(self.replicas)
+        ]
+
+    def _fresh_replica(self, r: int) -> DynamicLowContentionDictionary:
+        """Build replica ``r`` on its re-derivable spawned rng stream."""
+        rng = spawn_generators(self.seed, self.replicas)[r]
+        d = DynamicLowContentionDictionary(
+            self.universe_size,
+            rng=rng,
+            max_trials=self.max_trials,
+            min_level_width=self.min_level_width,
+            verify_rebuilds=self.verify_rebuilds,
+            verify_seed=r,
+            on_retire=lambda level, _r=r: self.epochs.retire(
+                (_r, level), words=level.structure.table.num_cells
+            ),
+        )
+        d._levels.replica = r
+        return d
+
+    # -- updates (lockstep) ------------------------------------------------------
+
+    def apply(self, key: int, is_insert: bool) -> int:
+        """Apply one update to every live replica; advance the epoch."""
+        return self.apply_batch([(key, bool(is_insert))])
+
+    def insert(self, key: int) -> int:
+        """Insert ``key`` on all live replicas (one epoch)."""
+        return self.apply(key, True)
+
+    def delete(self, key: int) -> int:
+        """Delete ``key`` on all live replicas (one epoch)."""
+        return self.apply(key, False)
+
+    def apply_batch(self, ops) -> int:
+        """Apply a micro-batched update group in replica-lockstep order.
+
+        Every live replica applies the whole group, in replica index
+        order, before the epoch advances **once** — the group is one
+        atomic version step for pinned readers.
+        """
+        ops = [(int(k), bool(ins)) for k, ins in ops]
+        for k, _ in ops:
+            if not 0 <= k < self.universe_size:
+                raise ParameterError(f"key {k} outside universe")
+        for r, d in enumerate(self._replicas):
+            if r in self._crashed:
+                continue
+            for k, ins in ops:
+                if ins:
+                    d.insert(k)
+                else:
+                    d.delete(k)
+        self._log.extend(ops)
+        return self.epochs.advance()
+
+    @property
+    def epoch(self) -> int:
+        return self.epochs.epoch
+
+    @property
+    def update_count(self) -> int:
+        """Updates applied since construction (the log length)."""
+        return len(self._log)
+
+    # -- fault hooks (chaos schedules / healing) ---------------------------------
+
+    def _require_armed(self) -> None:
+        if not self.armed:
+            raise HealError(
+                f"{self.name} fault hooks are not armed; construct with "
+                "armed=True to crash/corrupt replicas dynamically"
+            )
+
+    def _check_replica(self, replica: int) -> int:
+        r = int(replica)
+        if not 0 <= r < self.replicas:
+            raise ParameterError(
+                f"replica {r} out of range [0, {self.replicas})"
+            )
+        return r
+
+    def crash_replica(self, replica: int) -> None:
+        """Crash ``replica`` now: it loses its levels and stops applying."""
+        self._require_armed()
+        r = self._check_replica(replica)
+        d = self._replicas[r]
+        for i in range(len(d._levels.levels)):
+            d._levels.levels[i] = None
+        self._crashed.add(r)
+        self.fault_stats.crashes += 1
+
+    def rebuild_replica(self, replica: int) -> None:
+        """Replay the full update log into a fresh replica ``replica``.
+
+        The replacement re-derives the replica's original spawned rng
+        stream, so its level state is byte-identical to a replica that
+        never crashed — deterministic state-machine recovery.
+        """
+        self._require_armed()
+        r = self._check_replica(replica)
+        d = self._fresh_replica(r)
+        for k, ins in self._log:
+            if ins:
+                d.insert(k)
+            else:
+                d.delete(k)
+        self._replicas[r] = d
+        self._crashed.discard(r)
+        self.fault_stats.rebuilds += 1
+
+    def corrupt_cell(
+        self, replica: int, level_index: int, flat: int, mask: int
+    ) -> None:
+        """XOR ``mask`` into one cell of one level table of ``replica``.
+
+        Chaos-level silent corruption: physical, persistent, and not a
+        construction write (``table.writes`` untouched) — the voted
+        read path is what has to survive it.
+        """
+        self._require_armed()
+        r = self._check_replica(replica)
+        levels = self._replicas[r]._levels.levels
+        li = int(level_index)
+        if not (0 <= li < len(levels)) or levels[li] is None:
+            raise ParameterError(
+                f"replica {r} has no level {li} to corrupt"
+            )
+        table = levels[li].structure.table
+        row, col = divmod(int(flat) % table.num_cells, table.s)
+        table._cells[row, col] ^= np.uint64(mask)
+        self.fault_stats.corruptions += 1
+
+    def live_replicas(self) -> list[int]:
+        """Replica indices that are not crashed."""
+        return [r for r in range(self.replicas) if r not in self._crashed]
+
+    # -- voted reads -------------------------------------------------------------
+
+    def query(self, x: int, rng=None) -> bool:
+        """Majority vote across live replicas (all probes charged)."""
+        rng = as_generator(rng)
+        votes_true = votes_false = 0
+        for r in self.live_replicas():
+            try:
+                answer = self._replicas[r].query(x, rng)
+            except _REPLICA_FAILURES:
+                self.fault_stats.abstentions += 1
+                continue
+            if answer:
+                votes_true += 1
+            else:
+                votes_false += 1
+        if votes_true == 0 and votes_false == 0:
+            raise FaultExhaustedError(self.replicas)
+        return votes_true > votes_false
+
+    def query_batch(self, xs, rng=None) -> np.ndarray:
+        """Vectorized majority vote: each live replica votes on the batch."""
+        rng = as_generator(rng)
+        xs = np.asarray(xs, dtype=np.int64)
+        votes_true = np.zeros(xs.shape, dtype=np.int64)
+        voters = 0
+        for r in self.live_replicas():
+            try:
+                answers = self._replicas[r].query_batch(xs, rng)
+            except _REPLICA_FAILURES:
+                self.fault_stats.abstentions += 1
+                continue
+            votes_true += answers
+            voters += 1
+        if voters == 0:
+            raise FaultExhaustedError(self.replicas)
+        return votes_true * 2 > voters
+
+    def query_batch_on(self, xs, replica: int, rng=None) -> np.ndarray:
+        """Run the batch against one *chosen* replica (serve dispatch).
+
+        Raises :class:`~repro.errors.ReplicaUnavailableError` when the
+        chosen replica is crashed, so dispatchers can fail over.
+        """
+        r = self._check_replica(replica)
+        if r in self._crashed:
+            self.fault_stats.crash_hits += 1
+            raise ReplicaUnavailableError(r)
+        return self._replicas[r].query_batch(xs, rng)
+
+    # -- ground truth ------------------------------------------------------------
+
+    def _reference_replica(self) -> DynamicLowContentionDictionary:
+        live = self.live_replicas()
+        if not live:
+            raise FaultExhaustedError(self.replicas)
+        return self._replicas[live[0]]
+
+    def contains(self, x: int) -> bool:
+        """Ground truth (no probes; entry dicts are corruption-immune)."""
+        return self._reference_replica().contains(x)
+
+    def live_keys(self) -> np.ndarray:
+        """The current key set, sorted (ground truth; no probes)."""
+        return self._reference_replica().live_keys()
+
+    # -- epoch-pinned reads ------------------------------------------------------
+
+    def pin(self) -> EpochPin:
+        """Pin the current epoch for linearizable multi-key reads.
+
+        The snapshot captures each live replica's level list (levels are
+        immutable once installed, so the tuples stay valid forever) and
+        the pinned epoch's ground-truth key set.
+        """
+        snapshot = {
+            "levels": {
+                r: tuple(self._replicas[r]._levels.levels)
+                for r in self.live_replicas()
+            },
+            "live_keys": self.live_keys(),
+        }
+        return self.epochs.pin(snapshot)
+
+    def query_pinned(self, pin: EpochPin, xs, rng=None) -> np.ndarray:
+        """Majority-voted batch read against the pinned epoch's state.
+
+        Linearizable by construction: every replica walks the level
+        list captured at pin time, so updates applied after the pin are
+        invisible and the answers match the pinned ground truth
+        (``np.isin(xs, pin.snapshot["live_keys"])``) exactly when a
+        majority of the captured replicas is healthy.
+        """
+        rng = as_generator(rng)
+        xs = np.asarray(xs, dtype=np.int64)
+        votes_true = np.zeros(xs.shape, dtype=np.int64)
+        voters = 0
+        for r, levels in pin.snapshot["levels"].items():
+            if r in self._crashed:
+                self.fault_stats.crash_hits += 1
+                continue
+            try:
+                answers = _query_batch_levels(levels, xs, rng)
+            except _REPLICA_FAILURES:
+                self.fault_stats.abstentions += 1
+                continue
+            votes_true += answers
+            voters += 1
+        if voters == 0:
+            raise FaultExhaustedError(self.replicas)
+        return votes_true * 2 > voters
+
+    # -- accounting / introspection ----------------------------------------------
+
+    def replica_probe_loads(self) -> np.ndarray:
+        """Query probes charged so far to each replica, shape ``(R,)``."""
+        loads = np.zeros(self.replicas, dtype=np.int64)
+        for r, d in enumerate(self._replicas):
+            loads[r] = sum(
+                int(lv.structure.table.counter.total_probes())
+                for lv in d._levels.nonempty_levels
+            )
+        return loads
+
+    def query_counter_digest(self, replica: int = 0) -> str:
+        """One replica's query-counter digest (rebuild probes excluded)."""
+        return self._replicas[self._check_replica(replica)].query_counter_digest()
+
+    def rebuild_probes(self, replica: int = 0) -> int:
+        """Verification probes charged to one replica's rebuild counters."""
+        return self._replicas[self._check_replica(replica)].rebuild_probes
+
+    def account(self, replica: int = 0):
+        """One replica's :class:`~repro.dynamic.accounting.UpdateCostAccount`."""
+        return self._replicas[self._check_replica(replica)].account
+
+    def set_shard(self, shard: int) -> None:
+        """Label every replica's telemetry events with ``shard``."""
+        for d in self._replicas:
+            d._levels.shard = int(shard)
+
+    @property
+    def space_words(self) -> int:
+        """Total live table words across replicas (excludes retirees)."""
+        return sum(d.space_words for d in self._replicas)
+
+    def stats(self) -> dict:
+        """Flat dict for experiments: epochs, faults, space, rebuild work."""
+        out = {
+            "replicas": self.replicas,
+            "live_replicas": len(self.live_replicas()),
+            "updates": self.update_count,
+            "space_words": self.space_words,
+            **{f"epoch_{k}": v for k, v in self.epochs.stats().items()},
+            **dataclasses.asdict(self.fault_stats),
+        }
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ReplicatedDynamicDictionary(R={self.replicas}, "
+            f"live={len(self.live_replicas())}, epoch={self.epoch}, "
+            f"updates={self.update_count})"
+        )

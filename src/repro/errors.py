@@ -172,6 +172,27 @@ class RingFullError(OverloadError):
     """
 
 
+class UpdateBacklogError(ServeError):
+    """A write was shed because the update backlog is full.
+
+    The write-path analogue of :class:`OverloadError`: the dynamic
+    serving stack (:mod:`repro.serve.dynamic_service`) bounds the
+    number of updates accepted but not yet applied to the replicas,
+    and sheds further writes beyond it — an unbounded write backlog
+    would let read-your-writes latency diverge exactly like an
+    unbounded read queue.  Carries the observed ``pending`` update
+    count and the configured ``capacity``.
+    """
+
+    def __init__(self, pending: int, capacity: int):
+        self.pending = int(pending)
+        self.capacity = int(capacity)
+        super().__init__(
+            f"update backlog full: {self.pending} updates pending "
+            f"(capacity {self.capacity})"
+        )
+
+
 class DegradedModeError(ServeError):
     """A low-priority request was shed because the service is degraded.
 

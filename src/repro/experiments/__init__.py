@@ -1,4 +1,4 @@
-"""The E1–E20 experiment suite (see DESIGN.md section 3).
+"""The E1–E24 experiment suite (see DESIGN.md section 3).
 
 The paper has no tables or figures; each experiment here reifies one of
 its quantitative claims as a regenerable table.  Use::

@@ -29,6 +29,7 @@ from repro.experiments import (
     e21_chaos,
     e22_multicore,
     e23_adversary,
+    e24_dynamic_serve,
 )
 from repro.io.results import ExperimentResult
 
@@ -56,6 +57,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E21": ("Chaos steady-state: self-healing under crashes, corruption, and spikes (robustness extension)", e21_chaos.run),
     "E22": ("Multicore fabric: hardware Binomial loads and byte-identical accounting (real-parallelism extension)", e22_multicore.run),
     "E23": ("Adversarial search: evolution vs the self-healing stack (robustness extension)", e23_adversary.run),
+    "E24": ("Dynamic serving: live updates, epochs, chaos (dynamization extension)", e24_dynamic_serve.run),
 }
 
 

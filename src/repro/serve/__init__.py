@@ -22,7 +22,12 @@ running replica fleet actually experiences):
   health state machines, circuit-breaker canaries, scrub/rebuild
   orchestration, and priority-aware graceful degradation;
 - :mod:`~repro.serve.chaos` — seeded randomized fault schedules and
-  the chaos driver validating steady-state healing (experiment E21).
+  the chaos driver validating steady-state healing (experiment E21);
+- :mod:`~repro.serve.dynamic_service` — the *mutable* sharded service:
+  replicated dynamic dictionaries with a micro-batched write path,
+  write admission control (:class:`~repro.errors.UpdateBacklogError`),
+  read-your-writes, and epoch-pinned linearizable multi-key reads
+  (experiment E24).
 
 Experiment E19 validates the stack end-to-end: measured per-cell load
 under live random routing matches exact Φ_t within sampling error, and
@@ -63,6 +68,12 @@ from repro.serve.router import (
     Router,
     make_router,
 )
+from repro.serve.dynamic_service import (
+    DynamicServiceStats,
+    DynamicShardedService,
+    UpdateTicket,
+    build_dynamic_service,
+)
 from repro.serve.service import (
     ServiceStats,
     ShardedDictionaryService,
@@ -79,6 +90,8 @@ __all__ = [
     "ChaosReport",
     "ChaosSchedule",
     "CircuitBreaker",
+    "DynamicServiceStats",
+    "DynamicShardedService",
     "HEALTH_STATES",
     "HealthConfig",
     "HealthManager",
@@ -93,6 +106,8 @@ __all__ = [
     "ServiceStats",
     "ShardedDictionaryService",
     "Ticket",
+    "UpdateTicket",
+    "build_dynamic_service",
     "build_service",
     "make_router",
     "run_chaos",

@@ -1,0 +1,430 @@
+"""The mutable sharded service: serving reads while applying updates.
+
+The dynamic counterpart of :class:`~repro.serve.service.
+ShardedDictionaryService`: each contiguous keyspace shard is a
+:class:`~repro.dynamic.replicated.ReplicatedDynamicDictionary` (R
+lockstep replicas with majority-voted reads and epoch versioning), and
+the service adds a **write path** next to the read path:
+
+- **write micro-batching** — per-shard update batchers group inserts/
+  deletes into micro-batched groups; one applied group advances the
+  shard's epoch once (one atomic version step);
+- **write admission control** — the count of accepted-but-unapplied
+  updates is bounded; beyond it :meth:`submit_update` sheds with the
+  typed :class:`~repro.errors.UpdateBacklogError` (the write analogue
+  of ``OverloadError``);
+- **read-your-writes** — a read dispatch first drains its shard's
+  pending write batch, so any update admitted before a read is applied
+  before that read executes: a client that saw its write admitted will
+  see it reflected;
+- **pinned reads** — :meth:`read_pinned` pins every touched shard's
+  epoch and answers the whole multi-key read against that consistent
+  cut, regardless of concurrently applied updates;
+- **telemetry** — ``UpdateEvent`` per applied group, ``RebuildEvent``
+  per level rebuild (from the level layer), ``EpochEvent`` per epoch
+  transition, all behind the zero-overhead ``BUS.active`` guard.
+
+Like the static service, the core is clockless (explicit ``now``,
+seeded rng streams) and byte-reproducible; reads are majority votes
+across each shard's live replicas, so crashed or silently corrupted
+replicas are survived by construction rather than by routing policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.dynamic.epoch import EpochPin
+from repro.dynamic.replicated import ReplicatedDynamicDictionary
+from repro.errors import (
+    DegradedModeError,
+    OverloadError,
+    ParameterError,
+    QueryError,
+    UpdateBacklogError,
+)
+from repro.serve.admission import AdmissionController
+from repro.serve.batcher import Batch, MicroBatcher
+from repro.serve.service import Ticket
+from repro.telemetry.events import BUS, DispatchEvent, UpdateEvent
+from repro.utils.rng import as_generator, spawn_generators
+from repro.utils.validation import check_positive_integer
+
+
+@dataclasses.dataclass
+class UpdateTicket:
+    """One update's lifecycle: arrival → write batch → applied @ epoch."""
+
+    key: int
+    is_insert: bool
+    shard: int
+    arrival: float
+    completion: float | None = None
+    epoch: int | None = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the update has been applied."""
+        return self.completion is not None
+
+
+@dataclasses.dataclass
+class DynamicServiceStats:
+    """Lifetime counters of one dynamic service instance."""
+
+    submitted: int = 0
+    completed: int = 0
+    batches: int = 0
+    probes: int = 0
+    updates_submitted: int = 0
+    updates_applied: int = 0
+    update_groups: int = 0
+    shed_reads: int = 0
+    shed_updates: int = 0
+
+    def row(self) -> dict:
+        """Flat dict for experiment tables."""
+        return dataclasses.asdict(self)
+
+
+class DynamicShardedService:
+    """Shards of replicated dynamic dictionaries behind read+write batching."""
+
+    def __init__(
+        self,
+        shards: list[ReplicatedDynamicDictionary],
+        boundaries: list[int],
+        max_batch: int = 32,
+        max_delay: float = 1.0,
+        capacity: int = 1024,
+        update_capacity: int = 256,
+        update_batch: int = 8,
+        update_delay: float = 0.5,
+        probe_time: float = 0.0,
+        seed=0,
+    ):
+        if not shards:
+            raise ParameterError("service needs at least one shard")
+        if len(boundaries) != len(shards):
+            raise ParameterError(
+                f"{len(shards)} shards need {len(shards)} boundaries, "
+                f"got {len(boundaries)}"
+            )
+        if list(boundaries) != sorted(set(int(b) for b in boundaries)):
+            raise ParameterError("boundaries must be strictly increasing")
+        if int(boundaries[0]) != 0:
+            raise ParameterError("first shard must start at key 0")
+        self.universe_size = int(shards[0].universe_size)
+        if any(int(s.universe_size) != self.universe_size for s in shards):
+            raise ParameterError("shards must share one universe size")
+        check_positive_integer("update_capacity", update_capacity)
+        self.shards = list(shards)
+        self.num_shards = len(self.shards)
+        for i, shard in enumerate(self.shards):
+            shard.set_shard(i)
+        self._boundaries = np.asarray(
+            [int(b) for b in boundaries], dtype=np.int64
+        )
+        streams = spawn_generators(as_generator(seed), self.num_shards + 1)
+        self._rng = streams[-1]
+        self.batchers = [
+            MicroBatcher(max_size=max_batch, max_delay=max_delay)
+            for _ in range(self.num_shards)
+        ]
+        self.write_batchers = [
+            MicroBatcher(max_size=update_batch, max_delay=update_delay)
+            for _ in range(self.num_shards)
+        ]
+        self.admission = AdmissionController(capacity=capacity)
+        self.update_capacity = int(update_capacity)
+        self._pending_updates = 0
+        self.probe_time = float(probe_time)
+        self.stats = DynamicServiceStats()
+
+    # -- keyspace ----------------------------------------------------------------
+
+    def shard_of(self, x: int) -> int:
+        """Index of the shard whose keyspace range contains ``x``."""
+        x = int(x)
+        if not 0 <= x < self.universe_size:
+            raise QueryError(
+                f"query {x} outside universe [0, {self.universe_size})"
+            )
+        return int(np.searchsorted(self._boundaries, x, side="right") - 1)
+
+    # -- the write path ----------------------------------------------------------
+
+    def submit_update(
+        self, key: int, is_insert: bool, now: float
+    ) -> UpdateTicket:
+        """Admit one insert/delete at virtual time ``now``.
+
+        Raises :class:`~repro.errors.UpdateBacklogError` when the count
+        of accepted-but-unapplied updates has reached the configured
+        bound.  The returned ticket may already be ``done`` if its
+        arrival flushed a full write group.
+        """
+        shard = self.shard_of(key)
+        if self._pending_updates >= self.update_capacity:
+            self.stats.shed_updates += 1
+            raise UpdateBacklogError(
+                self._pending_updates, self.update_capacity
+            )
+        ticket = UpdateTicket(
+            key=int(key), is_insert=bool(is_insert),
+            shard=shard, arrival=float(now),
+        )
+        self._pending_updates += 1
+        self.stats.updates_submitted += 1
+        batch = self.write_batchers[shard].add(ticket, now)
+        if batch is not None:
+            self._apply_group(shard, batch)
+        return ticket
+
+    def _apply_group(self, shard: int, batch: Batch) -> int:
+        """Apply one flushed write group in lockstep; advance the epoch once."""
+        tickets: list[UpdateTicket] = batch.requests
+        ops = [(t.key, t.is_insert) for t in tickets]
+        epoch = self.shards[shard].apply_batch(ops)
+        for t in tickets:
+            t.epoch = epoch
+            t.completion = float(batch.flushed)
+        self._pending_updates -= len(tickets)
+        self.stats.updates_applied += len(tickets)
+        self.stats.update_groups += 1
+        if BUS.active:
+            BUS.emit(UpdateEvent(shard=shard, size=len(tickets), epoch=epoch))
+        return len(tickets)
+
+    def _flush_writes(self, shard: int, now: float) -> int:
+        """Drain a shard's pending write batch (read-your-writes barrier)."""
+        batch = self.write_batchers[shard].drain(now)
+        if batch is None:
+            return 0
+        return self._apply_group(shard, batch)
+
+    # -- the read path -----------------------------------------------------------
+
+    def submit(self, x: int, now: float, priority: int = 0) -> Ticket:
+        """Admit one read at virtual time ``now`` (sheds via OverloadError)."""
+        shard = self.shard_of(x)
+        try:
+            self.admission.admit(priority=priority)
+        except (OverloadError, DegradedModeError):
+            self.stats.shed_reads += 1
+            raise
+        ticket = Ticket(
+            key=int(x), shard=shard, arrival=float(now),
+            priority=int(priority),
+        )
+        self.stats.submitted += 1
+        batch = self.batchers[shard].add(ticket, now)
+        if batch is not None:
+            self._dispatch(shard, batch)
+        return ticket
+
+    def next_deadline(self) -> float | None:
+        """Earliest pending flush deadline across all batchers."""
+        deadlines = [
+            b.next_deadline()
+            for b in self.batchers + self.write_batchers
+            if b.next_deadline() is not None
+        ]
+        return min(deadlines) if deadlines else None
+
+    def advance(self, now: float) -> int:
+        """Flush every due batch (writes before reads); returns completions."""
+        completed = 0
+        for shard, batcher in enumerate(self.write_batchers):
+            batch = batcher.poll(now)
+            if batch is not None:
+                self._apply_group(shard, batch)
+        for shard, batcher in enumerate(self.batchers):
+            batch = batcher.poll(now)
+            if batch is not None:
+                completed += self._dispatch(shard, batch)
+        return completed
+
+    def drain(self, now: float) -> int:
+        """Flush everything pending regardless of deadline (shutdown)."""
+        completed = 0
+        for shard in range(self.num_shards):
+            self._flush_writes(shard, now)
+        for shard, batcher in enumerate(self.batchers):
+            batch = batcher.drain(now)
+            if batch is not None:
+                completed += self._dispatch(shard, batch)
+        return completed
+
+    def _dispatch(self, shard: int, batch: Batch) -> int:
+        """Execute one flushed read batch against the shard's vote."""
+        # Read-your-writes: updates admitted before this read flush are
+        # applied before the read executes.
+        self._flush_writes(shard, float(batch.flushed))
+        dictionary = self.shards[shard]
+        tickets: list[Ticket] = batch.requests
+        xs = np.asarray([t.key for t in tickets], dtype=np.int64)
+        before = int(dictionary.replica_probe_loads().sum())
+        answers = dictionary.query_batch(xs, self._rng)
+        probes = int(dictionary.replica_probe_loads().sum()) - before
+        self.stats.probes += probes
+        finish = float(batch.flushed) + probes * self.probe_time
+        if BUS.active:
+            BUS.emit(DispatchEvent(
+                shard=shard, replica=-1, probes=probes,
+                start=float(batch.flushed), finish=finish,
+            ))
+        for t, a in zip(tickets, answers):
+            t.answer = bool(a)
+            t.completion = finish
+        self.stats.batches += 1
+        self.admission.release(len(tickets))
+        self.stats.completed += len(tickets)
+        return len(tickets)
+
+    # -- pinned multi-key reads ----------------------------------------------------
+
+    def read_pinned(self, keys, now: float) -> tuple[np.ndarray, dict]:
+        """Linearizable multi-key read against one consistent cut.
+
+        Drains pending writes (so the cut includes every admitted
+        update), pins each touched shard's current epoch, answers all
+        keys against the pinned snapshots, and releases the pins.
+        Returns ``(answers, epochs)`` where ``epochs`` maps shard index
+        to the epoch the read observed.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size and (
+            int(keys.min()) < 0 or int(keys.max()) >= self.universe_size
+        ):
+            bad = keys[(keys < 0) | (keys >= self.universe_size)][0]
+            raise QueryError(
+                f"query {int(bad)} outside universe [0, {self.universe_size})"
+            )
+        shard_ids = np.searchsorted(self._boundaries, keys, side="right") - 1
+        answers = np.zeros(keys.shape, dtype=bool)
+        epochs: dict[int, int] = {}
+        pins: list[tuple[int, EpochPin, np.ndarray]] = []
+        for shard in np.unique(shard_ids):
+            shard = int(shard)
+            self._flush_writes(shard, float(now))
+            pin = self.shards[shard].pin()
+            epochs[shard] = pin.epoch
+            pins.append((shard, pin, shard_ids == shard))
+        try:
+            for shard, pin, sel in pins:
+                answers[sel] = self.shards[shard].query_pinned(
+                    pin, keys[sel], self._rng
+                )
+        finally:
+            for _, pin, _ in pins:
+                pin.release()
+        return answers, epochs
+
+    def pin_shard(self, shard: int) -> EpochPin:
+        """Pin one shard's current epoch (caller releases)."""
+        return self.shards[int(shard)].pin()
+
+    # -- fault passthrough ---------------------------------------------------------
+
+    def crash_replica(self, shard: int, replica: int) -> None:
+        """Crash one replica of one shard (chaos hook; requires armed)."""
+        self.shards[int(shard)].crash_replica(replica)
+
+    def rebuild_replica(self, shard: int, replica: int) -> None:
+        """Rebuild one crashed replica by log replay (requires armed)."""
+        self.shards[int(shard)].rebuild_replica(replica)
+
+    def corrupt_cell(
+        self, shard: int, replica: int, level_index: int, flat: int, mask: int
+    ) -> None:
+        """Silently corrupt one level cell of one replica (requires armed)."""
+        self.shards[int(shard)].corrupt_cell(replica, level_index, flat, mask)
+
+    # -- introspection -------------------------------------------------------------
+
+    @property
+    def pending_updates(self) -> int:
+        """Updates admitted but not yet applied."""
+        return self._pending_updates
+
+    def epochs_by_shard(self) -> list[int]:
+        """Each shard's current epoch."""
+        return [s.epoch for s in self.shards]
+
+    def replica_loads(self) -> list[np.ndarray]:
+        """Per-shard arrays of probes charged to each replica so far."""
+        return [s.replica_probe_loads() for s in self.shards]
+
+    def stats_row(self) -> dict:
+        """Service counters plus per-shard epoch/fault/space stats."""
+        row = self.stats.row()
+        row["pending_updates"] = self._pending_updates
+        for i, shard in enumerate(self.shards):
+            for k, v in shard.stats().items():
+                row[f"shard{i}_{k}"] = v
+        return row
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DynamicShardedService(shards={self.num_shards}, "
+            f"epochs={self.epochs_by_shard()}, "
+            f"completed={self.stats.completed})"
+        )
+
+
+def build_dynamic_service(
+    universe_size: int,
+    num_shards: int = 1,
+    replicas: int = 3,
+    max_batch: int = 32,
+    max_delay: float = 1.0,
+    capacity: int = 1024,
+    update_capacity: int = 256,
+    update_batch: int = 8,
+    update_delay: float = 0.5,
+    probe_time: float = 0.0,
+    min_level_width: int = 0,
+    verify_rebuilds: bool = False,
+    armed: bool = False,
+    seed=0,
+) -> DynamicShardedService:
+    """Construct an (initially empty) mutable sharded service.
+
+    The universe splits into ``num_shards`` equal contiguous ranges,
+    each served by a :class:`~repro.dynamic.replicated.
+    ReplicatedDynamicDictionary` with ``replicas`` lockstep replicas.
+    ``armed=True`` enables the chaos fault hooks (crash / corrupt /
+    rebuild), mirroring ``FaultConfig.armed`` on the static stack.
+    """
+    universe_size = int(universe_size)
+    num_shards = check_positive_integer("num_shards", num_shards)
+    rng = as_generator(seed)
+    boundaries = [
+        (universe_size * i) // num_shards for i in range(num_shards)
+    ]
+    shards = [
+        ReplicatedDynamicDictionary(
+            universe_size,
+            replicas,
+            seed=int(rng.integers(0, 2**63 - 1)),
+            min_level_width=min_level_width,
+            verify_rebuilds=verify_rebuilds,
+            armed=armed,
+        )
+        for _ in range(num_shards)
+    ]
+    return DynamicShardedService(
+        shards,
+        boundaries,
+        max_batch=max_batch,
+        max_delay=max_delay,
+        capacity=capacity,
+        update_capacity=update_capacity,
+        update_batch=update_batch,
+        update_delay=update_delay,
+        probe_time=probe_time,
+        seed=rng.integers(0, 2**63 - 1),
+    )

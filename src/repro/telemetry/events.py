@@ -139,6 +139,40 @@ class HealEvent:
     count: int = 1
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class UpdateEvent:
+    """One applied update group: ``size`` ops moved ``shard`` to ``epoch``."""
+
+    shard: int
+    size: int
+    epoch: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RebuildEvent:
+    """One dynamic level rebuild: ``entries`` entries re-installed at
+    ``level``, writing ``cells`` cells, with ``probes`` verification
+    probes charged to the rebuild counter (never the query counter).
+    """
+
+    shard: int
+    replica: int
+    level: int
+    entries: int
+    cells: int
+    probes: int
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class EpochEvent:
+    """An epoch advanced: ``retired`` structures held, ``reclaimed`` freed."""
+
+    epoch: int
+    retired: int
+    reclaimed: int
+    pinned: int
+
+
 #: Every event type the library emits (introspection / capture filters).
 EVENT_TYPES = (
     ProbeEvent,
@@ -152,6 +186,9 @@ EVENT_TYPES = (
     FaultEvent,
     HealthTransitionEvent,
     HealEvent,
+    UpdateEvent,
+    RebuildEvent,
+    EpochEvent,
 )
 
 

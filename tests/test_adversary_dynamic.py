@@ -1,0 +1,150 @@
+"""Update-stream genes: digest stability, operators, dynamic stage.
+
+The PR-8 genome extension adds ``update_fraction`` /
+``delete_fraction`` / ``update_hot_keys``.  The contract that keeps
+every pre-existing committed fixture valid: a read-only genome
+(``update_fraction == 0``) serializes, digests, and evaluates exactly
+as it did before the genes existed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.adversary import (
+    EvalConfig,
+    Genome,
+    crossover,
+    evaluate,
+    mutate,
+)
+from repro.errors import ParameterError
+
+UNIVERSE = 48 * 48
+INNER_CELLS = 1024
+
+
+class TestDigestStability:
+    def test_read_only_genome_omits_update_genes(self):
+        g = Genome()
+        d = g.to_dict()
+        assert "update_fraction" not in d
+        assert "delete_fraction" not in d
+        assert "update_hot_keys" not in d
+
+    def test_read_only_digest_unchanged_by_gene_fields(self):
+        # A genome explicitly constructed with the defaults digests the
+        # same as one that never mentions the update genes.
+        plain = Genome(family="zipf", skew=1.2)
+        explicit = Genome(
+            family="zipf", skew=1.2,
+            update_fraction=0.0, delete_fraction=0.3, update_hot_keys=(),
+        )
+        assert plain.digest() == explicit.digest()
+
+    def test_dynamic_genome_round_trips(self):
+        g = Genome(
+            update_fraction=0.4,
+            delete_fraction=0.2,
+            update_hot_keys=(1, 2, 3),
+        )
+        d = g.to_dict()
+        assert d["update_fraction"] == 0.4
+        assert d["update_hot_keys"] == [1, 2, 3]
+        assert Genome.from_dict(d) == g
+        assert Genome.from_dict(d).digest() == g.digest()
+
+    def test_dynamic_genes_change_digest(self):
+        assert Genome().digest() != Genome(update_fraction=0.4).digest()
+
+    def test_validation(self):
+        with pytest.raises(ParameterError):
+            Genome(update_fraction=1.5)
+        with pytest.raises(ParameterError):
+            Genome(update_fraction=0.5, delete_fraction=-0.1)
+        with pytest.raises(ParameterError):
+            Genome(update_hot_keys=tuple(range(20)))
+
+
+class TestOperators:
+    def test_mutate_reaches_update_genes(self):
+        g = Genome()
+        found = False
+        for seed in range(40):
+            child = mutate(g, seed, UNIVERSE, INNER_CELLS)
+            if child.update_fraction > 0.0:
+                found = True
+                break
+        assert found, "no seed in 0..39 hit the update-gene mutation"
+
+    def test_mutate_pure_with_update_genes(self):
+        g = Genome(update_fraction=0.3, update_hot_keys=(5, 9))
+        for seed in range(8):
+            a = mutate(g, seed, UNIVERSE, INNER_CELLS)
+            b = mutate(g, seed, UNIVERSE, INNER_CELLS)
+            assert a == b
+            assert a.digest() == b.digest()
+
+    def test_mutate_keeps_update_genes_legal(self):
+        g = Genome(update_fraction=0.5, update_hot_keys=(1,))
+        for seed in range(30):
+            g = mutate(g, seed, UNIVERSE, INNER_CELLS)
+            assert 0.0 <= g.update_fraction <= 1.0
+            assert 0.0 <= g.delete_fraction <= 1.0
+            assert len(g.update_hot_keys) <= 8
+        Genome.from_dict(g.to_dict())  # still serializable
+
+    def test_crossover_inherits_update_genes_as_block(self):
+        a = Genome(
+            update_fraction=0.6, delete_fraction=0.1,
+            update_hot_keys=(1, 2),
+        )
+        b = Genome(
+            update_fraction=0.2, delete_fraction=0.9,
+            update_hot_keys=(7,),
+        )
+        for seed in range(12):
+            child = crossover(a, b, seed)
+            triple = (
+                child.update_fraction,
+                child.delete_fraction,
+                child.update_hot_keys,
+            )
+            assert triple in (
+                (a.update_fraction, a.delete_fraction, a.update_hot_keys),
+                (b.update_fraction, b.delete_fraction, b.update_hot_keys),
+            )
+            assert child == crossover(a, b, seed)
+
+
+class TestDynamicStage:
+    def test_read_only_genome_contributes_no_dyn_metrics(self):
+        e = evaluate(Genome(rate=128.0), EvalConfig(requests=120), 0)
+        assert not any(k.startswith("dyn_") for k in e.metrics)
+
+    def test_dynamic_genome_runs_stage_deterministically(self):
+        g = Genome(
+            rate=128.0,
+            update_fraction=0.5,
+            delete_fraction=0.3,
+            update_hot_keys=(3, 3, 17),
+        )
+        config = EvalConfig(requests=120)
+        e1 = evaluate(g, config, 0)
+        e2 = evaluate(g, config, 0)
+        assert e1.digest == e2.digest
+        assert e1.metrics["dyn_ran"] is True
+        assert e1.metrics["dyn_wrong"] == 0
+        assert e1.metrics["dyn_pinned_wrong"] == 0
+        assert e1.metrics["dyn_updates_applied"] > 0
+        assert e1.metrics["dyn_rebuilds"] > 0
+        assert e1.metrics["dyn_epoch"] == e1.metrics["dyn_update_groups"]
+        assert len(e1.metrics["dyn_counter_digest"]) == 64
+        # Rebuild pressure shows up in the fitness gradient.
+        base = evaluate(Genome(rate=128.0), config, 0)
+        assert e1.fitness > base.fitness
+
+    def test_hot_key_churn_draws_from_update_hot_keys(self):
+        g = Genome(update_fraction=0.9, delete_fraction=0.5,
+                   update_hot_keys=(11,))
+        e = evaluate(g, EvalConfig(requests=120), 1)
+        assert e.metrics["dyn_updates_applied"] > 0

@@ -6,6 +6,7 @@ import pytest
 from repro.distributions import UniformPositiveNegative
 from repro.dynamic import DynamicLowContentionDictionary
 from repro.dynamic.levels import (
+    LevelStructure,
     SingletonDictionary,
     encode_delete,
     encode_insert,
@@ -200,3 +201,79 @@ class TestEncoding:
     def test_encode_disjoint(self):
         assert encode_insert(5) != encode_delete(5)
         assert encode_insert(5) // 2 == encode_delete(5) // 2 == 5
+
+
+class TestLevelEdgeCases:
+    """Flatten landing, tombstone dropping, and width padding corners."""
+
+    def test_flatten_single_live_key_lands_at_level_zero(self):
+        ls = LevelStructure(1 << 10, np.random.default_rng(10))
+        # One live key buried under eight tombstones of dead weight:
+        # total = 9 > 2 * max(live=1, 1) and >= 8, so the next check
+        # flattens — ceil(log2(1)) = 0, a singleton at level 0.
+        ls._install(0, {1: True})
+        ls._install(3, {k: False for k in range(2, 10)})
+        ls._maybe_flatten()
+        nonempty = ls.nonempty_levels
+        assert len(nonempty) == 1
+        assert nonempty[0].index == 0
+        assert nonempty[0].entries == {1: True}
+        assert isinstance(nonempty[0].structure, SingletonDictionary)
+
+    def test_flatten_empty_live_set_clears_all_levels(self):
+        ls = LevelStructure(1 << 10, np.random.default_rng(11))
+        ls._install(3, {k: False for k in range(8)})
+        ls._maybe_flatten()
+        assert ls.nonempty_levels == []
+        assert ls.total_entries == 0
+        assert ls.live_keys() == []
+
+    def test_delete_dropped_when_nothing_older(self):
+        ls = LevelStructure(1 << 10, np.random.default_rng(12))
+        # A tombstone merging below every non-empty level has nothing
+        # older to cancel: it is dropped and no level is installed.
+        ls.apply(5, False)
+        assert ls.total_entries == 0
+        assert ls.nonempty_levels == []
+
+    def test_delete_kept_when_older_level_exists(self):
+        ls = LevelStructure(1 << 10, np.random.default_rng(13))
+        ls.apply(1, True)
+        ls.apply(2, True)  # carries {1, 2} into level 1
+        ls.apply(3, False)  # level 1 is older and non-empty: kept
+        assert ls.levels[0] is not None
+        assert ls.levels[0].entries == {3: False}
+        assert ls.state_of(3) is False
+        assert ls.live_keys() == [1, 2]
+
+    def test_min_level_width_pads_singletons(self):
+        for width, expected in ((0, 64), (256, 256)):
+            ls = LevelStructure(
+                1 << 10, np.random.default_rng(14), min_level_width=width
+            )
+            ls.apply(7, True)
+            (level,) = ls.nonempty_levels
+            assert isinstance(level.structure, SingletonDictionary)
+            assert level.structure.table.s == expected
+
+    def test_seeded_replay_is_deterministic(self):
+        digests, sizes, spaces = [], [], []
+        for _ in range(2):
+            dyn = DynamicLowContentionDictionary(
+                UNIVERSE, rng=np.random.default_rng(15)
+            )
+            stream = np.random.default_rng(16)
+            for _ in range(300):
+                k = int(stream.integers(0, 400))
+                if stream.random() < 0.7:
+                    dyn.insert(k)
+                else:
+                    dyn.delete(k)
+            xs = stream.integers(0, UNIVERSE, size=256)
+            dyn.query_batch(xs, np.random.default_rng(17))
+            digests.append(dyn.query_counter_digest())
+            sizes.append(dyn.level_sizes)
+            spaces.append(dyn.space_words)
+        assert digests[0] == digests[1]
+        assert sizes[0] == sizes[1]
+        assert spaces[0] == spaces[1]

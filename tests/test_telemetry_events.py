@@ -79,13 +79,22 @@ def test_events_are_frozen():
 
 def test_event_types_registry_is_complete():
     # Every event class the library emits is introspectable.
-    from repro.telemetry.events import HealEvent, HealthTransitionEvent
+    from repro.telemetry.events import (
+        EpochEvent,
+        HealEvent,
+        HealthTransitionEvent,
+        RebuildEvent,
+        UpdateEvent,
+    )
 
     assert ProbeEvent in EVENT_TYPES
     assert AdmissionEvent in EVENT_TYPES
     assert HealthTransitionEvent in EVENT_TYPES
     assert HealEvent in EVENT_TYPES
-    assert len(EVENT_TYPES) == 11
+    assert UpdateEvent in EVENT_TYPES
+    assert EpochEvent in EVENT_TYPES
+    assert RebuildEvent in EVENT_TYPES
+    assert len(EVENT_TYPES) == 14
     assert all(isinstance(t, type) for t in EVENT_TYPES)
 
 
