@@ -1,0 +1,193 @@
+"""Bench E25 — closed-loop autotuning: adaptive vs static replication.
+
+Two entry points:
+
+- ``python benchmarks/bench_e25_autotune.py [--gate] [--fast]`` —
+  standalone: runs experiment E25 on three independent seeds and
+  collects each seed's gate row (adaptive replication beats the best
+  static uniform config on p99 without extra shedding under Zipf and
+  flash-crowd load at equal probe budget; zero wrong answers under
+  chaos; disabled-controller digests byte-identical; clone
+  verification charged to the reconfiguration counter with on/off
+  decision identity; traces replay byte-for-byte).  Also re-checks the
+  decision-trace replay directly through the pure engine.  Writes the
+  machine-readable ``BENCH_PR9.json`` at the repo root.
+
+  ``--gate`` exits nonzero unless every seed's E25 gate passed and the
+  direct trace replay matched.
+
+- under pytest-benchmark — times one E25 run and asserts the same
+  headline invariants.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Independent seeds — the E25 acceptance criterion.
+SEEDS = (0, 1, 2)
+
+
+def _adaptive_row(rows: list[dict], part: str) -> dict:
+    """The adaptive-config summary row for one A/B part."""
+    return next(
+        r for r in rows
+        if r.get("part") == part and r.get("config") == "adaptive"
+    )
+
+
+def _e25_once(seed: int, fast: bool) -> dict:
+    """One seeded E25 run, reduced to a flat gate row."""
+    from repro.experiments import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment("E25", fast=fast, seed=seed)
+    seconds = time.perf_counter() - t0
+    rows = result.rows
+    gate = bool(next(
+        r for r in rows if r.get("part") == "gate"
+    )["all checks passed"])
+    zipf = _adaptive_row(rows, "A zipf")
+    flash = _adaptive_row(rows, "B flash")
+    chaos = next(r for r in rows if r.get("part") == "D chaos")
+    identity = next(r for r in rows if r.get("part") == "E identity")
+    return {
+        "seed": seed,
+        "seconds": round(seconds, 3),
+        "gate": gate,
+        "zipf_beats_best_static": bool(zipf["beats_best_static"]),
+        "zipf_p99": float(zipf["p99"]),
+        "zipf_actions": int(zipf["actions"]),
+        "flash_beats_best_static": bool(flash["beats_best_static"]),
+        "flash_p99": float(flash["p99"]),
+        "flash_probe_ratio": float(flash["probe_ratio_vs_best_static"]),
+        "chaos_wrong_answers": int(chaos["wrong answers"]),
+        "chaos_violations": int(chaos["violations"]),
+        "disabled_digests_identical": bool(
+            identity["disabled digests identical"]
+        ),
+        "verify_decisions_identical": bool(
+            identity["verify on/off decisions identical"]
+        ),
+        "trace_replays": bool(identity["trace replays"]),
+    }
+
+
+def _trace_replay_check(seed: int = 0) -> dict:
+    """Direct run-then-replay of one seeded adaptive workload."""
+    from repro.autotune import AutotunePolicy, replay_trace
+    from repro.experiments.common import make_instance
+    from repro.serve.service import build_service
+    from repro.utils.rng import as_generator
+
+    keys, universe = make_instance(96, seed + 41)
+    service = build_service(
+        keys, universe, num_shards=2, replicas=2, probe_time=0.02,
+        max_batch=8, max_delay=0.5, capacity=256, seed=seed + 42,
+    )
+    controller = service.enable_autotune(
+        policy=AutotunePolicy(check_every=0.5, cooldown=1.5),
+        seed=seed + 43,
+    )
+    rng = as_generator(seed + 44)
+    now = 0.0
+    for _ in range(400):
+        now += 1.0 / 48.0
+        service.advance(now)
+        hot = rng.random() < 0.8
+        x = int(rng.integers(0, universe // 2 if hot else universe))
+        try:
+            service.submit(x, now)
+        except Exception:
+            pass
+    service.drain(now + 16.0)
+    report = replay_trace(controller.trace_payload())
+    return {
+        "entries": int(report["entries"]),
+        "actions": int(controller.applied),
+        "digest": controller.trace_digest(),
+        "match": bool(report["match"]),
+    }
+
+
+def measure(seed: int = 0, fast: bool = False) -> dict:
+    rows = [_e25_once(int(seed) + s, fast) for s in SEEDS]
+    replay = _trace_replay_check(int(seed))
+    all_gates = all(r["gate"] for r in rows)
+    no_wrong = all(r["chaos_wrong_answers"] == 0 for r in rows)
+    all_adaptive = all(
+        r["zipf_beats_best_static"] and r["flash_beats_best_static"]
+        for r in rows
+    )
+    all_identity = all(
+        r["disabled_digests_identical"]
+        and r["verify_decisions_identical"]
+        and r["trace_replays"]
+        for r in rows
+    )
+    return {
+        "benchmark": "e25_autotune",
+        "seeds": list(SEEDS),
+        "runs": rows,
+        "trace_replay": replay,
+        "all_gates": all_gates,
+        "no_wrong_answers": no_wrong,
+        "all_adaptive_wins": all_adaptive,
+        "all_identity_checks": all_identity,
+        "gate_passed": bool(
+            all_gates and no_wrong and all_adaptive and all_identity
+            and replay["match"]
+        ),
+    }
+
+
+def main(argv) -> int:
+    gate = "--gate" in argv
+    fast = "--fast" in argv
+    row = measure(fast=fast)
+    out = REPO_ROOT / "BENCH_PR9.json"
+    out.write_text(json.dumps(row, indent=2) + "\n")
+    print(json.dumps(row, indent=2))
+    print(f"wrote {out}")
+    if gate and not row["gate_passed"]:
+        print(
+            f"GATE FAILED: all_gates={row['all_gates']}, "
+            f"no_wrong_answers={row['no_wrong_answers']}, "
+            f"all_adaptive_wins={row['all_adaptive_wins']}, "
+            f"all_identity_checks={row['all_identity_checks']}, "
+            f"trace_replay={row['trace_replay']['match']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_e25_autotune(benchmark, bench_fast, record_result):
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E25",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    gate = [r for r in result.rows if r.get("part") == "gate"]
+    assert gate and bool(gate[0]["all checks passed"])
+    chaos = [r for r in result.rows if r.get("part") == "D chaos"]
+    assert chaos and int(chaos[0]["wrong answers"]) == 0
+    identity = [
+        r for r in result.rows if r.get("part") == "E identity"
+    ]
+    assert identity and bool(identity[0]["disabled digests identical"])
+    assert bool(identity[0]["trace replays"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -29,6 +29,16 @@ against up to two targets and scores the damage:
    contributes no ``dyn_*`` metric keys, so every pre-PR-8 fixture's
    evaluation digest is unchanged.
 
+4. **The autotuned healing service** (``genome.autotune_cooldown >
+   0``) — the healing stack with a closed-loop
+   :class:`~repro.autotune.AutotuneController` attached, its cooldown
+   window taken from the gene.  Rewards: wrong answers, quarantine
+   violations, and **detection latency** — virtual time from silent
+   damage injection to quarantine — so the search hunts for
+   reconfiguration timings that retard detection.  Controller-free
+   genomes skip the stage and contribute no ``at_*`` keys, preserving
+   every pre-PR-9 fixture digest.
+
 Everything timing-dependent (wall clock, failover counts) is excluded
 from both the metrics and the digest, so
 :meth:`Evaluation.digest` — a SHA-256 over the canonical metrics plus
@@ -123,6 +133,7 @@ class Evaluation:
             "fabric_wrong", "fabric_stalled", "fabric_crc_ok",
             "dyn_wrong", "dyn_pinned_wrong", "dyn_backlog_shed",
             "dyn_rebuilds",
+            "at_wrong", "at_detect_latency", "at_decisions",
         )
         row = {"fitness": round(self.fitness, 4), "digest": self.digest[:12]}
         row.update({k: self.metrics[k] for k in keep if k in self.metrics})
@@ -408,6 +419,95 @@ def _dynamic_stage(genome: Genome, config: EvalConfig, seed) -> dict:
     }
 
 
+#: Autotune-stage sizing: chaos requests (half the healing stage keeps
+#: the stage affordable inside the search loop).
+AUTOTUNE_REQUESTS_DIVISOR = 2
+
+#: Silent-damage event kinds whose injection starts the detection clock.
+_DAMAGE_KINDS = ("corrupt", "stick")
+
+
+def _autotune_stage(genome: Genome, config: EvalConfig, seed) -> dict:
+    """Replay the genome against a healing service *with autotune on*.
+
+    Runs only when ``genome.autotune_cooldown > 0``.  The controller's
+    cooldown window comes from the gene; structural splits rebind the
+    shard's health machinery mid-chaos (scrub position resets, new
+    replicas start unwatched), so the search can probe whether a
+    well-timed reconfiguration retards corruption detection.  The
+    headline signal is **detection latency**: virtual time from the
+    first silent-damage injection (``corrupt`` / ``stick``) to the
+    first ``quarantined`` transition at or after it — the full stage
+    horizon's remainder if the damage is never caught.  Pure in
+    ``(genome, config, seed)``; only ``at_*`` keys are emitted, so
+    controller-free genomes replay to their pre-PR-9 digests.
+    """
+    from repro.autotune import AutotunePolicy
+    from repro.experiments.common import make_instance
+
+    requests = max(config.requests // AUTOTUNE_REQUESTS_DIVISOR, 50)
+    keys, N = make_instance(config.n, seed)
+    dist = distribution_from_spec(genome.workload_spec(), keys, N)
+    horizon = requests / genome.rate
+    service = build_service(
+        keys, N, num_shards=1, replicas=config.replicas, router="random",
+        max_batch=32, max_delay=0.25, capacity=1024,
+        faults=FaultConfig(armed=True), seed=seed + 7,
+    )
+    require_armed(service)
+    service.enable_healing(seed=seed + 8)
+    cooldown = float(genome.autotune_cooldown)
+    # low_load=0 disables joins (the compiled schedule's victim indices
+    # must stay valid); splits and admission moves remain live.
+    controller = service.enable_autotune(
+        policy=AutotunePolicy(
+            cooldown=cooldown,
+            check_every=max(cooldown / 4.0, 0.125),
+            low_load=0.0,
+            max_replicas=config.replicas + 2,
+        ),
+        seed=seed + 9,
+    )
+    d = service.shards[0]
+    inner_cells = d.inner_rows * d.table.s
+    schedule = build_schedule(genome, horizon, config.replicas, inner_cells)
+    report = run_chaos(
+        service, dist, schedule, requests, genome.rate,
+        seed=seed, expected_keys=keys,
+        high_priority_fraction=genome.high_priority_fraction,
+    )
+    damage_times = [
+        float(e.time) for e in schedule.events if e.kind in _DAMAGE_KINDS
+    ]
+    if damage_times:
+        first_damage = min(damage_times)
+        caught = [
+            float(t)
+            for machine in service.health.machines.values()
+            for (t, _src, target, _reason) in machine.transitions
+            if target == "quarantined" and float(t) >= first_damage
+        ]
+        detect_latency = (
+            min(caught) - first_damage if caught
+            else max(horizon - first_damage, 0.0)
+        )
+    else:
+        detect_latency = 0.0
+    return {
+        "at_ran": True,
+        "at_cooldown": round(cooldown, 6),
+        "at_requests": requests,
+        "at_horizon": round(float(horizon), 6),
+        "at_damage_events": len(damage_times),
+        "at_detect_latency": round(float(detect_latency), 6),
+        "at_wrong": report.wrong_answers,
+        "at_violations": int(report.heal.get("violations", 0)),
+        "at_decisions": int(controller.applied),
+        "at_skips": int(controller.skipped),
+        "at_counter_digest": d.table.counter.digest(),
+    }
+
+
 def fitness_from_metrics(metrics: dict) -> float:
     """Score a metrics dict: bigger = a more damaging genome.
 
@@ -444,6 +544,19 @@ def fitness_from_metrics(metrics: dict) -> float:
             int(metrics.get("dyn_requests", 1)), 1
         )
         fitness += 10.0 * min(metrics.get("dyn_rebuilds", 0) / 100.0, 1.0)
+    if metrics.get("at_ran"):
+        # Autotune stage: correctness breaks dominate as everywhere;
+        # the graded term rewards *detection latency* — silent damage
+        # that survives longer before quarantine (e.g. because a
+        # reconfiguration rebound the scrubber at the wrong moment)
+        # scores higher, steering the search toward detection gaps.
+        at_horizon = max(float(metrics.get("at_horizon", 1.0)), 1e-9)
+        fitness += 1000.0 * metrics.get("at_wrong", 0)
+        fitness += 1000.0 * metrics.get("at_violations", 0)
+        if metrics.get("at_damage_events", 0):
+            fitness += 25.0 * min(
+                metrics.get("at_detect_latency", 0.0) / at_horizon, 1.0
+            )
     return float(fitness)
 
 
@@ -468,6 +581,10 @@ def evaluate(genome: Genome, config: EvalConfig, seed) -> Evaluation:
     # fixture is byte-identical to what it was before this stage existed.
     if genome.update_fraction > 0.0:
         metrics.update(_dynamic_stage(genome, config, int(seed)))
+    # Same contract for the autotune gene: controller-free genomes
+    # contribute no at_* keys and replay to their pre-PR-9 digests.
+    if genome.autotune_cooldown > 0.0:
+        metrics.update(_autotune_stage(genome, config, int(seed)))
     fitness = fitness_from_metrics(metrics)
     payload = json.dumps(
         {

@@ -52,6 +52,10 @@ RATE_BOUNDS = (4.0, 512.0)
 #: Scalar gene bounds: Zipf exponent / hot-set mass.
 SKEW_BOUNDS = (0.0, 4.0)
 
+#: Scalar gene bounds: the autotune cooldown window (virtual seconds)
+#: an active ``autotune_cooldown`` gene may select.
+AUTOTUNE_COOLDOWN_BOUNDS = (0.25, 30.0)
+
 _MASK_MOD = 1 << 63
 
 
@@ -160,6 +164,14 @@ class Genome:
     #: Hot keys the update stream churns (insert/delete repeatedly),
     #: forcing level rebuilds on contended keys.
     update_hot_keys: tuple = ()
+    #: Autotune gene (PR 9): cooldown window (virtual seconds) for a
+    #: closed-loop controller attached to the chaos target.  ``0.0``
+    #: (the default) means no controller — the autotune stage is
+    #: skipped and :meth:`to_dict` omits the gene, so every pre-PR-9
+    #: genome digest is unchanged.  An active gene lets the search
+    #: probe how structural reconfiguration (which rebinds health
+    #: machinery mid-chaos) interacts with corruption detection.
+    autotune_cooldown: float = 0.0
 
     def __post_init__(self):
         if self.family not in SPEC_FAMILIES:
@@ -221,6 +233,16 @@ class Genome:
                 f"{len(update_hot)}"
             )
         object.__setattr__(self, "update_hot_keys", update_hot)
+        cooldown = float(self.autotune_cooldown)
+        if cooldown != 0.0 and not (
+            AUTOTUNE_COOLDOWN_BOUNDS[0] <= cooldown
+            <= AUTOTUNE_COOLDOWN_BOUNDS[1]
+        ):
+            raise ParameterError(
+                f"autotune_cooldown must be 0 (off) or in "
+                f"{AUTOTUNE_COOLDOWN_BOUNDS}, got {cooldown}"
+            )
+        object.__setattr__(self, "autotune_cooldown", cooldown)
 
     # -- identity ---------------------------------------------------------------
 
@@ -245,6 +267,8 @@ class Genome:
             d["update_fraction"] = self.update_fraction
             d["delete_fraction"] = self.delete_fraction
             d["update_hot_keys"] = list(self.update_hot_keys)
+        if self.autotune_cooldown > 0.0:
+            d["autotune_cooldown"] = self.autotune_cooldown
         return d
 
     @classmethod
@@ -263,6 +287,7 @@ class Genome:
             update_fraction=d.get("update_fraction", 0.0),
             delete_fraction=d.get("delete_fraction", 0.3),
             update_hot_keys=tuple(d.get("update_hot_keys", ())),
+            autotune_cooldown=d.get("autotune_cooldown", 0.0),
         )
 
     def digest(self) -> str:

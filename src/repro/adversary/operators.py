@@ -9,9 +9,11 @@ this down).
 
 :func:`mutate` applies one or two point mutations drawn from a fixed
 menu: jitter a scalar gene (skew, rate, mixes), switch the workload
-family, edit the hot-key set, add / drop / perturb one fault gene, or
+family, edit the hot-key set, add / drop / perturb one fault gene,
 jitter the update-stream genes (switch the dynamic stage on, re-mix
-insert/delete, churn update hot keys).  :func:`crossover` is uniform
+insert/delete, churn update hot keys), or jitter the autotune-cooldown
+gene (attach a closed-loop controller to the chaos target and tune
+its cooldown window).  :func:`crossover` is uniform
 over scalar genes plus an event-list splice (a prefix of one parent's
 fault program with a suffix of the other's, capped at ``MAX_EVENTS``);
 update genes are inherited as one linked block so a child never mixes
@@ -25,6 +27,7 @@ import dataclasses
 import numpy as np
 
 from repro.adversary.genome import (
+    AUTOTUNE_COOLDOWN_BOUNDS,
     GENE_KINDS,
     MAX_EVENTS,
     MAX_HOT_KEYS,
@@ -122,6 +125,28 @@ def _mutate_updates(
     return {"update_hot_keys": tuple(hot)}
 
 
+def _mutate_autotune(genome: Genome, rng: np.random.Generator) -> dict:
+    """Jitter the autotune-cooldown gene (PR 9).
+
+    On a controller-free genome the first move switches the autotune
+    stage on (cooldown drawn log-uniform over its bounds); afterwards
+    the menu jitters the window multiplicatively or — one move in
+    four — sets it back to exactly 0, turning the stage off again
+    (and dropping the gene from the canonical JSON).
+    """
+    if genome.autotune_cooldown <= 0.0:
+        lo, hi = AUTOTUNE_COOLDOWN_BOUNDS
+        return {"autotune_cooldown": float(np.exp(
+            rng.uniform(np.log(lo), np.log(hi))
+        ))}
+    if int(rng.integers(0, 4)) == 0:
+        return {"autotune_cooldown": 0.0}
+    return {"autotune_cooldown": _clip(
+        genome.autotune_cooldown * float(np.exp(rng.normal(0.0, 0.4))),
+        AUTOTUNE_COOLDOWN_BOUNDS,
+    )}
+
+
 def _perturb_gene(gene, rng: np.random.Generator, inner_cells: int):
     """Jitter one fault gene's time, victim, or payload."""
     move = int(rng.integers(0, 3))
@@ -161,8 +186,12 @@ def mutate(
     rng = as_generator(seed)
     out = genome
     for _ in range(int(rng.integers(1, 3))):
-        move = int(rng.integers(0, 7))
-        if move == 6:
+        move = int(rng.integers(0, 8))
+        if move == 7:
+            out = dataclasses.replace(
+                out, **_mutate_autotune(out, rng)
+            )
+        elif move == 6:
             out = dataclasses.replace(
                 out, **_mutate_updates(out, rng, universe_size)
             )
@@ -230,4 +259,5 @@ def crossover(a: Genome, b: Genome, seed) -> Genome:
         update_fraction=update_parent.update_fraction,
         delete_fraction=update_parent.delete_fraction,
         update_hot_keys=update_parent.update_hot_keys,
+        autotune_cooldown=pick(a.autotune_cooldown, b.autotune_cooldown),
     )

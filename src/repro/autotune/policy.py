@@ -1,0 +1,174 @@
+"""Autotune policy: every knob of the control plane as frozen data.
+
+A :class:`AutotunePolicy` is the complete, serializable configuration
+of the closed-loop controller — hysteresis bands, cooldown windows,
+replica bounds and budget, admission-capacity bands, and the scheme
+map.  Policies are immutable, JSON-round-trippable
+(:meth:`AutotunePolicy.to_dict` / :meth:`AutotunePolicy.from_dict`),
+and hash to a canonical digest, so a decision trace can name exactly
+which policy produced it and a replay can rebuild the controller
+byte-for-byte.
+
+The thresholds follow the LFCA-tree discipline (SNIPPETS.md Snippet
+1): a *pair* of levels per signal — act only above ``high`` or below
+``low``, never inside the band — plus a per-(action, shard) cooldown
+window in virtual time, so one noisy observation window can neither
+trigger nor immediately revert a structural change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+
+from repro.errors import AutotuneError
+
+
+@dataclasses.dataclass(frozen=True)
+class AutotunePolicy:
+    """All tunables of the closed-loop controller, as one frozen record.
+
+    Load bands are stated over a shard's *share* of the query-path
+    probe work in one observation window, relative to the fair share
+    ``1 / num_shards``: a shard is hot above ``high_load x fair`` and
+    cold below ``low_load x fair``.  Admission bands are stated over
+    the shed fraction and the observed replica backlog (the p99 proxy:
+    how far the busiest replica's virtual busy-until time runs ahead
+    of now).
+    """
+
+    #: Hot threshold: probe share above ``high_load x fair`` grows R.
+    high_load: float = 2.0
+    #: Cold threshold: probe share below ``low_load x fair`` shrinks R.
+    low_load: float = 0.5
+    #: Absolute-pressure pair over a shard's virtual-time backlog (how
+    #: far its busiest replica runs ahead of now): split above
+    #: ``split_backlog`` even when no shard is *relatively* hot (a
+    #: uniformly saturated service must still grow), and never join a
+    #: shard whose backlog exceeds ``join_backlog`` (a drained victim
+    #: is what makes the shrink graceful).
+    split_backlog: float = 2.0
+    join_backlog: float = 0.25
+    #: Per-shard replication bounds.
+    min_replicas: int = 1
+    max_replicas: int = 5
+    #: Total replica budget across shards (None = unbounded).  Keeping
+    #: this equal to a static uniform deployment's total is what makes
+    #: the E25 adaptive-vs-static comparison an equal-budget one.
+    max_total_replicas: int | None = None
+    #: Cooldown window per (action, shard), in virtual time.
+    cooldown: float = 50.0
+    #: Controller cadence: ticks closer together than this are no-ops.
+    check_every: float = 10.0
+    #: Admission tuning: raise capacity when the shed fraction exceeds
+    #: ``shed_high`` (and the backlog is inside ``backlog_slack``);
+    #: ``shed_low > 0`` additionally reclaims idle headroom.
+    shed_high: float = 0.02
+    shed_low: float = 0.0
+    #: Backlog (virtual seconds of queued replica work) above which
+    #: admission capacity is *lowered* to protect tail latency.
+    backlog_slack: float = 4.0
+    capacity_step: int = 64
+    min_capacity: int = 32
+    max_capacity: int = 4096
+    #: Write-path analogue, over ``pending / update_capacity`` fill.
+    update_capacity_step: int = 32
+    min_update_capacity: int = 16
+    max_update_capacity: int = 2048
+    backlog_high: float = 0.75
+    backlog_low: float = 0.1
+    #: Per-shard scheme switching (off by default: replication scaling
+    #: alone already covers the common hot-shard case).
+    scheme_switching: bool = False
+    hot_scheme: str = "low-contention"
+    cold_scheme: str = "fks"
+    #: Canary-verify cloned replicas / rebuilt schemes before the swap.
+    #: Verification probes are charged to the reconfiguration counter,
+    #: never the query path, and decisions depend only on query-path
+    #: observations — so toggling this must not change a single
+    #: decision (gated by E25 part E).
+    verify_clones: bool = True
+    verify_queries: int = 16
+
+    def __post_init__(self):
+        if not 0.0 <= float(self.low_load) < float(self.high_load):
+            raise AutotuneError(
+                f"need 0 <= low_load < high_load, got "
+                f"{self.low_load}/{self.high_load}"
+            )
+        if not 1 <= int(self.min_replicas) <= int(self.max_replicas):
+            raise AutotuneError(
+                f"need 1 <= min_replicas <= max_replicas, got "
+                f"{self.min_replicas}/{self.max_replicas}"
+            )
+        if self.max_total_replicas is not None and (
+            int(self.max_total_replicas) < int(self.min_replicas)
+        ):
+            raise AutotuneError(
+                f"max_total_replicas {self.max_total_replicas} below "
+                f"min_replicas {self.min_replicas}"
+            )
+        if not float(self.cooldown) > 0.0:
+            raise AutotuneError("cooldown must be > 0")
+        if not float(self.check_every) > 0.0:
+            raise AutotuneError("check_every must be > 0")
+        if not 0.0 <= float(self.shed_low) < float(self.shed_high):
+            raise AutotuneError(
+                f"need 0 <= shed_low < shed_high, got "
+                f"{self.shed_low}/{self.shed_high}"
+            )
+        if not float(self.backlog_slack) > 0.0:
+            raise AutotuneError("backlog_slack must be > 0")
+        if not 0.0 <= float(self.join_backlog) < float(self.split_backlog):
+            raise AutotuneError(
+                f"need 0 <= join_backlog < split_backlog, got "
+                f"{self.join_backlog}/{self.split_backlog}"
+            )
+        for name in ("capacity_step", "update_capacity_step",
+                     "verify_queries"):
+            if int(getattr(self, name)) < 1:
+                raise AutotuneError(f"{name} must be >= 1")
+        if not 1 <= int(self.min_capacity) <= int(self.max_capacity):
+            raise AutotuneError(
+                f"need 1 <= min_capacity <= max_capacity, got "
+                f"{self.min_capacity}/{self.max_capacity}"
+            )
+        if not 1 <= int(self.min_update_capacity) <= int(
+            self.max_update_capacity
+        ):
+            raise AutotuneError(
+                "need 1 <= min_update_capacity <= max_update_capacity, "
+                f"got {self.min_update_capacity}/{self.max_update_capacity}"
+            )
+        if not 0.0 <= float(self.backlog_low) < float(self.backlog_high):
+            raise AutotuneError(
+                f"need 0 <= backlog_low < backlog_high, got "
+                f"{self.backlog_low}/{self.backlog_high}"
+            )
+        if self.hot_scheme == self.cold_scheme:
+            raise AutotuneError(
+                "hot_scheme and cold_scheme must differ, got "
+                f"{self.hot_scheme!r} twice"
+            )
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (inverse of :meth:`from_dict`)."""
+        d = dataclasses.asdict(self)
+        return {
+            k: (v if not isinstance(v, bool) else bool(v))
+            for k, v in d.items()
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "AutotunePolicy":
+        """Rebuild a policy from :meth:`to_dict` output."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in fields})
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical JSON form — the policy's identity."""
+        payload = json.dumps(
+            self.to_dict(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()

@@ -28,7 +28,18 @@ Commands
   ``--dynamic`` boots the *mutable* sharded service instead
   (:mod:`repro.serve.dynamic_service`): the smoke workload interleaves
   inserts with reads, checks read-your-writes, and finishes with an
-  epoch-pinned multi-key read verified against ground truth.
+  epoch-pinned multi-key read verified against ground truth;
+  ``--autotune`` attaches the closed-loop control plane
+  (:mod:`repro.autotune`) — capability-gated, so it composes with
+  every deployment — and prints the decision-trace digest on shutdown.
+  Invalid flag combinations are rejected up front with typed errors
+  (exit 2).
+- ``autotune run|inspect|replay`` — the control plane
+  (:mod:`repro.autotune`): ``run`` drives a seeded hot-shard workload
+  under the controller and writes the byte-replayable decision trace,
+  ``inspect`` prints a policy's effective parameters and identity
+  digest, and ``replay`` re-derives every decision of a saved trace
+  and exits 1 unless the replay is byte-identical.
 - ``chaos [--requests 4000] [--crashes 1] [--corruptions 1]`` — run a
   seeded randomized fault schedule (crashes, bit flips, stuck cells,
   contention spikes) against a healing-enabled service and report
@@ -247,6 +258,49 @@ def _make_service(args, armed: bool = False):
     return keys, N, service, dist
 
 
+def _validate_serve_flags(args) -> None:
+    """Reject invalid ``serve`` flag combinations before construction.
+
+    Every conflict surfaces here as a typed
+    :class:`~repro.errors.ParameterError` (exit 2 via ``main``) instead
+    of failing deep inside service construction.  ``--autotune``
+    composes with every deployment: the controller is capability-gated,
+    so the fabric and the dynamic service simply expose admission
+    tuning only.
+    """
+    from repro.errors import ParameterError
+
+    if args.procs and args.heal:
+        raise ParameterError(
+            "--heal runs in-process only; the fabric (--procs) recovers "
+            "crashed workers by failover and respawn instead"
+        )
+    if args.dynamic and args.procs:
+        raise ParameterError(
+            "--dynamic serves in-process; --procs applies to the static "
+            "fabric only"
+        )
+    if args.dynamic and args.heal:
+        raise ParameterError(
+            "--dynamic replicas recover by lockstep log replay; --heal "
+            "applies to the static service only"
+        )
+    if args.procs < 0:
+        raise ParameterError(
+            f"--procs must be >= 0, got {args.procs}"
+        )
+
+
+def _autotune_summary(controller) -> str:
+    """One-line controller summary for the serve paths."""
+    return (
+        f"autotune: {controller.applied} action(s) applied, "
+        f"{controller.skipped} skipped, "
+        f"{controller.executor.reconfig_probes} reconfig probes, "
+        f"trace digest {controller.trace_digest()[:16]}"
+    )
+
+
 def _cmd_serve_procs(args) -> int:
     """The ``serve --procs N`` path: real worker processes, shared memory.
 
@@ -260,15 +314,9 @@ def _cmd_serve_procs(args) -> int:
 
     import numpy as np
 
-    from repro.errors import ParameterError
     from repro.experiments.common import make_instance
     from repro.parallel import build_parallel_service
 
-    if args.heal:
-        raise ParameterError(
-            "--heal runs in-process only; the fabric (--procs) recovers "
-            "crashed workers by failover and respawn instead"
-        )
     procs = int(args.procs)
     cpus = os.cpu_count() or 1
     if procs > cpus:
@@ -292,12 +340,17 @@ def _cmd_serve_procs(args) -> int:
         capacity=args.capacity,
         seed=args.seed + 1,
     )
+    controller = (
+        service.enable_autotune(seed=args.seed + 6)
+        if getattr(args, "autotune", False) else None
+    )
     try:
         print(
             f"serving n={args.n} keys over universe [0, {N}) — "
             f"{args.shards} shard(s) x {args.replicas} replicas, "
             f"router={args.router}, {procs} worker process(es)"
             + (", metrics on" if args.metrics else "")
+            + (", autotune on" if controller is not None else "")
         )
         exit_code = 0
         if args.smoke_queries:
@@ -331,6 +384,8 @@ def _cmd_serve_procs(args) -> int:
             registry = MetricsRegistry()
             service.export_metrics(registry)
             print(registry.to_prometheus(), end="")
+        if controller is not None:
+            print(_autotune_summary(controller))
     finally:
         service.close()
     return exit_code
@@ -348,24 +403,10 @@ def _cmd_serve_dynamic(args) -> int:
 
     import numpy as np
 
-    from repro.errors import (
-        OverloadError,
-        ParameterError,
-        UpdateBacklogError,
-    )
+    from repro.errors import OverloadError, UpdateBacklogError
     from repro.experiments.common import make_instance
     from repro.serve import build_dynamic_service
 
-    if args.procs:
-        raise ParameterError(
-            "--dynamic serves in-process; --procs applies to the static "
-            "fabric only"
-        )
-    if args.heal:
-        raise ParameterError(
-            "--dynamic replicas recover by lockstep log replay; --heal "
-            "applies to the static service only"
-        )
     keys, N = make_instance(args.n, args.seed)
     service = build_dynamic_service(
         N,
@@ -376,10 +417,15 @@ def _cmd_serve_dynamic(args) -> int:
         capacity=args.capacity,
         seed=args.seed + 1,
     )
+    controller = (
+        service.enable_autotune(seed=args.seed + 6)
+        if getattr(args, "autotune", False) else None
+    )
     print(
         f"serving (dynamic) universe [0, {N}) — "
         f"{args.shards} shard(s) x {args.replicas} lockstep replicas"
         + (", metrics on" if args.metrics else "")
+        + (", autotune on" if controller is not None else "")
     )
     exit_code = 0
     if args.smoke_queries:
@@ -440,6 +486,8 @@ def _cmd_serve_dynamic(args) -> int:
             f"{row['shed_reads']} reads shed, "
             f"{row['shed_updates']} updates shed"
         )
+    if controller is not None:
+        print(_autotune_summary(controller))
     return exit_code
 
 
@@ -450,6 +498,7 @@ def _cmd_serve(args) -> int:
 
     from repro.serve import AsyncDictionaryServer
 
+    _validate_serve_flags(args)
     if args.dynamic:
         return _cmd_serve_dynamic(args)
     if args.procs:
@@ -460,6 +509,10 @@ def _cmd_serve(args) -> int:
 
         service.attach_telemetry(TelemetryHub(metrics=True))
     manager = service.enable_healing(seed=args.seed + 5) if args.heal else None
+    controller = (
+        service.enable_autotune(seed=args.seed + 6)
+        if getattr(args, "autotune", False) else None
+    )
 
     async def session() -> int:
         async with AsyncDictionaryServer(service) as server:
@@ -469,6 +522,7 @@ def _cmd_serve(args) -> int:
                 f"router={args.router}"
                 + (", metrics on" if args.metrics else "")
                 + (", healing on" if manager is not None else "")
+                + (", autotune on" if controller is not None else "")
             )
             if args.smoke_queries:
                 rng = np.random.default_rng(args.seed + 4)
@@ -511,9 +565,122 @@ def _cmd_serve(args) -> int:
                     f"{row['cells_repaired']} cells repaired, "
                     f"{row['violations']} violations"
                 )
+            if controller is not None:
+                print(_autotune_summary(controller))
         return 0
 
     return asyncio.run(session())
+
+
+def _load_autotune_policy(path):
+    """An :class:`~repro.autotune.AutotunePolicy` from JSON (or defaults)."""
+    import json
+
+    from repro.autotune import AutotunePolicy
+
+    if not path:
+        return AutotunePolicy()
+    with open(path) as fh:
+        return AutotunePolicy.from_dict(json.load(fh))
+
+
+def _cmd_autotune_inspect(args) -> int:
+    """Print a policy's effective parameters and identity digest."""
+    import json
+
+    policy = _load_autotune_policy(args.policy)
+    if args.json:
+        print(json.dumps(policy.to_dict(), indent=2, sort_keys=True))
+    else:
+        for key, value in sorted(policy.to_dict().items()):
+            print(f"{key:>22} = {value}")
+    print(f"policy digest: {policy.digest()}")
+    return 0
+
+
+def _cmd_autotune_run(args) -> int:
+    """Drive a seeded hot-shard workload under the controller.
+
+    Boots a static sharded service, skews the query stream onto shard
+    0, lets the controller adapt, and writes the byte-replayable
+    decision trace (``--out``) for ``repro autotune replay``.
+    """
+    import json
+
+    import numpy as np
+
+    from repro.experiments.common import make_instance
+    from repro.serve.service import build_service
+    from repro.utils.rng import as_generator
+
+    policy = _load_autotune_policy(args.policy)
+    keys, N = make_instance(args.n, args.seed)
+    service = build_service(
+        keys, N,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        probe_time=0.02,
+        max_batch=8,
+        max_delay=0.5,
+        capacity=args.capacity,
+        seed=args.seed + 1,
+    )
+    controller = service.enable_autotune(
+        policy=policy, seed=args.seed + 2
+    )
+    rng = as_generator(args.seed + 3)
+    hot_span = max(1, N // args.shards)
+    now = 0.0
+    wrong = 0
+    tickets = []
+    for _ in range(args.requests):
+        now += 1.0 / args.rate
+        service.advance(now)
+        if rng.random() < args.hot_fraction:
+            x = int(rng.integers(0, hot_span))
+        else:
+            x = int(rng.integers(0, N))
+        try:
+            tickets.append((x, service.submit(x, now)))
+        except ReproError:
+            pass
+    service.drain(now + 16.0)
+    for x, ticket in tickets:
+        if ticket.done and ticket.answer != bool(np.isin(x, keys)):
+            wrong += 1
+    print(
+        f"ran {args.requests} requests at rate {args.rate} "
+        f"({args.hot_fraction:.0%} on shard 0's range): "
+        f"replicas {[s.replicas for s in service.shards]}, "
+        f"{wrong} wrong answers"
+    )
+    print(_autotune_summary(controller))
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(controller.trace_payload(), fh, indent=2,
+                      sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if wrong else 0
+
+
+def _cmd_autotune_replay(args) -> int:
+    """Re-derive a trace's decisions; exit 1 unless byte-identical."""
+    import json
+
+    from repro.autotune import replay_trace
+
+    with open(args.trace) as fh:
+        payload = json.load(fh)
+    report = replay_trace(payload)
+    status = "match" if report["match"] else "MISMATCH"
+    print(
+        f"{args.trace}: {report['entries']} entries, "
+        f"digest {report['digest'][:16]} — {status}"
+    )
+    if report["mismatches"]:
+        print(f"mismatched entries: {report['mismatches']}")
+    return 0 if report["match"] else 1
 
 
 def _cmd_loadgen(args) -> int:
@@ -993,6 +1160,14 @@ def build_parser() -> argparse.ArgumentParser:
         "dynamic dictionaries with a micro-batched write path, "
         "read-your-writes, and epoch-pinned reads)",
     )
+    serve_p.add_argument(
+        "--autotune",
+        action="store_true",
+        help="attach the closed-loop control plane (replication "
+        "split/join, scheme switching, admission tuning — "
+        "capability-gated per deployment); prints the decision-trace "
+        "digest on shutdown",
+    )
     serve_p.set_defaults(func=_cmd_serve)
 
     loadgen_p = sub.add_parser(
@@ -1076,6 +1251,59 @@ def build_parser() -> argparse.ArgumentParser:
     chaos_p.add_argument("--json", help="also write the report as JSON")
     # Five replicas keep a strict read majority with two damaged.
     chaos_p.set_defaults(func=_cmd_chaos, replicas=5, router="random")
+
+    autotune_p = sub.add_parser(
+        "autotune",
+        help="closed-loop control plane: run, inspect, and replay traces",
+    )
+    autotune_sub = autotune_p.add_subparsers(
+        dest="autotune_command", required=True
+    )
+
+    at_run_p = autotune_sub.add_parser(
+        "run",
+        help="drive a seeded hot-shard workload under the controller "
+        "and write its byte-replayable decision trace",
+    )
+    at_run_p.add_argument("--seed", type=int, default=0)
+    at_run_p.add_argument(
+        "--n", type=int, default=192, help="keys in the instance"
+    )
+    at_run_p.add_argument("--shards", type=int, default=4)
+    at_run_p.add_argument("--replicas", type=int, default=2)
+    at_run_p.add_argument("--capacity", type=int, default=256)
+    at_run_p.add_argument("--requests", type=int, default=2000)
+    at_run_p.add_argument(
+        "--rate", type=float, default=48.0, help="open-loop arrival rate"
+    )
+    at_run_p.add_argument(
+        "--hot-fraction", type=float, default=0.8,
+        help="fraction of queries aimed at shard 0's keyspace range",
+    )
+    at_run_p.add_argument(
+        "--policy", help="policy JSON file (default: AutotunePolicy())"
+    )
+    at_run_p.add_argument("--out", help="write the decision trace here")
+    at_run_p.set_defaults(func=_cmd_autotune_run)
+
+    at_inspect_p = autotune_sub.add_parser(
+        "inspect", help="print a policy's parameters and identity digest"
+    )
+    at_inspect_p.add_argument(
+        "--policy", help="policy JSON file (default: AutotunePolicy())"
+    )
+    at_inspect_p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    at_inspect_p.set_defaults(func=_cmd_autotune_inspect)
+
+    at_replay_p = autotune_sub.add_parser(
+        "replay",
+        help="re-derive a saved trace's decisions; exit 1 unless the "
+        "replay is byte-identical",
+    )
+    at_replay_p.add_argument("trace", help="trace JSON path")
+    at_replay_p.set_defaults(func=_cmd_autotune_replay)
 
     adversary_p = sub.add_parser(
         "adversary",

@@ -225,6 +225,40 @@ class HealError(ServeError):
     """
 
 
+class AutotuneError(ServeError):
+    """The :mod:`repro.autotune` control plane was misused or failed.
+
+    Base class for control-plane failures.  Raised directly when a
+    controller is attached to a service it cannot drive (wrong service
+    type for a capability), or when policy parameters are inconsistent
+    (low threshold above high threshold, replica bounds inverted).
+    """
+
+
+class ReconfigError(AutotuneError):
+    """A reconfiguration action could not be applied to the service.
+
+    Raised by the executor when an action's preconditions fail in a way
+    the controller should have ruled out — e.g. splitting a shard whose
+    replicas are not all healthy, joining below ``min_replicas``, or
+    switching a shard to the scheme it already runs.  Carries enough
+    context in the message to replay the offending decision.
+    """
+
+
+class ActionUnsupportedError(AutotuneError):
+    """An action kind is not supported on this service's deployment.
+
+    Structural actions (split/join/scheme-switch) swap whole tables and
+    routers, which is impossible when replica state lives in another
+    process — the multicore fabric's workers hold shared-memory
+    segments, and the dynamic service's replicas advance by lockstep
+    log replay.  Those deployments accept admission tuning only; the
+    executor raises this for anything structural instead of corrupting
+    a live table.
+    """
+
+
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint or cache location is unusable (not a directory, not
     writable, or otherwise broken in a way that cannot degrade to a

@@ -30,6 +30,7 @@ from repro.experiments import (
     e22_multicore,
     e23_adversary,
     e24_dynamic_serve,
+    e25_autotune,
 )
 from repro.io.results import ExperimentResult
 
@@ -58,6 +59,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E22": ("Multicore fabric: hardware Binomial loads and byte-identical accounting (real-parallelism extension)", e22_multicore.run),
     "E23": ("Adversarial search: evolution vs the self-healing stack (robustness extension)", e23_adversary.run),
     "E24": ("Dynamic serving: live updates, epochs, chaos (dynamization extension)", e24_dynamic_serve.run),
+    "E25": ("Autotune: closed-loop replication, scheme, and admission control (control-plane extension)", e25_autotune.run),
 }
 
 

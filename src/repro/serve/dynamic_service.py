@@ -33,6 +33,7 @@ replicas are survived by construction rather than by routing policy.
 from __future__ import annotations
 
 import dataclasses
+import warnings
 
 import numpy as np
 
@@ -51,6 +52,16 @@ from repro.serve.service import Ticket
 from repro.telemetry.events import BUS, DispatchEvent, UpdateEvent
 from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_positive_integer
+
+
+#: Warn once when the total replayed-update log across shards crosses
+#: this many entries.  Every applied update is appended to its shard's
+#: replay log forever (the log is what rebuilds crashed replicas), so a
+#: long-lived write-heavy service grows memory without bound until log
+#: compaction lands (ROADMAP item 3 follow-up).  The
+#: ``dynamic_update_log_entries`` gauge tracks the same quantity
+#: continuously when telemetry is attached.
+UPDATE_LOG_WARN_THRESHOLD = 1_000_000
 
 
 @dataclasses.dataclass
@@ -142,6 +153,33 @@ class DynamicShardedService:
         self._pending_updates = 0
         self.probe_time = float(probe_time)
         self.stats = DynamicServiceStats()
+        #: Optional :class:`~repro.telemetry.hub.TelemetryHub`; every
+        #: call site is guarded so ``None`` runs the seed code path.
+        self.telemetry = None
+        #: Optional :class:`~repro.autotune.controller.AutotuneController`;
+        #: every call site is guarded so ``None`` runs the seed code path.
+        self.autotune = None
+        self._log_warned = False
+
+    def attach_telemetry(self, hub) -> None:
+        """Attach a :class:`~repro.telemetry.hub.TelemetryHub` (or None)."""
+        self.telemetry = hub
+
+    def enable_autotune(self, policy=None, seed=0, enabled=True):
+        """Attach and return an :class:`~repro.autotune.controller.
+        AutotuneController` tuning this service's admission bounds.
+
+        The dynamic service exposes admission tuning only (``capacity``
+        and ``update-capacity``): replica state advances by lockstep log
+        replay, so structural actions raise
+        :class:`~repro.errors.ActionUnsupportedError` by capability.
+        """
+        from repro.autotune.controller import AutotuneController
+
+        self.autotune = AutotuneController(
+            self, policy=policy, seed=seed, enabled=enabled
+        )
+        return self.autotune
 
     # -- keyspace ----------------------------------------------------------------
 
@@ -196,6 +234,22 @@ class DynamicShardedService:
         self.stats.update_groups += 1
         if BUS.active:
             BUS.emit(UpdateEvent(shard=shard, size=len(tickets), epoch=epoch))
+        log_entries = self.update_log_entries()
+        if self.telemetry is not None and self.telemetry.metrics is not None:
+            self.telemetry.metrics.gauge(
+                "dynamic_update_log_entries",
+                "total replayed-update log entries across shards",
+            ).set(float(log_entries))
+        if not self._log_warned and log_entries >= UPDATE_LOG_WARN_THRESHOLD:
+            self._log_warned = True
+            warnings.warn(
+                f"dynamic update log holds {log_entries} entries "
+                f"(threshold {UPDATE_LOG_WARN_THRESHOLD}); the log grows "
+                f"without bound until compaction lands — rebuild replicas "
+                f"or restart the service to reclaim memory",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return len(tickets)
 
     def _flush_writes(self, shard: int, now: float) -> int:
@@ -245,6 +299,8 @@ class DynamicShardedService:
             batch = batcher.poll(now)
             if batch is not None:
                 completed += self._dispatch(shard, batch)
+        if self.autotune is not None:
+            self.autotune.tick(float(now))
         return completed
 
     def drain(self, now: float) -> int:
@@ -256,6 +312,8 @@ class DynamicShardedService:
             batch = batcher.drain(now)
             if batch is not None:
                 completed += self._dispatch(shard, batch)
+        if self.autotune is not None:
+            self.autotune.tick(float(now))
         return completed
 
     def _dispatch(self, shard: int, batch: Batch) -> int:
@@ -354,6 +412,16 @@ class DynamicShardedService:
         """Each shard's current epoch."""
         return [s.epoch for s in self.shards]
 
+    def update_log_entries(self) -> int:
+        """Total replayed-update log entries across all shards.
+
+        This is the unbounded-growth quantity behind
+        :data:`UPDATE_LOG_WARN_THRESHOLD`: each shard keeps every
+        applied update in its replay log so crashed replicas can be
+        rebuilt by lockstep replay.
+        """
+        return sum(int(s.update_count) for s in self.shards)
+
     def replica_loads(self) -> list[np.ndarray]:
         """Per-shard arrays of probes charged to each replica so far."""
         return [s.replica_probe_loads() for s in self.shards]
@@ -362,6 +430,7 @@ class DynamicShardedService:
         """Service counters plus per-shard epoch/fault/space stats."""
         row = self.stats.row()
         row["pending_updates"] = self._pending_updates
+        row["update_log_entries"] = self.update_log_entries()
         for i, shard in enumerate(self.shards):
             for k, v in shard.stats().items():
                 row[f"shard{i}_{k}"] = v

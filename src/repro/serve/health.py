@@ -176,6 +176,40 @@ class HealthManager:
             for r in range(d.replicas):
                 self.machines[(shard, r)] = ReplicaHealth(shard, r)
 
+    def rebind_shard(self, shard: int) -> None:
+        """Re-anchor healing on a structurally reconfigured shard.
+
+        Called by the autotune executor after it swaps
+        ``service.shards[shard]`` for a rebuilt replica set (split,
+        join, or scheme switch): the repair counter, scrubber, and
+        rebuilder all hold the *old* dictionary and its geometry, so
+        they are recreated against the new one.  Surviving replicas
+        keep their state machines (a degraded replica stays degraded
+        through a split); replicas beyond the new count are dropped and
+        freshly cloned replicas start healthy.
+        """
+        shard = int(shard)
+        d = self.service.shards[shard]
+        counter = ProbeCounter(d.table.num_cells)
+        self.repair_counters[shard] = counter
+        self.scrubbers[shard] = CellScrubber(
+            d, counter,
+            rows_per_chunk=self.config.scrub_rows_per_chunk,
+            max_repairs=self.config.max_repairs,
+        )
+        self.rebuilders[shard] = ReplicaRebuilder(
+            d, counter,
+            rows_per_chunk=self.config.rebuild_rows_per_chunk,
+        )
+        for r in range(d.replicas):
+            if (shard, r) not in self.machines:
+                self.machines[(shard, r)] = ReplicaHealth(shard, r)
+        for key in [
+            k for k in self.machines
+            if k[0] == shard and k[1] >= d.replicas
+        ]:
+            del self.machines[key]
+
     # -- state machine plumbing --------------------------------------------------
 
     def state_of(self, shard: int, replica: int) -> str:

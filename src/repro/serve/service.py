@@ -193,6 +193,9 @@ class ShardedDictionaryService:
         #: Optional :class:`~repro.serve.health.HealthManager`; every
         #: call site is guarded so ``None`` runs the seed code path.
         self.health = None
+        #: Optional :class:`~repro.autotune.controller.AutotuneController`;
+        #: every call site is guarded so ``None`` runs the seed code path.
+        self.autotune = None
 
     def attach_telemetry(self, hub) -> None:
         """Attach a :class:`~repro.telemetry.hub.TelemetryHub` (or None)."""
@@ -214,6 +217,25 @@ class ShardedDictionaryService:
 
         self.health = HealthManager(self, config=config, seed=seed)
         return self.health
+
+    def enable_autotune(self, policy=None, seed=0, enabled=True):
+        """Attach and return an :class:`~repro.autotune.controller.
+        AutotuneController` driving this service's configuration.
+
+        The controller ticks from :meth:`advance` / :meth:`drain`, paced
+        by its policy's ``check_every`` in virtual time.  Never calling
+        this — or attaching with ``enabled=False`` — leaves every call
+        site behind ``self.autotune is None`` / a no-op tick: the seed
+        code path, byte-identical probe accounting included.
+        """
+        # Imported here: repro.autotune imports the dictionary layer,
+        # and keeping service importable without it preserves layering.
+        from repro.autotune.controller import AutotuneController
+
+        self.autotune = AutotuneController(
+            self, policy=policy, seed=seed, enabled=enabled
+        )
+        return self.autotune
 
     # -- keyspace ----------------------------------------------------------------
 
@@ -280,6 +302,8 @@ class ShardedDictionaryService:
             batch = batcher.poll(now)
             if batch is not None:
                 completed += self._dispatch(shard, batch)
+        if self.autotune is not None:
+            self.autotune.tick(float(now))
         return completed
 
     def drain(self, now: float) -> int:
@@ -289,6 +313,8 @@ class ShardedDictionaryService:
             batch = batcher.drain(now)
             if batch is not None:
                 completed += self._dispatch(shard, batch)
+        if self.autotune is not None:
+            self.autotune.tick(float(now))
         return completed
 
     # -- dispatch ----------------------------------------------------------------

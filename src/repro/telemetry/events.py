@@ -173,6 +173,29 @@ class EpochEvent:
     pinned: int
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class ReconfigEvent:
+    """The autotune control plane applied one reconfiguration action.
+
+    ``kind`` is one of ``"split"`` (grow replication), ``"join"``
+    (shrink replication), ``"scheme-switch"``, ``"capacity"``, or
+    ``"update-capacity"``; ``shard`` is ``-1`` for service-wide actions
+    (admission tuning).  ``before``/``after`` give the changed quantity
+    (replica count, scheme index, or capacity); ``probes`` is the
+    reconfiguration probe work (clone peeks, verification) charged to
+    the controller's reconfig counter, never the query path; ``epoch``
+    is the controller epoch at which the swap became visible.
+    """
+
+    kind: str
+    shard: int
+    before: int
+    after: int
+    probes: int
+    epoch: int
+    target: str = ""
+
+
 #: Every event type the library emits (introspection / capture filters).
 EVENT_TYPES = (
     ProbeEvent,
@@ -189,6 +212,7 @@ EVENT_TYPES = (
     UpdateEvent,
     RebuildEvent,
     EpochEvent,
+    ReconfigEvent,
 )
 
 

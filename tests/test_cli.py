@@ -20,7 +20,7 @@ def test_list_json(capsys):
     data = json.loads(capsys.readouterr().out)
     experiments = data["experiments"]
     assert experiments["E1"].startswith("Contention optimality")
-    assert set(experiments) == {f"E{i}" for i in range(1, 25)}
+    assert set(experiments) == {f"E{i}" for i in range(1, 26)}
     # The telemetry capability descriptor for machine consumers.
     telemetry = data["telemetry"]
     assert telemetry["metrics"] and telemetry["tracing"]
@@ -39,7 +39,7 @@ def test_info_json(capsys):
     assert main(["info", "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
     assert data["paper"]["venue"] == "SPAA 2010"
-    assert data["experiments"] == [f"E{i}" for i in range(1, 25)]
+    assert data["experiments"] == [f"E{i}" for i in range(1, 26)]
 
 
 def test_run_single_experiment(capsys):
@@ -387,3 +387,77 @@ def test_adversary_minimize_round_trip(tmp_path, capsys):
     assert out.exists()
     # The shrunk fixture still passes the replay gate.
     assert main(["adversary", "replay", str(out)]) == 0
+
+
+def test_serve_autotune_smoke(capsys):
+    assert main(
+        ["serve", "--n", "64", "--smoke-queries", "16", "--autotune"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "autotune on" in out
+    assert "trace digest" in out
+
+
+def test_serve_dynamic_rejects_procs(capsys):
+    assert main(["serve", "--dynamic", "--procs", "2"]) == 2
+    assert "in-process" in capsys.readouterr().err
+
+
+def test_serve_dynamic_rejects_heal(capsys):
+    assert main(["serve", "--dynamic", "--heal"]) == 2
+    assert "lockstep log replay" in capsys.readouterr().err
+
+
+def test_serve_rejects_negative_procs(capsys):
+    assert main(["serve", "--procs", "-1"]) == 2
+    assert ">= 0" in capsys.readouterr().err
+
+
+def test_autotune_inspect(capsys):
+    assert main(["autotune", "inspect"]) == 0
+    out = capsys.readouterr().out
+    assert "policy digest:" in out
+    assert "cooldown" in out
+
+
+def test_autotune_inspect_json(capsys):
+    assert main(["autotune", "inspect", "--json"]) == 0
+    out = capsys.readouterr().out
+    body, digest_line = out.rsplit("\n", 2)[:2]
+    data = json.loads(body)
+    assert "cooldown" in data and "high_load" in data
+    assert digest_line.startswith("policy digest:")
+
+
+def test_autotune_run_replay_round_trip(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    args = [
+        "autotune", "run", "--n", "96", "--requests", "400",
+        "--rate", "48", "--shards", "2", "--out", str(trace),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert "0 wrong answers" in first
+    # The saved trace replays byte-identically...
+    assert main(["autotune", "replay", str(trace)]) == 0
+    assert "match" in capsys.readouterr().out
+    # ...and a second run is decision-for-decision identical.
+    trace_b = tmp_path / "trace_b.json"
+    assert main(args[:-1] + [str(trace_b)]) == 0
+    capsys.readouterr()
+    assert trace.read_text() == trace_b.read_text()
+
+
+def test_autotune_replay_tampered_trace_exits_one(tmp_path, capsys):
+    trace = tmp_path / "trace.json"
+    assert main([
+        "autotune", "run", "--n", "96", "--requests", "400",
+        "--rate", "48", "--shards", "2", "--out", str(trace),
+    ]) == 0
+    payload = json.loads(trace.read_text())
+    tampered = [e for e in payload["entries"] if e["decisions"]]
+    tampered[0]["decisions"][0]["shard"] = 99
+    trace.write_text(json.dumps(payload))
+    capsys.readouterr()
+    assert main(["autotune", "replay", str(trace)]) == 1
+    assert "MISMATCH" in capsys.readouterr().out

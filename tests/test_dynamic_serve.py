@@ -176,6 +176,33 @@ class TestConstruction:
         assert row["pending_updates"] == 0
         assert row["shard0_epoch_epoch"] == 1
         assert row["shard1_epoch_epoch"] == 0
+        assert row["update_log_entries"] == 1
+
+    def test_update_log_gauge_and_warning(self, monkeypatch):
+        import warnings
+
+        from repro.serve import dynamic_service
+        from repro.telemetry import TelemetryHub
+
+        svc = _service()
+        hub = TelemetryHub(metrics=True)
+        svc.attach_telemetry(hub)
+        svc.submit_update(3, True, 0.0)
+        svc.submit_update(7, False, 0.0)
+        svc.drain(0.0)
+        gauges = hub.metrics.snapshot()["gauges"]
+        assert gauges["dynamic_update_log_entries"]["value"] == 2.0
+        # Crossing the (patched) threshold warns exactly once.
+        monkeypatch.setattr(
+            dynamic_service, "UPDATE_LOG_WARN_THRESHOLD", 3
+        )
+        with pytest.warns(RuntimeWarning, match="update log"):
+            svc.submit_update(9, True, 1.0)
+            svc.drain(1.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            svc.submit_update(11, True, 2.0)
+            svc.drain(2.0)
 
 
 class TestCLI:

@@ -84,6 +84,7 @@ def test_event_types_registry_is_complete():
         HealEvent,
         HealthTransitionEvent,
         RebuildEvent,
+        ReconfigEvent,
         UpdateEvent,
     )
 
@@ -94,7 +95,8 @@ def test_event_types_registry_is_complete():
     assert UpdateEvent in EVENT_TYPES
     assert EpochEvent in EVENT_TYPES
     assert RebuildEvent in EVENT_TYPES
-    assert len(EVENT_TYPES) == 14
+    assert ReconfigEvent in EVENT_TYPES
+    assert len(EVENT_TYPES) == 15
     assert all(isinstance(t, type) for t in EVENT_TYPES)
 
 
