@@ -1,0 +1,208 @@
+"""Bench E26 — durable checkpoints and log compaction.
+
+Two entry points:
+
+- ``python benchmarks/bench_e26_persistence.py [--gate] [--fast]`` —
+  standalone: runs experiment E26 on three independent seeds and
+  collects each seed's gate row (SIGKILL mid-checkpoint leaves the
+  previous generation restorable with zero wrong answers and
+  byte-identical cells versus a never-crashed twin; corrupt files are
+  quarantined with typed reasons and recovery falls back a generation;
+  a retention policy bounds the retained log while the unbounded stack
+  grows linearly; restore verification on/off yields byte-identical
+  query-counter digests).  Also times one direct save/restore
+  round-trip through ``repro.persist`` and re-checks byte identity.
+  Writes the machine-readable ``BENCH_PR10.json`` at the repo root.
+
+  ``--gate`` exits nonzero unless every seed's E26 gate passed and the
+  direct round-trip restored byte-identical state.
+
+- under pytest-benchmark — times one E26 run and asserts the same
+  headline invariants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pathlib
+import sys
+import tempfile
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Independent seeds — the E26 acceptance criterion.
+SEEDS = (0, 1, 2)
+
+
+def _e26_once(seed: int, fast: bool) -> dict:
+    """One seeded E26 run, reduced to a flat gate row."""
+    from repro.experiments import run_experiment
+
+    t0 = time.perf_counter()
+    result = run_experiment("E26", fast=fast, seed=seed)
+    seconds = time.perf_counter() - t0
+    rows = result.rows
+    gate = bool(next(
+        r for r in rows if r.get("part") == "gate"
+    )["all checks passed"])
+    sigkill = [r for r in rows if r.get("part") == "A sigkill"]
+    quarantine = [r for r in rows if r.get("part") == "B quarantine"]
+    bounded = next(r for r in rows if r.get("part") == "C bounded log")
+    identity = next(
+        r for r in rows if r.get("part") == "D verify identity"
+    )
+    return {
+        "seed": seed,
+        "seconds": round(seconds, 3),
+        "gate": gate,
+        "sigkill_rows": len(sigkill),
+        "sigkill_wrong": sum(int(r["wrong"]) for r in sigkill),
+        "sigkill_max_replayed": max(int(r["replayed"]) for r in sigkill),
+        "replay_bound": int(sigkill[0]["replay bound"]),
+        "sigkill_twin_identical": all(
+            bool(r["twin identical"]) for r in sigkill
+        ),
+        "quarantine_ok": all(bool(r["ok"]) for r in quarantine),
+        "peak_retained_bounded": int(bounded["peak retained (bounded)"]),
+        "peak_retained_unbounded": int(
+            bounded["peak retained (unbounded)"]
+        ),
+        "compactions": int(bounded["compactions"]),
+        "verify_digests_identical": bool(
+            identity["query digests identical"]
+        ),
+    }
+
+
+def _cells_digest(shard) -> str:
+    h = hashlib.sha256()
+    for r in sorted(shard.live_replicas()):
+        rep = shard._replicas[r]
+        for lv in rep._levels.nonempty_levels:
+            h.update(lv.structure.table._cells.tobytes())
+    return h.hexdigest()
+
+
+def _round_trip_check(seed: int = 0) -> dict:
+    """Direct timed save/restore of one seeded dynamic service."""
+    from numpy.random import default_rng
+
+    from repro.persist import CheckpointStore, restore_dynamic_service
+    from repro.serve.dynamic_service import build_dynamic_service
+
+    universe = 1 << 11
+    service = build_dynamic_service(
+        universe, num_shards=2, replicas=2, seed=seed + 51,
+        update_capacity=universe, log_retention=64,
+    )
+    rng = default_rng(seed + 52)
+    now = 0.0
+    for _ in range(300):
+        x = int(rng.integers(0, universe))
+        service.submit_update(x, bool(rng.random() < 0.75), now)
+        now += 0.25
+    service.drain(now + 8.0)
+    with tempfile.TemporaryDirectory() as d:
+        store = CheckpointStore(d)
+        service.attach_checkpoints(store)
+        t0 = time.perf_counter()
+        generation = service.checkpoint(now + 9.0)
+        save_seconds = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        restored, report = restore_dynamic_service(d)
+        restore_seconds = time.perf_counter() - t0
+    identical = all(
+        _cells_digest(a) == _cells_digest(b)
+        for a, b in zip(service.shards, restored.shards)
+    )
+    return {
+        "generation": int(generation),
+        "save_seconds": round(save_seconds, 4),
+        "restore_seconds": round(restore_seconds, 4),
+        "replayed": int(report["replayed"]),
+        "quarantined": int(report["quarantined"]),
+        "cells_identical": bool(identical),
+    }
+
+
+def measure(seed: int = 0, fast: bool = False) -> dict:
+    rows = [_e26_once(int(seed) + s, fast) for s in SEEDS]
+    round_trip = _round_trip_check(int(seed))
+    all_gates = all(r["gate"] for r in rows)
+    no_wrong = all(r["sigkill_wrong"] == 0 for r in rows)
+    all_twins = all(r["sigkill_twin_identical"] for r in rows)
+    bounded_replay = all(
+        r["sigkill_max_replayed"] <= r["replay_bound"] for r in rows
+    )
+    all_quarantine = all(r["quarantine_ok"] for r in rows)
+    all_identity = all(r["verify_digests_identical"] for r in rows)
+    return {
+        "benchmark": "e26_persistence",
+        "seeds": list(SEEDS),
+        "runs": rows,
+        "round_trip": round_trip,
+        "all_gates": all_gates,
+        "no_wrong_answers": no_wrong,
+        "all_twins_identical": all_twins,
+        "bounded_replay": bounded_replay,
+        "all_quarantine_checks": all_quarantine,
+        "all_identity_checks": all_identity,
+        "gate_passed": bool(
+            all_gates and no_wrong and all_twins and bounded_replay
+            and all_quarantine and all_identity
+            and round_trip["cells_identical"]
+            and round_trip["quarantined"] == 0
+        ),
+    }
+
+
+def main(argv) -> int:
+    gate = "--gate" in argv
+    fast = "--fast" in argv
+    row = measure(fast=fast)
+    out = REPO_ROOT / "BENCH_PR10.json"
+    out.write_text(json.dumps(row, indent=2) + "\n")
+    print(json.dumps(row, indent=2))
+    print(f"wrote {out}")
+    if gate and not row["gate_passed"]:
+        print(
+            f"GATE FAILED: all_gates={row['all_gates']}, "
+            f"no_wrong_answers={row['no_wrong_answers']}, "
+            f"all_twins_identical={row['all_twins_identical']}, "
+            f"bounded_replay={row['bounded_replay']}, "
+            f"all_quarantine_checks={row['all_quarantine_checks']}, "
+            f"all_identity_checks={row['all_identity_checks']}, "
+            f"round_trip_identical="
+            f"{row['round_trip']['cells_identical']}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def test_bench_e26_persistence(benchmark, bench_fast, record_result):
+    from repro.experiments import run_experiment
+
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("E26",),
+        kwargs={"fast": bench_fast, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    record_result(result)
+    gate = [r for r in result.rows if r.get("part") == "gate"]
+    assert gate and bool(gate[0]["all checks passed"])
+    sigkill = [r for r in result.rows if r.get("part") == "A sigkill"]
+    assert sigkill and all(int(r["wrong"]) == 0 for r in sigkill)
+    assert all(bool(r["twin identical"]) for r in sigkill)
+    bounded = [
+        r for r in result.rows if r.get("part") == "C bounded log"
+    ]
+    assert bounded and bool(bounded[0]["ok"])
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

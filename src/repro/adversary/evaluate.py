@@ -39,6 +39,19 @@ against up to two targets and scores the damage:
    genomes skip the stage and contribute no ``at_*`` keys, preserving
    every pre-PR-9 fixture digest.
 
+5. **The durable checkpoint chain** (``genome.checkpoint_corruption >
+   0``) — a mutable service writes generation-numbered checkpoints to
+   a scratch directory, the gene damages each file with its
+   probability (torn write / truncation / bit rot, mode drawn from the
+   evaluation seed via ``repro.faults``), and
+   :func:`~repro.persist.checkpoint.restore_dynamic_service` recovers
+   through the quarantine/fallback chain.  Rewards: post-restore wrong
+   answers against the reference set frozen at the restored
+   generation (the correctness break — quarantine let damage
+   through), generations lost to fallback, and total loss.
+   Corruption-free genomes skip the stage and contribute no ``ckpt_*``
+   keys, preserving every pre-PR-10 fixture digest.
+
 Everything timing-dependent (wall clock, failover counts) is excluded
 from both the metrics and the digest, so
 :meth:`Evaluation.digest` — a SHA-256 over the canonical metrics plus
@@ -134,6 +147,7 @@ class Evaluation:
             "dyn_wrong", "dyn_pinned_wrong", "dyn_backlog_shed",
             "dyn_rebuilds",
             "at_wrong", "at_detect_latency", "at_decisions",
+            "ckpt_wrong", "ckpt_quarantined", "ckpt_generations_lost",
         )
         row = {"fitness": round(self.fitness, 4), "digest": self.digest[:12]}
         row.update({k: self.metrics[k] for k in keep if k in self.metrics})
@@ -419,6 +433,139 @@ def _dynamic_stage(genome: Genome, config: EvalConfig, seed) -> dict:
     }
 
 
+#: Persistence-stage sizing: universe, checkpointed generations, and
+#: updates applied between consecutive checkpoints.
+PERSIST_UNIVERSE = 1 << 10
+PERSIST_GENERATIONS = 3
+PERSIST_UPDATES_PER_GEN = 40
+
+
+def _persistence_stage(genome: Genome, config: EvalConfig, seed) -> dict:
+    """Replay the genome's checkpoint-corruption gene against recovery.
+
+    Runs only when ``genome.checkpoint_corruption > 0``.  A one-shard
+    mutable service applies the genome's update mix (delete share and
+    hot-key churn reused from the update genes), checkpointing after
+    each of :data:`PERSIST_GENERATIONS` rounds and freezing the
+    reference key set at every generation.  Each surviving checkpoint
+    file is then independently damaged with probability
+    ``checkpoint_corruption`` — torn write, truncation, or bit rot,
+    mode and parameters drawn from the stage RNG — and recovery runs
+    the full quarantine/fallback chain.  The stage is pure in
+    ``(genome, config, seed)``: the scratch directory's path never
+    enters the metrics, file names are deterministic, and post-restore
+    verification charges only recovery counters, so the query-counter
+    digest folded into the metrics is reproducible byte-for-byte.
+
+    A correct stack concedes only *freshness* here (fallback to an
+    older generation, or an empty restart when nothing survives) —
+    never *correctness*: ``ckpt_wrong`` compares post-restore answers
+    over the whole universe against the reference frozen at whichever
+    generation recovery actually restored.
+    """
+    import tempfile
+
+    from repro.errors import CheckpointError
+    from repro.faults import flip_file_bit, torn_write, truncate_file
+    from repro.persist import CheckpointStore, restore_dynamic_service
+    from repro.serve.dynamic_service import build_dynamic_service
+
+    rng = as_generator(seed + 23)
+    svc = build_dynamic_service(
+        PERSIST_UNIVERSE,
+        num_shards=1,
+        replicas=2,
+        seed=seed + 29,
+        update_batch=4,
+        update_delay=1.0,
+        update_capacity=64,
+        log_retention=64,
+    )
+    hot = (
+        np.asarray(genome.update_hot_keys, dtype=np.int64)
+        % PERSIST_UNIVERSE
+    )
+    delete_fraction = genome.delete_fraction
+    ref: set[int] = set()
+    ref_at: dict[int, frozenset] = {0: frozenset()}
+    now = 0.0
+    with tempfile.TemporaryDirectory() as tmp:
+        store = CheckpointStore(tmp, keep=PERSIST_GENERATIONS)
+        svc.attach_checkpoints(store)
+        for _ in range(PERSIST_GENERATIONS):
+            for _ in range(PERSIST_UPDATES_PER_GEN):
+                if hot.size and rng.random() < 0.5:
+                    k = int(hot[int(rng.integers(0, hot.size))])
+                else:
+                    k = int(rng.integers(0, PERSIST_UNIVERSE))
+                ins = rng.random() >= delete_fraction
+                svc.submit_update(k, ins, now)
+                (ref.add if ins else ref.discard)(k)
+                now += 1.0
+                svc.advance(now)
+            svc.drain(now)
+            now += 10.0
+            ref_at[svc.checkpoint(now)] = frozenset(ref)
+        corrupted = 0
+        for _shard, _gen, path in store.generations():
+            if rng.random() >= genome.checkpoint_corruption:
+                continue
+            mode = int(rng.integers(0, 3))
+            damage_seed = int(rng.integers(0, 2**31))
+            if mode == 0:
+                torn_write(
+                    path, float(rng.uniform(0.05, 0.95)), seed=damage_seed
+                )
+            elif mode == 1:
+                truncate_file(path, int(rng.integers(0, 256)))
+            else:
+                flip_file_bit(
+                    path, seed=damage_seed, count=int(rng.integers(1, 9))
+                )
+            corrupted += 1
+        total_loss = False
+        wrong = quarantined = replayed = restored_gen = 0
+        counter_digest = ""
+        try:
+            restored, report = restore_dynamic_service(tmp, verify=True)
+        except CheckpointError:
+            # Every generation of every shard was quarantined: recovery
+            # correctly refuses to fabricate state.  Freshness loss is
+            # total, correctness is intact.
+            total_loss = True
+        else:
+            quarantined = int(report["quarantined"])
+            replayed = int(report["replayed"])
+            restored_gen = int(report["shards"][0]["generation"])
+            expect = ref_at.get(restored_gen, frozenset())
+            sample = np.arange(PERSIST_UNIVERSE, dtype=np.int64)
+            truth = np.isin(
+                sample,
+                np.fromiter(expect, dtype=np.int64, count=len(expect))
+                if expect else np.empty(0, dtype=np.int64),
+            )
+            shard = restored.shards[0]
+            answers = shard.query_batch(sample, rng=as_generator(seed + 31))
+            wrong = int(np.sum(answers != truth))
+            counter_digest = shard.query_counter_digest()
+    lost = (
+        PERSIST_GENERATIONS if total_loss
+        else PERSIST_GENERATIONS - restored_gen
+    )
+    return {
+        "ckpt_ran": True,
+        "ckpt_generations": PERSIST_GENERATIONS,
+        "ckpt_corrupted": corrupted,
+        "ckpt_quarantined": quarantined,
+        "ckpt_total_loss": total_loss,
+        "ckpt_restored_generation": restored_gen,
+        "ckpt_generations_lost": lost,
+        "ckpt_replayed": replayed,
+        "ckpt_wrong": wrong,
+        "ckpt_counter_digest": counter_digest,
+    }
+
+
 #: Autotune-stage sizing: chaos requests (half the healing stage keeps
 #: the stage affordable inside the search loop).
 AUTOTUNE_REQUESTS_DIVISOR = 2
@@ -544,6 +691,17 @@ def fitness_from_metrics(metrics: dict) -> float:
             int(metrics.get("dyn_requests", 1)), 1
         )
         fitness += 10.0 * min(metrics.get("dyn_rebuilds", 0) / 100.0, 1.0)
+    if metrics.get("ckpt_ran"):
+        # Persistence stage: quarantine letting damage through to a
+        # wrong answer is the jackpot; freshness loss (falling back to
+        # an older generation, or losing everything) earns a graded
+        # reward so the search keeps probing the fallback chain even
+        # while correctness holds.
+        gens = max(int(metrics.get("ckpt_generations", 1)), 1)
+        fitness += 1000.0 * metrics.get("ckpt_wrong", 0)
+        fitness += 30.0 * metrics.get("ckpt_generations_lost", 0) / gens
+        fitness += 20.0 * bool(metrics.get("ckpt_total_loss"))
+        fitness += 2.0 * metrics.get("ckpt_quarantined", 0)
     if metrics.get("at_ran"):
         # Autotune stage: correctness breaks dominate as everywhere;
         # the graded term rewards *detection latency* — silent damage
@@ -585,6 +743,10 @@ def evaluate(genome: Genome, config: EvalConfig, seed) -> Evaluation:
     # contribute no at_* keys and replay to their pre-PR-9 digests.
     if genome.autotune_cooldown > 0.0:
         metrics.update(_autotune_stage(genome, config, int(seed)))
+    # And for the checkpoint-corruption gene: corruption-free genomes
+    # contribute no ckpt_* keys and replay to their pre-PR-10 digests.
+    if genome.checkpoint_corruption > 0.0:
+        metrics.update(_persistence_stage(genome, config, int(seed)))
     fitness = fitness_from_metrics(metrics)
     payload = json.dumps(
         {

@@ -172,6 +172,15 @@ class Genome:
     #: probe how structural reconfiguration (which rebinds health
     #: machinery mid-chaos) interacts with corruption detection.
     autotune_cooldown: float = 0.0
+    #: Checkpoint-corruption gene (PR 10): per-generation probability
+    #: that a durable checkpoint file written by the persistence stage
+    #: is damaged on disk (torn write, truncation, or bit rot, mode
+    #: drawn from the evaluation seed) before recovery runs.  ``0.0``
+    #: (the default) means no persistence stage — :meth:`to_dict` omits
+    #: the gene, so every pre-PR-10 genome digest is unchanged.  An
+    #: active gene lets the search hunt for corruption patterns that
+    #: slip past the CRC/SHA quarantine chain or inflate recovery loss.
+    checkpoint_corruption: float = 0.0
 
     def __post_init__(self):
         if self.family not in SPEC_FAMILIES:
@@ -243,6 +252,11 @@ class Genome:
                 f"{AUTOTUNE_COOLDOWN_BOUNDS}, got {cooldown}"
             )
         object.__setattr__(self, "autotune_cooldown", cooldown)
+        object.__setattr__(
+            self,
+            "checkpoint_corruption",
+            _fraction("checkpoint_corruption", self.checkpoint_corruption),
+        )
 
     # -- identity ---------------------------------------------------------------
 
@@ -263,12 +277,18 @@ class Genome:
             "high_priority_fraction": self.high_priority_fraction,
             "events": [e.to_dict() for e in self.events],
         }
-        if self.update_fraction > 0.0:
+        # The persistence stage reuses the update-mix genes, so an
+        # active checkpoint gene also pins them into the canonical form
+        # (otherwise two genomes differing only in an unserialized
+        # delete_fraction would share a digest but replay differently).
+        if self.update_fraction > 0.0 or self.checkpoint_corruption > 0.0:
             d["update_fraction"] = self.update_fraction
             d["delete_fraction"] = self.delete_fraction
             d["update_hot_keys"] = list(self.update_hot_keys)
         if self.autotune_cooldown > 0.0:
             d["autotune_cooldown"] = self.autotune_cooldown
+        if self.checkpoint_corruption > 0.0:
+            d["checkpoint_corruption"] = self.checkpoint_corruption
         return d
 
     @classmethod
@@ -288,6 +308,7 @@ class Genome:
             delete_fraction=d.get("delete_fraction", 0.3),
             update_hot_keys=tuple(d.get("update_hot_keys", ())),
             autotune_cooldown=d.get("autotune_cooldown", 0.0),
+            checkpoint_corruption=d.get("checkpoint_corruption", 0.0),
         )
 
     def digest(self) -> str:

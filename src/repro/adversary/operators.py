@@ -11,9 +11,11 @@ this down).
 menu: jitter a scalar gene (skew, rate, mixes), switch the workload
 family, edit the hot-key set, add / drop / perturb one fault gene,
 jitter the update-stream genes (switch the dynamic stage on, re-mix
-insert/delete, churn update hot keys), or jitter the autotune-cooldown
+insert/delete, churn update hot keys), jitter the autotune-cooldown
 gene (attach a closed-loop controller to the chaos target and tune
-its cooldown window).  :func:`crossover` is uniform
+its cooldown window), or jitter the checkpoint-corruption gene
+(damage the durable checkpoints the persistence stage writes and
+score what recovery loses).  :func:`crossover` is uniform
 over scalar genes plus an event-list splice (a prefix of one parent's
 fault program with a suffix of the other's, capped at ``MAX_EVENTS``);
 update genes are inherited as one linked block so a child never mixes
@@ -147,6 +149,25 @@ def _mutate_autotune(genome: Genome, rng: np.random.Generator) -> dict:
     )}
 
 
+def _mutate_checkpoint(genome: Genome, rng: np.random.Generator) -> dict:
+    """Jitter the checkpoint-corruption gene (PR 10).
+
+    On a corruption-free genome the first move switches the
+    persistence stage on (per-generation damage probability drawn
+    uniform); afterwards the menu jitters the probability or — one
+    move in four — sets it back to exactly 0, turning the stage off
+    again (and dropping the gene from the canonical JSON).
+    """
+    if genome.checkpoint_corruption <= 0.0:
+        return {"checkpoint_corruption": float(rng.uniform(0.1, 0.9))}
+    if int(rng.integers(0, 4)) == 0:
+        return {"checkpoint_corruption": 0.0}
+    return {"checkpoint_corruption": _clip(
+        genome.checkpoint_corruption + float(rng.normal(0.0, 0.2)),
+        (0.05, 1.0),
+    )}
+
+
 def _perturb_gene(gene, rng: np.random.Generator, inner_cells: int):
     """Jitter one fault gene's time, victim, or payload."""
     move = int(rng.integers(0, 3))
@@ -186,8 +207,12 @@ def mutate(
     rng = as_generator(seed)
     out = genome
     for _ in range(int(rng.integers(1, 3))):
-        move = int(rng.integers(0, 8))
-        if move == 7:
+        move = int(rng.integers(0, 9))
+        if move == 8:
+            out = dataclasses.replace(
+                out, **_mutate_checkpoint(out, rng)
+            )
+        elif move == 7:
             out = dataclasses.replace(
                 out, **_mutate_autotune(out, rng)
             )
@@ -260,4 +285,7 @@ def crossover(a: Genome, b: Genome, seed) -> Genome:
         delete_fraction=update_parent.delete_fraction,
         update_hot_keys=update_parent.update_hot_keys,
         autotune_cooldown=pick(a.autotune_cooldown, b.autotune_cooldown),
+        checkpoint_corruption=pick(
+            a.checkpoint_corruption, b.checkpoint_corruption
+        ),
     )

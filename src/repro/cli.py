@@ -289,6 +289,16 @@ def _validate_serve_flags(args) -> None:
         raise ParameterError(
             f"--procs must be >= 0, got {args.procs}"
         )
+    if getattr(args, "checkpoint_dir", None) and not args.dynamic:
+        raise ParameterError(
+            "--checkpoint-dir persists the mutable stack; it requires "
+            "--dynamic (the static service is rebuilt from its keys)"
+        )
+    if getattr(args, "log_retention", None) is not None and not args.dynamic:
+        raise ParameterError(
+            "--log-retention bounds the dynamic replay log; it requires "
+            "--dynamic"
+        )
 
 
 def _autotune_summary(controller) -> str:
@@ -398,25 +408,65 @@ def _cmd_serve_dynamic(args) -> int:
     inserts interleaved with majority-voted reads, checks
     read-your-writes along the way, and finishes with an epoch-pinned
     multi-key read verified against the tracked reference set.
+
+    With ``--checkpoint-dir`` the service becomes crash-restartable:
+    if the directory holds a usable generation the service *recovers*
+    from it (corrupt files are quarantined, not fatal) instead of
+    starting empty, checkpoints periodically in virtual time when
+    ``--checkpoint-every`` is set, and always writes a final
+    generation on shutdown.
     """
     import time
 
     import numpy as np
 
-    from repro.errors import OverloadError, UpdateBacklogError
+    from repro.errors import CheckpointError, OverloadError, UpdateBacklogError
     from repro.experiments.common import make_instance
     from repro.serve import build_dynamic_service
 
     keys, N = make_instance(args.n, args.seed)
-    service = build_dynamic_service(
-        N,
-        num_shards=args.shards,
-        replicas=args.replicas,
-        max_batch=args.max_batch,
-        max_delay=args.max_delay,
-        capacity=args.capacity,
-        seed=args.seed + 1,
-    )
+    store = None
+    service = None
+    if args.checkpoint_dir:
+        from repro.persist import CheckpointStore, restore_dynamic_service
+
+        store = CheckpointStore(args.checkpoint_dir)
+        if store.latest_generation() > 0:
+            try:
+                service, report = restore_dynamic_service(
+                    args.checkpoint_dir
+                )
+            except CheckpointError as exc:
+                print(
+                    f"recovery: no usable generation ({exc}); "
+                    f"starting empty",
+                    file=sys.stderr,
+                )
+            else:
+                print(
+                    f"recovered generation "
+                    f"{max(s['generation'] for s in report['shards'])}: "
+                    f"{report['replayed']} updates replayed, "
+                    f"{report['quarantined']} corrupt file(s) quarantined, "
+                    f"sources {[s['source'] for s in report['shards']]}"
+                )
+    if service is None:
+        service = build_dynamic_service(
+            N,
+            num_shards=args.shards,
+            replicas=args.replicas,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            capacity=args.capacity,
+            log_retention=args.log_retention,
+            seed=args.seed + 1,
+        )
+    if store is not None:
+        service.attach_checkpoints(
+            store,
+            every=args.checkpoint_every if args.checkpoint_every > 0
+            else None,
+        )
     controller = (
         service.enable_autotune(seed=args.seed + 6)
         if getattr(args, "autotune", False) else None
@@ -428,9 +478,9 @@ def _cmd_serve_dynamic(args) -> int:
         + (", autotune on" if controller is not None else "")
     )
     exit_code = 0
+    now = 0.0
     if args.smoke_queries:
         rng = np.random.default_rng(args.seed + 4)
-        now = 0.0
         ref: set[int] = set()
         ryw_wrong = 0
         ryw_checked = 0
@@ -485,6 +535,14 @@ def _cmd_serve_dynamic(args) -> int:
             f"{row['batches']} batches, {row['probes']} probes, "
             f"{row['shed_reads']} reads shed, "
             f"{row['shed_updates']} updates shed"
+        )
+    if store is not None:
+        generation = service.checkpoint(now + 3.0)
+        print(
+            f"checkpoint: wrote generation {generation} to "
+            f"{args.checkpoint_dir} "
+            f"({service.update_log_entries()} log entries retained, "
+            f"{service.stats_compactions} compaction(s))"
         )
     if controller is not None:
         print(_autotune_summary(controller))
@@ -681,6 +739,128 @@ def _cmd_autotune_replay(args) -> int:
     if report["mismatches"]:
         print(f"mismatched entries: {report['mismatches']}")
     return 0 if report["match"] else 1
+
+
+def _cmd_checkpoint_save(args) -> int:
+    """Seeded workload → one durable generation (CI/demo entry point)."""
+    import numpy as np
+
+    from repro.persist import CheckpointStore
+    from repro.serve import build_dynamic_service
+
+    service = build_dynamic_service(
+        args.n,
+        num_shards=args.shards,
+        replicas=args.replicas,
+        log_retention=args.log_retention,
+        seed=args.seed + 1,
+    )
+    store = CheckpointStore(args.dir)
+    service.attach_checkpoints(store)
+    rng = np.random.default_rng(args.seed + 4)
+    now = 0.0
+    for k in rng.choice(args.n, size=args.updates, replace=True):
+        service.submit_update(int(k), bool(rng.random() >= 0.25), now)
+        now += 1.0
+        service.advance(now)
+    service.drain(now + 1.0)
+    generation = service.checkpoint(now + 2.0)
+    print(
+        f"wrote generation {generation} ({args.shards} shard file(s)) "
+        f"to {args.dir}: epochs {service.epochs_by_shard()}, "
+        f"{service.update_log_entries()} log entries retained, "
+        f"{service.stats_compactions} compaction(s)"
+    )
+    return 0
+
+
+def _cmd_checkpoint_inspect(args) -> int:
+    """Verify + summarize checkpoint files without restoring them.
+
+    ``path`` may be one ``.ckpt`` file or a checkpoint directory (every
+    generation is inspected).  Corrupt files are reported and count
+    toward a nonzero exit, but inspection never renames or repairs —
+    quarantine is recovery's job.
+    """
+    import json
+    import os
+
+    from repro.errors import CheckpointCorruptError
+    from repro.persist import CheckpointStore
+
+    if os.path.isdir(args.path):
+        store = CheckpointStore(args.path)
+        targets = [p for (_s, _g, p) in store.generations()]
+        if not targets:
+            print(f"{args.path}: no checkpoint files")
+            return 1
+    else:
+        store = CheckpointStore(os.path.dirname(args.path) or ".")
+        targets = [args.path]
+    rows, corrupt = [], 0
+    for path in targets:
+        try:
+            rows.append(store.inspect(path))
+        except CheckpointCorruptError as exc:
+            corrupt += 1
+            rows.append({"path": exc.path, "corrupt": exc.reason})
+    if args.json:
+        print(json.dumps(rows, indent=2, sort_keys=True))
+    else:
+        for row in rows:
+            if "corrupt" in row:
+                print(f"{row['path']}: CORRUPT — {row['corrupt']}")
+            else:
+                print(
+                    f"{row['path']}: shard {row['shard']} "
+                    f"gen {row['generation']} epoch {row['epoch']} — "
+                    f"{row['live_keys']} live keys, "
+                    f"{row['update_count']} updates "
+                    f"({row['suffix_entries']} in the retained suffix)"
+                )
+    return 1 if corrupt else 0
+
+
+def _cmd_checkpoint_restore(args) -> int:
+    """Recover a service from a checkpoint directory and smoke-read it.
+
+    Walks the full fallback chain (newest generation → verify →
+    quarantine → older generation → log replay), prints the per-shard
+    recovery report, and answers a seeded smoke batch through the
+    restored service.  Exit 2 (typed error) only when *no* shard has
+    any usable generation.
+    """
+    import numpy as np
+
+    from repro.persist import restore_dynamic_service
+
+    service, report = restore_dynamic_service(
+        args.dir, verify=not args.no_verify
+    )
+    for shard in report["shards"]:
+        print(
+            f"shard {shard['shard']}: {shard['source']} "
+            f"(generation {shard['generation']}), "
+            f"{shard['replayed']} updates replayed, "
+            f"{shard['quarantined']} file(s) quarantined"
+        )
+    print(
+        f"recovery: {report['replayed']} replayed, "
+        f"{report['quarantined']} quarantined, "
+        f"{report['recovery_probes']} verification probes "
+        f"(charged to recovery counters)"
+    )
+    for path, reason in report["quarantine_log"]:
+        print(f"quarantined {path}: {reason}", file=sys.stderr)
+    rng = np.random.default_rng(args.seed + 4)
+    now = float(service.update_log_entries()) + 1.0
+    sample = rng.integers(0, service.universe_size, size=64)
+    answers, epochs = service.read_pinned(sample, now)
+    print(
+        f"smoke: pinned read of {sample.size} keys @ epochs {epochs}, "
+        f"{int(answers.sum())} present"
+    )
+    return 0
 
 
 def _cmd_loadgen(args) -> int:
@@ -1168,6 +1348,26 @@ def build_parser() -> argparse.ArgumentParser:
         "capability-gated per deployment); prints the decision-trace "
         "digest on shutdown",
     )
+    serve_p.add_argument(
+        "--checkpoint-dir",
+        help="(requires --dynamic) durable checkpoint directory: "
+        "recover from the newest usable generation on boot, write a "
+        "final generation on shutdown",
+    )
+    serve_p.add_argument(
+        "--checkpoint-every",
+        type=float,
+        default=0.0,
+        help="also checkpoint every this many virtual seconds while "
+        "serving (0 = final checkpoint only)",
+    )
+    serve_p.add_argument(
+        "--log-retention",
+        type=int,
+        default=None,
+        help="(requires --dynamic) compact the replay log whenever the "
+        "retained entries reach this bound (default: grow forever)",
+    )
     serve_p.set_defaults(func=_cmd_serve)
 
     loadgen_p = sub.add_parser(
@@ -1304,6 +1504,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     at_replay_p.add_argument("trace", help="trace JSON path")
     at_replay_p.set_defaults(func=_cmd_autotune_replay)
+
+    checkpoint_p = sub.add_parser(
+        "checkpoint",
+        help="durable checkpoints: save, inspect, and restore the "
+        "dynamic stack",
+    )
+    checkpoint_sub = checkpoint_p.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+
+    ck_save_p = checkpoint_sub.add_parser(
+        "save",
+        help="run a seeded update workload and write one durable "
+        "generation",
+    )
+    ck_save_p.add_argument("--dir", required=True)
+    ck_save_p.add_argument("--seed", type=int, default=0)
+    ck_save_p.add_argument(
+        "--n", type=int, default=4096, help="universe size"
+    )
+    ck_save_p.add_argument("--shards", type=int, default=2)
+    ck_save_p.add_argument("--replicas", type=int, default=2)
+    ck_save_p.add_argument(
+        "--updates", type=int, default=256,
+        help="seeded updates to apply before saving",
+    )
+    ck_save_p.add_argument(
+        "--log-retention", type=int, default=128,
+        help="replay-log compaction bound (use a large value to keep "
+        "the full log)",
+    )
+    ck_save_p.set_defaults(func=_cmd_checkpoint_save)
+
+    ck_inspect_p = checkpoint_sub.add_parser(
+        "inspect",
+        help="verify (CRC/SHA) and summarize checkpoint files without "
+        "restoring; exit 1 if any file is corrupt",
+    )
+    ck_inspect_p.add_argument(
+        "path", help="one .ckpt file or a checkpoint directory"
+    )
+    ck_inspect_p.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    ck_inspect_p.set_defaults(func=_cmd_checkpoint_inspect)
+
+    ck_restore_p = checkpoint_sub.add_parser(
+        "restore",
+        help="recover a service through the quarantine/fallback chain "
+        "and smoke-read it",
+    )
+    ck_restore_p.add_argument("--dir", required=True)
+    ck_restore_p.add_argument("--seed", type=int, default=0)
+    ck_restore_p.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the post-restore canary verification sweep",
+    )
+    ck_restore_p.set_defaults(func=_cmd_checkpoint_restore)
 
     adversary_p = sub.add_parser(
         "adversary",

@@ -31,14 +31,35 @@ Rebuild verification probes (``verify_rebuilds=True``) are charged via
 :func:`repro.heal.charged_to` to per-level rebuild counters, so each
 replica's *query*-counter digest stays byte-identical to an
 unverified replay of the same stream.
+
+**Log compaction & snapshots** (the durability substrate of
+:mod:`repro.persist`): the update log is kept as *groups* (one per
+applied batch — one epoch advance each, so replay is
+epoch-faithful).  :meth:`compact_log` folds the retained groups into a
+pickled **base snapshot** of every replica's full state (level
+structures, install counter, cost account, and the shared rng stream's
+``bit_generator.state``) and clears the log, so
+:meth:`rebuild_replica` becomes *base restore + bounded suffix replay*
+instead of unbounded full-log replay, and memory stops growing with
+update volume.  :meth:`snapshot_payload` /
+:meth:`from_snapshot` round-trip the whole structure through a plain
+dict; restore is byte-identical (``table._cells``) to a never-crashed
+twin because the snapshot carries the exact rng stream position, and
+restore-time canary verification (:meth:`verify_state`) charges its
+probes to throwaway recovery counters via
+:func:`repro.heal.charged_to`, so query-counter digests stay
+byte-identical whether or not recovery verification ran.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pickle
+from contextlib import ExitStack
 
 import numpy as np
 
+from repro.cellprobe.counters import ProbeCounter
 from repro.dynamic.dictionary import DynamicLowContentionDictionary
 from repro.dynamic.epoch import EpochManager, EpochPin
 from repro.errors import (
@@ -47,7 +68,9 @@ from repro.errors import (
     ParameterError,
     ReplicaUnavailableError,
     ReproError,
+    VerificationError,
 )
+from repro.heal import charged_to
 from repro.utils.rng import as_generator, spawn_generators
 
 #: Exceptions treated as a *detected* per-replica failure (abstention)
@@ -124,7 +147,18 @@ class ReplicatedDynamicDictionary:
         self.epochs = EpochManager()
         self.fault_stats = DynamicFaultStats()
         self._crashed: set[int] = set()
-        self._log: list[tuple[int, bool]] = []
+        #: The retained update log: one tuple of ``(key, is_insert)``
+        #: ops per applied group (one epoch advance each).
+        self._log: list[tuple[tuple[int, bool], ...]] = []
+        #: Updates folded into the base snapshot by compaction.
+        self._log_base = 0
+        #: Pickled per-replica base state (None until first compaction).
+        self._base_state: bytes | None = None
+        #: Epoch at the moment the base snapshot was captured.
+        self._base_epoch = 0
+        self.compactions = 0
+        #: Probes charged to recovery counters by restore verification.
+        self.recovery_probes = 0
         self._replicas = [
             self._fresh_replica(r) for r in range(self.replicas)
         ]
@@ -179,7 +213,7 @@ class ReplicatedDynamicDictionary:
                     d.insert(k)
                 else:
                     d.delete(k)
-        self._log.extend(ops)
+        self._log.append(tuple(ops))
         return self.epochs.advance()
 
     @property
@@ -188,8 +222,13 @@ class ReplicatedDynamicDictionary:
 
     @property
     def update_count(self) -> int:
-        """Updates applied since construction (the log length)."""
-        return len(self._log)
+        """Updates applied since construction (compacted + retained)."""
+        return self._log_base + self.retained_log_entries
+
+    @property
+    def retained_log_entries(self) -> int:
+        """Updates still held in the replay log (the recovery replay bound)."""
+        return sum(len(g) for g in self._log)
 
     # -- fault hooks (chaos schedules / healing) ---------------------------------
 
@@ -219,20 +258,29 @@ class ReplicatedDynamicDictionary:
         self.fault_stats.crashes += 1
 
     def rebuild_replica(self, replica: int) -> None:
-        """Replay the full update log into a fresh replica ``replica``.
+        """Rebuild ``replica`` from the base snapshot plus the log suffix.
 
-        The replacement re-derives the replica's original spawned rng
-        stream, so its level state is byte-identical to a replica that
-        never crashed — deterministic state-machine recovery.
+        Before the first compaction the base is empty and this is the
+        original full-log replay; after compaction the replacement
+        restores the pickled base state (exact rng stream position
+        included) and replays only the retained suffix — bounded
+        recovery work.  Either way the replacement re-derives the
+        replica's original spawned rng stream, so its level state is
+        byte-identical to a replica that never crashed.
         """
         self._require_armed()
         r = self._check_replica(replica)
-        d = self._fresh_replica(r)
-        for k, ins in self._log:
-            if ins:
-                d.insert(k)
-            else:
-                d.delete(k)
+        if self._base_state is not None:
+            base = pickle.loads(self._base_state)
+            d = self._restore_replica_state(r, base["replicas"][r])
+        else:
+            d = self._fresh_replica(r)
+        for group in self._log:
+            for k, ins in group:
+                if ins:
+                    d.insert(k)
+                else:
+                    d.delete(k)
         self._replicas[r] = d
         self._crashed.discard(r)
         self.fault_stats.rebuilds += 1
@@ -262,6 +310,204 @@ class ReplicatedDynamicDictionary:
     def live_replicas(self) -> list[int]:
         """Replica indices that are not crashed."""
         return [r for r in range(self.replicas) if r not in self._crashed]
+
+    # -- log compaction & snapshots (the durability substrate) -------------------
+
+    def _config(self) -> dict:
+        """Constructor arguments, as a plain dict (snapshot metadata)."""
+        return {
+            "universe_size": self.universe_size,
+            "replicas": self.replicas,
+            "seed": self.seed,
+            "max_trials": self.max_trials,
+            "min_level_width": self.min_level_width,
+            "verify_rebuilds": self.verify_rebuilds,
+            "armed": self.armed,
+        }
+
+    @staticmethod
+    def _capture_replica_state(d: DynamicLowContentionDictionary) -> dict:
+        """One replica's full resumable state as plain picklable values.
+
+        The rng state is the crux: dictionary and level structure share
+        one spawned Generator, so capturing ``bit_generator.state`` once
+        (and restoring it once) resumes *both* exactly where they were —
+        every future level construction draws the same hash choices a
+        never-crashed replica would.
+        """
+        return {
+            "rng_state": d.rng.bit_generator.state,
+            "installs": d._levels._installs,
+            "levels": list(d._levels.levels),
+            "account": d.account,
+        }
+
+    def _capture_base(self) -> bytes:
+        """Serialize every replica's state *now* (immune to later mutation)."""
+        state = {
+            "replicas": [
+                self._capture_replica_state(d) for d in self._replicas
+            ],
+            "epoch": self.epochs.epoch,
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    def _restore_replica_state(
+        self, r: int, state: dict
+    ) -> DynamicLowContentionDictionary:
+        """Rebuild replica ``r`` from a captured state dict.
+
+        Starts from :meth:`_fresh_replica` (which rewires the
+        ``on_retire`` hook into this instance's epoch manager), then
+        overwrites the shared rng stream position, the level list, the
+        install counter (future verify-sweep seeds must continue the
+        sequence), and the cost account.
+        """
+        d = self._fresh_replica(r)
+        d.rng.bit_generator.state = state["rng_state"]
+        d._levels.levels = list(state["levels"])
+        d._levels._installs = int(state["installs"])
+        d.account = state["account"]
+        d._levels.account = d.account
+        return d
+
+    def compact_log(self) -> int:
+        """Fold the retained log into a fresh base snapshot; clear the log.
+
+        Returns the number of updates folded.  Refuses (returns 0)
+        while any replica is crashed: a crashed replica's state cannot
+        be captured, and compacting would discard the very log its
+        rebuild needs.  After compaction, :meth:`rebuild_replica` and
+        snapshot restore replay only updates applied since this call.
+        """
+        if self._crashed:
+            return 0
+        folded = self.retained_log_entries
+        if folded == 0 and self._base_state is not None:
+            return 0
+        self._base_state = self._capture_base()
+        self._base_epoch = self.epochs.epoch
+        self._log_base += folded
+        self._log = []
+        self.compactions += 1
+        return folded
+
+    def snapshot_payload(self) -> dict:
+        """The durable representation: base snapshot + retained suffix.
+
+        Everything :meth:`from_snapshot` needs to rebuild this structure
+        byte-identically: the constructor config, the pickled base state
+        from the last compaction (``None`` before the first — the suffix
+        is then the *full* log and restore degrades to full-log replay),
+        the retained log suffix, and recovery-point metadata (epoch,
+        applied-update count, live key set) for inspection tools.
+        """
+        live = (
+            [int(k) for k in self.live_keys()]
+            if self.live_replicas() else []
+        )
+        return {
+            "config": self._config(),
+            "base": self._base_state,
+            "base_updates": self._log_base,
+            "base_epoch": self._base_epoch,
+            "suffix": [tuple(g) for g in self._log],
+            "epoch": self.epochs.epoch,
+            "update_count": self.update_count,
+            "live_keys": live,
+            "compactions": self.compactions,
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, payload: dict, armed: bool | None = None
+    ) -> tuple["ReplicatedDynamicDictionary", dict]:
+        """Rebuild a structure from :meth:`snapshot_payload`; report how.
+
+        Restores the base state (exact rng stream positions included)
+        and replays the retained suffix — bounded recovery work — or
+        replays the full log when the snapshot predates any compaction.
+        A replica crashed at snapshot time comes back healthy: replay
+        applies every group to every replica, which is exactly the
+        lockstep rebuild it was owed.  Returns ``(instance, report)``
+        with ``report["source"]`` in ``{"checkpoint", "log"}`` and
+        ``report["replayed"]`` counting replayed updates.
+        """
+        cfg = dict(payload["config"])
+        if armed is not None:
+            cfg["armed"] = bool(armed)
+        inst = cls(**cfg)
+        if payload.get("base") is not None:
+            base = pickle.loads(payload["base"])
+            inst._base_state = payload["base"]
+            inst._log_base = int(payload["base_updates"])
+            inst._base_epoch = int(payload["base_epoch"])
+            inst.epochs.epoch = int(payload["base_epoch"])
+            for r in range(inst.replicas):
+                inst._replicas[r] = inst._restore_replica_state(
+                    r, base["replicas"][r]
+                )
+            source = "checkpoint"
+        else:
+            source = "log"
+        replayed = 0
+        for group in payload.get("suffix", []):
+            ops = [(int(k), bool(ins)) for k, ins in group]
+            for d in inst._replicas:
+                for k, ins in ops:
+                    if ins:
+                        d.insert(k)
+                    else:
+                        d.delete(k)
+            inst._log.append(tuple(ops))
+            inst.epochs.advance()
+            replayed += len(ops)
+        report = {
+            "source": source,
+            "replayed": replayed,
+            "epoch": inst.epoch,
+            "update_count": inst.update_count,
+        }
+        return inst, report
+
+    def verify_state(self, seed: int = 0, sample: int = 64) -> int:
+        """Canary-read live keys on every replica; returns probes charged.
+
+        The paranoid post-restore check: a sample of the ground-truth
+        live key set must answer ``True`` on every live replica.  All
+        probes are rerouted to throwaway recovery counters via
+        :func:`repro.heal.charged_to` and tallied in
+        ``recovery_probes`` — the query-counter digest is byte-identical
+        whether or not this verification ran (the same isolation
+        discipline as rebuild verification).  Raises
+        :class:`~repro.errors.VerificationError` on any wrong answer.
+        """
+        keys = self.live_keys()
+        if keys.size == 0:
+            return 0
+        rng = np.random.default_rng((int(seed), int(keys.size)))
+        if keys.size > int(sample):
+            keys = np.sort(rng.choice(keys, size=int(sample), replace=False))
+        probes = 0
+        for r in self.live_replicas():
+            d = self._replicas[r]
+            levels = tuple(d._levels.levels)
+            counters = []
+            with ExitStack() as stack:
+                for lv in d._levels.nonempty_levels:
+                    c = ProbeCounter(lv.structure.table.num_cells)
+                    stack.enter_context(
+                        charged_to(lv.structure.table, c)
+                    )
+                    counters.append(c)
+                answers = _query_batch_levels(levels, keys, rng)
+            if not bool(np.all(answers)):
+                raise VerificationError(
+                    int(keys[~answers][0]), False, True
+                )
+            probes += sum(int(c.total_probes()) for c in counters)
+        self.recovery_probes += probes
+        return probes
 
     # -- voted reads -------------------------------------------------------------
 
@@ -415,6 +661,10 @@ class ReplicatedDynamicDictionary:
             "replicas": self.replicas,
             "live_replicas": len(self.live_replicas()),
             "updates": self.update_count,
+            "log_retained": self.retained_log_entries,
+            "log_compacted": self._log_base,
+            "compactions": self.compactions,
+            "recovery_probes": self.recovery_probes,
             "space_words": self.space_words,
             **{f"epoch_{k}": v for k, v in self.epochs.stats().items()},
             **dataclasses.asdict(self.fault_stats),

@@ -270,6 +270,24 @@ class CheckpointError(ReproError, RuntimeError):
     """
 
 
+class CheckpointCorruptError(CheckpointError):
+    """One checkpoint *file* failed integrity verification.
+
+    Raised (and, on the recovery path, caught and recorded) when a
+    checkpoint frame fails its magic, CRC32, or SHA-256 check, or when
+    a verified payload is structurally unusable.  The recovery fallback
+    chain treats this as "quarantine the file and try the next
+    generation", never as a crash; it only propagates when a caller
+    inspects a single named file directly.  Carries the offending
+    ``path`` and a one-phrase ``reason``.
+    """
+
+    def __init__(self, path, reason: str):
+        self.path = str(path)
+        self.reason = str(reason)
+        super().__init__(f"checkpoint {self.path} is corrupt: {self.reason}")
+
+
 class TelemetryError(ReproError, RuntimeError):
     """The :mod:`repro.telemetry` layer was misused or misconfigured.
 

@@ -16,12 +16,13 @@ Builds are only cached when the key is trustworthy: an integer seed and
 scalar-only kwargs.  Anything else (Generator seeds, planted hash
 objects, parameter objects) bypasses the cache and builds directly.
 
-Disk entries are **checksum-validated**: each file carries a magic +
-format-version header and the SHA-256 of its pickle payload.  A
-truncated, corrupted, or version-mismatched file is *never* unpickled —
-it degrades to a cache miss with a :class:`RuntimeWarning` (and is
-rebuilt/rewritten), so a damaged cache directory can slow a run down
-but can never poison its results.
+Disk entries are **checksum-validated**: each file is a
+:func:`repro.io.integrity.frame` blob — magic + format version, CRC32,
+and the SHA-256 of its pickle payload (the same framing the durable
+checkpoint store uses).  A truncated, corrupted, or version-mismatched
+file is *never* unpickled — it degrades to a cache miss with a
+:class:`RuntimeWarning` (and is rebuilt/rewritten), so a damaged cache
+directory can slow a run down but can never poison its results.
 """
 
 from __future__ import annotations
@@ -35,12 +36,14 @@ from typing import Callable
 
 import numpy as np
 
+from repro.io.integrity import atomic_write_bytes, check_frame, frame
+
 #: In-process LRU capacity (entries, not bytes).
 MEMORY_CAPACITY = 16
 
-#: On-disk entry header: magic (includes the format version) + SHA-256.
-DISK_MAGIC = b"REPROCACHE:2\n"
-_DIGEST_BYTES = hashlib.sha256().digest_size
+#: Disk frame magic; the trailing number is the on-disk format version
+#: (bumped to 3 when the frame gained its CRC32 word).
+DISK_MAGIC = b"REPROCACHE:3\n"
 
 _SCALAR_TYPES = (bool, int, float, str, type(None))
 
@@ -142,17 +145,9 @@ class ConstructionCache:
                 blob = f.read()
         except OSError:
             return None
-        header = len(DISK_MAGIC) + _DIGEST_BYTES
-        if not blob.startswith(DISK_MAGIC):
-            _warn_corrupt(path, "bad magic / old format version")
-            return None
-        if len(blob) < header:
-            _warn_corrupt(path, "truncated header")
-            return None
-        digest = blob[len(DISK_MAGIC):header]
-        payload = blob[header:]
-        if hashlib.sha256(payload).digest() != digest:
-            _warn_corrupt(path, "checksum mismatch (truncated or corrupt)")
+        payload, reason = check_frame(blob, DISK_MAGIC)
+        if payload is None:
+            _warn_corrupt(path, reason)
             return None
         try:
             return pickle.loads(payload)
@@ -167,18 +162,15 @@ class ConstructionCache:
         if self.cache_dir is None:
             return
         path = self._disk_path(key)
-        tmp = f"{path}.tmp.{os.getpid()}"
         try:
             os.makedirs(self.cache_dir, exist_ok=True)
             payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
-            with open(tmp, "wb") as f:
-                f.write(DISK_MAGIC)
-                f.write(hashlib.sha256(payload).digest())
-                f.write(payload)
-            os.replace(tmp, path)
+            # A cache entry is disposable, so skip the fsyncs: a torn
+            # write after a power cut is caught by the frame check and
+            # degrades to a miss.
+            atomic_write_bytes(path, frame(payload, DISK_MAGIC), fsync=False)
         except (OSError, pickle.PicklingError):
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            pass
 
     def clear(self) -> None:
         """Drop the in-memory level (disk entries are left in place)."""

@@ -31,6 +31,7 @@ from repro.experiments import (
     e23_adversary,
     e24_dynamic_serve,
     e25_autotune,
+    e26_persistence,
 )
 from repro.io.results import ExperimentResult
 
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, tuple[str, Callable[..., ExperimentResult]]] = {
     "E23": ("Adversarial search: evolution vs the self-healing stack (robustness extension)", e23_adversary.run),
     "E24": ("Dynamic serving: live updates, epochs, chaos (dynamization extension)", e24_dynamic_serve.run),
     "E25": ("Autotune: closed-loop replication, scheme, and admission control (control-plane extension)", e25_autotune.run),
+    "E26": ("Durable checkpoints and log compaction: crash-restartable dynamic serving (robustness extension)", e26_persistence.run),
 }
 
 

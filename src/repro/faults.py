@@ -45,7 +45,92 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "FaultyTable",
+    "flip_file_bit",
+    "torn_write",
+    "truncate_file",
 ]
+
+
+# -- checkpoint-file corruption (durability chaos) --------------------------------
+#
+# The in-memory fault model above damages what queries *see*; these
+# helpers damage what recovery *reads*.  They reproduce the three
+# physical failure modes a crash can leave behind in a checkpoint file —
+# a torn (partially persisted) write, a truncation, and silent bit rot —
+# so tests and the adversary can drive the quarantine/fallback chain in
+# ``repro.persist`` deterministically.  All three are seeded and operate
+# in place on an existing file.
+
+
+def torn_write(path, fraction: float = 0.5, seed: int = 0) -> int:
+    """Simulate a torn write: keep a prefix, garbage the rest.
+
+    A crash mid-``write()`` persists a prefix of the new contents and
+    leaves the tail undefined.  This keeps the first
+    ``round(fraction * size)`` bytes and overwrites the remainder with
+    seeded random bytes, returning the number of bytes damaged.  The
+    framed checkpoint format detects this via its CRC32 word.
+    """
+    check_probability("fraction", fraction)
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    keep = int(round(float(fraction) * len(blob)))
+    damaged = len(blob) - keep
+    if damaged <= 0:
+        return 0
+    rng = np.random.default_rng(int(seed))
+    tail = rng.integers(0, 256, size=damaged, dtype=np.uint8).tobytes()
+    with open(path, "wb") as fh:
+        fh.write(blob[:keep] + tail)
+    return damaged
+
+
+def truncate_file(path, keep: int) -> int:
+    """Truncate a file to its first ``keep`` bytes; returns bytes lost.
+
+    Models a crash between ``write()`` and ``fsync()`` on a filesystem
+    that persisted only part of the data blocks.  ``keep`` may exceed
+    the file size (then nothing happens).
+    """
+    keep = int(keep)
+    if keep < 0:
+        raise ValueError(f"keep must be >= 0, got {keep}")
+    with open(path, "rb") as fh:
+        blob = fh.read()
+    lost = len(blob) - keep
+    if lost <= 0:
+        return 0
+    with open(path, "wb") as fh:
+        fh.write(blob[:keep])
+    return lost
+
+
+def flip_file_bit(path, seed: int = 0, count: int = 1) -> int:
+    """Flip ``count`` seeded random bits in a file (silent bit rot).
+
+    Models media decay: the file keeps its length and structure but
+    ``count`` bits anywhere in it (header, digest, or payload) are
+    inverted.  Returns the number of bits flipped (0 for an empty
+    file).  The framed format's SHA-256 catches payload rot; rot inside
+    the header degrades to a magic/CRC mismatch.
+    """
+    count = int(count)
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    with open(path, "rb") as fh:
+        blob = bytearray(fh.read())
+    if not blob or count == 0:
+        return 0
+    rng = np.random.default_rng(int(seed))
+    flipped = 0
+    for _ in range(count):
+        pos = int(rng.integers(0, len(blob)))
+        bit = int(rng.integers(0, 8))
+        blob[pos] ^= 1 << bit
+        flipped += 1
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    return flipped
 
 
 @dataclasses.dataclass(frozen=True)

@@ -1,5 +1,12 @@
 """Result rendering, ASCII charts, and serialization for experiments."""
 
+from repro.io.integrity import (
+    atomic_write_bytes,
+    check_frame,
+    crc32_bytes,
+    frame,
+    sha256_bytes,
+)
 from repro.io.plots import (
     contention_profile,
     horizontal_bars,
@@ -20,4 +27,9 @@ __all__ = [
     "contention_profile",
     "horizontal_bars",
     "loglog_series",
+    "atomic_write_bytes",
+    "check_frame",
+    "crc32_bytes",
+    "frame",
+    "sha256_bytes",
 ]

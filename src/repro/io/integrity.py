@@ -1,0 +1,130 @@
+"""Shared integrity primitives: checksums, framed blobs, atomic writes.
+
+Three subsystems persist or share bytes that must never be trusted
+blindly: the shared-memory fabric (:mod:`repro.parallel.shm`) checksums
+segment headers and packed table payloads with CRC32, the construction
+cache (:mod:`repro.experiments.cache`) frames pickle payloads behind a
+magic string and a SHA-256 digest, and the durable checkpoint store
+(:mod:`repro.persist`) does both.  This module is the single
+implementation they share:
+
+- :func:`crc32_bytes` — the canonical unsigned CRC32 used by every
+  fabric header and payload checksum;
+- :func:`frame` / :func:`check_frame` — a self-describing container
+  ``magic + crc32 + sha256 + payload``: cheap CRC catches torn writes
+  and bit rot first, the SHA-256 then rules out collisions and
+  truncation inside the payload, and a magic mismatch doubles as the
+  format-version check (the version lives in the magic string);
+- :func:`atomic_write_bytes` — crash-safe publication: write to a
+  ``.tmp.<pid>`` sibling, ``fsync`` the data, ``os.replace`` into
+  place, and ``fsync`` the directory so the rename itself survives a
+  power cut.  A reader can observe the old file or the new file, never
+  a torn one.
+
+:func:`check_frame` deliberately returns ``(payload, reason)`` instead
+of raising: callers map a bad frame to their own severity — the cache
+degrades to a miss with a warning, the checkpoint store quarantines the
+file with a typed :class:`~repro.errors.CheckpointCorruptError`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import zlib
+
+__all__ = [
+    "CRC_BYTES",
+    "SHA256_BYTES",
+    "atomic_write_bytes",
+    "check_frame",
+    "crc32_bytes",
+    "frame",
+    "sha256_bytes",
+]
+
+#: Width of the CRC32 word in a frame (little-endian).
+CRC_BYTES = 4
+
+#: Width of the SHA-256 digest in a frame.
+SHA256_BYTES = hashlib.sha256().digest_size
+
+
+def crc32_bytes(data) -> int:
+    """Unsigned CRC32 of ``data`` (bytes or anything with ``tobytes()``)."""
+    if not isinstance(data, (bytes, bytearray, memoryview)):
+        data = data.tobytes()
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def sha256_bytes(data: bytes) -> bytes:
+    """Raw SHA-256 digest of ``data``."""
+    return hashlib.sha256(data).digest()
+
+
+def frame(payload: bytes, magic: bytes) -> bytes:
+    """Wrap ``payload`` in a verifiable ``magic + crc + sha + payload`` blob."""
+    return (
+        bytes(magic)
+        + crc32_bytes(payload).to_bytes(CRC_BYTES, "little")
+        + sha256_bytes(payload)
+        + payload
+    )
+
+
+def check_frame(blob: bytes, magic: bytes) -> tuple[bytes | None, str | None]:
+    """Verify a :func:`frame` blob; return ``(payload, None)`` or
+    ``(None, reason)``.
+
+    Checks, in order: magic/format-version match, header completeness,
+    CRC32 (torn write / bit rot), SHA-256 (payload integrity).  The
+    reason string is one short human-readable phrase for warnings,
+    quarantine records, and typed errors.
+    """
+    magic = bytes(magic)
+    header = len(magic) + CRC_BYTES + SHA256_BYTES
+    if not blob.startswith(magic):
+        return None, "bad magic / unknown format version"
+    if len(blob) < header:
+        return None, "truncated header"
+    crc = int.from_bytes(blob[len(magic):len(magic) + CRC_BYTES], "little")
+    digest = blob[len(magic) + CRC_BYTES:header]
+    payload = blob[header:]
+    if crc32_bytes(payload) != crc:
+        return None, "CRC32 mismatch (torn write or bit rot)"
+    if sha256_bytes(payload) != digest:
+        return None, "SHA-256 mismatch (corrupt payload)"
+    return payload, None
+
+
+def atomic_write_bytes(path, data: bytes, fsync: bool = True) -> None:
+    """Durably publish ``data`` at ``path``: tmp + fsync + rename + dirsync.
+
+    Raises ``OSError`` on failure after best-effort removal of the tmp
+    file; the destination is never left torn — either the old content
+    or the new content is visible, atomically.
+    """
+    path = os.fspath(path)
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            f.write(data)
+            if fsync:
+                f.flush()
+                os.fsync(f.fileno())
+        os.replace(tmp, path)
+        if fsync:
+            # The rename is metadata: sync the directory so it is
+            # durable too, not just the file contents.
+            dir_fd = os.open(os.path.dirname(path) or ".", os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+    except OSError:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        raise

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import atexit
 import secrets
-import zlib
 from multiprocessing import resource_tracker, shared_memory
 
 import numpy as np
@@ -40,6 +39,7 @@ import numpy as np
 from repro.cellprobe.counters import ProbeCounter
 from repro.cellprobe.table import Table
 from repro.errors import ParameterError, SegmentFormatError
+from repro.io.integrity import crc32_bytes
 from repro.utils.validation import check_positive_integer
 
 #: First header word of every fabric segment ("replow" + layout rev).
@@ -123,7 +123,7 @@ def attach_segment(name: str) -> shared_memory.SharedMemory:
 
 def _header_crc(words: np.ndarray) -> int:
     """CRC32 of the first 6 header words (the checksum lives in word 6)."""
-    return zlib.crc32(words[:6].tobytes()) & 0xFFFFFFFF
+    return crc32_bytes(words[:6])
 
 
 def write_header(
@@ -187,7 +187,7 @@ def pack_table(name: str, table: Table) -> shared_memory.SharedMemory:
     view[:] = cells
     write_header(
         seg.buf, KIND_TABLE, table.rows, table.s,
-        zlib.crc32(view.tobytes()) & 0xFFFFFFFF,
+        crc32_bytes(view),
     )
     return seg
 
@@ -208,7 +208,7 @@ def attach_table(
     view = np.ndarray((rows, s), dtype=np.uint64, buffer=seg.buf,
                       offset=LINE_WORDS * _WORD)
     if verify_payload:
-        measured = zlib.crc32(view.tobytes()) & 0xFFFFFFFF
+        measured = crc32_bytes(view)
         if measured != payload_crc:
             raise SegmentFormatError(
                 f"{seg.name}: table payload checksum mismatch "

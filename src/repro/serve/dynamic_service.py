@@ -22,7 +22,19 @@ the service adds a **write path** next to the read path:
   cut, regardless of concurrently applied updates;
 - **telemetry** — ``UpdateEvent`` per applied group, ``RebuildEvent``
   per level rebuild (from the level layer), ``EpochEvent`` per epoch
-  transition, all behind the zero-overhead ``BUS.active`` guard.
+  transition, all behind the zero-overhead ``BUS.active`` guard;
+- **log compaction** — with a ``log_retention`` bound, the service
+  folds each shard's replay log into a base snapshot
+  (:meth:`~repro.dynamic.replicated.ReplicatedDynamicDictionary.
+  compact_log`) whenever the retained total reaches the bound, so
+  :meth:`update_log_entries` — and rebuild/recovery replay work — is
+  bounded instead of growing with write volume;
+- **durable checkpoints** — :meth:`attach_checkpoints` wires a
+  :class:`~repro.persist.CheckpointStore`; :meth:`advance` then writes
+  a new generation every ``checkpoint_every`` virtual-time units
+  (``CheckpointEvent`` per shard), and
+  :func:`~repro.persist.restore_dynamic_service` rebuilds the service
+  after a crash.
 
 Like the static service, the core is clockless (explicit ``now``,
 seeded rng streams) and byte-reproducible; reads are majority votes
@@ -54,13 +66,14 @@ from repro.utils.rng import as_generator, spawn_generators
 from repro.utils.validation import check_positive_integer
 
 
-#: Warn once when the total replayed-update log across shards crosses
-#: this many entries.  Every applied update is appended to its shard's
-#: replay log forever (the log is what rebuilds crashed replicas), so a
-#: long-lived write-heavy service grows memory without bound until log
-#: compaction lands (ROADMAP item 3 follow-up).  The
-#: ``dynamic_update_log_entries`` gauge tracks the same quantity
-#: continuously when telemetry is attached.
+#: Warn when the *retained* replayed-update log across shards crosses
+#: this many entries.  Without a ``log_retention`` bound every applied
+#: update stays in its shard's replay log (the log is what rebuilds
+#: crashed replicas), so a long-lived write-heavy service grows memory
+#: without bound; with compaction configured the retained count shrinks
+#: again and the warning re-arms, so a later runaway is reported too.
+#: The ``dynamic_update_log_entries`` gauge tracks the same
+#: post-compaction quantity continuously when telemetry is attached.
 UPDATE_LOG_WARN_THRESHOLD = 1_000_000
 
 
@@ -115,6 +128,7 @@ class DynamicShardedService:
         update_delay: float = 0.5,
         probe_time: float = 0.0,
         seed=0,
+        log_retention: int | None = None,
     ):
         if not shards:
             raise ParameterError("service needs at least one shard")
@@ -160,6 +174,36 @@ class DynamicShardedService:
         #: every call site is guarded so ``None`` runs the seed code path.
         self.autotune = None
         self._log_warned = False
+        if log_retention is not None:
+            check_positive_integer("log_retention", log_retention)
+        #: Compact shard logs whenever the retained total reaches this
+        #: bound (None = never: the pre-compaction unbounded behavior).
+        self.log_retention = (
+            None if log_retention is None else int(log_retention)
+        )
+        #: Optional :class:`~repro.persist.CheckpointStore`; every call
+        #: site is guarded so ``None`` runs the seed code path.
+        self.checkpoints = None
+        self._checkpoint_every: float | None = None
+        self._next_checkpoint: float | None = None
+        self.stats_compactions = 0
+        self.stats_checkpoints = 0
+        #: Constructor keywords :func:`restore_dynamic_service` rebuilds
+        #: the service with (checkpoint metadata).  A Generator seed is
+        #: not recordable; restore then falls back to seed 0 — answers
+        #: are rng-independent, only probe placement shifts.
+        self.build_config: dict = {
+            "max_batch": int(max_batch),
+            "max_delay": float(max_delay),
+            "capacity": int(capacity),
+            "update_capacity": int(update_capacity),
+            "update_batch": int(update_batch),
+            "update_delay": float(update_delay),
+            "probe_time": float(probe_time),
+            "log_retention": self.log_retention,
+        }
+        if isinstance(seed, (int, np.integer)):
+            self.build_config["seed"] = int(seed)
 
     def attach_telemetry(self, hub) -> None:
         """Attach a :class:`~repro.telemetry.hub.TelemetryHub` (or None)."""
@@ -180,6 +224,58 @@ class DynamicShardedService:
             self, policy=policy, seed=seed, enabled=enabled
         )
         return self.autotune
+
+    def attach_checkpoints(self, store, every: float | None = None) -> None:
+        """Attach a :class:`~repro.persist.CheckpointStore` (or None).
+
+        With ``every`` set, :meth:`advance` writes a new generation
+        each time that much virtual time passes; without it,
+        checkpoints happen only on explicit :meth:`checkpoint` calls.
+        """
+        self.checkpoints = store
+        self._checkpoint_every = None if every is None else float(every)
+        self._next_checkpoint = None
+
+    def checkpoint(self, now: float) -> int:
+        """Write one durable generation: base snapshots + log suffixes.
+
+        Under a retention policy the log compacts first *only* when the
+        retained entries have reached the bound (the same trigger the
+        write path uses), so the saved suffix — and therefore the
+        recovery replay length — is bounded by ``log_retention``
+        without forcing a compaction on every save.  Returns the new
+        generation number.
+        """
+        from repro.errors import CheckpointError
+
+        if self.checkpoints is None:
+            raise CheckpointError(
+                "no checkpoint store attached; call attach_checkpoints first"
+            )
+        compacted = 0
+        if (
+            self.log_retention is not None
+            and self.update_log_entries() >= self.log_retention
+        ):
+            compacted = self.compact_logs()
+        generation = self.checkpoints.save(
+            self, now=float(now), compacted=compacted
+        )
+        self.stats_checkpoints += 1
+        return generation
+
+    def compact_logs(self) -> int:
+        """Fold every shard's retained log into its base snapshot.
+
+        Shards with crashed replicas refuse (their log is still needed
+        for rebuild) and retain their entries; returns updates folded.
+        """
+        folded = 0
+        for shard in self.shards:
+            folded += shard.compact_log()
+        if folded:
+            self.stats_compactions += 1
+        return folded
 
     # -- keyspace ----------------------------------------------------------------
 
@@ -234,19 +330,28 @@ class DynamicShardedService:
         self.stats.update_groups += 1
         if BUS.active:
             BUS.emit(UpdateEvent(shard=shard, size=len(tickets), epoch=epoch))
+        if (
+            self.log_retention is not None
+            and self.update_log_entries() >= self.log_retention
+        ):
+            self.compact_logs()
         log_entries = self.update_log_entries()
         if self.telemetry is not None and self.telemetry.metrics is not None:
             self.telemetry.metrics.gauge(
                 "dynamic_update_log_entries",
-                "total replayed-update log entries across shards",
+                "retained replayed-update log entries across shards",
             ).set(float(log_entries))
-        if not self._log_warned and log_entries >= UPDATE_LOG_WARN_THRESHOLD:
+        if log_entries < UPDATE_LOG_WARN_THRESHOLD:
+            # Compaction brought the log back under the threshold:
+            # re-arm so a later runaway is reported again.
+            self._log_warned = False
+        elif not self._log_warned:
             self._log_warned = True
             warnings.warn(
-                f"dynamic update log holds {log_entries} entries "
-                f"(threshold {UPDATE_LOG_WARN_THRESHOLD}); the log grows "
-                f"without bound until compaction lands — rebuild replicas "
-                f"or restart the service to reclaim memory",
+                f"dynamic update log holds {log_entries} retained entries "
+                f"(threshold {UPDATE_LOG_WARN_THRESHOLD}); configure "
+                f"log_retention to compact the log into a base snapshot, "
+                f"or memory grows without bound under sustained writes",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -301,6 +406,15 @@ class DynamicShardedService:
                 completed += self._dispatch(shard, batch)
         if self.autotune is not None:
             self.autotune.tick(float(now))
+        if (
+            self.checkpoints is not None
+            and self._checkpoint_every is not None
+        ):
+            if self._next_checkpoint is None:
+                self._next_checkpoint = float(now) + self._checkpoint_every
+            elif float(now) >= self._next_checkpoint:
+                self.checkpoint(float(now))
+                self._next_checkpoint = float(now) + self._checkpoint_every
         return completed
 
     def drain(self, now: float) -> int:
@@ -413,14 +527,18 @@ class DynamicShardedService:
         return [s.epoch for s in self.shards]
 
     def update_log_entries(self) -> int:
-        """Total replayed-update log entries across all shards.
+        """Retained replayed-update log entries across all shards.
 
-        This is the unbounded-growth quantity behind
-        :data:`UPDATE_LOG_WARN_THRESHOLD`: each shard keeps every
-        applied update in its replay log so crashed replicas can be
-        rebuilt by lockstep replay.
+        The quantity behind :data:`UPDATE_LOG_WARN_THRESHOLD` and the
+        ``dynamic_update_log_entries`` gauge.  Without a
+        ``log_retention`` bound this grows with every applied update
+        (each shard keeps its whole log so crashed replicas can be
+        rebuilt by replay); with compaction it is the post-compaction
+        suffix length — the bound on rebuild/recovery replay work.
+        Lifetime totals stay visible as ``shardN_updates`` in
+        :meth:`stats_row`.
         """
-        return sum(int(s.update_count) for s in self.shards)
+        return sum(int(s.retained_log_entries) for s in self.shards)
 
     def replica_loads(self) -> list[np.ndarray]:
         """Per-shard arrays of probes charged to each replica so far."""
@@ -431,6 +549,8 @@ class DynamicShardedService:
         row = self.stats.row()
         row["pending_updates"] = self._pending_updates
         row["update_log_entries"] = self.update_log_entries()
+        row["compactions"] = self.stats_compactions
+        row["checkpoints"] = self.stats_checkpoints
         for i, shard in enumerate(self.shards):
             for k, v in shard.stats().items():
                 row[f"shard{i}_{k}"] = v
@@ -455,6 +575,7 @@ def build_dynamic_service(
     update_batch: int = 8,
     update_delay: float = 0.5,
     probe_time: float = 0.0,
+    log_retention: int | None = None,
     min_level_width: int = 0,
     verify_rebuilds: bool = False,
     armed: bool = False,
@@ -495,5 +616,6 @@ def build_dynamic_service(
         update_batch=update_batch,
         update_delay=update_delay,
         probe_time=probe_time,
+        log_retention=log_retention,
         seed=rng.integers(0, 2**63 - 1),
     )

@@ -196,6 +196,45 @@ class ReconfigEvent:
     target: str = ""
 
 
+@dataclasses.dataclass(frozen=True, slots=True)
+class CheckpointEvent:
+    """One shard checkpoint written durably at ``generation``.
+
+    ``entries`` is the retained log-suffix length captured in the file,
+    ``live_keys`` the snapshot's live key count, ``nbytes`` the framed
+    file size, and ``compacted`` the log entries folded into the base
+    snapshot by the compaction that preceded the save (0 when none ran).
+    """
+
+    shard: int
+    generation: int
+    epoch: int
+    entries: int
+    live_keys: int
+    nbytes: int
+    compacted: int = 0
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RecoveryEvent:
+    """One shard recovered from durable state (or found none).
+
+    ``source`` is ``"checkpoint"`` (restored from a verified
+    generation), ``"log"`` (full-log replay of a never-compacted
+    snapshot), or ``"empty"`` (no usable generation survived; the shard
+    restarted blank).  ``replayed`` counts the suffix updates replayed
+    on top of the base snapshot — the bounded recovery work —
+    and ``quarantined`` the corrupt files renamed aside on the way to a
+    usable generation.
+    """
+
+    shard: int
+    generation: int
+    source: str
+    replayed: int
+    quarantined: int
+
+
 #: Every event type the library emits (introspection / capture filters).
 EVENT_TYPES = (
     ProbeEvent,
@@ -213,6 +252,8 @@ EVENT_TYPES = (
     RebuildEvent,
     EpochEvent,
     ReconfigEvent,
+    CheckpointEvent,
+    RecoveryEvent,
 )
 
 

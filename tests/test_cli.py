@@ -20,7 +20,7 @@ def test_list_json(capsys):
     data = json.loads(capsys.readouterr().out)
     experiments = data["experiments"]
     assert experiments["E1"].startswith("Contention optimality")
-    assert set(experiments) == {f"E{i}" for i in range(1, 26)}
+    assert set(experiments) == {f"E{i}" for i in range(1, 27)}
     # The telemetry capability descriptor for machine consumers.
     telemetry = data["telemetry"]
     assert telemetry["metrics"] and telemetry["tracing"]
@@ -39,7 +39,7 @@ def test_info_json(capsys):
     assert main(["info", "--json"]) == 0
     data = json.loads(capsys.readouterr().out)
     assert data["paper"]["venue"] == "SPAA 2010"
-    assert data["experiments"] == [f"E{i}" for i in range(1, 26)]
+    assert data["experiments"] == [f"E{i}" for i in range(1, 27)]
 
 
 def test_run_single_experiment(capsys):

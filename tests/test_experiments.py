@@ -14,7 +14,7 @@ ALL_IDS = list(EXPERIMENTS)
 
 
 def test_registry_complete():
-    assert ALL_IDS == [f"E{i}" for i in range(1, 26)]
+    assert ALL_IDS == [f"E{i}" for i in range(1, 27)]
     for eid, (title, runner) in EXPERIMENTS.items():
         assert callable(runner) and title
 

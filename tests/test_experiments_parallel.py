@@ -178,7 +178,7 @@ class TestConstructionCache:
         blob = entry.read_bytes()
         entry.write_bytes(blob[: len(blob) - len(blob) // 3])
         cache = configure_cache(cache_dir=tmp_path)
-        with pytest.warns(RuntimeWarning, match="checksum|truncated"):
+        with pytest.warns(RuntimeWarning, match="CRC32|truncated"):
             d2 = build_scheme("fks", keys, N, 5)
         assert cache.misses == 1 and cache.hits == 0
         assert d2 is not d1
@@ -200,7 +200,7 @@ class TestConstructionCache:
         blob[-1] ^= 0x01  # single bit deep in the pickle payload
         entry.write_bytes(bytes(blob))
         cache = configure_cache(cache_dir=tmp_path)
-        with pytest.warns(RuntimeWarning, match="checksum"):
+        with pytest.warns(RuntimeWarning, match="CRC32 mismatch"):
             d = build_scheme("fks", keys, N, 6)
         assert cache.misses == 1
         assert d.contains(int(keys[0]))

@@ -1,0 +1,113 @@
+"""Shared integrity primitives: frames, checksums, atomic publication.
+
+``repro.io.integrity`` is the single implementation behind the
+shared-memory fabric header CRCs, the construction-cache frames, and
+the durable checkpoint format — these tests pin its contract: frame
+round-trips, each verification failure's ordered reason string, CRC32
+over array-likes, and crash-safe ``atomic_write_bytes`` publication.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.io.integrity import (
+    CRC_BYTES,
+    SHA256_BYTES,
+    atomic_write_bytes,
+    check_frame,
+    crc32_bytes,
+    frame,
+    sha256_bytes,
+)
+
+MAGIC = b"TESTMAGIC:1\n"
+
+
+class TestChecksums:
+    def test_crc32_is_unsigned_and_stable(self):
+        assert crc32_bytes(b"hello") == 0x3610A686
+        assert 0 <= crc32_bytes(b"\xff" * 64) <= 0xFFFFFFFF
+
+    def test_crc32_accepts_tobytes_objects(self):
+        arr = np.arange(16, dtype=np.int64)
+        assert crc32_bytes(arr) == crc32_bytes(arr.tobytes())
+
+    def test_sha256_matches_hashlib_width(self):
+        digest = sha256_bytes(b"payload")
+        assert isinstance(digest, bytes)
+        assert len(digest) == SHA256_BYTES == 32
+
+
+class TestFrame:
+    def test_round_trip(self):
+        payload = b"some pickled state" * 7
+        blob = frame(payload, MAGIC)
+        assert blob.startswith(MAGIC)
+        assert len(blob) == len(MAGIC) + CRC_BYTES + SHA256_BYTES + len(payload)
+        got, reason = check_frame(blob, MAGIC)
+        assert got == payload
+        assert reason is None
+
+    def test_empty_payload_round_trips(self):
+        got, reason = check_frame(frame(b"", MAGIC), MAGIC)
+        assert got == b""
+        assert reason is None
+
+    def test_bad_magic_doubles_as_version_check(self):
+        blob = frame(b"x", b"TESTMAGIC:2\n")
+        got, reason = check_frame(blob, MAGIC)
+        assert got is None
+        assert "magic" in reason
+
+    def test_truncated_header(self):
+        blob = frame(b"payload", MAGIC)
+        got, reason = check_frame(blob[: len(MAGIC) + 3], MAGIC)
+        assert got is None
+        assert reason == "truncated header"
+
+    def test_payload_corruption_is_a_crc_mismatch(self):
+        blob = bytearray(frame(b"payload bytes", MAGIC))
+        blob[-1] ^= 0x40  # flip one payload bit
+        got, reason = check_frame(bytes(blob), MAGIC)
+        assert got is None
+        assert "CRC32" in reason
+
+    def test_digest_corruption_is_a_sha_mismatch(self):
+        # Damage the stored SHA-256, not the payload: the CRC still
+        # matches, so verification must fall through to the digest.
+        blob = bytearray(frame(b"payload bytes", MAGIC))
+        blob[len(MAGIC) + CRC_BYTES] ^= 0x01
+        got, reason = check_frame(bytes(blob), MAGIC)
+        assert got is None
+        assert "SHA-256" in reason
+
+    def test_truncated_payload_detected(self):
+        blob = frame(b"a longer payload to cut", MAGIC)
+        got, reason = check_frame(blob[:-4], MAGIC)
+        assert got is None
+        assert reason is not None
+
+
+class TestAtomicWrite:
+    def test_publishes_and_leaves_no_tmp(self, tmp_path):
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"generation one")
+        assert target.read_bytes() == b"generation one"
+        atomic_write_bytes(target, b"generation two", fsync=False)
+        assert target.read_bytes() == b"generation two"
+        assert [p.name for p in tmp_path.iterdir()] == ["blob.bin"]
+
+    def test_failure_raises_oserror(self, tmp_path):
+        with pytest.raises(OSError):
+            atomic_write_bytes(tmp_path / "no" / "such" / "dir.bin", b"x")
+
+    def test_tmp_name_is_pid_scoped(self, tmp_path):
+        # The sibling tmp name embeds the pid, so two writers on the
+        # same path never tear each other's staging file.
+        target = tmp_path / "blob.bin"
+        atomic_write_bytes(target, b"data")
+        assert f".tmp.{os.getpid()}" not in {
+            p.name for p in tmp_path.iterdir()
+        }

@@ -80,11 +80,13 @@ def test_events_are_frozen():
 def test_event_types_registry_is_complete():
     # Every event class the library emits is introspectable.
     from repro.telemetry.events import (
+        CheckpointEvent,
         EpochEvent,
         HealEvent,
         HealthTransitionEvent,
         RebuildEvent,
         ReconfigEvent,
+        RecoveryEvent,
         UpdateEvent,
     )
 
@@ -96,7 +98,9 @@ def test_event_types_registry_is_complete():
     assert EpochEvent in EVENT_TYPES
     assert RebuildEvent in EVENT_TYPES
     assert ReconfigEvent in EVENT_TYPES
-    assert len(EVENT_TYPES) == 15
+    assert CheckpointEvent in EVENT_TYPES
+    assert RecoveryEvent in EVENT_TYPES
+    assert len(EVENT_TYPES) == 17
     assert all(isinstance(t, type) for t in EVENT_TYPES)
 
 
